@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Pnc_autodiff Pnc_core Pnc_data Pnc_exp Pnc_optim Pnc_util Printf Staged Test Time Toolkit

@@ -1,0 +1,116 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md section 3 and EXPERIMENTS.md).
+
+   Sections, in order:
+   - Fig. 6    augmentation showcase (PowerCons)
+   - Sec III-2 coupling-factor (mu) extraction via SPICE-lite
+   - Fig. 4    printed filter characterization (cutoffs)
+   - Table I   accuracy on the 15 benchmarks (3 model families)
+   - Fig. 5    baseline degradation under variation
+   - Fig. 7    ablation (VA / AT / SO-LF / combined)
+   - Table III hardware costs and power
+   - Table II  runtime (Timer means + Bechamel microbenchmark)
+
+   Scale via ADAPT_PNC_SCALE=smoke|fast|paper (default fast). *)
+
+module Config = Pnc_exp.Config
+module Experiments = Pnc_exp.Experiments
+
+let progress msg = Printf.eprintf "[bench] %s\n%!" msg
+
+(* Table II microbenchmark: one Bechamel test per model family, each
+   running a single full-batch training epoch on the first dataset. *)
+let bechamel_table2 cfg =
+  let open Bechamel in
+  let open Toolkit in
+  let dataset = List.hd cfg.Config.datasets in
+  let raw = Pnc_data.Registry.load ?n:cfg.Config.dataset_n ~seed:0 dataset in
+  let split = Pnc_data.Dataset.preprocess (Pnc_util.Rng.create ~seed:1) raw in
+  let classes = raw.Pnc_data.Dataset.n_classes in
+  let rng = Pnc_util.Rng.create ~seed:2 in
+  let mk_epoch model train_cfg =
+    let x, y = Pnc_core.Train.to_xy split.Pnc_data.Dataset.train in
+    let params = Pnc_core.Model.params model in
+    let opt = Pnc_optim.Optimizer.adamw ~params () in
+    fun () ->
+      Pnc_optim.Optimizer.zero_grads opt;
+      let loss =
+        Pnc_core.Mc_loss.expected ~rng ~spec:train_cfg.Pnc_core.Train.variation
+          ~n:train_cfg.Pnc_core.Train.mc_samples model ~x ~labels:y
+      in
+      Pnc_autodiff.Var.backward loss;
+      Pnc_optim.Optimizer.step opt ~lr:1e-4
+  in
+  let elman =
+    mk_epoch
+      (Pnc_core.Model.Reference (Pnc_core.Elman.create rng ~inputs:1 ~classes))
+      cfg.Config.train_base
+  in
+  let ptpnc =
+    mk_epoch
+      (Pnc_core.Model.Circuit
+         (Pnc_core.Network.create ~hidden:(max 2 classes) rng Pnc_core.Network.Ptpnc ~inputs:1
+            ~classes))
+      cfg.Config.train_base
+  in
+  let adapt =
+    mk_epoch
+      (Pnc_core.Model.Circuit
+         (Pnc_core.Network.create ~hidden:(max 4 (2 * classes)) rng Pnc_core.Network.Adapt
+            ~inputs:1 ~classes))
+      cfg.Config.train_va
+  in
+  let tests =
+    Test.make_grouped ~name:"epoch" ~fmt:"%s %s"
+      [
+        Test.make ~name:"elman-rnn" (Staged.stage elman);
+        Test.make ~name:"ptpnc-baseline" (Staged.stage ptpnc);
+        Test.make ~name:"adapt-pnc" (Staged.stage adapt);
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let bench_cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~kde:(Some 10) () in
+  let raw_results = Benchmark.all bench_cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
+  let merged = Analyze.merge ols instances results in
+  print_endline "Table II (Bechamel) - one training epoch, monotonic clock";
+  let clock = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) ->
+          Printf.printf "  %-28s %s/epoch\n" name (Pnc_util.Timer.fmt_seconds (est *. 1e-9))
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    clock;
+  print_newline ()
+
+let () =
+  let cfg = Config.from_env () in
+  Printf.printf "ADAPT-pNC benchmark harness (scale: %s, %d datasets, seeds: %d)\n\n"
+    (Config.scale_name cfg.Config.scale)
+    (List.length cfg.Config.datasets)
+    (List.length cfg.Config.seeds);
+
+  (* Light artifacts first. *)
+  Experiments.print_fig6 (Experiments.fig6 ());
+  Experiments.print_mu_survey (Experiments.mu_survey ());
+  Experiments.filter_characterization ();
+
+  (* The shared training grid behind Table I, Fig. 5, Fig. 7, Table III. *)
+  let variants = Experiments.Reference :: Experiments.fig7_variants in
+  let grid = Experiments.run_grid ~progress cfg ~variants in
+  Experiments.print_table1 (Experiments.table1_of_grid cfg grid);
+  Experiments.print_fig5 (Experiments.fig5_of_grid cfg grid);
+  Experiments.print_fig7 (Experiments.fig7_of_grid cfg grid);
+  Experiments.print_table3 (Experiments.table3_of_grid cfg grid);
+
+  (* Extension ablation: robustness and manufacturing yield as the
+     process variation grows beyond the paper's 10% operating point. *)
+  Experiments.print_variation_sweep ~threshold:0.6
+    (Experiments.variation_sweep_of_grid ~threshold:0.6 cfg grid);
+
+  (* Runtime comparisons. *)
+  Experiments.print_table2 (Experiments.table2 ~progress cfg);
+  bechamel_table2 cfg;
+  print_endline "done."

@@ -1,0 +1,371 @@
+(* adapt_pnc — command-line interface to the ADAPT-pNC reproduction.
+
+   Subcommands:
+     datasets         list the 15 benchmark datasets
+     train            train one model on one dataset and evaluate it
+     ablate           run the Fig. 7 ablation variants on one dataset
+     hwcost           Table III row for one dataset
+     augment-preview  Fig. 6 augmentation showcase
+     spice-char       mu extraction and filter characterization
+     tune-aug         random-search augmentation hyper-parameters *)
+
+open Cmdliner
+
+module Config = Pnc_exp.Config
+module Experiments = Pnc_exp.Experiments
+module Registry = Pnc_data.Registry
+module Dataset = Pnc_data.Dataset
+module Rng = Pnc_util.Rng
+
+(* Common arguments ------------------------------------------------------- *)
+
+let dataset_arg =
+  let doc = "Benchmark dataset name (see `adapt_pnc datasets`)." in
+  Arg.(value & opt string "PowerCons" & info [ "d"; "dataset" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc = "Experiment scale: smoke, fast or paper." in
+  Arg.(value & opt string "fast" & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let config_of ~scale =
+  Config.of_scale (Config.scale_of_string scale)
+
+let check_dataset name =
+  if not (List.mem name Registry.names) then (
+    Printf.eprintf "unknown dataset %s; available: %s\n" name (String.concat ", " Registry.names);
+    exit 1)
+
+(* datasets ---------------------------------------------------------------- *)
+
+let datasets_cmd =
+  let run () =
+    let t = Pnc_util.Table.create ~header:[ "Name"; "Classes"; "Samples (default)" ] in
+    List.iter
+      (fun spec ->
+        Pnc_util.Table.add_row t
+          [
+            spec.Registry.name;
+            string_of_int spec.Registry.n_classes;
+            string_of_int spec.Registry.default_n;
+          ])
+      Registry.all;
+    Pnc_util.Table.print t
+  in
+  Cmd.v (Cmd.info "datasets" ~doc:"List the 15 benchmark datasets (Table I).")
+    Term.(const run $ const ())
+
+(* train -------------------------------------------------------------------- *)
+
+let variant_of_string = function
+  | "elman" -> Experiments.Reference
+  | "ptpnc" | "baseline" -> Experiments.Base
+  | "va" -> Experiments.Va
+  | "at" -> Experiments.At
+  | "so-lf" | "so" -> Experiments.So_lf
+  | "adapt" | "full" -> Experiments.Full
+  | s -> invalid_arg ("unknown model variant: " ^ s)
+
+let model_arg =
+  let doc = "Model variant: elman, ptpnc, va, at, so-lf or adapt." in
+  Arg.(value & opt string "adapt" & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let train_cmd =
+  let run dataset model seed scale =
+    check_dataset dataset;
+    let cfg = config_of ~scale in
+    let variant = variant_of_string model in
+    Printf.printf "training %s on %s (seed %d, scale %s)...\n%!"
+      (Experiments.variant_name variant)
+      dataset seed scale;
+    let r = Experiments.train_run cfg ~dataset ~variant ~seed in
+    Printf.printf "epochs:                                   %d (%.1f s)\n" r.Experiments.epochs
+      r.Experiments.train_seconds;
+    Printf.printf "accuracy, clean:                          %.3f\n" r.Experiments.clean_acc;
+    Printf.printf "accuracy, ±10%% components:                %.3f\n" r.Experiments.clean_var_acc;
+    Printf.printf "accuracy, augmented test + ±10%% (Tab. I): %.3f\n" r.Experiments.aug_var_acc;
+    Printf.printf "accuracy, perturbed inputs + ±10%%:        %.3f\n" r.Experiments.pert_var_acc;
+    match r.Experiments.model with
+    | Pnc_core.Model.Circuit net ->
+        Printf.printf "hardware: %s, %.3f mW\n"
+          (Pnc_core.Hardware.describe (Pnc_core.Hardware.of_network net))
+          (Pnc_core.Hardware.power_mw net)
+    | Pnc_core.Model.Reference _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train one model on one dataset and evaluate it as the paper does.")
+    Term.(const run $ dataset_arg $ model_arg $ seed_arg $ scale_arg)
+
+(* ablate -------------------------------------------------------------------- *)
+
+let ablate_cmd =
+  let run dataset seed scale =
+    check_dataset dataset;
+    let cfg = config_of ~scale in
+    let t =
+      Pnc_util.Table.create
+        ~header:[ "Configuration"; "clean+var"; "perturbed+var" ]
+    in
+    List.iter
+      (fun variant ->
+        Printf.eprintf "training %s...\n%!" (Experiments.variant_name variant);
+        let r = Experiments.train_run cfg ~dataset ~variant ~seed in
+        Pnc_util.Table.add_row t
+          [
+            Experiments.variant_name variant;
+            Printf.sprintf "%.3f" r.Experiments.clean_var_acc;
+            Printf.sprintf "%.3f" r.Experiments.pert_var_acc;
+          ])
+      Experiments.fig7_variants;
+    Printf.printf "Fig. 7 ablation on %s (seed %d):\n" dataset seed;
+    Pnc_util.Table.print t
+  in
+  Cmd.v (Cmd.info "ablate" ~doc:"Run the Fig. 7 ablation variants on one dataset.")
+    Term.(const run $ dataset_arg $ seed_arg $ scale_arg)
+
+(* hwcost -------------------------------------------------------------------- *)
+
+let hwcost_cmd =
+  let run dataset seed scale =
+    check_dataset dataset;
+    let cfg = config_of ~scale in
+    let row variant =
+      Printf.eprintf "training %s...\n%!" (Experiments.variant_name variant);
+      let r = Experiments.train_run cfg ~dataset ~variant ~seed in
+      match r.Experiments.model with
+      | Pnc_core.Model.Circuit net ->
+          (Pnc_core.Hardware.of_network net, Pnc_core.Hardware.power_mw net)
+      | _ -> assert false
+    in
+    let bc, bp = row Experiments.Base in
+    let ac, ap = row Experiments.Full in
+    Printf.printf "Table III row for %s:\n" dataset;
+    Printf.printf "  pTPNC:     %s, %.3f mW\n" (Pnc_core.Hardware.describe bc) bp;
+    Printf.printf "  ADAPT-pNC: %s, %.3f mW\n" (Pnc_core.Hardware.describe ac) ap;
+    Printf.printf "  devices x%.2f, power %.0f%% saving\n"
+      (float_of_int (Pnc_core.Hardware.total ac) /. float_of_int (Pnc_core.Hardware.total bc))
+      (100. *. (1. -. (ap /. bp)))
+  in
+  Cmd.v (Cmd.info "hwcost" ~doc:"Device counts and power for one dataset (Table III).")
+    Term.(const run $ dataset_arg $ seed_arg $ scale_arg)
+
+(* augment-preview ------------------------------------------------------------- *)
+
+let augment_preview_cmd =
+  let run seed =
+    Experiments.print_fig6 (Experiments.fig6 ~seed ())
+  in
+  Cmd.v (Cmd.info "augment-preview" ~doc:"Show the augmentation transforms (Fig. 6).")
+    Term.(const run $ seed_arg)
+
+(* spice-char -------------------------------------------------------------------- *)
+
+let spice_char_cmd =
+  let run () =
+    Experiments.print_mu_survey (Experiments.mu_survey ());
+    Experiments.filter_characterization ();
+    (* Activation circuit: DC sweep of the 2T/2R stage and the eta fit
+       (the circuit-level grounding of Ptanh's parameters). *)
+    let e, rms = Pnc_core.Ptanh_circuit.characterize () in
+    Printf.printf
+      "ptanh circuit fit (after inverter): eta1=%.3f eta2=%.3f eta3=%.3f eta4=%.3f (rms %.4f)\n"
+      e.Pnc_core.Ptanh_circuit.eta1 e.Pnc_core.Ptanh_circuit.eta2 e.Pnc_core.Ptanh_circuit.eta3
+      e.Pnc_core.Ptanh_circuit.eta4 rms
+  in
+  Cmd.v
+    (Cmd.info "spice-char"
+       ~doc:"Extract the coupling factor mu and characterize the printed filters (SPICE-lite).")
+    Term.(const run $ const ())
+
+(* tune-aug ----------------------------------------------------------------------- *)
+
+let tune_aug_cmd =
+  let budget_arg =
+    Arg.(value & opt int 8 & info [ "budget" ] ~docv:"N" ~doc:"Number of random candidates.")
+  in
+  let run dataset seed budget =
+    check_dataset dataset;
+    let raw = Registry.load ~seed dataset in
+    let split = Dataset.preprocess (Rng.create ~seed:(seed + 1)) raw in
+    let eval policy =
+      (* Score a policy by validation accuracy of a quickly trained
+         ADAPT-pNC on policy-augmented data. *)
+      let arng = Rng.create ~seed:(seed + 2) in
+      let aug d = Pnc_augment.Augment.augment_dataset arng policy ~copies:1 d in
+      let s = { split with Dataset.train = aug split.Dataset.train; valid = aug split.Dataset.valid } in
+      let net =
+        Pnc_core.Network.create (Rng.create ~seed:(seed + 3)) Pnc_core.Network.Adapt ~inputs:1
+          ~classes:raw.Dataset.n_classes
+      in
+      let model = Pnc_core.Model.Circuit net in
+      let _ = Pnc_core.Train.train ~rng:(Rng.create ~seed:(seed + 4)) Pnc_core.Train.smoke_config model s in
+      let acc = Pnc_core.Train.accuracy model split.Dataset.valid in
+      Printf.eprintf "  %.3f  %s\n%!" acc (Pnc_augment.Augment.describe_policy policy);
+      acc
+    in
+    let best = Pnc_augment.Tune.search (Rng.create ~seed:(seed + 5)) ~budget ~eval in
+    Printf.printf "best policy (val acc %.3f): %s\n" best.Pnc_augment.Tune.score
+      (Pnc_augment.Augment.describe_policy best.Pnc_augment.Tune.policy)
+  in
+  Cmd.v
+    (Cmd.info "tune-aug"
+       ~doc:"Random-search augmentation hyper-parameters (the Ray Tune substitute).")
+    Term.(const run $ dataset_arg $ seed_arg $ budget_arg)
+
+(* nas -------------------------------------------------------------------------- *)
+
+let nas_cmd =
+  let budget_arg =
+    Arg.(value & opt int 6 & info [ "budget" ] ~docv:"N" ~doc:"Number of random architectures.")
+  in
+  let run dataset seed scale budget =
+    check_dataset dataset;
+    let cfg = config_of ~scale in
+    let progress g = Printf.eprintf "evaluating %s...\n%!" g in
+    let candidates = Pnc_exp.Search.random_search ~progress cfg ~dataset ~seed ~budget in
+    let t =
+      Pnc_util.Table.create
+        ~header:[ "Architecture"; "val acc (±10%)"; "test acc (±10%)"; "#devices"; "power mW" ]
+    in
+    List.iter
+      (fun c ->
+        Pnc_util.Table.add_row t
+          [
+            Pnc_exp.Search.describe_genome c.Pnc_exp.Search.genome;
+            Printf.sprintf "%.3f" c.Pnc_exp.Search.val_acc;
+            Printf.sprintf "%.3f" c.Pnc_exp.Search.test_acc;
+            string_of_int c.Pnc_exp.Search.devices;
+            Printf.sprintf "%.3f" c.Pnc_exp.Search.power_mw;
+          ])
+      candidates;
+    Printf.printf "architecture search on %s (%d candidates):\n" dataset (List.length candidates);
+    Pnc_util.Table.print t;
+    print_endline "accuracy/devices Pareto front:";
+    List.iter
+      (fun c ->
+        Printf.printf "  %-28s acc %.3f, %d devices\n"
+          (Pnc_exp.Search.describe_genome c.Pnc_exp.Search.genome)
+          c.Pnc_exp.Search.val_acc c.Pnc_exp.Search.devices)
+      (Pnc_exp.Search.pareto_front candidates)
+  in
+  Cmd.v
+    (Cmd.info "nas"
+       ~doc:"Random architecture search over hidden width, filter order, VA and AT (future work).")
+    Term.(const run $ dataset_arg $ seed_arg $ scale_arg $ budget_arg)
+
+(* export ------------------------------------------------------------------------ *)
+
+let export_cmd =
+  let run dataset seed =
+    check_dataset dataset;
+    let cfg = config_of ~scale:"smoke" in
+    Printf.eprintf "training a small ADAPT-pNC on %s to export...\n%!" dataset;
+    let r = Experiments.train_run cfg ~dataset ~variant:Experiments.Full ~seed in
+    match r.Experiments.model with
+    | Pnc_core.Model.Circuit net ->
+        print_string (Pnc_core.Netlist_export.deck net);
+        (match Pnc_core.Network.layers net with
+        | (cb, _, _) :: _ ->
+            let inputs = Array.make (Pnc_core.Crossbar.inputs cb) 0.5 in
+            let ok = Pnc_core.Netlist_export.dc_check cb ~inputs ~max_abs_error:1e-9 in
+            Printf.eprintf "DC cross-check of layer-1 crossbar at V_in = 0.5 V: %s\n"
+              (if ok then "netlist matches Eq. (1)" else "MISMATCH")
+        | [] -> ())
+    | Pnc_core.Model.Reference _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Train a circuit and print its SPICE deck (crossbars and filter stages).")
+    Term.(const run $ dataset_arg $ seed_arg)
+
+(* describe --------------------------------------------------------------------- *)
+
+let describe_cmd =
+  let run dataset seed =
+    check_dataset dataset;
+    let d = Registry.load ~seed dataset in
+    print_endline (Pnc_data.Describe.report ~seed d)
+  in
+  Cmd.v
+    (Cmd.info "describe"
+       ~doc:"Dataset diagnostics: class balance, separability, 1-NN reference accuracy.")
+    Term.(const run $ dataset_arg $ seed_arg)
+
+(* sensitivity ------------------------------------------------------------------- *)
+
+let sensitivity_cmd =
+  let level_arg =
+    Arg.(value & opt float 0.1 & info [ "level" ] ~docv:"L" ~doc:"Variation level (0.1 = ±10%).")
+  in
+  let run dataset seed level =
+    check_dataset dataset;
+    let cfg = config_of ~scale:"smoke" in
+    Printf.eprintf "training an ADAPT-pNC on %s...\n%!" dataset;
+    let r = Experiments.train_run cfg ~dataset ~variant:Experiments.Full ~seed in
+    match r.Experiments.model with
+    | Pnc_core.Model.Circuit net ->
+        let raw = Registry.load ?n:cfg.Pnc_exp.Config.dataset_n ~seed dataset in
+        let split = Dataset.preprocess (Rng.create ~seed:(seed + 1000)) raw in
+        let rows =
+          Pnc_core.Sensitivity.analyze ~rng:(Rng.create ~seed:77) ~level ~draws:10 net
+            split.Dataset.test
+        in
+        Printf.printf "component-family sensitivity on %s at ±%.0f%%:\n%s\n" dataset
+          (100. *. level)
+          (Pnc_core.Sensitivity.report rows)
+    | Pnc_core.Model.Reference _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Which printed component family drives the accuracy loss under variation.")
+    Term.(const run $ dataset_arg $ seed_arg $ level_arg)
+
+(* discretize --------------------------------------------------------------------- *)
+
+let discretize_cmd =
+  let run dataset seed =
+    check_dataset dataset;
+    let cfg = config_of ~scale:"smoke" in
+    Printf.eprintf "training an ADAPT-pNC on %s...\n%!" dataset;
+    let r = Experiments.train_run cfg ~dataset ~variant:Experiments.Full ~seed in
+    match r.Experiments.model with
+    | Pnc_core.Model.Circuit net ->
+        let raw = Registry.load ?n:cfg.Pnc_exp.Config.dataset_n ~seed dataset in
+        let split = Dataset.preprocess (Rng.create ~seed:(seed + 1000)) raw in
+        let ladder =
+          Pnc_core.Discretize.accuracy_ladder ~levels_list:[ 2; 3; 4; 6; 8; 16; 32 ] net
+            split.Dataset.test
+        in
+        Printf.printf "conductance discretization ladder on %s (continuous acc %.3f):\n" dataset
+          r.Experiments.clean_acc;
+        List.iter (fun (l, acc) -> Printf.printf "  %2d ink levels: acc %.3f\n" l acc) ladder
+    | Pnc_core.Model.Reference _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "discretize"
+       ~doc:"Accuracy after snapping the trained conductances to k printable ink levels.")
+    Term.(const run $ dataset_arg $ seed_arg)
+
+let () =
+  let doc = "ADAPT-pNC: robustness-aware printed temporal neuromorphic circuits (DATE 2025)" in
+  let info = Cmd.info "adapt_pnc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            datasets_cmd;
+            train_cmd;
+            ablate_cmd;
+            hwcost_cmd;
+            augment_preview_cmd;
+            spice_char_cmd;
+            tune_aug_cmd;
+            nas_cmd;
+            export_cmd;
+            describe_cmd;
+            sensitivity_cmd;
+            discretize_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/filter_design.ml: Array List Pnc_core Pnc_signal Pnc_spice Pnc_util Printf

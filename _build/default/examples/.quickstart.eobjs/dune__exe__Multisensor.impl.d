@@ -1,0 +1,1 @@
+examples/multisensor.ml: Array Pnc_autodiff Pnc_core Pnc_optim Pnc_tensor Pnc_util Printf

@@ -1,0 +1,1 @@
+examples/printability_study.ml: Array List Pnc_core Pnc_data Pnc_spice Pnc_util Printf

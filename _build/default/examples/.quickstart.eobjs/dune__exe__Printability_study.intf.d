@@ -1,0 +1,1 @@
+examples/printability_study.mli:

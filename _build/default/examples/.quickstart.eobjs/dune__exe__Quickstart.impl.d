@@ -1,0 +1,1 @@
+examples/quickstart.ml: Pnc_augment Pnc_core Pnc_data Pnc_util Printf

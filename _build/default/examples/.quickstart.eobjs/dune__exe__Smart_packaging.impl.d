@@ -1,0 +1,1 @@
+examples/smart_packaging.ml: Array Pnc_augment Pnc_core Pnc_data Pnc_util Printf

@@ -1,0 +1,1 @@
+examples/stress_detection.ml: Array List Pnc_augment Pnc_core Pnc_data Pnc_util Printf String

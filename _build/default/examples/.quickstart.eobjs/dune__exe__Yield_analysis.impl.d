@@ -1,0 +1,1 @@
+examples/yield_analysis.ml: Array List Pnc_augment Pnc_core Pnc_data Pnc_util Printf String

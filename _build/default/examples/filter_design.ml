@@ -1,0 +1,88 @@
+(* Printed filter design walk-through (the circuit-level flow the paper
+   runs in Cadence with the printed PDK, here on the built-in SPICE-lite
+   engine):
+
+   1. pick printable component values for a second-order RC stage,
+   2. characterize it: AC magnitude response, -3 dB cutoff, step
+      response, against the analytic filter model,
+   3. quantify the coupling to the downstream crossbar and extract the
+      effective mu of the discrete training model (Sec. III-2),
+   4. sweep the printable space and report the mu range used as the
+      sampling prior of variation-aware training.
+
+   Run with: dune exec examples/filter_design.exe *)
+
+module Circuit = Pnc_spice.Circuit
+module Ac = Pnc_spice.Ac
+module Transient = Pnc_spice.Transient
+module Measure = Pnc_spice.Measure
+module Filter = Pnc_signal.Filter
+module Coupling = Pnc_core.Coupling
+module Printed = Pnc_core.Printed
+module Table = Pnc_util.Table
+
+let r = 1000. (* ohm: the top of the printable filter-resistor window *)
+let c = 1e-5 (* farad *)
+
+let second_order_netlist ~load =
+  let circ = Circuit.create () in
+  let vin = Circuit.node circ "in" in
+  let mid = Circuit.node circ "mid" and out = Circuit.node circ "out" in
+  Circuit.vsource circ ~ac:1. ~waveform:(fun _ -> 1.) vin Circuit.ground 0.;
+  Circuit.resistor circ vin mid r;
+  Circuit.capacitor circ mid Circuit.ground c;
+  Circuit.resistor circ mid out r;
+  Circuit.capacitor circ out Circuit.ground c;
+  (match load with Some rl -> Circuit.resistor circ out Circuit.ground rl | None -> ());
+  (circ, out)
+
+let () =
+  Printf.printf "second-order printed low-pass: R = %.0f ohm, C = %.0f uF per stage\n\n" r
+    (c *. 1e6);
+
+  (* AC characterization. *)
+  let circ, out = second_order_netlist ~load:None in
+  let freqs = [| 1.; 5.; 10.; 20.; 50.; 100. |] in
+  let mags = Ac.magnitude circ ~probe:out ~freqs_hz:freqs in
+  let ideal =
+    { Filter.stage1 = { Filter.r; c }; stage2 = { Filter.r; c } }
+  in
+  let t = Table.create ~header:[ "f (Hz)"; "|H| SPICE"; "|H| ideal cascade" ] in
+  Array.iteri
+    (fun i f ->
+      Table.add_row t
+        [
+          Printf.sprintf "%.0f" f;
+          Printf.sprintf "%.4f" mags.(i);
+          Printf.sprintf "%.4f" (Filter.magnitude_2nd ideal f);
+        ])
+    freqs;
+  Table.print t;
+  Printf.printf "-3 dB cutoff: %.2f Hz simulated vs %.2f Hz ideal (loading lowers it)\n\n"
+    (Ac.cutoff_hz circ ~probe:out)
+    (Filter.cutoff_2nd_hz ideal);
+
+  (* Step response. *)
+  let circ, out = second_order_netlist ~load:None in
+  let { Transient.times; samples } = Transient.run circ ~dt:2e-4 ~steps:500 ~probes:[ out ] in
+  Printf.printf "step response: 10-90%% rise time %.1f ms (two cascaded tau = %.1f ms stages)\n\n"
+    (1000. *. Measure.rise_time ~times ~samples:samples.(0))
+    (1000. *. r *. c);
+
+  (* Coupling to the crossbar load. *)
+  print_endline "coupling factor mu of the discrete training model (Eq. 10-11):";
+  List.iter
+    (fun r_load ->
+      let e = Coupling.extract ~r ~c ~r_load () in
+      Printf.printf "  crossbar input resistance %6.0f ohm -> mu = %.3f (theory %.3f)\n" r_load
+        e.Coupling.mu
+        (Coupling.mu_theory ~c ~r_load))
+    [ 6_800.; 33_000.; 330_000. ];
+  print_newline ();
+
+  (* Survey over the printable space: the sampling prior of training. *)
+  let survey = Coupling.survey () in
+  let lo, hi = Coupling.mu_range survey in
+  Printf.printf
+    "printable-space survey: mu in [%.3f, %.3f]; variation-aware training samples mu ~ U[%.1f, %.1f]\n"
+    lo hi Printed.mu_min Printed.mu_max

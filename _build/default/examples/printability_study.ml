@@ -1,0 +1,72 @@
+(* Printability study: from a trained ADAPT-pNC to a manufacturable
+   design.
+
+   Training gives continuous component values; printing does not. This
+   walk-through takes one trained circuit and answers the questions a
+   printed-electronics engineer asks before sending it to the printer:
+
+   1. Which component family is the accuracy actually sensitive to —
+      crossbar conductances, filter RC products, or the activation
+      circuit parameters? (That is where process control budget goes.)
+   2. How many distinguishable ink levels does the crossbar need?
+      (Conductance discretization ladder.)
+   3. What does the physical netlist look like, and does its DC
+      operating point match the training-time model?
+   4. What does each element dissipate at the operating point?
+
+   Run with: dune exec examples/printability_study.exe *)
+
+module Dataset = Pnc_data.Dataset
+module Registry = Pnc_data.Registry
+module Network = Pnc_core.Network
+module Model = Pnc_core.Model
+module Train = Pnc_core.Train
+module Sensitivity = Pnc_core.Sensitivity
+module Discretize = Pnc_core.Discretize
+module Netlist_export = Pnc_core.Netlist_export
+module Crossbar = Pnc_core.Crossbar
+module Report = Pnc_spice.Report
+module Rng = Pnc_util.Rng
+
+let () =
+  (* Train a compact circuit on a PowerCons-style task. *)
+  let raw = Registry.load ~seed:1 ~n:160 "PowerCons" in
+  let split = Dataset.preprocess (Rng.create ~seed:2) raw in
+  let net = Network.create ~hidden:4 (Rng.create ~seed:3) Network.Adapt ~inputs:1 ~classes:2 in
+  let model = Model.Circuit net in
+  let cfg = { Train.fast_config with Train.max_epochs = 200 } in
+  let _ = Train.train ~rng:(Rng.create ~seed:4) cfg model split in
+  Printf.printf "trained ADAPT-pNC, clean test accuracy %.3f\n\n"
+    (Train.accuracy model split.Dataset.test);
+
+  (* 1. Sensitivity per component family. *)
+  print_endline "1. component-family sensitivity at ±15% variation:";
+  let rows =
+    Sensitivity.analyze ~rng:(Rng.create ~seed:5) ~level:0.15 ~draws:10 net split.Dataset.test
+  in
+  print_endline (Sensitivity.report rows);
+  print_newline ();
+
+  (* 2. Ink-level ladder. *)
+  print_endline "2. conductance discretization (ink levels -> accuracy):";
+  List.iter
+    (fun (levels, acc) -> Printf.printf "   %2d levels: %.3f\n" levels acc)
+    (Discretize.accuracy_ladder ~levels_list:[ 2; 3; 4; 6; 8; 16 ] net split.Dataset.test);
+  print_newline ();
+
+  (* 3. Physical netlist and model cross-check. *)
+  (match Network.layers net with
+  | (cb, _, _) :: _ ->
+      let inputs = Array.make (Crossbar.inputs cb) 0.3 in
+      let circ, _ = Netlist_export.crossbar cb ~inputs in
+      Printf.printf "3. layer-1 crossbar netlist (%s); DC check: %s\n\n"
+        (Pnc_spice.Deck.component_summary circ)
+        (if Netlist_export.dc_check cb ~inputs ~max_abs_error:1e-9 then "model = circuit"
+         else "MISMATCH");
+      (* 4. Operating-point report of that crossbar. *)
+      print_endline "4. operating point (inputs at 0.3 V):";
+      let ops = Report.operating_point circ in
+      print_string (Report.to_string ops);
+      Printf.printf "total dissipation: %sW\n"
+        (Pnc_spice.Deck.fmt_si (Report.total_dissipation ops))
+  | [] -> ())

@@ -1,0 +1,86 @@
+(* Manufacturing-yield analysis of a printed classifier.
+
+   Printing is cheap per unit but wildly variable: the practical
+   question for a disposable smart label is not one circuit's accuracy
+   but what fraction of a printed batch meets the spec. This example
+   trains the baseline pTPNC and the robustness-aware ADAPT-pNC on the
+   same task, then "prints" many instances of each (Monte-Carlo
+   component variation) and compares their yield curves. Finally it
+   exports the winning design as a SPICE deck and cross-checks the
+   netlist against the training model.
+
+   Run with: dune exec examples/yield_analysis.exe *)
+
+module Dataset = Pnc_data.Dataset
+module Registry = Pnc_data.Registry
+module Augment = Pnc_augment.Augment
+module Network = Pnc_core.Network
+module Model = Pnc_core.Model
+module Train = Pnc_core.Train
+module Variation = Pnc_core.Variation
+module Yield = Pnc_core.Yield
+module Netlist_export = Pnc_core.Netlist_export
+module Crossbar = Pnc_core.Crossbar
+module Rng = Pnc_util.Rng
+module Table = Pnc_util.Table
+
+let () =
+  let raw = Registry.load ~seed:0 ~n:160 "GPMVF" in
+  let split = Dataset.preprocess (Rng.create ~seed:1) raw in
+  Printf.printf "task: %s, spec: accuracy >= 0.75 per printed instance\n\n" raw.Dataset.name;
+
+  (* Train both designs. *)
+  let train_model ~va net split =
+    let cfg =
+      if va then { Train.fast_config with Train.max_epochs = 200 }
+      else
+        { Train.fast_config with Train.max_epochs = 200; variation = Variation.none; mc_samples = 1 }
+    in
+    let model = Model.Circuit net in
+    let _ = Train.train ~rng:(Rng.create ~seed:2) cfg model split in
+    model
+  in
+  let base_net = Network.create (Rng.create ~seed:3) Network.Ptpnc ~inputs:1 ~classes:2 in
+  let base = train_model ~va:false base_net split in
+  let arng = Rng.create ~seed:4 in
+  let aug d = Augment.augment_dataset arng Augment.default_policy ~copies:1 d in
+  let split_at =
+    { split with Dataset.train = aug split.Dataset.train; valid = aug split.Dataset.valid }
+  in
+  let adapt_net = Network.create (Rng.create ~seed:5) Network.Adapt ~inputs:1 ~classes:2 in
+  let adapt = train_model ~va:true adapt_net split_at in
+
+  (* Yield curves over increasing process variation. *)
+  let levels = [ 0.05; 0.1; 0.2; 0.3 ] in
+  let threshold = 0.75 and draws = 25 in
+  let sweep model =
+    Yield.sweep_levels ~rng:(Rng.create ~seed:6) ~levels ~threshold ~draws model
+      split.Dataset.test
+  in
+  let base_rows = sweep base and adapt_rows = sweep adapt in
+  let t = Table.create ~header:[ "Variation"; "pTPNC"; "ADAPT-pNC" ] in
+  List.iter2
+    (fun (level, (b : Yield.result)) (_, (a : Yield.result)) ->
+      Table.add_row t
+        [
+          Printf.sprintf "±%.0f%%" (100. *. level);
+          Printf.sprintf "acc %.3f, yield %3.0f%%" b.Yield.mean_acc (100. *. b.Yield.yield);
+          Printf.sprintf "acc %.3f, yield %3.0f%%" a.Yield.mean_acc (100. *. a.Yield.yield);
+        ])
+    base_rows adapt_rows;
+  Table.print t;
+  Printf.printf "(%d instances per cell)\n\n" draws;
+
+  (* Export the robust design and verify the physical netlist. *)
+  (match Network.layers adapt_net with
+  | (cb, _, _) :: _ ->
+      let inputs = Array.make (Crossbar.inputs cb) 0.4 in
+      Printf.printf "layer-1 crossbar exported to SPICE: DC solve %s the training model\n"
+        (if Netlist_export.dc_check cb ~inputs ~max_abs_error:1e-9 then "matches" else "DIFFERS FROM")
+  | [] -> ());
+  let deck = Netlist_export.deck adapt_net in
+  let first_lines =
+    String.concat "\n"
+      (List.filteri (fun i _ -> i < 12) (String.split_on_char '\n' deck))
+  in
+  Printf.printf "\nfirst cards of the exported deck:\n%s\n...\n" first_lines

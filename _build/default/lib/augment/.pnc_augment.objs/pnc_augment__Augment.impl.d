@@ -1,0 +1,1 @@
+lib/augment/augment.ml: Array Complex Float List Pnc_data Pnc_signal Pnc_util Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/augment/augment.mli: Pnc_data Pnc_util

@@ -1,0 +1,1 @@
+lib/augment/tune.ml: Augment Pnc_util

@@ -1,0 +1,1 @@
+lib/augment/tune.mli: Augment Pnc_util

@@ -1,0 +1,166 @@
+module Rng = Pnc_util.Rng
+module Vec = Pnc_util.Vec
+module Fft = Pnc_signal.Fft
+module Dataset = Pnc_data.Dataset
+
+type transform =
+  | Jitter of { sigma : float }
+  | Magnitude_scale of { sigma : float }
+  | Time_warp of { knots : int; strength : float }
+  | Random_crop of { ratio : float }
+  | Freq_noise of { sigma : float }
+  | Drift of { max_drift : float; knots : int }
+  | Dropout of { ratio : float; fill : [ `Zero | `Hold ] }
+  | Quantize of { levels : int }
+
+type policy = { transforms : transform list; prob : float }
+
+let default_policy =
+  {
+    transforms =
+      [
+        Jitter { sigma = 0.05 };
+        Magnitude_scale { sigma = 0.1 };
+        Time_warp { knots = 4; strength = 0.3 };
+        Random_crop { ratio = 0.85 };
+        Freq_noise { sigma = 0.05 };
+      ];
+    prob = 0.5;
+  }
+
+let describe = function
+  | Jitter { sigma } -> Printf.sprintf "jitter(sigma=%.3f)" sigma
+  | Magnitude_scale { sigma } -> Printf.sprintf "scale(sigma=%.3f)" sigma
+  | Time_warp { knots; strength } -> Printf.sprintf "warp(knots=%d,strength=%.2f)" knots strength
+  | Random_crop { ratio } -> Printf.sprintf "crop(ratio=%.2f)" ratio
+  | Freq_noise { sigma } -> Printf.sprintf "freq(sigma=%.3f)" sigma
+  | Drift { max_drift; knots } -> Printf.sprintf "drift(max=%.2f,knots=%d)" max_drift knots
+  | Dropout { ratio; fill } ->
+      Printf.sprintf "dropout(ratio=%.2f,%s)" ratio
+        (match fill with `Zero -> "zero" | `Hold -> "hold")
+  | Quantize { levels } -> Printf.sprintf "quantize(levels=%d)" levels
+
+let describe_policy p =
+  Printf.sprintf "p=%.2f [%s]" p.prob (String.concat "; " (List.map describe p.transforms))
+
+let warp_path rng ~knots ~strength length =
+  assert (knots >= 1 && strength >= 0. && strength < 1.);
+  (* Segment durations perturbed multiplicatively, then integrated and
+     renormalized: a strictly increasing map with fixed endpoints. *)
+  let n_seg = knots + 1 in
+  let durations =
+    Array.init n_seg (fun _ -> Float.max 0.05 (1. +. Rng.uniform rng ~lo:(-.strength) ~hi:strength))
+  in
+  let cum = Vec.cumsum durations in
+  let total = cum.(n_seg - 1) in
+  let knot_x = Array.init (n_seg + 1) (fun i -> float_of_int i /. float_of_int n_seg) in
+  let knot_y = Array.init (n_seg + 1) (fun i -> if i = 0 then 0. else cum.(i - 1) /. total) in
+  Array.init length (fun i ->
+      let t = float_of_int i /. float_of_int (length - 1) in
+      let warped = Vec.interp1 ~xs:knot_y ~ys:knot_x t in
+      warped *. float_of_int (length - 1))
+
+let sample_at s positions =
+  let n = Array.length s in
+  let xs = Array.init n float_of_int in
+  Array.map (fun p -> Vec.interp1 ~xs ~ys:s p) positions
+
+let apply_transform rng transform s =
+  let n = Array.length s in
+  match transform with
+  | Jitter { sigma } -> Array.map (fun x -> x +. Rng.gaussian ~sigma rng) s
+  | Magnitude_scale { sigma } ->
+      let k = Rng.gaussian ~mu:1. ~sigma rng in
+      Array.map (fun x -> k *. x) s
+  | Time_warp { knots; strength } ->
+      if n < 3 then Array.copy s else sample_at s (warp_path rng ~knots ~strength n)
+  | Random_crop { ratio } ->
+      let keep = Stdlib.max 2 (int_of_float (Float.round (ratio *. float_of_int n))) in
+      if keep >= n then Array.copy s
+      else
+        let start = Rng.int rng (n - keep + 1) in
+        Vec.resample (Array.sub s start keep) n
+  | Drift { max_drift; knots } ->
+      (* Smooth additive baseline wander: piecewise-linear through
+         random knot offsets (tsaug's Drift). *)
+      let k = Stdlib.max 1 knots in
+      let knot_x = Array.init (k + 2) (fun i -> float_of_int i /. float_of_int (k + 1)) in
+      let knot_y =
+        Array.init (k + 2) (fun i ->
+            if i = 0 then 0. else Rng.uniform rng ~lo:(-.max_drift) ~hi:max_drift)
+      in
+      Array.mapi
+        (fun i x ->
+          let t = float_of_int i /. float_of_int (Stdlib.max 1 (n - 1)) in
+          x +. Vec.interp1 ~xs:knot_x ~ys:knot_y t)
+        s
+  | Dropout { ratio; fill } ->
+      (* Random samples lost by the sensor: replaced by zero or by the
+         previous held value (tsaug's Dropout). *)
+      let out = Array.copy s in
+      let last = ref (if n > 0 then s.(0) else 0.) in
+      for i = 0 to n - 1 do
+        if Rng.float rng 1. < ratio then
+          out.(i) <- (match fill with `Zero -> 0. | `Hold -> !last)
+        else last := out.(i)
+      done;
+      out
+  | Quantize { levels } ->
+      (* ADC-style uniform quantization over the series' own range
+         (tsaug's Quantize). *)
+      assert (levels >= 2);
+      let lo = Vec.min s and hi = Vec.max s in
+      if hi -. lo < 1e-12 then Array.copy s
+      else
+        let q = float_of_int (levels - 1) in
+        Array.map
+          (fun x -> lo +. (Float.round ((x -. lo) /. (hi -. lo) *. q) /. q *. (hi -. lo)))
+          s
+  | Freq_noise { sigma } ->
+      if n < 4 then Array.copy s
+      else begin
+        let spec = Fft.fft_real s in
+        let scale =
+          (* Calibrate the perturbation to the signal's spectral mass. *)
+          let m = Fft.magnitude spec in
+          sigma *. Vec.mean m
+        in
+        for k = 1 to (n - 1) / 2 do
+          let re = Rng.gaussian ~sigma:scale rng and im = Rng.gaussian ~sigma:scale rng in
+          spec.(k) <- Complex.add spec.(k) { Complex.re; im };
+          spec.(n - k) <- Complex.add spec.(n - k) { Complex.re; im = -.im }
+        done;
+        Fft.ifft_real spec
+      end
+
+let apply_policy rng policy s =
+  List.fold_left
+    (fun acc t -> if Rng.float rng 1. < policy.prob then apply_transform rng t acc else acc)
+    (Array.copy s) policy.transforms
+
+let augment_dataset rng policy ~copies (d : Dataset.t) =
+  assert (copies >= 0);
+  let augmented_x = ref [] and augmented_y = ref [] in
+  for _ = 1 to copies do
+    Array.iteri
+      (fun i s ->
+        augmented_x := apply_policy rng policy s :: !augmented_x;
+        augmented_y := d.y.(i) :: !augmented_y)
+      d.x
+  done;
+  Dataset.make ~name:d.name ~n_classes:d.n_classes
+    ~x:(Array.append d.x (Array.of_list (List.rev !augmented_x)))
+    ~y:(Array.append d.y (Array.of_list (List.rev !augmented_y)))
+
+let perturb_dataset rng policy d =
+  (* Guarantee at least one transform fires on every series so the
+     "perturbed" condition is never silently identical to clean. *)
+  let apply_forced s =
+    let out = apply_policy rng policy s in
+    if out = s then
+      match policy.transforms with
+      | [] -> out
+      | t :: _ -> apply_transform rng t out
+    else out
+  in
+  Dataset.map_series apply_forced d

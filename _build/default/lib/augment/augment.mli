@@ -1,0 +1,58 @@
+(** Time-series data augmentation (the tsaug substitute, Sec. III-B).
+
+    The five transforms named in the paper: jittering, magnitude
+    scaling, time warping, random cropping (with resize back to the
+    original length) and frequency-domain noise. All are deterministic
+    under a seeded {!Pnc_util.Rng.t} and length-preserving. *)
+
+type transform =
+  | Jitter of { sigma : float }  (** additive Gaussian sensor noise *)
+  | Magnitude_scale of { sigma : float }  (** multiplicative gain drawn from N(1, sigma) *)
+  | Time_warp of { knots : int; strength : float }
+      (** smooth monotone re-timing with [knots] control points;
+          [strength] bounds the relative segment stretch *)
+  | Random_crop of { ratio : float }
+      (** keep a random window of [ratio] x length, resampled back *)
+  | Freq_noise of { sigma : float }
+      (** complex Gaussian noise added to non-DC spectrum bins,
+          conjugate-symmetric so the result stays real *)
+  | Drift of { max_drift : float; knots : int }
+      (** smooth additive baseline wander (tsaug extension, not part of
+          the paper's five transforms) *)
+  | Dropout of { ratio : float; fill : [ `Zero | `Hold ] }
+      (** random sample loss, zero-filled or sample-and-hold (tsaug
+          extension) *)
+  | Quantize of { levels : int }
+      (** ADC-style uniform quantization over the series range (tsaug
+          extension) *)
+
+type policy = {
+  transforms : transform list;
+  prob : float;  (** independent application probability per transform *)
+}
+
+val default_policy : policy
+(** The paper's combined augmentation with moderate strengths, each
+    transform applied with probability 0.5. *)
+
+val describe : transform -> string
+val describe_policy : policy -> string
+
+val apply_transform : Pnc_util.Rng.t -> transform -> float array -> float array
+(** Always applies (ignores [prob]). Length-preserving. *)
+
+val apply_policy : Pnc_util.Rng.t -> policy -> float array -> float array
+
+val augment_dataset :
+  Pnc_util.Rng.t -> policy -> copies:int -> Pnc_data.Dataset.t -> Pnc_data.Dataset.t
+(** Original samples plus [copies] augmented variants of each — the
+    paper trains, validates and tests on original + augmented data. *)
+
+val perturb_dataset : Pnc_util.Rng.t -> policy -> Pnc_data.Dataset.t -> Pnc_data.Dataset.t
+(** Transform every series once (no originals kept): the "perturbed
+    input" test condition of Fig. 5 / Fig. 7. *)
+
+val warp_path : Pnc_util.Rng.t -> knots:int -> strength:float -> int -> float array
+(** The monotone time map used by [Time_warp], exposed for tests:
+    returns [length] sample positions in [0, length-1], strictly
+    increasing, fixed endpoints. *)

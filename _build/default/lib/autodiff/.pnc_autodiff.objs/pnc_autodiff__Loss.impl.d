@@ -1,0 +1,1 @@
+lib/autodiff/loss.ml: Array Float Pnc_tensor Var

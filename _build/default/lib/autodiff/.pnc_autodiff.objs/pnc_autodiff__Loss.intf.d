@@ -1,0 +1,1 @@
+lib/autodiff/loss.mli: Pnc_tensor Var

@@ -1,0 +1,1 @@
+lib/autodiff/var.ml: Float Fun Hashtbl Int List Pnc_tensor Set Stdlib

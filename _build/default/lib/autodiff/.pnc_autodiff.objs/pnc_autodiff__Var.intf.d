@@ -1,0 +1,1 @@
+lib/autodiff/var.mli: Pnc_tensor

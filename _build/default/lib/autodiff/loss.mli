@@ -1,0 +1,19 @@
+(** Training losses.
+
+    The classification objective used throughout the paper is the
+    softmax cross-entropy over the circuit's output voltages at the
+    final time step. The op is fused (forward log-sum-exp, backward
+    [softmax - onehot]) for numerical stability. *)
+
+val softmax_cross_entropy : logits:Var.t -> labels:int array -> Var.t
+(** Mean cross-entropy over the batch; [logits] is [batch x classes],
+    [labels.(b)] in [0, classes). Returns a [1 x 1] node. *)
+
+val mse : pred:Var.t -> target:Pnc_tensor.Tensor.t -> Var.t
+(** Mean squared error against a constant target of the same shape. *)
+
+val softmax_rows : Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+(** Row-wise softmax of raw values (used for reporting, not training). *)
+
+val predictions : Pnc_tensor.Tensor.t -> int array
+(** Row-wise argmax of logits. *)

@@ -1,0 +1,201 @@
+module T = Pnc_tensor.Tensor
+
+type t = {
+  id : int;
+  value : T.t;
+  mutable grad : T.t option; (* allocated lazily on first contribution *)
+  parents : (t * (T.t -> T.t)) list;
+  requires : bool;
+}
+
+let counter = ref 0
+
+let next_id () =
+  incr counter;
+  !counter
+
+let value v = v.value
+
+let grad v =
+  match v.grad with
+  | Some g -> g
+  | None -> T.zeros ~rows:(T.rows v.value) ~cols:(T.cols v.value)
+
+let requires_grad v = v.requires
+
+let mk ?(requires = true) value parents =
+  let requires = requires && List.exists (fun (p, _) -> p.requires) parents in
+  { id = next_id (); value; grad = None; parents; requires }
+
+let param value = { id = next_id (); value; grad = None; parents = []; requires = true }
+let const value = { id = next_id (); value; grad = None; parents = []; requires = false }
+let scalar x = const (T.scalar x)
+let zero_grad v = v.grad <- None
+
+let accumulate v g =
+  match v.grad with
+  | None -> v.grad <- Some (T.copy g)
+  | Some acc -> T.add_inplace acc g
+
+(* Binary elementwise -------------------------------------------------- *)
+
+let add a b = mk (T.add a.value b.value) [ (a, Fun.id); (b, Fun.id) ]
+let sub a b = mk (T.sub a.value b.value) [ (a, Fun.id); (b, T.neg) ]
+
+let mul a b =
+  mk (T.mul a.value b.value)
+    [ (a, fun g -> T.mul g b.value); (b, fun g -> T.mul g a.value) ]
+
+let div a b =
+  let y = T.div a.value b.value in
+  mk y
+    [ (a, fun g -> T.div g b.value);
+      (b, fun g -> T.neg (T.div (T.mul g y) b.value)) ]
+
+(* Row-vector broadcast ------------------------------------------------- *)
+
+let add_rv m rv =
+  mk (T.add_rv m.value rv.value) [ (m, Fun.id); (rv, T.sum_rows) ]
+
+let sub_rv m rv =
+  mk (T.add_rv m.value (T.neg rv.value))
+    [ (m, Fun.id); (rv, fun g -> T.neg (T.sum_rows g)) ]
+
+let mul_rv m rv =
+  mk (T.mul_rv m.value rv.value)
+    [ (m, fun g -> T.mul_rv g rv.value);
+      (rv, fun g -> T.sum_rows (T.mul g m.value)) ]
+
+let div_rv m rv =
+  let inv = T.map (fun x -> 1. /. x) rv.value in
+  let y = T.mul_rv m.value inv in
+  mk y
+    [ (m, fun g -> T.mul_rv g inv);
+      (rv, fun g -> T.neg (T.sum_rows (T.mul_rv (T.mul g y) inv))) ]
+
+(* Fused state update for the filter recurrences: out = s.a + x.b with
+   s, x of shape [batch x n] and a, b row vectors. One node instead of
+   three keeps the 64-step unrolled graphs small. *)
+let affine_rv s a x b =
+  let out = T.add (T.mul_rv s.value a.value) (T.mul_rv x.value b.value) in
+  mk out
+    [
+      (s, fun g -> T.mul_rv g a.value);
+      (a, fun g -> T.sum_rows (T.mul g s.value));
+      (x, fun g -> T.mul_rv g b.value);
+      (b, fun g -> T.sum_rows (T.mul g x.value));
+    ]
+
+(* Unary ---------------------------------------------------------------- *)
+
+let unary f df v =
+  let y = T.map f v.value in
+  mk y [ (v, fun g -> T.mul g (df v.value y)) ]
+
+let neg v = mk (T.neg v.value) [ (v, T.neg) ]
+let scale k v = mk (T.scale k v.value) [ (v, T.scale k) ]
+let add_scalar k v = mk (T.add_scalar k v.value) [ (v, Fun.id) ]
+
+let tanh v = unary Stdlib.tanh (fun _ y -> T.map (fun t -> 1. -. (t *. t)) y) v
+
+let sigmoid_f x = if x >= 0. then 1. /. (1. +. Stdlib.exp (-.x)) else
+    let e = Stdlib.exp x in
+    e /. (1. +. e)
+
+let sigmoid v = unary sigmoid_f (fun _ y -> T.map (fun s -> s *. (1. -. s)) y) v
+let relu v = unary (fun x -> Float.max 0. x) (fun x _ -> T.map (fun u -> if u > 0. then 1. else 0.) x) v
+let exp v = unary Stdlib.exp (fun _ y -> y) v
+let log v = unary Stdlib.log (fun x _ -> T.map (fun u -> 1. /. u) x) v
+let abs v = unary Float.abs (fun x _ -> T.map (fun u -> if u > 0. then 1. else if u < 0. then -1. else 0.) x) v
+
+let softplus_f x = if x > 30. then x else if x < -30. then Stdlib.exp x else Stdlib.log1p (Stdlib.exp x)
+let softplus v = unary softplus_f (fun x _ -> T.map sigmoid_f x) v
+let sqr v = unary (fun x -> x *. x) (fun x _ -> T.scale 2. x) v
+let reciprocal v = unary (fun x -> 1. /. x) (fun x _ -> T.map (fun u -> -1. /. (u *. u)) x) v
+
+(* Linear algebra and reductions ---------------------------------------- *)
+
+let matmul a b =
+  mk (T.matmul a.value b.value)
+    [ (a, fun g -> T.matmul g (T.transpose b.value));
+      (b, fun g -> T.matmul (T.transpose a.value) g) ]
+
+let transpose v = mk (T.transpose v.value) [ (v, T.transpose) ]
+
+let sum v =
+  let rows = T.rows v.value and cols = T.cols v.value in
+  mk (T.scalar (T.sum v.value))
+    [ (v, fun g -> T.create ~rows ~cols (T.get_scalar g)) ]
+
+let mean v =
+  let n = float_of_int (Stdlib.max 1 (T.numel v.value)) in
+  scale (1. /. n) (sum v)
+
+let sum_rows v =
+  let rows = T.rows v.value in
+  mk (T.sum_rows v.value)
+    [ (v, fun g -> T.init ~rows ~cols:(T.cols g) (fun _ c -> T.get g 0 c)) ]
+
+let concat_cols vs =
+  assert (vs <> []);
+  let rows = T.rows (List.hd vs).value in
+  List.iter (fun v -> assert (T.rows v.value = rows)) vs;
+  let total = List.fold_left (fun acc v -> acc + T.cols v.value) 0 vs in
+  let out = T.zeros ~rows ~cols:total in
+  let offsets = ref [] in
+  let _ =
+    List.fold_left
+      (fun off v ->
+        let c = T.cols v.value in
+        offsets := (v, off, c) :: !offsets;
+        for r = 0 to rows - 1 do
+          for j = 0 to c - 1 do
+            T.set out r (off + j) (T.get v.value r j)
+          done
+        done;
+        off + c)
+      0 vs
+  in
+  let parents =
+    List.map
+      (fun (v, off, c) ->
+        ( v,
+          fun g ->
+            T.init ~rows ~cols:c (fun r j -> T.get g r (off + j)) ))
+      !offsets
+  in
+  mk out parents
+
+(* Backward ------------------------------------------------------------- *)
+
+module Int_set = Set.Make (Int)
+
+let reachable root =
+  let seen = Hashtbl.create 64 in
+  let rec go v =
+    if not (Hashtbl.mem seen v.id) then begin
+      Hashtbl.add seen v.id v;
+      List.iter (fun (p, _) -> go p) v.parents
+    end
+  in
+  go root;
+  seen
+
+let backward root =
+  let seen = reachable root in
+  let nodes = Hashtbl.fold (fun _ v acc -> v :: acc) seen [] in
+  let nodes = List.sort (fun a b -> compare b.id a.id) nodes in
+  accumulate root (T.create ~rows:(T.rows root.value) ~cols:(T.cols root.value) 1.);
+  let propagate v =
+    if v.requires then
+      match v.grad with
+      | None -> ()
+      | Some g ->
+          List.iter (fun (p, back) -> if p.requires then accumulate p (back g)) v.parents
+  in
+  List.iter propagate nodes;
+  (* Interior node gradients are only needed during propagation; release
+     them so repeated forward/backward passes do not retain the DAG. *)
+  List.iter (fun v -> if v.parents <> [] then v.grad <- None) nodes
+
+let n_nodes root = Hashtbl.length (reachable root)

@@ -1,0 +1,101 @@
+(** Reverse-mode automatic differentiation over {!Pnc_tensor.Tensor}.
+
+    A {!t} is a node of a dynamically built computation DAG. Operations
+    record, for each parent, a closure mapping the output gradient to
+    that parent's gradient contribution. {!backward} seeds the output
+    with ones and propagates in reverse creation order (node ids grow
+    monotonically, so decreasing id is a valid reverse topological
+    order for any DAG built by these combinators).
+
+    The engine is the PyTorch-autograd substitute used to train every
+    model in the paper: the printed crossbar surrogate, the learnable
+    filters (first- and second-order), the printed tanh activation and
+    the Elman RNN reference. Gradients are property-tested against
+    central finite differences in [test/test_autodiff.ml]. *)
+
+type t
+
+val value : t -> Pnc_tensor.Tensor.t
+val grad : t -> Pnc_tensor.Tensor.t
+(** Accumulated gradient; zeros until {!backward} reaches the node. *)
+
+val requires_grad : t -> bool
+
+(** {1 Leaves} *)
+
+val param : Pnc_tensor.Tensor.t -> t
+(** Trainable leaf: receives a gradient and is updated by optimizers. *)
+
+val const : Pnc_tensor.Tensor.t -> t
+(** Non-trainable leaf (inputs, sampled variation factors, targets). *)
+
+val scalar : float -> t
+(** Constant [1 x 1] node. *)
+
+val zero_grad : t -> unit
+(** Reset the accumulated gradient of a leaf to zeros. *)
+
+(** {1 Elementwise binary (equal shapes)} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+(** {1 Row-vector broadcast: [m x n] op [1 x n]} *)
+
+val add_rv : t -> t -> t
+val sub_rv : t -> t -> t
+val mul_rv : t -> t -> t
+val div_rv : t -> t -> t
+
+val affine_rv : t -> t -> t -> t -> t
+(** [affine_rv s a x b] = [s ∘ a + x ∘ b] with [s], [x] matrices and
+    [a], [b] row vectors — the fused filter state update
+    [V(k) = a·V(k−1) + b·V_in(k)] unrolled 64 times per channel. *)
+
+(** {1 Unary} *)
+
+val neg : t -> t
+val scale : float -> t -> t
+val add_scalar : float -> t -> t
+val tanh : t -> t
+val sigmoid : t -> t
+val relu : t -> t
+val exp : t -> t
+val log : t -> t
+(** Requires strictly positive values. *)
+
+val abs : t -> t
+(** Subgradient 0 at 0. *)
+
+val softplus : t -> t
+(** [log (1 + exp x)], numerically stable; used to keep physical
+    component values (resistances, capacitances) strictly positive. *)
+
+val sqr : t -> t
+val reciprocal : t -> t
+
+(** {1 Linear algebra and reductions} *)
+
+val matmul : t -> t -> t
+val transpose : t -> t
+val sum : t -> t
+(** Sum of all elements, as a [1 x 1] node. *)
+
+val mean : t -> t
+val sum_rows : t -> t
+(** [m x n -> 1 x n]. *)
+
+val concat_cols : t list -> t
+(** Horizontal concatenation of matrices with equal row counts. *)
+
+(** {1 Backward pass} *)
+
+val backward : t -> unit
+(** Seeds the node (any shape; seeded with ones) and accumulates
+    gradients into every reachable leaf with [requires_grad]. Multiple
+    calls accumulate; call {!zero_grad} on the leaves between steps. *)
+
+val n_nodes : t -> int
+(** Number of distinct nodes reachable from [t] (diagnostics). *)

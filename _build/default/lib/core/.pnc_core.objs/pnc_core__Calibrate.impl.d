@@ -1,0 +1,1 @@
+lib/core/calibrate.ml: Crossbar List Network Pnc_autodiff Pnc_optim Pnc_tensor Pnc_util Train Variation

@@ -1,0 +1,1 @@
+lib/core/calibrate.mli: Network Pnc_autodiff Pnc_data Variation

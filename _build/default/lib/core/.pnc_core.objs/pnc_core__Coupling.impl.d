@@ -1,0 +1,1 @@
+lib/core/coupling.ml: Array Float List Pnc_spice Pnc_util Printed

@@ -1,0 +1,1 @@
+lib/core/crossbar.ml: Float Pnc_autodiff Pnc_tensor Pnc_util Printed Variation

@@ -1,0 +1,1 @@
+lib/core/discretize.ml: Crossbar Float Fun List Network Pnc_autodiff Pnc_tensor Pnc_util Printed Train

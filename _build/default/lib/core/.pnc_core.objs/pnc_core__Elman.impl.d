@@ -1,0 +1,1 @@
+lib/core/elman.ml: Array List Pnc_autodiff Pnc_tensor Pnc_util

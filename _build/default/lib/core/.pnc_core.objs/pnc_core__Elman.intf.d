@@ -1,0 +1,1 @@
+lib/core/elman.mli: Pnc_autodiff Pnc_tensor Pnc_util

@@ -1,0 +1,1 @@
+lib/core/filter_layer.ml: Array Float List Pnc_autodiff Pnc_signal Pnc_tensor Pnc_util Printed Variation

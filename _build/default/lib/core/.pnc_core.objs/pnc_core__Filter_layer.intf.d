@@ -1,0 +1,1 @@
+lib/core/filter_layer.mli: Pnc_autodiff Pnc_util Variation

@@ -1,0 +1,1 @@
+lib/core/hardware.ml: Crossbar Filter_layer Float Fun List Network Pnc_tensor Printed Printf Ptanh

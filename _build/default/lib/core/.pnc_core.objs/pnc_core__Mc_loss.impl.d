@@ -1,0 +1,1 @@
+lib/core/mc_loss.ml: Model Pnc_autodiff Pnc_tensor Variation

@@ -1,0 +1,1 @@
+lib/core/mc_loss.mli: Model Pnc_autodiff Pnc_tensor Pnc_util Variation

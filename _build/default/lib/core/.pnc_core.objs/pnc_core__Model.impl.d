@@ -1,0 +1,1 @@
+lib/core/model.ml: Elman Network Pnc_autodiff Pnc_tensor Variation

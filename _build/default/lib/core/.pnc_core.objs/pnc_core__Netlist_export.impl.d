@@ -1,0 +1,1 @@
+lib/core/netlist_export.ml: Array Buffer Crossbar Filter_layer Float List Network Option Pnc_spice Pnc_tensor Printed Printf

@@ -1,0 +1,1 @@
+lib/core/netlist_export.mli: Crossbar Filter_layer Network Pnc_spice

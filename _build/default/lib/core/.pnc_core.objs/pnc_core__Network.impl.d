@@ -1,0 +1,1 @@
+lib/core/network.ml: Array Crossbar Filter_layer List Pnc_autodiff Pnc_tensor Ptanh Variation

@@ -1,0 +1,1 @@
+lib/core/network.mli: Crossbar Filter_layer Pnc_autodiff Pnc_tensor Pnc_util Ptanh Variation

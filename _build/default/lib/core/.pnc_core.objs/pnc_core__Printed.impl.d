@@ -1,0 +1,1 @@
+lib/core/printed.ml: Float

@@ -1,0 +1,1 @@
+lib/core/ptanh_circuit.ml: Array Pnc_spice Pnc_util Printed

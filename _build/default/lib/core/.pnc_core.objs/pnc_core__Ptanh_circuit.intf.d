@@ -1,0 +1,1 @@
+lib/core/ptanh_circuit.mli: Pnc_spice

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: List Network Pnc_autodiff Pnc_tensor Pnc_util Printf String Train Variation

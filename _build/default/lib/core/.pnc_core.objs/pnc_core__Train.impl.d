@@ -1,0 +1,1 @@
+lib/core/train.ml: Array List Mc_loss Model Pnc_autodiff Pnc_data Pnc_optim Pnc_tensor Pnc_util Variation

@@ -1,0 +1,1 @@
+lib/core/train.mli: Model Pnc_data Pnc_tensor Pnc_util Variation

@@ -1,0 +1,1 @@
+lib/core/yield.ml: Array Float List Model Pnc_util Printf Train Variation

@@ -1,0 +1,1 @@
+lib/core/yield.mli: Model Pnc_data Pnc_util Variation

@@ -1,0 +1,63 @@
+module Circuit = Pnc_spice.Circuit
+module Transient = Pnc_spice.Transient
+module Measure = Pnc_spice.Measure
+module Rng = Pnc_util.Rng
+
+type extraction = { r : float; c : float; r_load : float; mu : float; fit_rms : float }
+
+(* Band-limited excitation: a few sines below the data-rate Nyquist. *)
+let excitation rng =
+  let comps =
+    (* Keep the excitation well below the data-rate Nyquist so the
+       zero-order-hold assumption of the discrete fit holds. *)
+    Array.init 4 (fun _ ->
+        ( Rng.uniform rng ~lo:0.2 ~hi:0.9,
+          Rng.uniform rng ~lo:0.5 ~hi:(0.04 /. Printed.dt),
+          Rng.uniform rng ~lo:0. ~hi:(2. *. Float.pi) ))
+  in
+  fun t ->
+    Array.fold_left (fun acc (a, f, p) -> acc +. (a *. sin ((2. *. Float.pi *. f *. t) +. p))) 0. comps
+
+let extract ?(seed = 0) ?(n_samples = 256) ~r ~c ~r_load () =
+  let rng = Rng.create ~seed in
+  let wave = excitation rng in
+  let circ = Circuit.create () in
+  let vin = Circuit.node circ "in" and out = Circuit.node circ "out" in
+  Circuit.vsource circ ~waveform:wave vin Circuit.ground 0.;
+  Circuit.resistor circ vin out r;
+  Circuit.capacitor circ out Circuit.ground c;
+  Circuit.resistor circ out Circuit.ground r_load;
+  (* Simulate at a finer grid, subsample at the training rate. *)
+  let oversample = 20 in
+  let dt_sim = Printed.dt /. float_of_int oversample in
+  let steps = n_samples * oversample in
+  let { Transient.times; samples } =
+    Transient.run ~integrator:Transient.Trapezoidal circ ~dt:dt_sim ~steps ~probes:[ out ]
+  in
+  let output = Array.init n_samples (fun k -> samples.(0).(((k + 1) * oversample) - 1)) in
+  let input = Array.init n_samples (fun k -> wave times.((((k + 1) * oversample) - 1))) in
+  let a, b = Measure.fit_first_order ~input ~output in
+  let mu = Measure.mu_from_coeff ~a ~r ~c ~dt:Printed.dt in
+  { r; c; r_load; mu; fit_rms = Measure.goodness_of_fit ~input ~output ~a ~b }
+
+let survey ?(seed = 7) () =
+  let rs = [ 330.; 1000. ] in
+  let cs = [ 1e-6; 1e-5 ] in
+  let loads = [ 6_800.; 33_000.; 330_000. ] in
+  List.concat_map
+    (fun r ->
+      List.concat_map
+        (fun c -> List.map (fun r_load -> extract ~seed ~r ~c ~r_load ()) loads)
+        cs)
+    rs
+
+let mu_range xs =
+  List.fold_left
+    (fun (lo, hi) e -> (Float.min lo e.mu, Float.max hi e.mu))
+    (infinity, neg_infinity) xs
+
+(* Matching a = RC/(µRC + Δt) against the backward-Euler discretization
+   of C dv/dt = (u − v)/R − v/R_load gives µRC + Δt = RC + Δt(1 + R/R_load),
+   i.e. µ = 1 + Δt/(R_load·C): the shunted charge per step relative to
+   the load's time constant. *)
+let mu_theory ~c ~r_load = 1. +. (Printed.dt /. (r_load *. c))

@@ -1,0 +1,34 @@
+(** Extraction of the coupling factor µ from circuit simulation
+    (Sec. III-2).
+
+    The paper determines µ ∈ [1, 1.3] by SPICE-simulating printed
+    filter stages loaded by the downstream circuitry. Here the same
+    experiment runs on the {!Pnc_spice} simulator: a first-order RC
+    stage driving a resistive load (the input resistance of the next
+    stage / crossbar) is excited with a band-limited waveform, the
+    response is sampled at the training discretization {!Printed.dt},
+    the discrete coefficient [a] is least-squares fitted, and µ is
+    recovered from [a = RC / (µRC + Δt)]. *)
+
+type extraction = {
+  r : float;  (** filter resistance (Ω) *)
+  c : float;  (** filter capacitance (F) *)
+  r_load : float;  (** load resistance (Ω) *)
+  mu : float;  (** extracted coupling factor *)
+  fit_rms : float;  (** residual of the first-order fit *)
+}
+
+val extract : ?seed:int -> ?n_samples:int -> r:float -> c:float -> r_load:float -> unit -> extraction
+(** One extraction. [n_samples] is the number of Δt-spaced samples of
+    the fitted waveform (default 256). *)
+
+val survey : ?seed:int -> unit -> extraction list
+(** Sweep printable R and C against representative load resistances
+    (crossbar input resistance down to a few kΩ). *)
+
+val mu_range : extraction list -> float * float
+
+val mu_theory : c:float -> r_load:float -> float
+(** First-order prediction µ ≈ 1 + Δt / (R_load · C) — the fraction of
+    each step's charge shunted into the load — for cross-checking the
+    extraction. *)

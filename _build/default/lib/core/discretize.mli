@@ -1,0 +1,30 @@
+(** Post-training conductance discretization.
+
+    Additive printing cannot realize a continuum of conductances: ink
+    layering and geometry quantize what is actually printable. This
+    module snaps the trained surrogate conductances |θ| to a uniform
+    grid of [levels] values over the printable window (sub-threshold
+    values round to "not printed"), and reports how the classifier
+    survives — the printing analogue of weight quantization. *)
+
+val quantize_value : levels:int -> float -> float
+(** Snap one surrogate θ (sign preserved): |θ| below the print
+    threshold becomes 0, otherwise it moves to the nearest of [levels]
+    uniformly spaced magnitudes spanning [threshold, 1]. *)
+
+val quantize_network : levels:int -> Network.t -> unit
+(** In-place quantization of every crossbar θ (filters and activations
+    are left untouched — their values are set by geometry, not ink
+    steps). *)
+
+val with_quantized : levels:int -> Network.t -> (unit -> 'a) -> 'a
+(** Run the thunk with the network temporarily quantized; the original
+    parameter values are restored afterwards (also on exceptions). *)
+
+val accuracy_ladder :
+  levels_list:int list ->
+  Network.t ->
+  Pnc_data.Dataset.t ->
+  (int * float) list
+(** Deterministic accuracy after quantizing to each level count. The
+    original weights are restored between entries. *)

@@ -1,0 +1,57 @@
+module T = Pnc_tensor.Tensor
+module Var = Pnc_autodiff.Var
+module Rng = Pnc_util.Rng
+
+type cell = { w : Var.t; u : Var.t; b : Var.t }
+
+type t = { n_in : int; n_hidden : int; n_classes : int; l1 : cell; l2 : cell; w_out : Var.t; b_out : Var.t }
+
+let glorot rng ~rows ~cols =
+  let bound = sqrt (6. /. float_of_int (rows + cols)) in
+  Var.param (T.uniform rng ~rows ~cols ~lo:(-.bound) ~hi:bound)
+
+let cell rng ~n_in ~n_hidden =
+  {
+    w = glorot rng ~rows:n_in ~cols:n_hidden;
+    u = glorot rng ~rows:n_hidden ~cols:n_hidden;
+    b = Var.param (T.zeros ~rows:1 ~cols:n_hidden);
+  }
+
+let create ?(hidden = 8) rng ~inputs ~classes =
+  {
+    n_in = inputs;
+    n_hidden = hidden;
+    n_classes = classes;
+    l1 = cell rng ~n_in:inputs ~n_hidden:hidden;
+    l2 = cell rng ~n_in:hidden ~n_hidden:hidden;
+    w_out = glorot rng ~rows:hidden ~cols:classes;
+    b_out = Var.param (T.zeros ~rows:1 ~cols:classes);
+  }
+
+let hidden m = m.n_hidden
+
+let params m =
+  [ m.l1.w; m.l1.u; m.l1.b; m.l2.w; m.l2.u; m.l2.b; m.w_out; m.b_out ]
+
+let n_params m = List.fold_left (fun acc v -> acc + T.numel (Var.value v)) 0 (params m)
+
+let cell_step c h x =
+  Var.tanh (Var.add_rv (Var.add (Var.matmul x c.w) (Var.matmul h c.u)) c.b)
+
+let forward_multi m steps =
+  assert (Array.length steps > 0);
+  let batch = T.rows steps.(0) in
+  let h1 = ref (Var.const (T.zeros ~rows:batch ~cols:m.n_hidden)) in
+  let h2 = ref (Var.const (T.zeros ~rows:batch ~cols:m.n_hidden)) in
+  Array.iter
+    (fun x_t ->
+      h1 := cell_step m.l1 !h1 (Var.const x_t);
+      h2 := cell_step m.l2 !h2 !h1)
+    steps;
+  Var.add_rv (Var.matmul !h2 m.w_out) m.b_out
+
+let forward m x =
+  let steps = Array.init (T.cols x) (fun k -> T.col x k) in
+  forward_multi m steps
+
+let predict m x = T.argmax_rows (Var.value (forward m x))

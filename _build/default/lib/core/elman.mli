@@ -1,0 +1,19 @@
+(** Hardware-agnostic 2-layer Elman RNN — the paper's reference
+    accuracy model (Table I, first column), trained with the same
+    optimizer and schedule as the circuit models. *)
+
+type t
+
+val create : ?hidden:int -> Pnc_util.Rng.t -> inputs:int -> classes:int -> t
+(** Default [hidden = 8]. *)
+
+val hidden : t -> int
+val params : t -> Pnc_autodiff.Var.t list
+val n_params : t -> int
+
+val forward : t -> Pnc_tensor.Tensor.t -> Pnc_autodiff.Var.t
+(** [batch x time] univariate series to [batch x classes] logits
+    (linear read-out of the final hidden state). *)
+
+val forward_multi : t -> Pnc_tensor.Tensor.t array -> Pnc_autodiff.Var.t
+val predict : t -> Pnc_tensor.Tensor.t -> int array

@@ -1,0 +1,104 @@
+module T = Pnc_tensor.Tensor
+module Var = Pnc_autodiff.Var
+module Rng = Pnc_util.Rng
+
+type order = First | Second
+
+type stage = { r_norm : Var.t; c_norm : Var.t } (* each 1 x features *)
+
+type t = { order : order; n : int; stages : stage array }
+
+let tau_max = Printed.filter_r_max *. Printed.filter_c_max
+
+let create rng order ~features =
+  assert (features > 0);
+  let mk_stage () =
+    let row () =
+      Var.param (T.init ~rows:1 ~cols:features (fun _ _ -> Rng.uniform rng ~lo:0.3 ~hi:0.9))
+    in
+    { r_norm = row (); c_norm = row () }
+  in
+  let n_stages = match order with First -> 1 | Second -> 2 in
+  { order; n = features; stages = Array.init n_stages (fun _ -> mk_stage ()) }
+
+let order f = f.order
+let features f = f.n
+
+let params f =
+  Array.to_list f.stages |> List.concat_map (fun s -> [ s.r_norm; s.c_norm ])
+
+type stage_real = { a : Var.t; b : Var.t; v0 : T.t }
+type realization = { stage_reals : stage_real array }
+
+let realize ~draw f =
+  let realize_stage (s : stage) =
+    let eps_r = Variation.eps_for draw ~rows:1 ~cols:f.n in
+    let eps_c = Variation.eps_for draw ~rows:1 ~cols:f.n in
+    let mu = Variation.mu_for draw ~cols:f.n in
+    let r_eff = Var.mul s.r_norm (Var.const eps_r) in
+    let c_eff = Var.mul s.c_norm (Var.const eps_c) in
+    let tau = Var.scale tau_max (Var.mul r_eff c_eff) in
+    let den = Var.add_scalar Printed.dt (Var.mul (Var.const mu) tau) in
+    let a = Var.div tau den in
+    let b = Var.div (Var.const (T.create ~rows:1 ~cols:f.n Printed.dt)) den in
+    { a; b; v0 = Variation.v0_for draw ~cols:f.n }
+  in
+  { stage_reals = Array.map realize_stage f.stages }
+
+type state = Var.t array (* one [batch x features] node per stage *)
+
+let init_state real ~batch =
+  Array.map
+    (fun sr ->
+      Var.const (T.init ~rows:batch ~cols:(T.cols sr.v0) (fun _ c -> T.get sr.v0 0 c)))
+    real.stage_reals
+
+let step real (st : state) x =
+  let x_in = ref x in
+  let st' =
+    Array.mapi
+      (fun i s ->
+        let sr = real.stage_reals.(i) in
+        let s' = Var.affine_rv s sr.a !x_in sr.b in
+        x_in := s';
+        s')
+      st
+  in
+  (st', !x_in)
+
+let r_values f =
+  Array.map
+    (fun s -> Array.map (fun x -> x *. Printed.filter_r_max) (T.row (Var.value s.r_norm) 0))
+    f.stages
+
+let c_values f =
+  Array.map
+    (fun s -> Array.map (fun x -> x *. Printed.filter_c_max) (T.row (Var.value s.c_norm) 0))
+    f.stages
+
+let cutoff_hz f =
+  let rs = r_values f and cs = c_values f in
+  Array.init f.n (fun ch ->
+      match f.order with
+      | First -> Pnc_signal.Filter.cutoff_hz { Pnc_signal.Filter.r = rs.(0).(ch); c = cs.(0).(ch) }
+      | Second ->
+          Pnc_signal.Filter.cutoff_2nd_hz
+            {
+              Pnc_signal.Filter.stage1 = { Pnc_signal.Filter.r = rs.(0).(ch); c = cs.(0).(ch) };
+              stage2 = { Pnc_signal.Filter.r = rs.(1).(ch); c = cs.(1).(ch) };
+            })
+
+let clamp f =
+  let lo_r = Printed.filter_r_min /. Printed.filter_r_max in
+  let lo_c = Printed.filter_c_min /. Printed.filter_c_max in
+  let project v ~lo =
+    let t = Var.value v in
+    for c = 0 to T.cols t - 1 do
+      T.set t 0 c (Float.max lo (Float.min 1. (T.get t 0 c)))
+    done
+  in
+  Array.iter
+    (fun s ->
+      project s.r_norm ~lo:lo_r;
+      project s.c_norm ~lo:lo_c)
+    f.stages

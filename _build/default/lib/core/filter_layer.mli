@@ -1,0 +1,58 @@
+(** Learnable printed low-pass filter banks: first-order (the baseline
+    pTPNC of prior work) and the paper's second-order SO-LF.
+
+    Each of the [features] channels owns its own printed resistor(s)
+    and capacitor(s). Resistances and capacitances are trained
+    separately (the paper's stated difference from prior work, which
+    learned only the RC product) through normalized parameters
+    r_norm = R / R_max and c_norm = C / C_max, and the discrete update
+
+      V[k] = a · V[k−1] + b · V_in[k],
+      a = RC / (µRC + Δt), b = Δt / (µRC + Δt)     (Eq. 10–11)
+
+    is unrolled through the autodiff engine. The coupling factor µ and
+    the initial voltage V₀ are non-trainable random variables sampled
+    per {!Variation.draw}; component variation multiplies R and C by
+    ε factors. *)
+
+type order = First | Second
+
+type t
+
+val create : Pnc_util.Rng.t -> order -> features:int -> t
+val order : t -> order
+val features : t -> int
+val params : t -> Pnc_autodiff.Var.t list
+
+(** {1 Per-forward-pass realization}
+
+    One physical sample of the filter bank: coefficient nodes with ε
+    and µ folded in, plus the sampled initial voltages. Realize once
+    per forward pass, then step through the sequence. *)
+
+type realization
+
+val realize : draw:Variation.draw -> t -> realization
+
+type state
+
+val init_state : realization -> batch:int -> state
+
+val step : realization -> state -> Pnc_autodiff.Var.t -> state * Pnc_autodiff.Var.t
+(** Advance the filter bank by one time step: input and output are
+    [batch x features] nodes. *)
+
+(** {1 Physical values} *)
+
+val r_values : t -> float array array
+(** [r_values f].(stage).(channel) in ohms; one stage for first-order,
+    two for second-order. *)
+
+val c_values : t -> float array array
+(** Capacitances in farads, same indexing. *)
+
+val cutoff_hz : t -> float array
+(** Current per-channel −3 dB cutoff of the (ideal) filter. *)
+
+val clamp : t -> unit
+(** Project R and C back into the printable windows. *)

@@ -1,0 +1,107 @@
+module T = Pnc_tensor.Tensor
+
+type counts = { transistors : int; resistors : int; capacitors : int }
+
+let zero = { transistors = 0; resistors = 0; capacitors = 0 }
+
+let add a b =
+  {
+    transistors = a.transistors + b.transistors;
+    resistors = a.resistors + b.resistors;
+    capacitors = a.capacitors + b.capacitors;
+  }
+
+let total c = c.transistors + c.resistors + c.capacitors
+
+let printable th = Float.abs th >= Printed.theta_print_threshold
+
+let crossbar_counts cb =
+  let theta = Crossbar.theta_values cb and bias = Crossbar.bias_values cb in
+  let n_in = T.rows theta and n_out = T.cols theta in
+  let weights = ref 0 and inverted_lines = ref 0 in
+  for i = 0 to n_in - 1 do
+    let needs_inverter = ref false in
+    for j = 0 to n_out - 1 do
+      let th = T.get theta i j in
+      if printable th then begin
+        incr weights;
+        if th < 0. then needs_inverter := true
+      end
+    done;
+    if !needs_inverter then incr inverted_lines
+  done;
+  let bias_resistors = ref 0 and bias_inverters = ref 0 in
+  for j = 0 to n_out - 1 do
+    let th = T.get bias 0 j in
+    if printable th then begin
+      incr bias_resistors;
+      if th < 0. then incr bias_inverters
+    end
+  done;
+  let inverters = !inverted_lines + !bias_inverters in
+  {
+    transistors = 2 * inverters;
+    resistors = !weights + !bias_resistors + n_out (* R_d *) + (2 * inverters);
+    capacitors = 0;
+  }
+
+let filter_counts fl =
+  let stages = match Filter_layer.order fl with Filter_layer.First -> 1 | Filter_layer.Second -> 2 in
+  let n = Filter_layer.features fl in
+  { transistors = 0; resistors = stages * n; capacitors = stages * n }
+
+let ptanh_counts act =
+  let n = Ptanh.features act in
+  { transistors = 2 * n; resistors = 2 * n; capacitors = 0 }
+
+let of_network net =
+  let layers =
+    List.fold_left
+      (fun acc (cb, fl, act) ->
+        acc |> add (crossbar_counts cb) |> Fun.flip add (filter_counts fl)
+        |> Fun.flip add (ptanh_counts act))
+      zero (Network.layers net)
+  in
+  (* One RC output integrator per class score (the time-averaged
+     read-out of Network.forward). *)
+  let n_out = Network.classes net in
+  add layers { transistors = 0; resistors = n_out; capacitors = n_out }
+
+let g_scale = function
+  | Network.Ptpnc -> Printed.crossbar_g_max
+  | Network.Adapt -> Printed.crossbar_g_max /. 10.
+
+(* Effective conductances of the activation and inverter circuits at the
+   chosen technology scale (per instance, at V_b^2 = 1 V^2). *)
+let act_g_factor = 5.
+let inv_g_factor = 2.
+let v_sq = Printed.v_supply *. Printed.v_supply
+
+let power_w net =
+  let scale = g_scale (Network.arch net) in
+  let layer_power (cb, _fl, act) =
+    let theta = Crossbar.theta_values cb and bias = Crossbar.bias_values cb in
+    let sum_g = ref 0. in
+    let accumulate t =
+      for i = 0 to T.rows t - 1 do
+        for j = 0 to T.cols t - 1 do
+          let th = T.get t i j in
+          if printable th then sum_g := !sum_g +. Float.abs th
+        done
+      done
+    in
+    accumulate theta;
+    accumulate bias;
+    let cnt = crossbar_counts cb in
+    let inverters = cnt.transistors / 2 in
+    let crossbar_p = !sum_g *. scale *. v_sq in
+    let act_p = float_of_int (Ptanh.features act) *. act_g_factor *. scale *. v_sq in
+    let inv_p = float_of_int inverters *. inv_g_factor *. scale *. v_sq in
+    crossbar_p +. act_p +. inv_p
+  in
+  List.fold_left (fun acc l -> acc +. layer_power l) 0. (Network.layers net)
+
+let power_mw net = 1000. *. power_w net
+
+let describe c =
+  Printf.sprintf "%dT %dR %dC (total %d)" c.transistors c.resistors c.capacitors (total c)

@@ -1,0 +1,39 @@
+(** Hardware cost model: device counts and static power (Table III).
+
+    Counting rules (per pTPB layer, documented in DESIGN.md):
+    - one weight resistor per surrogate θ whose magnitude is printable
+      (θ below {!Printed.theta_print_threshold} rounds to "not
+      printed"), plus one bias resistor per output and one dummy
+      resistor R_d per output;
+    - one inverter (2 EGTs + 2 resistors, Fig. 3c) per input line that
+      feeds at least one negative weight, and one per negative bias;
+    - one ptanh circuit (2 EGTs + 2 resistors, Fig. 3b) per neuron;
+    - one resistor and one capacitor per filter stage (so the SO-LF
+      doubles the reactive components — the paper's ≈1.9x device
+      overhead).
+
+    Power model: static dissipation at V_b = 1 V. Crossbar conductance
+    magnitudes are free up to a global scale (Eq. 1 only fixes ratios),
+    and the proposed design exploits this by printing at the
+    high-resistance end ({!g_scale} is 10x smaller for ADAPT-pNC),
+    which is the source of the paper's ≈91 % power saving. *)
+
+type counts = { transistors : int; resistors : int; capacitors : int }
+
+val zero : counts
+val add : counts -> counts -> counts
+val total : counts -> int
+
+val of_network : Network.t -> counts
+
+val g_scale : Network.arch -> float
+(** Conductance (siemens) that a surrogate magnitude of 1.0 is printed
+    at: {!Printed.crossbar_g_max} for the baseline, a tenth of it for
+    ADAPT-pNC. *)
+
+val power_w : Network.t -> float
+(** Static power in watts under the model above. *)
+
+val power_mw : Network.t -> float
+
+val describe : counts -> string

@@ -1,0 +1,41 @@
+module Var = Pnc_autodiff.Var
+module Loss = Pnc_autodiff.Loss
+
+let loss_of_draw ~draw model ~x ~labels =
+  Loss.softmax_cross_entropy ~logits:(Model.logits ~draw model x) ~labels
+
+let one_sample ~rng ~spec model ~x ~labels =
+  let draw =
+    if Model.is_circuit model then Variation.make_draw rng spec else Variation.deterministic
+  in
+  loss_of_draw ~draw model ~x ~labels
+
+let expected ?(antithetic = false) ~rng ~spec ~n model ~x ~labels =
+  assert (n >= 1);
+  let n = if Model.is_circuit model then n else 1 in
+  if antithetic && Model.is_circuit model && n >= 2 then begin
+    (* n/2 mirrored pairs (plus one plain sample if n is odd). *)
+    let pairs = n / 2 in
+    let acc = ref None in
+    let add l = acc := Some (match !acc with None -> l | Some a -> Var.add a l) in
+    for _ = 1 to pairs do
+      let d1, d2 = Variation.antithetic_pair rng spec in
+      add (loss_of_draw ~draw:d1 model ~x ~labels);
+      add (loss_of_draw ~draw:d2 model ~x ~labels)
+    done;
+    if n mod 2 = 1 then add (one_sample ~rng ~spec model ~x ~labels);
+    match !acc with
+    | Some sum -> Var.scale (1. /. float_of_int n) sum
+    | None -> assert false
+  end
+  else begin
+    let rec sum_losses acc k =
+      if k = 0 then acc
+      else sum_losses (Var.add acc (one_sample ~rng ~spec model ~x ~labels)) (k - 1)
+    in
+    let first = one_sample ~rng ~spec model ~x ~labels in
+    Var.scale (1. /. float_of_int n) (sum_losses first (n - 1))
+  end
+
+let expected_value ?antithetic ~rng ~spec ~n model ~x ~labels =
+  Pnc_tensor.Tensor.get_scalar (Var.value (expected ?antithetic ~rng ~spec ~n model ~x ~labels))

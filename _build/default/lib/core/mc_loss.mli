@@ -1,0 +1,32 @@
+(** The variation-aware Monte-Carlo training objective (Eq. 12–14).
+
+    The expected loss over component variation, coupling factors and
+    initial voltages is approximated by averaging [n] independent
+    forward passes, each with a fresh joint sample (θᵢ, Cᵢ, Rᵢ, µᵢ,
+    V₀ᵢ). With [spec = Variation.none] and [n = 1] this reduces to the
+    ordinary (no-variation-aware) objective used by the baseline. *)
+
+val expected :
+  ?antithetic:bool ->
+  rng:Pnc_util.Rng.t ->
+  spec:Variation.spec ->
+  n:int ->
+  Model.t ->
+  x:Pnc_tensor.Tensor.t ->
+  labels:int array ->
+  Pnc_autodiff.Var.t
+(** Mean cross-entropy over [n] Monte-Carlo draws (a [1 x 1] node).
+    With [antithetic] (default false; an extension, not in the paper),
+    draws come in mirrored pairs ({!Variation.antithetic_pair}), which
+    reduces the estimator's variance at equal cost. *)
+
+val expected_value :
+  ?antithetic:bool ->
+  rng:Pnc_util.Rng.t ->
+  spec:Variation.spec ->
+  n:int ->
+  Model.t ->
+  x:Pnc_tensor.Tensor.t ->
+  labels:int array ->
+  float
+(** Forward-only evaluation of the same objective. *)

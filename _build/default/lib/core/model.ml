@@ -1,0 +1,19 @@
+type t = Circuit of Network.t | Reference of Elman.t
+
+let label = function
+  | Circuit net -> Network.arch_name (Network.arch net)
+  | Reference _ -> "Elman RNN"
+
+let params = function Circuit net -> Network.params net | Reference m -> Elman.params m
+let n_params = function Circuit net -> Network.n_params net | Reference m -> Elman.n_params m
+
+let logits ?(draw = Variation.deterministic) t x =
+  match t with
+  | Circuit net -> Network.forward ~draw net x
+  | Reference m -> Elman.forward m x
+
+let predict ?(draw = Variation.deterministic) t x =
+  Pnc_tensor.Tensor.argmax_rows (Pnc_autodiff.Var.value (logits ~draw t x))
+
+let clamp = function Circuit net -> Network.clamp net | Reference _ -> ()
+let is_circuit = function Circuit _ -> true | Reference _ -> false

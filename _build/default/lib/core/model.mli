@@ -1,0 +1,21 @@
+(** Uniform handle over the three model families compared in the paper:
+    the baseline pTPNC circuit, the proposed ADAPT-pNC circuit, and the
+    Elman RNN reference. *)
+
+type t = Circuit of Network.t | Reference of Elman.t
+
+val label : t -> string
+
+val params : t -> Pnc_autodiff.Var.t list
+val n_params : t -> int
+
+val logits : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_autodiff.Var.t
+(** [batch x time] to [batch x classes]. The draw is meaningful only
+    for circuit models (the RNN has no physical components). *)
+
+val predict : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
+
+val clamp : t -> unit
+(** Printable-window projection; no-op for the reference RNN. *)
+
+val is_circuit : t -> bool

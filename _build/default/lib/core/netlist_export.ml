@@ -1,0 +1,132 @@
+module T = Pnc_tensor.Tensor
+module Circuit = Pnc_spice.Circuit
+module Dc = Pnc_spice.Dc
+module Deck = Pnc_spice.Deck
+
+let printable th = Float.abs th >= Printed.theta_print_threshold
+
+let crossbar ?(g_scale = Printed.crossbar_g_max) cb ~inputs =
+  let theta = Crossbar.theta_values cb and bias = Crossbar.bias_values cb in
+  let n_in = T.rows theta and n_out = T.cols theta in
+  assert (Array.length inputs = n_in);
+  let circ = Circuit.create () in
+  (* Input rails; inverted rails only where some negative weight needs
+     them (the inverter of Fig. 3c, idealized as a negated source for
+     cross-validation purposes). *)
+  let in_node = Array.init n_in (fun i -> Circuit.node circ (Printf.sprintf "in%d" i)) in
+  Array.iteri
+    (fun i node -> Circuit.vsource circ ~name:(Printf.sprintf "Vin%d" i) node Circuit.ground inputs.(i))
+    in_node;
+  let inv_node =
+    Array.init n_in (fun i ->
+        let needs =
+          let rec any j =
+            j < n_out && ((printable (T.get theta i j) && T.get theta i j < 0.) || any (j + 1))
+          in
+          any 0
+        in
+        if needs then begin
+          let node = Circuit.node circ (Printf.sprintf "inb%d" i) in
+          Circuit.vsource circ ~name:(Printf.sprintf "Vinb%d" i) node Circuit.ground (-.inputs.(i));
+          Some node
+        end
+        else None)
+  in
+  let vb = Circuit.node circ "vb" in
+  Circuit.vsource circ ~name:"Vb" vb Circuit.ground Printed.v_supply;
+  let vbn =
+    let needs =
+      let rec any j = j < n_out && ((printable (T.get bias 0 j) && T.get bias 0 j < 0.) || any (j + 1)) in
+      any 0
+    in
+    if needs then begin
+      let node = Circuit.node circ "vbn" in
+      Circuit.vsource circ ~name:"Vbn" node Circuit.ground (-.Printed.v_supply);
+      Some node
+    end
+    else None
+  in
+  let outputs =
+    Array.init n_out (fun j ->
+        let out = Circuit.node circ (Printf.sprintf "out%d" j) in
+        for i = 0 to n_in - 1 do
+          let th = T.get theta i j in
+          if printable th then begin
+            let src = if th >= 0. then in_node.(i) else Option.get inv_node.(i) in
+            Circuit.resistor circ
+              ~name:(Printf.sprintf "Rw%d_%d" i j)
+              src out
+              (1. /. (Float.abs th *. g_scale))
+          end
+        done;
+        let thb = T.get bias 0 j in
+        if printable thb then begin
+          let src = if thb >= 0. then vb else Option.get vbn in
+          Circuit.resistor circ ~name:(Printf.sprintf "Rb%d" j) src out
+            (1. /. (Float.abs thb *. g_scale))
+        end;
+        Circuit.resistor circ ~name:(Printf.sprintf "Rd%d" j) out Circuit.ground
+          (1. /. (Crossbar.g_dummy *. g_scale));
+        out)
+  in
+  (circ, outputs)
+
+(* Eq. (1) restricted to the printable (actually printed) devices —
+   what the exported netlist must compute exactly. *)
+let expected_outputs cb ~inputs =
+  let theta = Crossbar.theta_values cb and bias = Crossbar.bias_values cb in
+  let n_in = T.rows theta and n_out = T.cols theta in
+  Array.init n_out (fun j ->
+      let num = ref 0. and den = ref Crossbar.g_dummy in
+      for i = 0 to n_in - 1 do
+        let th = T.get theta i j in
+        if printable th then begin
+          num := !num +. (th *. inputs.(i));
+          den := !den +. Float.abs th
+        end
+      done;
+      let thb = T.get bias 0 j in
+      if printable thb then begin
+        num := !num +. (thb *. Printed.v_supply);
+        den := !den +. Float.abs thb
+      end;
+      !num /. !den)
+
+let dc_check ?g_scale cb ~inputs ~max_abs_error =
+  let circ, outputs = crossbar ?g_scale cb ~inputs in
+  let sol = Dc.solve circ in
+  let expected = expected_outputs cb ~inputs in
+  Array.for_all2
+    (fun node exp_v -> Float.abs (Dc.voltage sol node -. exp_v) <= max_abs_error)
+    outputs expected
+
+let filter_stage fl ~stage ~channel =
+  let r = (Filter_layer.r_values fl).(stage).(channel) in
+  let c = (Filter_layer.c_values fl).(stage).(channel) in
+  let circ = Circuit.create () in
+  let vin = Circuit.node circ "in" and out = Circuit.node circ "out" in
+  Circuit.vsource circ ~name:"Vin" ~ac:1. vin Circuit.ground 0.;
+  Circuit.resistor circ ~name:"Rf" vin out r;
+  Circuit.capacitor circ ~name:"Cf" out Circuit.ground c;
+  (circ, out)
+
+let deck net =
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun li (cb, fl, _) ->
+      let circ, _ = crossbar cb ~inputs:(Array.make (Crossbar.inputs cb) 0.) in
+      Buffer.add_string buf
+        (Deck.to_string ~title:(Printf.sprintf "layer %d crossbar (%s)" (li + 1) (Deck.component_summary circ))
+           circ);
+      let stages = match Filter_layer.order fl with Filter_layer.First -> 1 | Filter_layer.Second -> 2 in
+      for s = 0 to stages - 1 do
+        for ch = 0 to Filter_layer.features fl - 1 do
+          let circ, _ = filter_stage fl ~stage:s ~channel:ch in
+          Buffer.add_string buf
+            (Deck.to_string
+               ~title:(Printf.sprintf "layer %d filter stage %d channel %d" (li + 1) (s + 1) ch)
+               circ)
+        done
+      done)
+    (Network.layers net);
+  Buffer.contents buf

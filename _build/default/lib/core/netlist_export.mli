@@ -1,0 +1,36 @@
+(** Export trained circuit models to SPICE-lite netlists.
+
+    This closes the loop between the training abstraction and the
+    physical circuit: the surrogate crossbar parameters become printed
+    resistances (at the technology scale of {!Hardware.g_scale}), the
+    learnable filters become RC stages, and the resulting netlist can
+    be solved with {!Pnc_spice.Dc} / {!Pnc_spice.Transient} to
+    cross-validate the mathematical model — or rendered as a SPICE deck
+    with {!Pnc_spice.Deck}. *)
+
+val crossbar :
+  ?g_scale:float ->
+  Crossbar.t ->
+  inputs:float array ->
+  Pnc_spice.Circuit.t * Pnc_spice.Circuit.node array
+(** Build the resistor-crossbar netlist of Fig. 3(a) with the given
+    input voltages applied: one weight resistor per printable θ
+    (negative θ drive from an inverted copy of the input), a bias
+    resistor to the 1 V rail, and the dummy resistor R_d per output.
+    Returns the circuit and the output nodes. Solving its DC operating
+    point reproduces Eq. (1) — see [test/test_export.ml]. *)
+
+val filter_stage :
+  Filter_layer.t -> stage:int -> channel:int -> Pnc_spice.Circuit.t * Pnc_spice.Circuit.node
+(** One trained RC stage as a netlist driven by a 1 V AC source;
+    its −3 dB point matches {!Filter_layer.cutoff_hz} for first-order
+    stages. *)
+
+val deck : Network.t -> string
+(** Human-readable SPICE decks for every crossbar (with inputs held at
+    0 V) and filter stage of a trained network, concatenated with
+    titles. *)
+
+val dc_check : ?g_scale:float -> Crossbar.t -> inputs:float array -> max_abs_error:float -> bool
+(** Solve the exported crossbar at the given inputs and compare each
+    output voltage against the training-model forward pass. *)

@@ -1,0 +1,129 @@
+module T = Pnc_tensor.Tensor
+module Var = Pnc_autodiff.Var
+
+type arch = Ptpnc | Adapt
+
+let arch_name = function Ptpnc -> "pTPNC" | Adapt -> "ADAPT-pNC"
+
+type layer = Crossbar.t * Filter_layer.t * Ptanh.t
+
+type t = { arch : arch; n_in : int; n_hidden : int; n_classes : int; layers : layer list }
+
+let create ?hidden rng arch ~inputs ~classes =
+  let hidden =
+    match hidden with Some h -> h | None -> ( match arch with Ptpnc -> 3 | Adapt -> 6)
+  in
+  let filter_order =
+    match arch with Ptpnc -> Filter_layer.First | Adapt -> Filter_layer.Second
+  in
+  let layer ~n_in ~n_out =
+    ( Crossbar.create rng ~inputs:n_in ~outputs:n_out,
+      Filter_layer.create rng filter_order ~features:n_out,
+      Ptanh.create rng ~features:n_out )
+  in
+  {
+    arch;
+    n_in = inputs;
+    n_hidden = hidden;
+    n_classes = classes;
+    layers = [ layer ~n_in:inputs ~n_out:hidden; layer ~n_in:hidden ~n_out:classes ];
+  }
+
+let arch net = net.arch
+let inputs net = net.n_in
+let classes net = net.n_classes
+let hidden net = net.n_hidden
+let layers net = net.layers
+
+let params net =
+  List.concat_map
+    (fun (cb, fl, act) -> Crossbar.params cb @ Filter_layer.params fl @ Ptanh.params act)
+    net.layers
+
+let n_params net =
+  List.fold_left (fun acc v -> acc + T.numel (Var.value v)) 0 (params net)
+
+(* One sampled physical instance of a layer, shared across time steps:
+   the variation-folded component values are realized once, only the
+   input-dependent computation runs per step. *)
+type layer_real = {
+  cb : Crossbar.realization;
+  filt : Filter_layer.realization;
+  act : Ptanh.realization;
+  mutable filt_state : Filter_layer.state;
+}
+
+let realize_layers_selective ~draw_crossbar ~draw_filter ~draw_act ~batch net =
+  List.map
+    (fun (cb, fl, act) ->
+      let filt = Filter_layer.realize ~draw:draw_filter fl in
+      {
+        cb = Crossbar.realize ~draw:draw_crossbar cb;
+        filt;
+        act = Ptanh.realize ~draw:draw_act act;
+        filt_state = Filter_layer.init_state filt ~batch;
+      })
+    net.layers
+
+let step_layer lr x =
+  let summed = Crossbar.apply lr.cb x in
+  let state', filtered = Filter_layer.step lr.filt lr.filt_state summed in
+  lr.filt_state <- state';
+  Ptanh.apply lr.act filtered
+
+type readout = Integrated | Last_step
+
+let forward_multi_readout ~readout ~draw_crossbar ~draw_filter ~draw_act net steps =
+  assert (Array.length steps > 0);
+  let batch = T.rows steps.(0) in
+  let reals = realize_layers_selective ~draw_crossbar ~draw_filter ~draw_act ~batch net in
+  (* Default read-out: the class scores integrate the output voltage
+     over the window — physically one slow RC stage per output (counted
+     by Hardware). Reading only the final instant (Last_step, kept for
+     the ablation bench) forgets transient evidence faster than any
+     printable RC can retain it. *)
+  let acc = ref None in
+  Array.iter
+    (fun x_t ->
+      let signal = ref (Var.const x_t) in
+      List.iter (fun lr -> signal := step_layer lr !signal) reals;
+      acc :=
+        Some
+          (match (readout, !acc) with
+          | Last_step, _ | Integrated, None -> !signal
+          | Integrated, Some a -> Var.add a !signal))
+    steps;
+  match (readout, !acc) with
+  | Integrated, Some sum -> Var.scale (1. /. float_of_int (Array.length steps)) sum
+  | Last_step, Some last -> last
+  | _, None -> assert false
+
+let forward_multi_selective ~draw_crossbar ~draw_filter ~draw_act net steps =
+  forward_multi_readout ~readout:Integrated ~draw_crossbar ~draw_filter ~draw_act net steps
+
+let forward_readout ~readout ~draw net x =
+  let steps = Array.init (T.cols x) (fun k -> T.col x k) in
+  forward_multi_readout ~readout ~draw_crossbar:draw ~draw_filter:draw ~draw_act:draw net steps
+
+let forward_multi ~draw net steps =
+  forward_multi_selective ~draw_crossbar:draw ~draw_filter:draw ~draw_act:draw net steps
+
+let forward_selective ~draw_crossbar ~draw_filter ~draw_act net x =
+  let steps = Array.init (T.cols x) (fun k -> T.col x k) in
+  forward_multi_selective ~draw_crossbar ~draw_filter ~draw_act net steps
+
+let forward ~draw net x =
+  let time = T.cols x in
+  let steps = Array.init time (fun k -> T.col x k) in
+  forward_multi ~draw net steps
+
+let predict ?(draw = Variation.deterministic) net x =
+  T.argmax_rows (Var.value (forward ~draw net x))
+
+let clamp net =
+  List.iter
+    (fun (cb, fl, act) ->
+      Crossbar.clamp cb;
+      Filter_layer.clamp fl;
+      Ptanh.clamp act)
+    net.layers

@@ -1,0 +1,74 @@
+(** Printed temporal processing networks.
+
+    A pTPB layer (Fig. 4) is a resistor crossbar followed by a bank of
+    learnable low-pass filters and a printed tanh activation. Stacking
+    two layers gives:
+
+    - the baseline {b pTPNC} of prior work: first-order filters,
+      trained without variation awareness;
+    - the proposed {b ADAPT-pNC}: second-order learnable filters
+      (SO-LF), trained variation-aware.
+
+    The network processes a univariate (or multivariate) series one
+    step at a time; class scores are the time-integrated outputs. *)
+
+type arch = Ptpnc | Adapt
+
+val arch_name : arch -> string
+
+type t
+
+val create :
+  ?hidden:int -> Pnc_util.Rng.t -> arch -> inputs:int -> classes:int -> t
+(** Two pTPB layers: [inputs -> hidden -> classes]. Default hidden
+    width: 3 for [Ptpnc] (matching the small baseline circuits of
+    Table III) and 6 for [Adapt] (the paper reports ≈1.9x devices). *)
+
+val arch : t -> arch
+val inputs : t -> int
+val classes : t -> int
+val hidden : t -> int
+val params : t -> Pnc_autodiff.Var.t list
+val n_params : t -> int
+
+val layers : t -> (Crossbar.t * Filter_layer.t * Ptanh.t) list
+(** In order, for hardware costing and inspection. *)
+
+val forward : draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_autodiff.Var.t
+(** [forward ~draw net x] runs the batch of series [x]
+    ([batch x time], univariate) and returns the logits
+    [batch x classes]: the time-average of the output voltages —
+    physically an RC integrator per class output (accounted for by
+    {!Hardware}). One component sample is
+    drawn per call and shared across all time steps — the circuit is
+    the same physical device throughout the sequence. *)
+
+val forward_multi :
+  draw:Variation.draw -> t -> Pnc_tensor.Tensor.t array -> Pnc_autodiff.Var.t
+(** Multivariate variant: one [batch x inputs] tensor per time step. *)
+
+type readout = Integrated | Last_step
+
+val forward_readout :
+  readout:readout -> draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_autodiff.Var.t
+(** {!forward} with a selectable read-out: [Integrated] (the default,
+    time-averaged output) or [Last_step] (the final instant only) —
+    used by the read-out ablation bench. *)
+
+val forward_selective :
+  draw_crossbar:Variation.draw ->
+  draw_filter:Variation.draw ->
+  draw_act:Variation.draw ->
+  t ->
+  Pnc_tensor.Tensor.t ->
+  Pnc_autodiff.Var.t
+(** Forward with independent variation draws per component family —
+    lets {!Sensitivity} attribute robustness loss to crossbar
+    conductances, filter RC values or activation parameters
+    separately. *)
+
+val predict : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
+(** Argmax class per sample; deterministic unless a draw is given. *)
+
+val clamp : t -> unit
+(** Project every component value into its printable window. *)

@@ -1,0 +1,23 @@
+let v_supply = 1.0
+let crossbar_r_min = 1e5
+let crossbar_r_max = 1e7
+let crossbar_g_min = 1. /. crossbar_r_max
+let crossbar_g_max = 1. /. crossbar_r_min
+let theta_print_threshold = crossbar_g_min /. crossbar_g_max (* 0.01 *)
+
+let clamp_theta th =
+  let mag = Float.abs th in
+  if mag < theta_print_threshold then th
+  else
+    let mag = Float.min 1.0 mag in
+    if th < 0. then -.mag else mag
+
+let filter_r_min = 10.
+let filter_r_max = 1000.
+let filter_c_min = 1e-7
+let filter_c_max = 1e-4
+let clamp_filter_r r = Float.max filter_r_min (Float.min filter_r_max r)
+let clamp_filter_c c = Float.max filter_c_min (Float.min filter_c_max c)
+let dt = 0.002
+let mu_min = 1.0
+let mu_max = 1.3

@@ -1,0 +1,59 @@
+(** Printable component ranges and technology constants
+    (Sec. IV-A1 of the paper).
+
+    Crossbar resistors are printed in [100 kΩ, 10 MΩ]; filter resistors
+    are kept below 1 kΩ and capacitors as large as the technology
+    allows (100 nF – 100 µF) to minimize the coupling effect. These
+    bounds clamp the trainable parameters after every optimizer step
+    and drive the hardware cost model. *)
+
+val v_supply : float
+(** Supply/bias voltage of the printed circuits: 1 V (Eq. 1 uses
+    V_b = 1 V). *)
+
+(** {1 Crossbar} *)
+
+val crossbar_r_min : float
+val crossbar_r_max : float
+
+val crossbar_g_min : float
+(** 1 / {!crossbar_r_max}. *)
+
+val crossbar_g_max : float
+
+val theta_print_threshold : float
+(** Surrogate conductances (in units of {!crossbar_g_max}) below this
+    fraction are treated as "not printed": the weight is effectively
+    absent and costs no resistor. *)
+
+val clamp_theta : float -> float
+(** Clamp a surrogate conductance magnitude into the printable window
+    [theta_print_threshold_free .. 1.0] while preserving sign; values
+    whose magnitude is below {!theta_print_threshold} are left as-is
+    (they round to an unprinted device). *)
+
+(** {1 Filter components} *)
+
+val filter_r_min : float
+val filter_r_max : float
+val filter_c_min : float
+val filter_c_max : float
+
+val clamp_filter_r : float -> float
+val clamp_filter_c : float -> float
+
+(** {1 Temporal discretization} *)
+
+val dt : float
+(** Sampling interval assigned to one step of the length-64 series:
+    2 ms. The printable RC products (up to R_max·C_max = 0.1 s) then
+    reach a discrete coefficient a = RC/(RC+Δt) up to 0.98, i.e. a
+    memory horizon of ≈50 steps — enough for the filters to integrate
+    evidence across the whole 64-step window. *)
+
+(** {1 Coupling factor} *)
+
+val mu_min : float
+val mu_max : float
+(** µ ∈ [1, 1.3], the range established by circuit simulation
+    (Sec. III-2; reproduced by {!Coupling}). *)

@@ -1,0 +1,35 @@
+(** Learnable printed tanh-like activation (Fig. 3b).
+
+    ptanh(V) = η₁ + η₂ · tanh((V − η₃) · η₄), with per-neuron η
+    parameters determined in hardware by the component values
+    [R₁, R₂, T₁, T₂] of the activation circuit. The η are trained
+    directly (as in the authors' prior pNC work) and perturbed
+    multiplicatively under process variation. *)
+
+type t
+
+val create : Pnc_util.Rng.t -> features:int -> t
+val features : t -> int
+val params : t -> Pnc_autodiff.Var.t list
+
+val forward_const :
+  eps:Pnc_tensor.Tensor.t array -> t -> Pnc_autodiff.Var.t -> Pnc_autodiff.Var.t
+(** [eps] holds four [1 x features] factors for η₁..η₄. *)
+
+val forward : draw:Variation.draw -> t -> Pnc_autodiff.Var.t -> Pnc_autodiff.Var.t
+
+val sample_eps : draw:Variation.draw -> t -> Pnc_tensor.Tensor.t array
+
+type realization
+(** One physical instance (ε folded into the η rows), shared across the
+    time steps of a sequence. *)
+
+val realize : draw:Variation.draw -> t -> realization
+val apply : realization -> Pnc_autodiff.Var.t -> Pnc_autodiff.Var.t
+
+val eta_values : t -> Pnc_tensor.Tensor.t array
+(** Current η₁..η₄ rows, for inspection and hardware costing. *)
+
+val clamp : t -> unit
+(** Keep the η in circuit-realizable windows: |η₁| ≤ 1, η₂ ∈ [0.2, 1],
+    |η₃| ≤ 1, η₄ ∈ [0.5, 6]. *)

@@ -1,0 +1,92 @@
+module Circuit = Pnc_spice.Circuit
+module Dc = Pnc_spice.Dc
+
+type design = { r_load : float; r_degen : float; egt : Circuit.egt_params }
+
+let default_design =
+  {
+    r_load = 300_000.;
+    r_degen = 30_000.;
+    egt = { Circuit.i0 = 1e-5; vth = 0.1; vss = 0.2; vds0 = 0.3 };
+  }
+
+let build ?(design = default_design) () =
+  let circ = Circuit.create () in
+  let vdd = Circuit.node circ "vdd" in
+  let vin = Circuit.node circ "vin" in
+  let out = Circuit.node circ "out" in
+  let mid = Circuit.node circ "mid" in
+  Circuit.vsource circ ~name:"Vdd" vdd Circuit.ground Printed.v_supply;
+  Circuit.vsource circ ~name:"Vin" vin Circuit.ground 0.;
+  (* Common-source n-EGT with source degeneration and a second,
+     diode-connected EGT in the degeneration path shaping the knee —
+     the 2T/2R printed activation of Fig. 3(b). *)
+  Circuit.resistor circ ~name:"R1" vdd out design.r_load;
+  Circuit.egt circ ~name:"T1" ~params:design.egt ~drain:out ~gate:vin ~source:mid ();
+  Circuit.resistor circ ~name:"R2" mid Circuit.ground design.r_degen;
+  Circuit.egt circ ~name:"T2" ~params:design.egt ~drain:mid ~gate:mid ~source:Circuit.ground ();
+  (circ, out)
+
+let transfer ?design ~v_in () =
+  let circ, out = build ?design () in
+  Dc.sweep circ ~source:"Vin" ~values:v_in ~probe:out
+
+type eta = { eta1 : float; eta2 : float; eta3 : float; eta4 : float }
+
+let eval_eta e v = e.eta1 +. (e.eta2 *. tanh ((v -. e.eta3) *. e.eta4))
+
+let rms_residual ~v_in ~v_out e =
+  let n = Array.length v_in in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. ((eval_eta e v_in.(i) -. v_out.(i)) ** 2.)
+  done;
+  sqrt (!acc /. float_of_int n)
+
+let fit_eta ~v_in ~v_out =
+  assert (Array.length v_in = Array.length v_out && Array.length v_in >= 8);
+  let lo = Pnc_util.Vec.min v_out and hi = Pnc_util.Vec.max v_out in
+  (* Initial guess from the curve's geometry; refine each parameter by
+     shrinking-step coordinate descent with two symmetric starts
+     (rising and falling curves). *)
+  let refine start =
+    let best = ref start in
+    let best_err = ref (rms_residual ~v_in ~v_out start) in
+    let try_candidate e =
+      let err = rms_residual ~v_in ~v_out e in
+      if err < !best_err then begin
+        best := e;
+        best_err := err
+      end
+    in
+    let steps = [| 0.2; 0.05; 0.01; 0.002 |] in
+    Array.iter
+      (fun step ->
+        for _ = 1 to 40 do
+          let e = !best in
+          try_candidate { e with eta1 = e.eta1 +. step };
+          try_candidate { e with eta1 = e.eta1 -. step };
+          try_candidate { e with eta2 = e.eta2 +. step };
+          try_candidate { e with eta2 = e.eta2 -. step };
+          try_candidate { e with eta3 = e.eta3 +. step };
+          try_candidate { e with eta3 = e.eta3 -. step };
+          try_candidate { e with eta4 = e.eta4 *. (1. +. step) };
+          try_candidate { e with eta4 = e.eta4 /. (1. +. step) }
+        done)
+      steps;
+    (!best, !best_err)
+  in
+  let mid_level = (lo +. hi) /. 2. and amp = (hi -. lo) /. 2. in
+  let start_rising = { eta1 = mid_level; eta2 = amp; eta3 = 0.; eta4 = 2. } in
+  let start_falling = { eta1 = mid_level; eta2 = -.amp; eta3 = 0.; eta4 = 2. } in
+  let (e1, r1) = refine start_rising and (e2, r2) = refine start_falling in
+  if r1 <= r2 then (e1, r1) else (e2, r2)
+
+let characterize ?design () =
+  let v_in = Pnc_util.Vec.linspace (-1.) 1. 81 in
+  let v_out = transfer ?design ~v_in () in
+  let e, rms = fit_eta ~v_in ~v_out in
+  (* The raw stage inverts; report the equivalent after the crossbar
+     inverter, i.e. the fit of -V_out(V_in). *)
+  let e = if e.eta2 < 0. then { e with eta1 = -.e.eta1; eta2 = -.e.eta2 } else e in
+  (e, rms)

@@ -1,0 +1,43 @@
+(** Circuit-level grounding of the printed tanh activation (Fig. 3b).
+
+    {!Ptanh} trains the abstract parameters η₁..η₄; this module closes
+    the loop to the hardware the paper assumes: it builds the two-EGT /
+    two-resistor nonlinear transfer circuit in the SPICE-lite engine,
+    DC-sweeps it, and least-squares fits
+
+      V_out ≈ η₁ + η₂ · tanh((V_in − η₃) · η₄)
+
+    to the simulated transfer curve — the printed analogue of reading
+    the η values off a Cadence sweep with the pPDK. The raw circuit is
+    inverting (common-source stage); the following crossbar inverter
+    absorbs the sign, so the fit reports η₂ < 0 for the raw curve and
+    the helper {!characterize} returns the non-inverted equivalent. *)
+
+type design = {
+  r_load : float;  (** pull-up resistor from the 1 V rail (Ω) *)
+  r_degen : float;  (** source-degeneration resistor (Ω) *)
+  egt : Pnc_spice.Circuit.egt_params;
+}
+
+val default_design : design
+
+val build : ?design:design -> unit -> Pnc_spice.Circuit.t * Pnc_spice.Circuit.node
+(** The activation circuit with its input source named "Vin"; returns
+    the netlist and the output node. *)
+
+val transfer : ?design:design -> v_in:float array -> unit -> float array
+(** DC transfer curve V_out(V_in). *)
+
+type eta = { eta1 : float; eta2 : float; eta3 : float; eta4 : float }
+
+val fit_eta : v_in:float array -> v_out:float array -> eta * float
+(** Least-squares fit of the four-parameter tanh to a curve; returns
+    the parameters and the RMS residual. Multi-start coordinate
+    descent — the curve is 1-D and smooth, so this is reliable. *)
+
+val eval_eta : eta -> float -> float
+
+val characterize : ?design:design -> unit -> eta * float
+(** Sweep [-1, 1] V, fit, and return the non-inverted equivalent
+    (η₂ > 0) with the RMS residual — values directly comparable to the
+    windows {!Ptanh.clamp} enforces during training. *)

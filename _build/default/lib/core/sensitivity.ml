@@ -1,0 +1,55 @@
+module T = Pnc_tensor.Tensor
+module Rng = Pnc_util.Rng
+module Stats = Pnc_util.Stats
+
+type family = Crossbar_conductances | Filter_rc | Activation_eta | All_families
+
+let family_name = function
+  | Crossbar_conductances -> "crossbar conductances (theta)"
+  | Filter_rc -> "filter R and C"
+  | Activation_eta -> "activation eta"
+  | All_families -> "all families"
+
+type row = { family : family; accuracy : float; drop : float }
+
+let accuracy_with ~rng ~spec ~draws ~family net x y =
+  let acc = ref 0. in
+  for _ = 1 to draws do
+    let varied = Variation.make_draw rng spec in
+    let nominal = Variation.deterministic in
+    let draw_crossbar, draw_filter, draw_act =
+      match family with
+      | Crossbar_conductances -> (varied, nominal, nominal)
+      | Filter_rc -> (nominal, varied, nominal)
+      | Activation_eta -> (nominal, nominal, varied)
+      | All_families -> (varied, varied, varied)
+    in
+    let logits =
+      Network.forward_selective ~draw_crossbar ~draw_filter ~draw_act net x
+    in
+    let pred = T.argmax_rows (Pnc_autodiff.Var.value logits) in
+    acc := !acc +. Stats.accuracy ~pred ~truth:y
+  done;
+  !acc /. float_of_int draws
+
+let analyze ~rng ~level ~draws net dataset =
+  assert (draws >= 1 && level >= 0.);
+  let x, y = Train.to_xy dataset in
+  let spec = Variation.uniform level in
+  let nominal_pred =
+    T.argmax_rows (Pnc_autodiff.Var.value (Network.forward ~draw:Variation.deterministic net x))
+  in
+  let nominal = Stats.accuracy ~pred:nominal_pred ~truth:y in
+  List.map
+    (fun family ->
+      let accuracy = accuracy_with ~rng ~spec ~draws ~family net x y in
+      { family; accuracy; drop = nominal -. accuracy })
+    [ Crossbar_conductances; Filter_rc; Activation_eta; All_families ]
+
+let report rows =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%-32s acc %.3f (drop %+.3f)" (family_name r.family) r.accuracy
+           (-.r.drop))
+       rows)

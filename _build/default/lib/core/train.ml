@@ -1,0 +1,149 @@
+module T = Pnc_tensor.Tensor
+module Var = Pnc_autodiff.Var
+module Optimizer = Pnc_optim.Optimizer
+module Scheduler = Pnc_optim.Scheduler
+module Dataset = Pnc_data.Dataset
+module Rng = Pnc_util.Rng
+
+type config = {
+  lr : float;
+  lr_factor : float;
+  patience : int;
+  min_lr : float;
+  max_epochs : int;
+  mc_samples : int;
+  mc_samples_val : int;
+  variation : Variation.spec;
+  grad_clip : float option;
+  weight_decay : float;
+}
+
+let paper_config =
+  {
+    lr = 0.1;
+    lr_factor = 0.5;
+    patience = 100;
+    min_lr = 1e-5;
+    max_epochs = 20_000;
+    mc_samples = 4;
+    mc_samples_val = 2;
+    variation = Variation.uniform 0.1;
+    grad_clip = Some 5.;
+    weight_decay = 0.01;
+  }
+
+let fast_config =
+  {
+    paper_config with
+    lr = 0.05;
+    patience = 20;
+    max_epochs = 500;
+    mc_samples = 2;
+    mc_samples_val = 1;
+  }
+
+let smoke_config =
+  { fast_config with patience = 5; max_epochs = 40; mc_samples = 2 }
+
+type history = {
+  epochs_run : int;
+  final_lr : float;
+  best_val_loss : float;
+  train_loss_curve : float array;
+  val_loss_curve : float array;
+}
+
+let to_xy (d : Dataset.t) = (T.of_rows d.x, d.y)
+
+let snapshot params = List.map (fun p -> T.copy (Var.value p)) params
+
+let restore params snap =
+  List.iter2
+    (fun p s ->
+      let v = Var.value p in
+      for r = 0 to T.rows v - 1 do
+        for c = 0 to T.cols v - 1 do
+          T.set v r c (T.get s r c)
+        done
+      done)
+    params snap
+
+let train ?(rng = Rng.create ~seed:0) cfg model split =
+  let x_train, y_train = to_xy split.Dataset.train in
+  let x_val, y_val = to_xy split.Dataset.valid in
+  let params = Model.params model in
+  let opt = Optimizer.adamw ~weight_decay:cfg.weight_decay ~params () in
+  let sched =
+    Scheduler.plateau ~factor:cfg.lr_factor ~patience:cfg.patience ~min_lr:cfg.min_lr
+      ~init_lr:cfg.lr ()
+  in
+  let train_curve = ref [] and val_curve = ref [] in
+  let best = ref infinity and best_snap = ref (snapshot params) in
+  let epoch = ref 0 and stop = ref false in
+  while (not !stop) && !epoch < cfg.max_epochs do
+    incr epoch;
+    Optimizer.zero_grads opt;
+    let loss =
+      Mc_loss.expected ~rng ~spec:cfg.variation ~n:cfg.mc_samples model ~x:x_train
+        ~labels:y_train
+    in
+    Var.backward loss;
+    (match cfg.grad_clip with
+    | Some m -> Optimizer.clip_grad_norm opt ~max_norm:m
+    | None -> ());
+    Optimizer.step opt ~lr:(Scheduler.lr sched);
+    Model.clamp model;
+    let val_loss =
+      Mc_loss.expected_value ~rng ~spec:cfg.variation ~n:cfg.mc_samples_val model ~x:x_val
+        ~labels:y_val
+    in
+    train_curve := T.get_scalar (Var.value loss) :: !train_curve;
+    val_curve := val_loss :: !val_curve;
+    if val_loss < !best then begin
+      best := val_loss;
+      best_snap := snapshot params
+    end;
+    match Scheduler.observe sched val_loss with `Stop -> stop := true | `Continue -> ()
+  done;
+  restore params !best_snap;
+  {
+    epochs_run = !epoch;
+    final_lr = Scheduler.lr sched;
+    best_val_loss = !best;
+    train_loss_curve = Array.of_list (List.rev !train_curve);
+    val_loss_curve = Array.of_list (List.rev !val_curve);
+  }
+
+let accuracy ?draw model d =
+  let x, y = to_xy d in
+  let pred = Model.predict ?draw model x in
+  Pnc_util.Stats.accuracy ~pred ~truth:y
+
+let accuracy_under_variation ~rng ~spec ~draws model d =
+  assert (draws >= 1);
+  let x, y = to_xy d in
+  let acc = ref 0. in
+  for _ = 1 to draws do
+    let draw = Variation.make_draw rng spec in
+    let pred = Model.predict ~draw model x in
+    acc := !acc +. Pnc_util.Stats.accuracy ~pred ~truth:y
+  done;
+  !acc /. float_of_int draws
+
+let epoch_seconds ?(rng = Rng.create ~seed:0) cfg model split =
+  let x_train, y_train = to_xy split.Dataset.train in
+  let params = Model.params model in
+  let opt = Optimizer.adamw ~weight_decay:cfg.weight_decay ~params () in
+  let run () =
+    Optimizer.zero_grads opt;
+    let loss =
+      Mc_loss.expected ~rng ~spec:cfg.variation ~n:cfg.mc_samples model ~x:x_train
+        ~labels:y_train
+    in
+    Var.backward loss;
+    Optimizer.step opt ~lr:1e-4;
+    Model.clamp model
+  in
+  (* One warm-up epoch, then the timed mean of three. *)
+  run ();
+  Pnc_util.Timer.time_mean ~repeats:3 run

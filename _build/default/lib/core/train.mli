@@ -1,0 +1,58 @@
+(** Training and evaluation harness (Sec. IV-A3).
+
+    The paper's procedure: AdamW with default settings, full-batch
+    training, initial learning rate 0.1 halved after [patience] epochs
+    without validation improvement, stop when the learning rate falls
+    below 1e-5, repeated over random seeds. Variation-aware models
+    optimize the Monte-Carlo objective of {!Mc_loss}; the weights that
+    achieved the best validation loss are restored at the end. *)
+
+type config = {
+  lr : float;
+  lr_factor : float;
+  patience : int;
+  min_lr : float;
+  max_epochs : int;  (** hard cap on top of the schedule-driven stop *)
+  mc_samples : int;  (** N of Eq. 13 (ignored by the reference RNN) *)
+  mc_samples_val : int;  (** draws for the validation objective *)
+  variation : Variation.spec;  (** training-time variation *)
+  grad_clip : float option;
+  weight_decay : float;
+}
+
+val paper_config : config
+(** The paper's exact budget (patience 100, lr 0.1 → 1e-5). Long. *)
+
+val fast_config : config
+(** Reduced budget used by the benchmark harness so the full table
+    regenerates in minutes: patience 12, max 260 epochs. *)
+
+val smoke_config : config
+(** Tiny budget for unit tests. *)
+
+type history = {
+  epochs_run : int;
+  final_lr : float;
+  best_val_loss : float;
+  train_loss_curve : float array;
+  val_loss_curve : float array;
+}
+
+val to_xy : Pnc_data.Dataset.t -> Pnc_tensor.Tensor.t * int array
+(** Dataset to ([batch x time] tensor, labels). *)
+
+val train : ?rng:Pnc_util.Rng.t -> config -> Model.t -> Pnc_data.Dataset.split -> history
+(** Trains in place (the model's parameter tensors are mutated);
+    restores the best-validation snapshot before returning. *)
+
+val accuracy : ?draw:Variation.draw -> Model.t -> Pnc_data.Dataset.t -> float
+(** Deterministic accuracy unless a draw is supplied. *)
+
+val accuracy_under_variation :
+  rng:Pnc_util.Rng.t -> spec:Variation.spec -> draws:int -> Model.t -> Pnc_data.Dataset.t -> float
+(** Mean accuracy over [draws] independent physical instances — the
+    paper's "tested under ±10 % variation" protocol. *)
+
+val epoch_seconds : ?rng:Pnc_util.Rng.t -> config -> Model.t -> Pnc_data.Dataset.split -> float
+(** Wall-clock seconds of one training epoch (forward + backward +
+    step), used for the runtime comparison (Table II). *)

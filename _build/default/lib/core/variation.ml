@@ -1,0 +1,72 @@
+module Rng = Pnc_util.Rng
+module T = Pnc_tensor.Tensor
+
+type dist =
+  | Uniform
+  | Gaussian
+  | Gmm of { w1 : float; m1 : float; s1 : float; m2 : float; s2 : float }
+
+type spec = { level : float; dist : dist }
+
+let none = { level = 0.; dist = Uniform }
+let uniform level = { level; dist = Uniform }
+let gaussian level = { level; dist = Gaussian }
+
+(* A dominant tight mode plus a minority wide mode: the qualitative
+   shape reported for printed EGT parameter spreads. *)
+let default_gmm level =
+  { level; dist = Gmm { w1 = 0.85; m1 = 0.; s1 = 0.35; m2 = 0.3; s2 = 1.0 } }
+
+let sample_scalar rng spec =
+  if spec.level = 0. then 1.
+  else
+    match spec.dist with
+    | Uniform -> Rng.uniform rng ~lo:(1. -. spec.level) ~hi:(1. +. spec.level)
+    | Gaussian ->
+        let s = spec.level /. 2. in
+        let x = Rng.gaussian ~mu:1. ~sigma:s rng in
+        Float.max (1. -. (3. *. s)) (Float.min (1. +. (3. *. s)) x)
+    | Gmm { w1; m1; s1; m2; s2 } ->
+        let m, s = if Rng.float rng 1. < w1 then (m1, s1) else (m2, s2) in
+        1. +. (spec.level *. Rng.gaussian ~mu:m ~sigma:s rng)
+
+let sample_eps rng spec ~rows ~cols = T.init ~rows ~cols (fun _ _ -> sample_scalar rng spec)
+
+let sample_mu rng ~cols =
+  T.init ~rows:1 ~cols (fun _ _ -> Rng.uniform rng ~lo:Printed.mu_min ~hi:Printed.mu_max)
+
+let sample_v0 rng ~sigma ~cols = T.init ~rows:1 ~cols (fun _ _ -> Rng.gaussian ~sigma rng)
+
+type draw = { rng : Rng.t; spec : spec; v0_sigma : float; mirror : bool }
+
+let make_draw ?(v0_sigma = 0.05) rng spec = { rng; spec; v0_sigma; mirror = false }
+let deterministic = { rng = Rng.create ~seed:0; spec = none; v0_sigma = 0.; mirror = false }
+let is_deterministic d = d.spec.level = 0. && d.v0_sigma = 0.
+
+let antithetic_pair ?(v0_sigma = 0.05) rng spec =
+  (* The mirrored draw replays the same random stream (a state copy)
+     and reflects every sample around its mean — the classic antithetic
+     variates construction, which cancels the linear part of the loss's
+     dependence on the variation factors. *)
+  let r1 = Rng.split rng in
+  let r2 = Rng.copy r1 in
+  ( { rng = r1; spec; v0_sigma; mirror = false },
+    { rng = r2; spec; v0_sigma; mirror = true } )
+
+let eps_for d ~rows ~cols =
+  if d.spec.level = 0. then T.create ~rows ~cols 1.
+  else
+    let e = sample_eps d.rng d.spec ~rows ~cols in
+    if d.mirror then T.map (fun x -> 2. -. x) e else e
+
+let mu_for d ~cols =
+  if is_deterministic d then T.create ~rows:1 ~cols 1.
+  else
+    let mu = sample_mu d.rng ~cols in
+    if d.mirror then T.map (fun m -> Printed.mu_min +. Printed.mu_max -. m) mu else mu
+
+let v0_for d ~cols =
+  if d.v0_sigma = 0. then T.zeros ~rows:1 ~cols
+  else
+    let v0 = sample_v0 d.rng ~sigma:d.v0_sigma ~cols in
+    if d.mirror then T.neg v0 else v0

@@ -1,0 +1,71 @@
+(** Process-variation modeling and the reparameterization strategy of
+    Sec. III-A.
+
+    Trainable component values are treated as random variables through
+    multiplicative factors: θ = θ₀ ⊙ ε, R = R₀ ⊙ ε_R, C = C₀ ⊙ ε_C.
+    The default distribution is the uniform ±level model used for the
+    headline ±10 % results; a two-component Gaussian mixture is
+    provided to mirror the device-level study the paper cites
+    (Rasheed et al.). *)
+
+type dist =
+  | Uniform  (** ε ~ U[1 − level, 1 + level] *)
+  | Gaussian  (** ε ~ N(1, (level/2)²), clipped to ±3σ *)
+  | Gmm of { w1 : float; m1 : float; s1 : float; m2 : float; s2 : float }
+      (** two-component mixture of Gaussians around 1 (scaled by
+          [level] relative spread) *)
+
+type spec = { level : float; dist : dist }
+
+val none : spec
+(** Zero variation: every ε is exactly 1. *)
+
+val uniform : float -> spec
+(** [uniform 0.1] is the paper's ±10 % precision-printing model. *)
+
+val gaussian : float -> spec
+val default_gmm : float -> spec
+
+val sample_eps : Pnc_util.Rng.t -> spec -> rows:int -> cols:int -> Pnc_tensor.Tensor.t
+(** A tensor of independent ε factors. *)
+
+val sample_scalar : Pnc_util.Rng.t -> spec -> float
+
+val sample_mu : Pnc_util.Rng.t -> cols:int -> Pnc_tensor.Tensor.t
+(** Per-filter coupling factors µ ~ U[{!Printed.mu_min},
+    {!Printed.mu_max}] as a [1 x cols] row. *)
+
+val sample_v0 : Pnc_util.Rng.t -> sigma:float -> cols:int -> Pnc_tensor.Tensor.t
+(** Random initial filter voltages V₀ ~ N(0, σ²), [1 x cols]. *)
+
+(** {1 Per-forward-pass draw}
+
+    A [draw] bundles one joint sample of every non-trainable random
+    input of a forward pass. Trainable-parameter ε tensors are sampled
+    lazily per parameter via {!eps_for} so models of any shape can use
+    the same draw. *)
+
+type draw = {
+  rng : Pnc_util.Rng.t;
+  spec : spec;
+  v0_sigma : float;
+  mirror : bool;  (** reflect every sample around its mean (antithetic) *)
+}
+
+val make_draw : ?v0_sigma:float -> Pnc_util.Rng.t -> spec -> draw
+(** Default [v0_sigma = 0.05] V. *)
+
+val antithetic_pair : ?v0_sigma:float -> Pnc_util.Rng.t -> spec -> draw * draw
+(** A draw and its mirror image (ε ↦ 2 − ε, µ reflected in its range,
+    V₀ negated): averaging a loss over the pair cancels the linear part
+    of its dependence on the variation factors — a variance-reduced
+    two-sample Monte-Carlo estimate (extension; not in the paper). *)
+
+val deterministic : draw
+(** No variation, zero V₀, µ fixed at 1 — used for clean evaluation. *)
+
+val is_deterministic : draw -> bool
+
+val eps_for : draw -> rows:int -> cols:int -> Pnc_tensor.Tensor.t
+val mu_for : draw -> cols:int -> Pnc_tensor.Tensor.t
+val v0_for : draw -> cols:int -> Pnc_tensor.Tensor.t

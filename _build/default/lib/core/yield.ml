@@ -1,0 +1,49 @@
+module Stats = Pnc_util.Stats
+
+type result = {
+  draws : int;
+  mean_acc : float;
+  std_acc : float;
+  worst : float;
+  best : float;
+  yield : float;
+  threshold : float;
+}
+
+let of_accuracies ~threshold accs =
+  let n = Array.length accs in
+  assert (n > 0);
+  let ok = Array.fold_left (fun acc a -> if a >= threshold then acc + 1 else acc) 0 accs in
+  {
+    draws = n;
+    mean_acc = Stats.mean accs;
+    std_acc = Stats.std accs;
+    worst = Array.fold_left Float.min accs.(0) accs;
+    best = Array.fold_left Float.max accs.(0) accs;
+    yield = float_of_int ok /. float_of_int n;
+    threshold;
+  }
+
+let estimate ~rng ~spec ~threshold ~draws model dataset =
+  assert (draws >= 1);
+  let x, y = Train.to_xy dataset in
+  let accs =
+    if Model.is_circuit model then
+      Array.init draws (fun _ ->
+          let draw = Variation.make_draw rng spec in
+          Pnc_util.Stats.accuracy ~pred:(Model.predict ~draw model x) ~truth:y)
+    else [| Pnc_util.Stats.accuracy ~pred:(Model.predict model x) ~truth:y |]
+  in
+  of_accuracies ~threshold accs
+
+let sweep_levels ~rng ~levels ~threshold ~draws model dataset =
+  List.map
+    (fun level ->
+      let spec = if level = 0. then Variation.none else Variation.uniform level in
+      let draws = if level = 0. then 1 else draws in
+      (level, estimate ~rng ~spec ~threshold ~draws model dataset))
+    levels
+
+let describe r =
+  Printf.sprintf "acc %.3f ± %.3f [%.3f, %.3f], yield(acc>=%.2f) = %.0f%% over %d instances"
+    r.mean_acc r.std_acc r.worst r.best r.threshold (100. *. r.yield) r.draws

@@ -1,0 +1,1 @@
+lib/data/dataset.ml: Array Float Pnc_util

@@ -1,0 +1,1 @@
+lib/data/dataset.mli: Pnc_util

@@ -1,0 +1,1 @@
+lib/data/describe.ml: Array Dataset Float Pnc_util Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/data/describe.mli: Dataset

@@ -1,0 +1,1 @@
+lib/data/generators.ml: Array Dataset Float Pnc_util

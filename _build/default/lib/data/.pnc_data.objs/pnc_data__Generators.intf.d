@@ -1,0 +1,1 @@
+lib/data/generators.mli: Dataset Pnc_util

@@ -1,0 +1,1 @@
+lib/data/registry.ml: Generators Hashtbl List Pnc_util

@@ -1,0 +1,1 @@
+lib/data/registry.mli: Dataset Generators

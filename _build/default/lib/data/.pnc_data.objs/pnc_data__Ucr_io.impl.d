@@ -1,0 +1,1 @@
+lib/data/ucr_io.ml: Array Buffer Dataset Filename Fun List Printf String

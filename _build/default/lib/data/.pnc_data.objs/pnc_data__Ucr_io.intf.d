@@ -1,0 +1,1 @@
+lib/data/ucr_io.mli: Dataset

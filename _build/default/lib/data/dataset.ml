@@ -1,0 +1,53 @@
+module Rng = Pnc_util.Rng
+module Vec = Pnc_util.Vec
+
+type t = { name : string; n_classes : int; x : float array array; y : int array }
+
+let make ~name ~n_classes ~x ~y =
+  assert (Array.length x = Array.length y);
+  assert (Array.length x > 0);
+  let len = Array.length x.(0) in
+  Array.iter (fun s -> assert (Array.length s = len)) x;
+  Array.iter (fun l -> assert (l >= 0 && l < n_classes)) y;
+  { name; n_classes; x; y }
+
+let n_samples t = Array.length t.x
+let length t = Array.length t.x.(0)
+
+let class_counts t =
+  let counts = Array.make t.n_classes 0 in
+  Array.iter (fun l -> counts.(l) <- counts.(l) + 1) t.y;
+  counts
+
+let resize t len = { t with x = Array.map (fun s -> Vec.resample s len) t.x }
+let normalize t = { t with x = Array.map (fun s -> Vec.normalize_range s) t.x }
+
+let subset t idx =
+  { t with x = Array.map (fun i -> t.x.(i)) idx; y = Array.map (fun i -> t.y.(i)) idx }
+
+let shuffle rng t = subset t (Rng.permutation rng (n_samples t))
+
+type split = { train : t; valid : t; test : t }
+
+let split ?(fractions = (0.6, 0.2)) rng t =
+  let f_train, f_valid = fractions in
+  assert (f_train > 0. && f_valid >= 0. && f_train +. f_valid < 1.);
+  let t = shuffle rng t in
+  let n = n_samples t in
+  let n_train = int_of_float (Float.round (f_train *. float_of_int n)) in
+  let n_valid = int_of_float (Float.round (f_valid *. float_of_int n)) in
+  let range a b = Array.init (b - a) (fun i -> a + i) in
+  {
+    train = subset t (range 0 n_train);
+    valid = subset t (range n_train (n_train + n_valid));
+    test = subset t (range (n_train + n_valid) n);
+  }
+
+let preprocess ?(length = 64) rng t = split rng (normalize (resize t length))
+
+let concat a b =
+  assert (a.n_classes = b.n_classes);
+  assert (length a = length b);
+  { a with x = Array.append a.x b.x; y = Array.append a.y b.y }
+
+let map_series f t = { t with x = Array.map f t.x }

@@ -1,0 +1,48 @@
+(** Univariate time-series classification datasets.
+
+    Mirrors the paper's data handling (Sec. IV-A2): every series is
+    resized to a common length (64), normalized to [-1, 1], shuffled
+    and split 60 % / 20 % / 20 % into train / validation / test. *)
+
+type t = {
+  name : string;
+  n_classes : int;
+  x : float array array;  (** [x.(i)] is sample i's series *)
+  y : int array;  (** labels in [0, n_classes) *)
+}
+
+val make : name:string -> n_classes:int -> x:float array array -> y:int array -> t
+(** Validates shapes and label range. *)
+
+val n_samples : t -> int
+val length : t -> int
+(** Series length (all series have equal length). *)
+
+val class_counts : t -> int array
+
+val resize : t -> int -> t
+(** Linear resampling of every series to the given length. *)
+
+val normalize : t -> t
+(** Per-series affine rescale into [-1, 1]. *)
+
+val shuffle : Pnc_util.Rng.t -> t -> t
+
+type split = { train : t; valid : t; test : t }
+
+val split : ?fractions:float * float -> Pnc_util.Rng.t -> t -> split
+(** Shuffles, then splits. [fractions] are (train, valid) shares,
+    default (0.6, 0.2); the remainder is the test set. *)
+
+val preprocess : ?length:int -> Pnc_util.Rng.t -> t -> split
+(** The paper's full pipeline: resize (default 64) → normalize →
+    shuffle → split. *)
+
+val concat : t -> t -> t
+(** Append the samples of two compatible datasets (same name metadata
+    kept from the first). Used to mix augmented and original data. *)
+
+val subset : t -> int array -> t
+
+val map_series : (float array -> float array) -> t -> t
+(** Apply a transformation to every series (e.g. a perturbation). *)

@@ -1,0 +1,104 @@
+module Vec = Pnc_util.Vec
+
+type stats = {
+  name : string;
+  n_samples : int;
+  length : int;
+  n_classes : int;
+  class_counts : int array;
+  value_min : float;
+  value_max : float;
+  mean_abs : float;
+  between_class_distance : float;
+  within_class_distance : float;
+}
+
+let euclid a b = Vec.norm2 (Vec.sub a b)
+
+let class_means (d : Dataset.t) =
+  let len = Dataset.length d in
+  let sums = Array.init d.n_classes (fun _ -> Array.make len 0.) in
+  let counts = Array.make d.n_classes 0 in
+  Array.iteri
+    (fun i series ->
+      let c = d.y.(i) in
+      counts.(c) <- counts.(c) + 1;
+      Array.iteri (fun j v -> sums.(c).(j) <- sums.(c).(j) +. v) series)
+    d.x;
+  Array.mapi (fun c s -> Vec.scale (1. /. float_of_int (Stdlib.max 1 counts.(c))) s) sums
+
+let stats (d : Dataset.t) =
+  let means = class_means d in
+  let between =
+    let acc = ref 0. and n = ref 0 in
+    for a = 0 to d.n_classes - 1 do
+      for b = a + 1 to d.n_classes - 1 do
+        acc := !acc +. euclid means.(a) means.(b);
+        incr n
+      done
+    done;
+    if !n = 0 then 0. else !acc /. float_of_int !n
+  in
+  let within =
+    let acc = ref 0. in
+    Array.iteri (fun i series -> acc := !acc +. euclid series means.(d.y.(i))) d.x;
+    !acc /. float_of_int (Dataset.n_samples d)
+  in
+  let vmin = ref infinity and vmax = ref neg_infinity and sum_abs = ref 0. and count = ref 0 in
+  Array.iter
+    (fun series ->
+      Array.iter
+        (fun v ->
+          vmin := Float.min !vmin v;
+          vmax := Float.max !vmax v;
+          sum_abs := !sum_abs +. Float.abs v;
+          incr count)
+        series)
+    d.x;
+  {
+    name = d.name;
+    n_samples = Dataset.n_samples d;
+    length = Dataset.length d;
+    n_classes = d.n_classes;
+    class_counts = Dataset.class_counts d;
+    value_min = !vmin;
+    value_max = !vmax;
+    mean_abs = !sum_abs /. float_of_int (Stdlib.max 1 !count);
+    between_class_distance = between;
+    within_class_distance = within;
+  }
+
+let separability s =
+  if s.within_class_distance <= 1e-12 then infinity
+  else s.between_class_distance /. s.within_class_distance
+
+let nn_accuracy ?(seed = 0) d =
+  let { Dataset.train; test; _ } = Dataset.preprocess (Pnc_util.Rng.create ~seed) d in
+  let predict s =
+    let best = ref 0 and best_d = ref infinity in
+    Array.iteri
+      (fun i tr ->
+        let dd = euclid s tr in
+        if dd < !best_d then begin
+          best_d := dd;
+          best := train.Dataset.y.(i)
+        end)
+      train.Dataset.x;
+    !best
+  in
+  Pnc_util.Stats.accuracy ~pred:(Array.map predict test.Dataset.x) ~truth:test.Dataset.y
+
+let report ?seed d =
+  let s = stats d in
+  let counts =
+    String.concat ", " (Array.to_list (Array.map string_of_int s.class_counts))
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "%s: %d samples x %d steps, %d classes [%s]" s.name s.n_samples s.length
+        s.n_classes counts;
+      Printf.sprintf "values in [%.3f, %.3f], mean |x| = %.3f" s.value_min s.value_max s.mean_abs;
+      Printf.sprintf "prototype separation %.3f / class spread %.3f (separability %.2f)"
+        s.between_class_distance s.within_class_distance (separability s);
+      Printf.sprintf "1-NN reference accuracy: %.3f" (nn_accuracy ?seed d);
+    ]

@@ -1,0 +1,32 @@
+(** Dataset diagnostics: the quantities to inspect before blaming a
+    model — class balance, value ranges, per-class prototype
+    separation, and a 1-nearest-neighbour reference accuracy that upper
+    bounds what a tiny printed classifier can be expected to reach. *)
+
+type stats = {
+  name : string;
+  n_samples : int;
+  length : int;
+  n_classes : int;
+  class_counts : int array;
+  value_min : float;
+  value_max : float;
+  mean_abs : float;
+  (* Mean Euclidean distance between per-class mean series (prototype
+     separation), and mean within-class distance to the own prototype
+     (spread); their ratio is a crude separability index. *)
+  between_class_distance : float;
+  within_class_distance : float;
+}
+
+val stats : Dataset.t -> stats
+val separability : stats -> float
+(** [between / within]; > 1 means prototypes are farther apart than the
+    classes are wide. *)
+
+val nn_accuracy : ?seed:int -> Dataset.t -> float
+(** 1-NN (Euclidean) accuracy after the standard preprocess/split — a
+    dataset-difficulty reference, not a deployable model. *)
+
+val report : ?seed:int -> Dataset.t -> string
+(** Multi-line human-readable summary. *)

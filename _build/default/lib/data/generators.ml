@@ -1,0 +1,252 @@
+module Rng = Pnc_util.Rng
+
+type gen = Rng.t -> n:int -> length:int -> Dataset.t
+
+(* ----------------------------------------------------------------------
+   Waveform primitives. Series are built as functions of t in [0, 1). *)
+
+let series length f = Array.init length (fun i -> f (float_of_int i /. float_of_int length))
+let gauss_bump ~center ~width t = exp (-.(((t -. center) /. width) ** 2.))
+
+let sigmoid_edge ~at ~steep t = 1. /. (1. +. exp (-.steep *. (t -. at)))
+
+let add_noise rng sigma s = Array.map (fun x -> x +. Rng.gaussian ~sigma rng) s
+
+(* Smooth random warping of the time axis: t -> t + sum of low-frequency
+   sine perturbations. Used for intra-class variability. *)
+let random_warp rng ~strength f =
+  let a1 = Rng.uniform rng ~lo:(-.strength) ~hi:strength in
+  let a2 = Rng.uniform rng ~lo:(-.strength) ~hi:strength in
+  let p1 = Rng.uniform rng ~lo:0. ~hi:(2. *. Float.pi) in
+  let p2 = Rng.uniform rng ~lo:0. ~hi:(2. *. Float.pi) in
+  fun t ->
+    let t' =
+      t
+      +. (a1 *. sin ((2. *. Float.pi *. t) +. p1))
+      +. (a2 *. sin ((4. *. Float.pi *. t) +. p2))
+    in
+    f (Float.max 0. (Float.min 1. t'))
+
+let balanced_label rng ~n_classes i =
+  (* Mostly balanced with a touch of randomness so splits differ. *)
+  if Rng.float rng 1. < 0.05 then Rng.int rng n_classes else i mod n_classes
+
+let build rng ~name ~n_classes ~n ~length sample =
+  let y = Array.init n (fun i -> balanced_label rng ~n_classes i) in
+  let x = Array.map (fun label -> sample label) y in
+  ignore length;
+  Dataset.make ~name ~n_classes ~x ~y
+
+(* ----------------------------------------------------------------------
+   CBF: the classic Cylinder-Bell-Funnel generator. *)
+
+let cbf rng ~n ~length =
+  let sample label =
+    let a = Rng.uniform rng ~lo:0.125 ~hi:0.25 in
+    let b = a +. Rng.uniform rng ~lo:0.25 ~hi:0.6 in
+    let amp = 6. +. Rng.gaussian rng in
+    let shape t =
+      if t < a || t > b then 0.
+      else
+        match label with
+        | 0 -> amp (* cylinder *)
+        | 1 -> amp *. ((t -. a) /. (b -. a)) (* bell *)
+        | _ -> amp *. ((b -. t) /. (b -. a)) (* funnel *)
+    in
+    add_noise rng 1.0 (series length shape)
+  in
+  build rng ~name:"CBF" ~n_classes:3 ~n ~length sample
+
+(* ----------------------------------------------------------------------
+   Phalanx outline families: smooth arches whose curvature and secondary
+   structure depend on the class. *)
+
+let phalanx_arch rng ~width ~skew ~notch t =
+  let arch = sin (Float.pi *. (t ** skew)) ** width in
+  let notch_term = notch *. gauss_bump ~center:0.7 ~width:0.08 t in
+  ignore rng;
+  arch -. notch_term
+
+let dptw rng ~n ~length =
+  let sample label =
+    let fl = float_of_int label in
+    let width = 1.0 +. (0.45 *. fl) +. Rng.gaussian ~sigma:0.1 rng in
+    let skew = 0.85 +. (0.05 *. fl) +. Rng.gaussian ~sigma:0.06 rng in
+    let notch = 0.08 *. fl /. 5. in
+    let f = random_warp rng ~strength:0.02 (phalanx_arch rng ~width:(Float.max 0.2 width) ~skew ~notch) in
+    add_noise rng 0.06 (series length f)
+  in
+  build rng ~name:"DPTW" ~n_classes:6 ~n ~length sample
+
+let mpoag rng ~n ~length =
+  let sample label =
+    let fl = float_of_int label in
+    let width = 1.0 +. (0.5 *. fl) +. Rng.gaussian ~sigma:0.25 rng in
+    let skew = 1.0 +. (0.12 *. fl) +. Rng.gaussian ~sigma:0.08 rng in
+    let f = random_warp rng ~strength:0.025 (phalanx_arch rng ~width:(Float.max 0.2 width) ~skew ~notch:0.) in
+    add_noise rng 0.07 (series length f)
+  in
+  build rng ~name:"MPOAG" ~n_classes:3 ~n ~length sample
+
+let ppoc rng ~n ~length =
+  let sample label =
+    (* Correct outlines are clean arches; incorrect ones carry an extra
+       irregular wiggle. Overlap is intentionally heavy. *)
+    let width = 1.2 +. Rng.gaussian ~sigma:0.3 rng in
+    let wiggle_amp = if label = 0 then 0.05 else 0.16 in
+    let wf = Rng.uniform rng ~lo:5. ~hi:9. in
+    let ph = Rng.uniform rng ~lo:0. ~hi:(2. *. Float.pi) in
+    let f t =
+      phalanx_arch rng ~width:(Float.max 0.2 width) ~skew:1.0 ~notch:0. t
+      +. (wiggle_amp *. sin ((wf *. 2. *. Float.pi *. t) +. ph) *. sin (Float.pi *. t))
+    in
+    add_noise rng 0.12 (series length (random_warp rng ~strength:0.03 f))
+  in
+  build rng ~name:"PPOC" ~n_classes:2 ~n ~length sample
+
+(* ----------------------------------------------------------------------
+   Freezer power curves: compressor switch-on transient; the two
+   conditions differ in plateau level and decay slope. *)
+
+let freezer ~name ~separation rng ~n ~length =
+  let sample label =
+    let d = if label = 0 then 0. else separation in
+    let plateau = 0.8 +. (0.25 *. d) +. Rng.gaussian ~sigma:0.05 rng in
+    let decay = 2.0 +. (1.5 *. d) +. Rng.gaussian ~sigma:0.2 rng in
+    let rise_at = 0.12 +. Rng.gaussian ~sigma:0.01 rng in
+    let f t =
+      let on = sigmoid_edge ~at:rise_at ~steep:60. t in
+      let level = plateau *. exp (-.decay *. Float.max 0. (t -. rise_at)) in
+      on *. (0.3 +. level)
+    in
+    add_noise rng 0.12 (series length (random_warp rng ~strength:0.03 f))
+  in
+  build rng ~name ~n_classes:2 ~n ~length sample
+
+(* ----------------------------------------------------------------------
+   Gun-draw vs point motion profiles. *)
+
+let gun_point ~name ~separation ~noise rng ~n ~length =
+  let sample label =
+    let overshoot = if label = 0 then 0.05 else 0.05 +. (0.5 *. separation) in
+    let hold = 0.85 +. Rng.gaussian ~sigma:0.04 rng in
+    let up = 0.18 +. Rng.gaussian ~sigma:(0.015 +. (0.02 *. (1. -. separation))) rng in
+    let down = 0.78 +. Rng.gaussian ~sigma:0.015 rng in
+    let f t =
+      let rise = sigmoid_edge ~at:up ~steep:35. t in
+      let fall = sigmoid_edge ~at:down ~steep:35. t in
+      (hold *. (rise -. fall))
+      -. (overshoot *. gauss_bump ~center:(up -. 0.05) ~width:0.035 t)
+      +. (overshoot *. 0.6 *. gauss_bump ~center:(down +. 0.06) ~width:0.04 t)
+    in
+    add_noise rng noise (series length (random_warp rng ~strength:0.012 f))
+  in
+  build rng ~name ~n_classes:2 ~n ~length sample
+
+(* ----------------------------------------------------------------------
+   Mixed shape prototypes (5 classes) with heavy intra-class warping. *)
+
+let msrt rng ~n ~length =
+  let sample label =
+    let f t =
+      match label with
+      | 0 -> 1. -. (2. *. Float.abs (t -. 0.5)) (* triangle *)
+      | 1 -> if t > 0.25 && t < 0.75 then 0.9 else 0.1 (* plateau *)
+      | 2 ->
+          gauss_bump ~center:0.3 ~width:0.09 t
+          +. gauss_bump ~center:0.7 ~width:0.09 t (* double bump *)
+      | 3 -> t (* ramp *)
+      | _ -> 0.5 +. (0.45 *. sin (3. *. Float.pi *. t)) (* oscillation *)
+    in
+    let amp = 1. +. Rng.gaussian ~sigma:0.45 rng in
+    let off = Rng.gaussian ~sigma:0.35 rng in
+    let warped = random_warp rng ~strength:0.13 f in
+    add_noise rng 0.4 (series length (fun t -> (amp *. warped t) +. off))
+  in
+  build rng ~name:"MSRT" ~n_classes:5 ~n ~length sample
+
+(* ----------------------------------------------------------------------
+   PowerCons: warm season (single evening peak) vs cold season (morning
+   and evening peaks on a higher base). *)
+
+let power_cons rng ~n ~length =
+  let sample label =
+    let evening = 0.75 +. Rng.gaussian ~sigma:0.08 rng in
+    let morning = if label = 0 then 0.12 +. Rng.gaussian ~sigma:0.05 rng else 0.45 +. Rng.gaussian ~sigma:0.1 rng in
+    let base = if label = 0 then 0.15 else 0.3 in
+    let f t =
+      base
+      +. (morning *. gauss_bump ~center:0.3 ~width:0.07 t)
+      +. (evening *. gauss_bump ~center:0.78 ~width:0.09 t)
+    in
+    add_noise rng 0.1 (series length (random_warp rng ~strength:0.025 f))
+  in
+  build rng ~name:"PowerCons" ~n_classes:2 ~n ~length sample
+
+(* ----------------------------------------------------------------------
+   SRSCP2: slow cortical potential drifts buried in EEG noise. *)
+
+let srscp2 rng ~n ~length =
+  let sample label =
+    let drift = (if label = 0 then -0.25 else 0.25) +. Rng.gaussian ~sigma:0.28 rng in
+    let alpha_amp = 0.5 +. Rng.float rng 0.5 in
+    let alpha_f = Rng.uniform rng ~lo:6. ~hi:11. in
+    let ph = Rng.uniform rng ~lo:0. ~hi:(2. *. Float.pi) in
+    let f t = (drift *. t) +. (alpha_amp *. sin ((alpha_f *. 2. *. Float.pi *. t) +. ph)) in
+    add_noise rng 0.55 (series length f)
+  in
+  build rng ~name:"SRSCP2" ~n_classes:2 ~n ~length sample
+
+(* ----------------------------------------------------------------------
+   Slope: trend direction classification. *)
+
+let slope rng ~n ~length =
+  let sample label =
+    let k = (float_of_int label -. 1.) *. (0.9 +. Rng.gaussian ~sigma:0.15 rng) in
+    let season_amp = 0.35 +. Rng.float rng 0.25 in
+    let sf = Rng.uniform rng ~lo:2. ~hi:4. in
+    let ph = Rng.uniform rng ~lo:0. ~hi:(2. *. Float.pi) in
+    let f t = (k *. t) +. (season_amp *. sin ((sf *. 2. *. Float.pi *. t) +. ph)) in
+    add_noise rng 0.15 (series length f)
+  in
+  build rng ~name:"Slope" ~n_classes:3 ~n ~length sample
+
+(* ----------------------------------------------------------------------
+   SmoothSubspace: each class is a fixed smooth basis curve plus small
+   coefficient noise. *)
+
+let smooth_subspace rng ~n ~length =
+  let basis label t =
+    match label with
+    | 0 -> sin (Float.pi *. t)
+    | 1 -> cos (2. *. Float.pi *. t)
+    | _ -> sin (3. *. Float.pi *. t) *. (1. -. t)
+  in
+  let sample label =
+    let c0 = 1. +. Rng.gaussian ~sigma:0.15 rng in
+    let c_mix = Rng.gaussian ~sigma:0.3 rng in
+    let other = (label + 1) mod 3 in
+    let f t = (c0 *. basis label t) +. (c_mix *. basis other t) in
+    add_noise rng 0.2 (series length f)
+  in
+  build rng ~name:"SmoothS" ~n_classes:3 ~n ~length sample
+
+(* ----------------------------------------------------------------------
+   Symbols: pen-trajectory-like profiles, 6 classes. *)
+
+let symbols rng ~n ~length =
+  let sample label =
+    let f t =
+      match label with
+      | 0 -> sin (2. *. Float.pi *. t)
+      | 1 -> sin (4. *. Float.pi *. t) *. sin (Float.pi *. t)
+      | 2 -> (2. *. gauss_bump ~center:0.5 ~width:0.15 t) -. 1.
+      | 3 -> Float.abs (sin (2. *. Float.pi *. t))
+      | 4 -> (if t < 0.5 then sin (2. *. Float.pi *. t) else -1. +. (2. *. t)) (* hook *)
+      | _ -> cos (3. *. Float.pi *. t) *. exp (-2. *. t)
+    in
+    let amp = 1. +. Rng.gaussian ~sigma:0.3 rng in
+    let warped = random_warp rng ~strength:0.09 f in
+    add_noise rng 0.3 (series length (fun t -> amp *. warped t))
+  in
+  build rng ~name:"Symbols" ~n_classes:6 ~n ~length sample

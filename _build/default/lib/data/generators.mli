@@ -1,0 +1,56 @@
+(** Synthetic stand-ins for the paper's 15 UCR benchmark datasets.
+
+    The UCR archive is not redistributable inside this repository, so
+    each benchmark is replaced by a parametric generator with the same
+    class count and qualitatively similar temporal structure and
+    difficulty (see DESIGN.md §1 for the substitution rationale). CBF
+    follows the published Cylinder–Bell–Funnel construction, which is
+    synthetic in the original archive as well.
+
+    Every generator is deterministic given the [Rng.t] and emits
+    approximately class-balanced samples of the requested [length]
+    (before the common resize-to-64 preprocessing). *)
+
+type gen = Pnc_util.Rng.t -> n:int -> length:int -> Dataset.t
+
+val cbf : gen
+(** Cylinder–Bell–Funnel, 3 classes. *)
+
+val dptw : gen
+(** Distal-phalanx bone outlines by tightness-of-width group, 6 classes. *)
+
+val freezer : name:string -> separation:float -> gen
+(** Freezer power curves, 2 classes; [separation] scales the
+    between-class difference (FreezerRegularTrain vs SmallTrain reuse
+    this family). *)
+
+val gun_point : name:string -> separation:float -> noise:float -> gen
+(** Gun-draw vs point motion profiles, 2 classes; the three paper
+    variants (AgeSpan, MaleVersusFemale, OldVersusYoung) differ in
+    separation and noise. *)
+
+val mpoag : gen
+(** Middle-phalanx outlines by age group, 3 classes. *)
+
+val msrt : gen
+(** Mixed shape prototypes, 5 classes, heavy intra-class warping. *)
+
+val power_cons : gen
+(** Household power consumption, warm vs cold season, 2 classes. *)
+
+val ppoc : gen
+(** Proximal-phalanx outline correct/incorrect, 2 classes, heavily
+    overlapping. *)
+
+val srscp2 : gen
+(** Self-regulation of slow cortical potentials (EEG), 2 classes,
+    near-chance difficulty. *)
+
+val slope : gen
+(** Trend-slope classification (down / flat / up), 3 classes. *)
+
+val smooth_subspace : gen
+(** Smooth low-dimensional subspace curves, 3 classes. *)
+
+val symbols : gen
+(** Pen-trajectory symbol profiles, 6 classes. *)

@@ -1,0 +1,58 @@
+type spec = { name : string; n_classes : int; default_n : int; gen : Generators.gen }
+
+let all =
+  [
+    { name = "CBF"; n_classes = 3; default_n = 240; gen = Generators.cbf };
+    { name = "DPTW"; n_classes = 6; default_n = 300; gen = Generators.dptw };
+    {
+      name = "FRT";
+      n_classes = 2;
+      default_n = 240;
+      gen = Generators.freezer ~name:"FRT" ~separation:0.8;
+    };
+    {
+      name = "FST";
+      n_classes = 2;
+      default_n = 80;
+      gen = Generators.freezer ~name:"FST" ~separation:0.8;
+    };
+    {
+      name = "GPAS";
+      n_classes = 2;
+      default_n = 220;
+      gen = Generators.gun_point ~name:"GPAS" ~separation:0.35 ~noise:0.12;
+    };
+    {
+      name = "GPMVF";
+      n_classes = 2;
+      default_n = 220;
+      gen = Generators.gun_point ~name:"GPMVF" ~separation:0.7 ~noise:0.08;
+    };
+    {
+      name = "GPOVY";
+      n_classes = 2;
+      default_n = 220;
+      gen = Generators.gun_point ~name:"GPOVY" ~separation:1.0 ~noise:0.05;
+    };
+    { name = "MPOAG"; n_classes = 3; default_n = 260; gen = Generators.mpoag };
+    { name = "MSRT"; n_classes = 5; default_n = 300; gen = Generators.msrt };
+    { name = "PowerCons"; n_classes = 2; default_n = 240; gen = Generators.power_cons };
+    { name = "PPOC"; n_classes = 2; default_n = 260; gen = Generators.ppoc };
+    { name = "SRSCP2"; n_classes = 2; default_n = 240; gen = Generators.srscp2 };
+    { name = "Slope"; n_classes = 3; default_n = 240; gen = Generators.slope };
+    { name = "SmoothS"; n_classes = 3; default_n = 240; gen = Generators.smooth_subspace };
+    { name = "Symbols"; n_classes = 6; default_n = 360; gen = Generators.symbols };
+  ]
+
+let names = List.map (fun s -> s.name) all
+
+let find name =
+  match List.find_opt (fun s -> s.name = name) all with
+  | Some s -> s
+  | None -> raise Not_found
+
+let load ?n ?(length = 128) ~seed name =
+  let spec = find name in
+  let n = match n with Some n -> n | None -> spec.default_n in
+  let rng = Pnc_util.Rng.create ~seed:(seed lxor Hashtbl.hash name) in
+  spec.gen rng ~n ~length

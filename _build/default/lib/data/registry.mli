@@ -1,0 +1,23 @@
+(** Name → generator registry for the paper's 15 benchmark datasets
+    (Table I order). *)
+
+type spec = {
+  name : string;
+  n_classes : int;
+  default_n : int;  (** number of generated samples before splitting *)
+  gen : Generators.gen;
+}
+
+val all : spec list
+(** The 15 datasets in the paper's table order: CBF, DPTW, FRT, FST,
+    GPAS, GPMVF, GPOVY, MPOAG, MSRT, PowerCons, PPOC, SRSCP2, Slope,
+    SmoothS, Symbols. *)
+
+val names : string list
+val find : string -> spec
+(** @raise Not_found for unknown names. *)
+
+val load : ?n:int -> ?length:int -> seed:int -> string -> Dataset.t
+(** Generate the named dataset. [length] is the raw generated length
+    (default 128) — callers then run {!Dataset.preprocess} which
+    resizes to 64. *)

@@ -1,0 +1,90 @@
+let split_fields line =
+  let sep = if String.contains line '\t' then '\t' else ',' in
+  String.split_on_char sep line
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let non_blank_lines contents =
+  String.split_on_char '\n' contents
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "")
+
+let parse_rows contents =
+  List.map
+    (fun (lineno, line) ->
+      match split_fields line with
+      | label :: (_ :: _ as values) ->
+          let parse_float s =
+            match float_of_string_opt s with
+            | Some v -> v
+            | None -> failwith (Printf.sprintf "line %d: not a number: %S" lineno s)
+          in
+          (lineno, label, Array.of_list (List.map parse_float values))
+      | _ -> failwith (Printf.sprintf "line %d: expected label and at least one value" lineno))
+    (non_blank_lines contents)
+
+let build_label_map rows =
+  List.fold_left
+    (fun acc (_, label, _) -> if List.mem_assoc label acc then acc else acc @ [ (label, List.length acc) ])
+    [] rows
+
+let label_map contents = build_label_map (parse_rows contents)
+
+let parse ~name contents =
+  let rows = parse_rows contents in
+  if rows = [] then failwith "empty dataset";
+  let map = build_label_map rows in
+  let _, _, first = List.hd rows in
+  let len = Array.length first in
+  List.iter
+    (fun (lineno, _, v) ->
+      if Array.length v <> len then
+        failwith
+          (Printf.sprintf "line %d: series length %d differs from %d" lineno (Array.length v) len))
+    rows;
+  let x = Array.of_list (List.map (fun (_, _, v) -> v) rows) in
+  let y = Array.of_list (List.map (fun (_, l, _) -> List.assoc l map) rows) in
+  Dataset.make ~name ~n_classes:(List.length map) ~x ~y
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let default_name path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  (* strip UCR suffixes *)
+  let strip suffix s =
+    if Filename.check_suffix s suffix then Filename.chop_suffix s suffix else s
+  in
+  base |> strip "_TRAIN" |> strip "_TEST"
+
+let load_file ?name path =
+  let name = match name with Some n -> n | None -> default_name path in
+  parse ~name (read_whole_file path)
+
+let load_pair ~train ~test ~name =
+  (* Parse jointly so the label map is shared. *)
+  let combined = read_whole_file train ^ "\n" ^ read_whole_file test in
+  parse ~name combined
+
+let to_string (d : Dataset.t) =
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun i series ->
+      Buffer.add_string buf (string_of_int d.y.(i));
+      Array.iter
+        (fun v ->
+          Buffer.add_char buf '\t';
+          Buffer.add_string buf (Printf.sprintf "%.12g" v))
+        series;
+      Buffer.add_char buf '\n')
+    d.x;
+  Buffer.contents buf
+
+let save_file d path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string d))

@@ -1,0 +1,34 @@
+(** Loading and saving datasets in the UCR archive's text format.
+
+    The repository ships synthetic generators because the UCR archive
+    is not redistributable, but the pipeline is format-compatible: drop
+    the real `<Name>_TRAIN.tsv` / `<Name>_TEST.tsv` files next to your
+    experiment and load them here — everything downstream (preprocess,
+    augment, train, evaluate) is unchanged.
+
+    Format: one sample per line; first field is the (integer) class
+    label, remaining fields are the series values. Both tab- and
+    comma-separated files are accepted; blank lines are skipped.
+    Labels are remapped to contiguous 0-based ids in order of first
+    appearance (UCR labels may be arbitrary integers, e.g. {-1, 1}). *)
+
+val parse : name:string -> string -> Dataset.t
+(** Parse file contents given as a string.
+    @raise Failure with a line-numbered message on malformed input. *)
+
+val load_file : ?name:string -> string -> Dataset.t
+(** Read a dataset from a path; [name] defaults to the basename without
+    extension/suffix. *)
+
+val load_pair : train:string -> test:string -> name:string -> Dataset.t
+(** Concatenate a TRAIN/TEST pair into one pool, as the paper does
+    before its own reshuffled 60/20/20 split. Label maps must agree. *)
+
+val to_string : Dataset.t -> string
+(** Render in the same TSV format (labels as stored, tab-separated). *)
+
+val save_file : Dataset.t -> string -> unit
+
+val label_map : string -> (string * int) list
+(** The raw-label → class-id mapping that {!parse} would use for the
+    given contents (diagnostics). *)

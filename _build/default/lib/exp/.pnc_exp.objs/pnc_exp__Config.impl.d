@@ -1,0 +1,1 @@
+lib/exp/config.ml: Fun List Pnc_core Pnc_data Sys

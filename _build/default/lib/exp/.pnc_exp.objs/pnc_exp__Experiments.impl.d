@@ -1,0 +1,1 @@
+lib/exp/experiments.ml: Array Config Float List Pnc_augment Pnc_core Pnc_data Pnc_signal Pnc_spice Pnc_util Printf Stdlib String

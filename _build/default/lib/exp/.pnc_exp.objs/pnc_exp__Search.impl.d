@@ -1,0 +1,1 @@
+lib/exp/search.ml: Config List Pnc_augment Pnc_core Pnc_data Pnc_util Printf Stdlib

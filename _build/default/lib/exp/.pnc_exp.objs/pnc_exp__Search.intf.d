@@ -1,0 +1,1 @@
+lib/exp/search.mli: Config Pnc_core Pnc_util

@@ -1,0 +1,81 @@
+module Train = Pnc_core.Train
+module Variation = Pnc_core.Variation
+
+type scale = Smoke | Fast | Paper
+
+type t = {
+  scale : scale;
+  seeds : int list;
+  top_k : int;
+  train_base : Train.config;
+  train_va : Train.config;
+  aug_copies : int;
+  eval_draws : int;
+  eval_level : float;
+  dataset_n : int option;
+  datasets : string list;
+}
+
+let all_datasets = Pnc_data.Registry.names
+
+let of_scale scale =
+  match scale with
+  | Smoke ->
+      {
+        scale;
+        seeds = [ 0 ];
+        top_k = 1;
+        train_base = { Train.smoke_config with variation = Variation.none; mc_samples = 1 };
+        train_va = Train.smoke_config;
+        aug_copies = 1;
+        eval_draws = 3;
+        eval_level = 0.1;
+        dataset_n = Some 60;
+        datasets = [ "GPOVY"; "PowerCons" ];
+      }
+  | Fast ->
+      {
+        scale;
+        seeds = [ 0; 1; 2 ];
+        top_k = 2;
+        train_base =
+          {
+            Train.fast_config with
+            variation = Variation.none;
+            mc_samples = 1;
+            max_epochs = 350;
+            patience = 15;
+          };
+        train_va = { Train.fast_config with max_epochs = 450; patience = 18 };
+        aug_copies = 1;
+        eval_draws = 5;
+        eval_level = 0.1;
+        dataset_n = Some 200;
+        datasets = all_datasets;
+      }
+  | Paper ->
+      {
+        scale;
+        seeds = List.init 10 Fun.id;
+        top_k = 3;
+        train_base = { Train.paper_config with variation = Variation.none; mc_samples = 1 };
+        train_va = Train.paper_config;
+        aug_copies = 1;
+        eval_draws = 10;
+        eval_level = 0.1;
+        dataset_n = None;
+        datasets = all_datasets;
+      }
+
+let scale_of_string = function
+  | "smoke" -> Smoke
+  | "fast" -> Fast
+  | "paper" -> Paper
+  | s -> invalid_arg ("unknown scale: " ^ s ^ " (expected smoke|fast|paper)")
+
+let scale_name = function Smoke -> "smoke" | Fast -> "fast" | Paper -> "paper"
+
+let from_env () =
+  match Sys.getenv_opt "ADAPT_PNC_SCALE" with
+  | Some s -> of_scale (scale_of_string s)
+  | None -> of_scale Fast

@@ -1,0 +1,30 @@
+(** Experiment scales.
+
+    [Paper] follows Sec. IV-A3 exactly (10 seeds, patience 100,
+    LR 0.1 → 1e-5) and takes hours; [Fast] reproduces every table and
+    figure with a reduced budget in minutes and is the default of the
+    benchmark harness; [Smoke] exists for tests. *)
+
+type scale = Smoke | Fast | Paper
+
+type t = {
+  scale : scale;
+  seeds : int list;
+  top_k : int;  (** models kept per dataset (paper: top 3 of 10) *)
+  train_base : Pnc_core.Train.config;  (** no-variation-aware budget *)
+  train_va : Pnc_core.Train.config;  (** variation-aware budget *)
+  aug_copies : int;  (** augmented copies mixed into train/valid/test *)
+  eval_draws : int;  (** Monte-Carlo draws for accuracy under variation *)
+  eval_level : float;  (** component variation at test time (0.1) *)
+  dataset_n : int option;  (** override generated sample count *)
+  datasets : string list;
+}
+
+val of_scale : scale -> t
+val scale_of_string : string -> scale
+(** Accepts "smoke" | "fast" | "paper". @raise Invalid_argument. *)
+
+val scale_name : scale -> string
+
+val from_env : unit -> t
+(** Reads the ADAPT_PNC_SCALE environment variable (default fast). *)

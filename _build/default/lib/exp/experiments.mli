@@ -1,0 +1,137 @@
+(** One entry point per table / figure of the paper's evaluation
+    (see DESIGN.md §3 for the experiment index).
+
+    The heavy artifacts (Table I, Table III, Fig. 5, Fig. 7) share one
+    training grid: every (dataset × variant × seed) combination is
+    trained once and each artifact reads the slice it needs. *)
+
+(** Training configuration variants of the ablation (Fig. 7), plus the
+    reference RNN. [Base] is the no-variation-aware first-order pTPNC
+    baseline; [Full] is VA + SO-LF + AT — the robustness-aware
+    ADAPT-pNC of Table I. *)
+type variant = Reference | Base | Va | At | So_lf | Full
+
+val variant_name : variant -> string
+val table1_variants : variant list
+(** [Reference; Base; Full]. *)
+
+val fig7_variants : variant list
+(** [Base; Va; At; So_lf; Full]. *)
+
+type run = {
+  dataset : string;
+  variant : variant;
+  seed : int;
+  model : Pnc_core.Model.t;
+  clean_acc : float;  (** original test set, no variation *)
+  clean_var_acc : float;  (** original test set, ±10 % components *)
+  aug_var_acc : float;  (** original+augmented test, ±10 % (Table I protocol) *)
+  pert_var_acc : float;  (** perturbed test, ±10 % (Fig. 5/7 protocol) *)
+  train_seconds : float;
+  epochs : int;
+}
+
+val train_run : Config.t -> dataset:string -> variant:variant -> seed:int -> run
+
+val run_grid :
+  ?progress:(string -> unit) -> Config.t -> variants:variant list -> run list
+(** All datasets × variants × seeds of the config. *)
+
+(** {1 Artifacts} *)
+
+type cell = { mean : float; std : float }
+
+type table1_row = {
+  t1_dataset : string;
+  elman : cell;
+  ptpnc : cell;
+  adapt : cell;
+}
+
+val table1_of_grid : Config.t -> run list -> table1_row list
+(** Per dataset: top-k seeds by clean accuracy, mean ± std of the
+    augmented-test-under-variation accuracy — the paper's Table I
+    protocol. The last row is the average across datasets. *)
+
+val print_table1 : table1_row list -> unit
+
+val table2 : ?progress:(string -> unit) -> Config.t -> (string * float) list
+(** Mean seconds of one training epoch per model family, averaged over
+    a sample of datasets (Table II). *)
+
+val print_table2 : (string * float) list -> unit
+
+type table3_row = {
+  t3_dataset : string;
+  base_counts : Pnc_core.Hardware.counts;
+  base_power_mw : float;
+  adapt_counts : Pnc_core.Hardware.counts;
+  adapt_power_mw : float;
+}
+
+val table3_of_grid : Config.t -> run list -> table3_row list
+(** Device counts and power of the trained Base and Full circuit models
+    (best seed per dataset); last row holds the per-dataset average. *)
+
+val print_table3 : table3_row list -> unit
+
+type fig5 = {
+  f5_clean : cell;  (** baseline accuracy, clean inputs, no variation *)
+  f5_var : cell;  (** baseline under ±10 % variation *)
+  f5_pert_var : cell;  (** baseline under variation + perturbed inputs *)
+}
+
+val fig5_of_grid : Config.t -> run list -> fig5
+val print_fig5 : fig5 -> unit
+
+type fig7_bar = { config_name : string; clean : cell; perturbed : cell }
+
+val fig7_of_grid : Config.t -> run list -> fig7_bar list
+(** Mean accuracy across datasets for each ablation configuration,
+    clean and perturbed, both under ±10 % variation (Fig. 7). *)
+
+val print_fig7 : fig7_bar list -> unit
+
+(** {1 Extension: variation sweep / manufacturing yield}
+
+    Beyond the paper's fixed ±10 % operating point: mean accuracy and
+    manufacturing yield (fraction of printed instances meeting an
+    accuracy spec) of the trained baseline and ADAPT-pNC circuits as
+    the process-variation level grows. *)
+
+type sweep_row = {
+  level : float;
+  base_acc : cell;
+  adapt_acc : cell;
+  base_yield : float;
+  adapt_yield : float;
+}
+
+val variation_sweep_of_grid :
+  ?levels:float list -> ?threshold:float -> Config.t -> run list -> sweep_row list
+(** Defaults: levels 0/5/10/20/30 %, yield threshold 0.6. *)
+
+val print_variation_sweep : threshold:float -> sweep_row list -> unit
+
+val fig6 : ?seed:int -> unit -> (string * float array) list
+(** The augmentation showcase on a PowerCons series: original plus each
+    transform (Fig. 6). *)
+
+val print_fig6 : (string * float array) list -> unit
+
+val mu_survey : unit -> Pnc_core.Coupling.extraction list
+val print_mu_survey : Pnc_core.Coupling.extraction list -> unit
+
+val filter_characterization : unit -> unit
+(** Fig. 4 side panels: SPICE-lite cutoffs of printable first- and
+    second-order stages against filter theory. *)
+
+(** {1 Paper-reported values} (for side-by-side comparison) *)
+
+val paper_table1 : (string * float * float * float) list
+(** dataset, Elman, pTPNC, ADAPT-pNC mean accuracies; last row is the
+    average. *)
+
+val paper_table3_avg : int * int * float * float
+(** (pTPNC avg total devices, ADAPT avg total devices, pTPNC avg power
+    mW, ADAPT avg power mW). *)

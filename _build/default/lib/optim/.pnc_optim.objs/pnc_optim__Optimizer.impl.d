@@ -1,0 +1,1 @@
+lib/optim/optimizer.ml: Array Pnc_autodiff Pnc_tensor

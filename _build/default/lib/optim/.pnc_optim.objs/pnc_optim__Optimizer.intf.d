@@ -1,0 +1,1 @@
+lib/optim/optimizer.mli: Pnc_autodiff

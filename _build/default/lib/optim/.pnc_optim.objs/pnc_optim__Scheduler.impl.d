@@ -1,0 +1,1 @@
+lib/optim/scheduler.ml:

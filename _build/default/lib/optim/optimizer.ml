@@ -1,0 +1,102 @@
+module T = Pnc_tensor.Tensor
+module Var = Pnc_autodiff.Var
+
+type algo =
+  | Sgd of { momentum : float; velocity : float array array }
+  | Adam of {
+      beta1 : float;
+      beta2 : float;
+      eps : float;
+      weight_decay : float; (* 0. for plain Adam *)
+      m : float array array;
+      v : float array array;
+      mutable step_count : int;
+    }
+
+type t = { params : Var.t array; algo : algo }
+
+let state_like params = Array.map (fun p -> Array.make (T.numel (Var.value p)) 0.) params
+
+let sgd ?(momentum = 0.) ~params () =
+  let params = Array.of_list params in
+  { params; algo = Sgd { momentum; velocity = state_like params } }
+
+let make_adam ~beta1 ~beta2 ~eps ~weight_decay params =
+  let params = Array.of_list params in
+  {
+    params;
+    algo =
+      Adam
+        {
+          beta1;
+          beta2;
+          eps;
+          weight_decay;
+          m = state_like params;
+          v = state_like params;
+          step_count = 0;
+        };
+  }
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~params () =
+  make_adam ~beta1 ~beta2 ~eps ~weight_decay:0. params
+
+let adamw ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ?(weight_decay = 0.01) ~params () =
+  make_adam ~beta1 ~beta2 ~eps ~weight_decay params
+
+let data p = (Var.value p : T.t).data
+let grad_data p = (Var.grad p : T.t).data
+
+let step t ~lr =
+  match t.algo with
+  | Sgd { momentum; velocity } ->
+      Array.iteri
+        (fun i p ->
+          let x = data p and g = grad_data p and v = velocity.(i) in
+          for j = 0 to Array.length x - 1 do
+            v.(j) <- (momentum *. v.(j)) -. (lr *. g.(j));
+            x.(j) <- x.(j) +. v.(j)
+          done)
+        t.params
+  | Adam a ->
+      a.step_count <- a.step_count + 1;
+      let bc1 = 1. -. (a.beta1 ** float_of_int a.step_count) in
+      let bc2 = 1. -. (a.beta2 ** float_of_int a.step_count) in
+      Array.iteri
+        (fun i p ->
+          let x = data p and g = grad_data p in
+          let m = a.m.(i) and v = a.v.(i) in
+          for j = 0 to Array.length x - 1 do
+            m.(j) <- (a.beta1 *. m.(j)) +. ((1. -. a.beta1) *. g.(j));
+            v.(j) <- (a.beta2 *. v.(j)) +. ((1. -. a.beta2) *. g.(j) *. g.(j));
+            let mh = m.(j) /. bc1 and vh = v.(j) /. bc2 in
+            (* Decoupled weight decay: applied directly to the weights,
+               not folded into the gradient. *)
+            x.(j) <- x.(j) -. (lr *. ((mh /. (sqrt vh +. a.eps)) +. (a.weight_decay *. x.(j))))
+          done)
+        t.params
+
+let zero_grads t = Array.iter Var.zero_grad t.params
+let params t = Array.to_list t.params
+
+let grad_norm t =
+  let acc = ref 0. in
+  Array.iter
+    (fun p ->
+      let g = grad_data p in
+      Array.iter (fun x -> acc := !acc +. (x *. x)) g)
+    t.params;
+  sqrt !acc
+
+let clip_grad_norm t ~max_norm =
+  let n = grad_norm t in
+  if n > max_norm && n > 0. then begin
+    let k = max_norm /. n in
+    Array.iter
+      (fun p ->
+        let g = grad_data p in
+        for j = 0 to Array.length g - 1 do
+          g.(j) <- g.(j) *. k
+        done)
+      t.params
+  end

@@ -1,0 +1,36 @@
+(** First-order optimizers over {!Pnc_autodiff.Var} parameter lists.
+
+    The paper trains with AdamW (default settings) under full-batch
+    gradient descent; SGD and Adam are provided for the ablation and
+    test harnesses. Optimizers mutate the parameter tensors in place
+    and never touch gradients (call {!zero_grads} between steps). *)
+
+type t
+
+val sgd : ?momentum:float -> params:Pnc_autodiff.Var.t list -> unit -> t
+val adam : ?beta1:float -> ?beta2:float -> ?eps:float -> params:Pnc_autodiff.Var.t list -> unit -> t
+
+val adamw :
+  ?beta1:float ->
+  ?beta2:float ->
+  ?eps:float ->
+  ?weight_decay:float ->
+  params:Pnc_autodiff.Var.t list ->
+  unit ->
+  t
+(** Decoupled weight decay (Loshchilov & Hutter), default
+    [weight_decay = 0.01] as in the PyTorch defaults used by the
+    paper. *)
+
+val step : t -> lr:float -> unit
+(** One update using the gradients currently accumulated on the
+    parameters. *)
+
+val zero_grads : t -> unit
+val params : t -> Pnc_autodiff.Var.t list
+
+val grad_norm : t -> float
+(** Global L2 norm of all parameter gradients. *)
+
+val clip_grad_norm : t -> max_norm:float -> unit
+(** Rescale all gradients when the global norm exceeds [max_norm]. *)

@@ -1,0 +1,30 @@
+type t = {
+  factor : float;
+  patience : int;
+  min_lr : float;
+  threshold : float;
+  mutable lr : float;
+  mutable best : float;
+  mutable bad_epochs : int;
+}
+
+let plateau ?(factor = 0.5) ?(patience = 100) ?(min_lr = 1e-5) ?(threshold = 1e-6) ~init_lr () =
+  assert (factor > 0. && factor < 1. && patience >= 0 && init_lr > 0.);
+  { factor; patience; min_lr; threshold; lr = init_lr; best = infinity; bad_epochs = 0 }
+
+let lr t = t.lr
+let best t = t.best
+
+let observe t loss =
+  if loss < t.best -. t.threshold then begin
+    t.best <- loss;
+    t.bad_epochs <- 0
+  end
+  else begin
+    t.bad_epochs <- t.bad_epochs + 1;
+    if t.bad_epochs > t.patience then begin
+      t.lr <- t.lr *. t.factor;
+      t.bad_epochs <- 0
+    end
+  end;
+  if t.lr < t.min_lr then `Stop else `Continue

@@ -1,0 +1,22 @@
+(** Learning-rate schedules.
+
+    The paper's schedule: start at 0.1, halve after [patience] epochs
+    without validation improvement, stop when the learning rate falls
+    below 1e-5. *)
+
+type t
+
+val plateau :
+  ?factor:float -> ?patience:int -> ?min_lr:float -> ?threshold:float -> init_lr:float -> unit -> t
+(** Defaults: [factor = 0.5], [patience = 100], [min_lr = 1e-5],
+    [threshold = 1e-6] (required improvement to reset patience). *)
+
+val lr : t -> float
+
+val observe : t -> float -> [ `Continue | `Stop ]
+(** Feed the epoch's validation loss. Returns [`Stop] once the learning
+    rate has decayed below [min_lr]. *)
+
+val best : t -> float
+(** Best validation loss seen so far ([infinity] before the first
+    observation). *)

@@ -1,0 +1,74 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let twiddle ~sign n k =
+  let angle = sign *. 2. *. Float.pi *. float_of_int k /. float_of_int n in
+  { Complex.re = cos angle; im = sin angle }
+
+let dft_with ~sign x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref Complex.zero in
+      for j = 0 to n - 1 do
+        acc := Complex.add !acc (Complex.mul x.(j) (twiddle ~sign n (k * j mod n)))
+      done;
+      !acc)
+
+let dft_naive x = dft_with ~sign:(-1.) x
+
+(* Iterative radix-2 with bit-reversal permutation. *)
+let fft_pow2 ~sign x =
+  let n = Array.length x in
+  let a = Array.copy x in
+  (* bit reversal *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let step = twiddle ~sign !len 1 in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Complex.one in
+      for k = 0 to half - 1 do
+        let u = a.(!i + k) in
+        let v = Complex.mul a.(!i + k + half) !w in
+        a.(!i + k) <- Complex.add u v;
+        a.(!i + k + half) <- Complex.sub u v;
+        w := Complex.mul !w step
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done;
+  a
+
+let transform ~sign x =
+  let n = Array.length x in
+  if n = 0 then [||] else if is_pow2 n then fft_pow2 ~sign x else dft_with ~sign x
+
+let fft x = transform ~sign:(-1.) x
+
+let ifft x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else
+    let inv = 1. /. float_of_int n in
+    Array.map (fun c -> { Complex.re = c.Complex.re *. inv; im = c.Complex.im *. inv })
+      (transform ~sign:1. x)
+
+let fft_real x = fft (Array.map (fun re -> { Complex.re; im = 0. }) x)
+let ifft_real spec = Array.map (fun c -> c.Complex.re) (ifft spec)
+let magnitude x = Array.map Complex.norm x
+let power x = Array.map (fun c -> Complex.norm2 c) x

@@ -1,0 +1,26 @@
+(** Discrete Fourier transforms.
+
+    Power-of-two lengths use an iterative radix-2 Cooley–Tukey FFT;
+    other lengths fall back to the direct O(n²) DFT (series here are at
+    most a few hundred samples, so the fallback is cheap). Forward
+    transform uses the e^{-i 2π k n / N} convention; [ifft] divides by
+    N so [ifft (fft x) = x]. Used by the frequency-domain augmentation
+    (Fig. 6) and by spectrum diagnostics of the learned filters. *)
+
+val fft : Complex.t array -> Complex.t array
+val ifft : Complex.t array -> Complex.t array
+
+val fft_real : float array -> Complex.t array
+(** Forward transform of a real signal. *)
+
+val ifft_real : Complex.t array -> float array
+(** Inverse transform, discarding the (numerically tiny) imaginary
+    parts — valid when the spectrum is conjugate-symmetric. *)
+
+val magnitude : Complex.t array -> float array
+val power : Complex.t array -> float array
+
+val is_pow2 : int -> bool
+
+val dft_naive : Complex.t array -> Complex.t array
+(** Direct O(n²) DFT; exposed for testing the fast path against it. *)

@@ -1,0 +1,59 @@
+type first_order = { r : float; c : float }
+type second_order = { stage1 : first_order; stage2 : first_order }
+
+let time_constant { r; c } = r *. c
+let cutoff_hz fo = 1. /. (2. *. Float.pi *. time_constant fo)
+
+let magnitude_1st fo hz =
+  let w = 2. *. Float.pi *. hz in
+  1. /. sqrt (1. +. ((w *. time_constant fo) ** 2.))
+
+let magnitude_2nd { stage1; stage2 } hz = magnitude_1st stage1 hz *. magnitude_1st stage2 hz
+
+let cutoff_2nd_hz so =
+  (* |H| is monotone decreasing in frequency; bisect for 1/sqrt 2. *)
+  let target = 1. /. sqrt 2. in
+  let lo = ref 1e-6 and hi = ref 1e12 in
+  for _ = 1 to 200 do
+    let mid = sqrt (!lo *. !hi) in
+    if magnitude_2nd so mid > target then lo := mid else hi := mid
+  done;
+  sqrt (!lo *. !hi)
+
+type coeffs = { a : float; b : float }
+
+let discrete_coeffs ?(mu = 1.) ~dt { r; c } =
+  assert (r > 0. && c > 0. && dt > 0. && mu > 0.);
+  let rc = r *. c in
+  let denom = (mu *. rc) +. dt in
+  { a = rc /. denom; b = dt /. denom }
+
+let is_stable { a; _ } = Float.abs a < 1.
+let dc_gain { a; b } = b /. (1. -. a)
+
+let apply { a; b } ?(v0 = 0.) input =
+  let state = ref v0 in
+  Array.map
+    (fun x ->
+      state := (a *. !state) +. (b *. x);
+      !state)
+    input
+
+let step_response co n = apply co (Array.make n 1.)
+
+let impulse_response co n =
+  apply co (Array.init n (fun i -> if i = 0 then 1. else 0.))
+
+let apply_second_order ~c1 ~c2 ?(v0 = (0., 0.)) input =
+  let v01, v02 = v0 in
+  apply c2 ~v0:v02 (apply c1 ~v0:v01 input)
+
+let settling_steps co ~eps =
+  assert (is_stable co);
+  let final = dc_gain co in
+  let state = ref 0. and k = ref 0 in
+  while Float.abs (!state -. final) > eps && !k < 1_000_000 do
+    state := (co.a *. !state) +. co.b;
+    incr k
+  done;
+  !k

@@ -1,0 +1,66 @@
+(** Analog RC low-pass filter theory and the paper's discrete-time
+    models (Eq. 3–5 and the coupled Eq. 10–11).
+
+    The continuous models describe the printed RC stages of the
+    temporal processing block; the discrete models are the exact update
+    rules unrolled through the autodiff engine during training. This
+    module is the single source of truth for the coefficient formulas
+    so that the circuit simulator, the trainable layers and the tests
+    all agree. *)
+
+type first_order = { r : float; c : float }
+(** A printed resistor–capacitor stage: resistance in ohms,
+    capacitance in farads. *)
+
+type second_order = { stage1 : first_order; stage2 : first_order }
+(** Two stages connected back-to-back (Fig. 4). *)
+
+(** {1 Continuous-time characteristics} *)
+
+val time_constant : first_order -> float
+(** τ = RC. *)
+
+val cutoff_hz : first_order -> float
+(** −3 dB cutoff of an ideal (unloaded) stage: 1 / (2π RC). *)
+
+val magnitude_1st : first_order -> float -> float
+(** [magnitude_1st f hz] = |H(j2π hz)| = 1/√(1 + (ωRC)²). *)
+
+val magnitude_2nd : second_order -> float -> float
+(** Cascade magnitude of two ideal stages (no loading). *)
+
+val cutoff_2nd_hz : second_order -> float
+(** −3 dB frequency of the ideal cascade, found by bisection. *)
+
+(** {1 Discrete-time model (paper Eq. 3 and Eq. 10–11)} *)
+
+type coeffs = { a : float; b : float }
+(** One step of [v_out(k) = a * v_out(k-1) + b * v_in(k)]. *)
+
+val discrete_coeffs : ?mu:float -> dt:float -> first_order -> coeffs
+(** [a = RC / (µ RC + Δt)], [b = Δt / (µ RC + Δt)]. [mu] defaults to 1
+    (the uncoupled Eq. 3); the coupled model of Eq. 10–11 uses
+    µ ∈ [1, 1.3] extracted from circuit simulation. *)
+
+val is_stable : coeffs -> bool
+(** |a| < 1: the recurrence does not diverge. *)
+
+val dc_gain : coeffs -> float
+(** Steady-state gain [b / (1 - a)]; 1 for µ = 1, below 1 when the
+    coupling µ > 1 shunts current into the load. *)
+
+val step_response : coeffs -> int -> float array
+(** Response to a unit step from zero initial state. *)
+
+val impulse_response : coeffs -> int -> float array
+
+val apply : coeffs -> ?v0:float -> float array -> float array
+(** Run the recurrence over an input series from initial state [v0]
+    (default 0). *)
+
+val apply_second_order : c1:coeffs -> c2:coeffs -> ?v0:float * float -> float array -> float array
+(** Cascade of two discrete stages, as unrolled inside SO-LF layers. *)
+
+val settling_steps : coeffs -> eps:float -> int
+(** Number of steps for the step response to come within [eps] of its
+    final value. *)

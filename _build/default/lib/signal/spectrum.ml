@@ -1,0 +1,73 @@
+module Vec = Pnc_util.Vec
+
+let hann n =
+  assert (n >= 1);
+  if n = 1 then [| 1. |]
+  else
+    Array.init n (fun i ->
+        0.5 *. (1. -. cos (2. *. Float.pi *. float_of_int i /. float_of_int (n - 1))))
+
+let one_sided ~fs x =
+  let n = Array.length x in
+  assert (n >= 2);
+  let spec = Fft.fft_real x in
+  let n_bins = (n / 2) + 1 in
+  Array.init n_bins (fun k ->
+      let p = Complex.norm2 spec.(k) /. float_of_int (n * n) in
+      (* double everything except DC and (for even n) Nyquist *)
+      let p = if k = 0 || ((n mod 2 = 0) && k = n / 2) then p else 2. *. p in
+      (float_of_int k *. fs /. float_of_int n, p))
+
+let remove_mean x = Vec.offset (-.Vec.mean x) x
+
+let periodogram ~fs x = one_sided ~fs (remove_mean x)
+
+let welch ~fs ~segment ?(overlap = 0.5) x =
+  let n = Array.length x in
+  assert (segment >= 2 && segment <= n);
+  assert (overlap >= 0. && overlap < 1.);
+  let step = Stdlib.max 1 (int_of_float (float_of_int segment *. (1. -. overlap))) in
+  let window = hann segment in
+  (* Window power normalization so a white signal keeps its variance. *)
+  let wp = Vec.dot window window /. float_of_int segment in
+  let acc = ref None and count = ref 0 in
+  let pos = ref 0 in
+  while !pos + segment <= n do
+    let seg = remove_mean (Array.sub x !pos segment) in
+    let windowed = Vec.mul seg window in
+    let p = one_sided ~fs windowed in
+    let scaled = Array.map (fun (f, v) -> (f, v /. wp)) p in
+    (match !acc with
+    | None -> acc := Some (Array.map snd scaled)
+    | Some a -> Array.iteri (fun i (_, v) -> a.(i) <- a.(i) +. v) scaled);
+    incr count;
+    pos := !pos + step
+  done;
+  match !acc with
+  | None -> invalid_arg "welch: signal shorter than one segment"
+  | Some a ->
+      let k = 1. /. float_of_int !count in
+      Array.mapi
+        (fun i v -> (float_of_int i *. fs /. float_of_int segment, v *. k))
+        a
+
+let band_power psd ~lo_hz ~hi_hz =
+  Array.fold_left (fun acc (f, p) -> if f >= lo_hz && f < hi_hz then acc +. p else acc) 0. psd
+
+let total_power psd = Array.fold_left (fun acc (_, p) -> acc +. p) 0. psd
+
+let centroid_hz psd =
+  let tp = total_power psd in
+  if tp <= 0. then 0.
+  else Array.fold_left (fun acc (f, p) -> acc +. (f *. p)) 0. psd /. tp
+
+let rolloff_hz ?(fraction = 0.95) psd =
+  assert (fraction > 0. && fraction <= 1.);
+  let target = fraction *. total_power psd in
+  let acc = ref 0. and result = ref None in
+  Array.iter
+    (fun (f, p) ->
+      acc := !acc +. p;
+      if !result = None && !acc >= target then result := Some f)
+    psd;
+  match !result with Some f -> f | None -> (match psd with [||] -> 0. | _ -> fst psd.(Array.length psd - 1))

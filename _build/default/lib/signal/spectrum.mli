@@ -1,0 +1,27 @@
+(** Power-spectrum estimation and spectral summary features.
+
+    Used to characterize sensor signals and to sanity-check what the
+    learned low-pass filters should keep: if a dataset's class signal
+    lives below 10 Hz, the trained cutoffs should end up in that
+    region. *)
+
+val periodogram : fs:float -> float array -> (float * float) array
+(** [(frequency_hz, power)] pairs for the one-sided spectrum of the
+    (mean-removed) signal; power normalized so the sum approximates the
+    signal variance. *)
+
+val welch : fs:float -> segment:int -> ?overlap:float -> float array -> (float * float) array
+(** Welch's method: averaged Hann-windowed periodograms of segments of
+    the given length with fractional [overlap] (default 0.5). Lower
+    variance than {!periodogram} at reduced resolution. *)
+
+val band_power : (float * float) array -> lo_hz:float -> hi_hz:float -> float
+(** Total power in [lo_hz, hi_hz). *)
+
+val centroid_hz : (float * float) array -> float
+(** Power-weighted mean frequency. *)
+
+val rolloff_hz : ?fraction:float -> (float * float) array -> float
+(** Frequency below which [fraction] (default 0.95) of the power lies. *)
+
+val hann : int -> float array

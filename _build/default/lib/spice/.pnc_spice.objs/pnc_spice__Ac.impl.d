@@ -1,0 +1,1 @@
+lib/spice/ac.ml: Array Circuit Complex Dc Float List Mna Stdlib

@@ -1,0 +1,1 @@
+lib/spice/circuit.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/spice/dc.ml: Array Circuit Float List Solver Stamp

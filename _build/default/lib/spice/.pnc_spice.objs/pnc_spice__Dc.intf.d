@@ -1,0 +1,1 @@
+lib/spice/dc.mli: Circuit

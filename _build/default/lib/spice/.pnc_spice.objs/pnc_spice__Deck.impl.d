@@ -1,0 +1,1 @@
+lib/spice/deck.ml: Buffer Circuit Float List Printf String

@@ -1,0 +1,1 @@
+lib/spice/parse.ml: Char Circuit Deck Filename List Option Printf String

@@ -1,0 +1,1 @@
+lib/spice/parse.mli: Circuit

@@ -1,0 +1,1 @@
+lib/spice/report.ml: Circuit Dc Deck List Pnc_util Solver

@@ -1,0 +1,1 @@
+lib/spice/report.mli: Circuit

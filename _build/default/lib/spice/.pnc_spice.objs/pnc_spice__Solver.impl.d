@@ -1,0 +1,1 @@
+lib/spice/solver.ml: Array Circuit Float List Mna Stamp

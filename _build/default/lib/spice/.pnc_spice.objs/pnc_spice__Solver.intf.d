@@ -1,0 +1,1 @@
+lib/spice/solver.mli: Circuit Stamp

@@ -1,0 +1,115 @@
+open Complex
+
+let c_re x = { re = x; im = 0. }
+
+(* Complex stamping mirrors Stamp but over Complex.t. *)
+type cstamp = { nn : int; matrix : Complex.t array array; rhs : Complex.t array }
+
+let cstamp_create ~n_nodes ~n_vsources =
+  let nn = n_nodes - 1 in
+  let size = nn + n_vsources in
+  { nn; matrix = Array.make_matrix size size zero; rhs = Array.make size zero }
+
+let idx n = n - 1
+let cadd b r c v = if r >= 0 && c >= 0 then b.matrix.(r).(c) <- add b.matrix.(r).(c) v
+
+let cconductance b n1 n2 y =
+  let i = idx n1 and j = idx n2 in
+  cadd b i i y;
+  cadd b j j y;
+  cadd b i j (neg y);
+  cadd b j i (neg y)
+
+let cvccs b ~out_p ~out_n ~in_p ~in_n ~gm =
+  let op = idx out_p and on = idx out_n and ip = idx in_p and in_ = idx in_n in
+  cadd b op ip gm;
+  cadd b op in_ (neg gm);
+  cadd b on ip (neg gm);
+  cadd b on in_ gm
+
+let cvsource b ~ordinal ~np ~nn ~v =
+  let row = b.nn + ordinal in
+  let p = idx np and n = idx nn in
+  if p >= 0 then begin
+    b.matrix.(p).(row) <- add b.matrix.(p).(row) one;
+    b.matrix.(row).(p) <- add b.matrix.(row).(p) one
+  end;
+  if n >= 0 then begin
+    b.matrix.(n).(row) <- sub b.matrix.(n).(row) one;
+    b.matrix.(row).(n) <- sub b.matrix.(row).(n) one
+  end;
+  b.rhs.(row) <- v
+
+(* Small-signal EGT parameters at the DC operating point. *)
+let egt_small_signal dc_sol (e : Circuit.element) =
+  match e with
+  | Circuit.Egt { drain; gate; source; params; _ } ->
+      let volt n = Dc.voltage dc_sol n in
+      let vgs = volt gate -. volt source and vds = volt drain -. volt source in
+      let sech2 x =
+        let c = cosh x in
+        1. /. (c *. c)
+      in
+      let gm = params.i0 *. sech2 ((vgs -. params.vth) /. params.vss) /. params.vss *. tanh (vds /. params.vds0) in
+      let gds =
+        params.i0 *. (1. +. tanh ((vgs -. params.vth) /. params.vss)) *. sech2 (vds /. params.vds0) /. params.vds0
+      in
+      (gm, gds)
+  | _ -> (0., 0.)
+
+let response circ ~probe:(probe : Circuit.node) ~freqs_hz =
+  let n_nodes = Circuit.n_nodes circ in
+  let n_vs = Circuit.n_vsources circ in
+  let dc_sol = if Circuit.has_nonlinear circ then Some (Dc.solve circ) else None in
+  Array.map
+    (fun f ->
+      let w = 2. *. Float.pi *. f in
+      let b = cstamp_create ~n_nodes ~n_vsources:n_vs in
+      let vs_ord = ref 0 in
+      List.iter
+        (fun (e : Circuit.element) ->
+          match e with
+          | Circuit.Resistor { n1; n2; r; _ } -> cconductance b (n1 :> int) (n2 :> int) (c_re (1. /. r))
+          | Circuit.Capacitor { n1; n2; c; _ } ->
+              cconductance b (n1 :> int) (n2 :> int) { re = 0.; im = w *. c }
+          | Circuit.Vsource { np; nn; ac; _ } ->
+              let ord = !vs_ord in
+              incr vs_ord;
+              cvsource b ~ordinal:ord ~np:(np :> int) ~nn:(nn :> int) ~v:(c_re ac)
+          | Circuit.Isource _ -> () (* open for small-signal *)
+          | Circuit.Vccs { out_p; out_n; in_p; in_n; gm; _ } ->
+              cvccs b ~out_p:(out_p :> int) ~out_n:(out_n :> int) ~in_p:(in_p :> int)
+                ~in_n:(in_n :> int) ~gm:(c_re gm)
+          | Circuit.Diode_like { np; nn; g_of_v; _ } ->
+              let v0 =
+                match dc_sol with
+                | Some s -> Dc.voltage s np -. Dc.voltage s nn
+                | None -> 0.
+              in
+              cconductance b (np :> int) (nn :> int) (c_re (Float.max 1e-12 (g_of_v v0)))
+          | Circuit.Egt { drain; gate; source; _ } ->
+              let gm, gds =
+                match dc_sol with Some s -> egt_small_signal s e | None -> (0., 1e-12)
+              in
+              let d = (drain :> int) and g = (gate :> int) and s = (source :> int) in
+              cvccs b ~out_p:d ~out_n:s ~in_p:g ~in_n:s ~gm:(c_re gm);
+              cconductance b d s (c_re (Float.max 1e-12 gds)))
+        (Circuit.elements circ);
+      let x = Mna.solve_complex b.matrix b.rhs in
+      let p = (probe :> int) in
+      if p = 0 then zero else x.(p - 1))
+    freqs_hz
+
+let magnitude circ ~probe ~freqs_hz =
+  Array.map Complex.norm (response circ ~probe ~freqs_hz)
+
+let cutoff_hz ?(f_lo = 1e-3) ?(f_hi = 1e9) circ ~probe =
+  let mag f = (magnitude circ ~probe ~freqs_hz:[| f |]).(0) in
+  let ref_mag = mag f_lo in
+  let target = ref_mag /. Stdlib.sqrt 2. in
+  let lo = ref f_lo and hi = ref f_hi in
+  for _ = 1 to 100 do
+    let mid = Stdlib.sqrt (!lo *. !hi) in
+    if mag mid > target then lo := mid else hi := mid
+  done;
+  Stdlib.sqrt (!lo *. !hi)

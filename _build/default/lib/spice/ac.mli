@@ -1,0 +1,19 @@
+(** Small-signal AC analysis.
+
+    Builds the complex MNA system at each frequency: resistors stamp
+    their conductance, capacitors their admittance jωC, and voltage
+    sources their [ac] amplitude. Nonlinear elements are linearized
+    around the DC operating point first (classic small-signal flow).
+    Used to obtain the printed filters' magnitude responses and −3 dB
+    cutoffs (Fig. 4's frequency-domain panels). *)
+
+val response : Circuit.t -> probe:Circuit.node -> freqs_hz:float array -> Complex.t array
+(** Complex probe voltage at each frequency (per unit of AC source
+    amplitude if a single source has [ac = 1]). *)
+
+val magnitude : Circuit.t -> probe:Circuit.node -> freqs_hz:float array -> float array
+
+val cutoff_hz : ?f_lo:float -> ?f_hi:float -> Circuit.t -> probe:Circuit.node -> float
+(** −3 dB point relative to the response at [f_lo], found by bisection
+    in log-frequency. Defaults: [f_lo = 1e-3] Hz, [f_hi = 1e9] Hz.
+    Requires a monotonically decreasing (low-pass) response. *)

@@ -1,0 +1,106 @@
+type node = int
+
+type egt_params = { i0 : float; vth : float; vss : float; vds0 : float }
+
+type element =
+  | Resistor of { name : string; n1 : node; n2 : node; r : float }
+  | Capacitor of { name : string; n1 : node; n2 : node; c : float; ic : float }
+  | Vsource of {
+      name : string;
+      np : node;
+      nn : node;
+      dc : float;
+      ac : float;
+      waveform : (float -> float) option;
+    }
+  | Isource of { name : string; np : node; nn : node; dc : float; waveform : (float -> float) option }
+  | Vccs of { name : string; out_p : node; out_n : node; in_p : node; in_n : node; gm : float }
+  | Diode_like of { name : string; np : node; nn : node; i_of_v : float -> float; g_of_v : float -> float }
+  | Egt of { name : string; drain : node; gate : node; source : node; params : egt_params }
+
+type t = {
+  names : (string, node) Hashtbl.t;
+  mutable next_node : int;
+  mutable elems : element list; (* reversed *)
+  mutable n_elems : int;
+}
+
+let create () =
+  let names = Hashtbl.create 16 in
+  Hashtbl.add names "0" 0;
+  Hashtbl.add names "gnd" 0;
+  { names; next_node = 1; elems = []; n_elems = 0 }
+
+let ground = 0
+
+let node t name =
+  match Hashtbl.find_opt t.names name with
+  | Some n -> n
+  | None ->
+      let n = t.next_node in
+      t.next_node <- n + 1;
+      Hashtbl.add t.names name n;
+      n
+
+let n_nodes t = t.next_node
+
+let node_name t n =
+  let found = ref None in
+  Hashtbl.iter (fun k v -> if v = n && k <> "gnd" && !found = None then found := Some k) t.names;
+  match !found with Some s -> s | None -> Printf.sprintf "n%d" n
+
+let push t e =
+  t.elems <- e :: t.elems;
+  t.n_elems <- t.n_elems + 1
+
+let auto t prefix = Printf.sprintf "%s%d" prefix t.n_elems
+
+let resistor t ?name n1 n2 r =
+  assert (r > 0.);
+  let name = match name with Some n -> n | None -> auto t "R" in
+  push t (Resistor { name; n1; n2; r })
+
+let capacitor t ?name ?(ic = 0.) n1 n2 c =
+  assert (c > 0.);
+  let name = match name with Some n -> n | None -> auto t "C" in
+  push t (Capacitor { name; n1; n2; c; ic })
+
+let vsource t ?name ?(ac = 0.) ?waveform np nn dc =
+  let name = match name with Some n -> n | None -> auto t "V" in
+  push t (Vsource { name; np; nn; dc; ac; waveform })
+
+let isource t ?name ?waveform np nn dc =
+  let name = match name with Some n -> n | None -> auto t "I" in
+  push t (Isource { name; np; nn; dc; waveform })
+
+let vccs t ?name ~out_p ~out_n ~in_p ~in_n ~gm () =
+  let name = match name with Some n -> n | None -> auto t "G" in
+  push t (Vccs { name; out_p; out_n; in_p; in_n; gm })
+
+let diode_like t ?name np nn ~i_of_v ~g_of_v =
+  let name = match name with Some n -> n | None -> auto t "D" in
+  push t (Diode_like { name; np; nn; i_of_v; g_of_v })
+
+let default_egt = { i0 = 1e-5; vth = 0.3; vss = 0.25; vds0 = 0.4 }
+
+let egt t ?name ?(params = default_egt) ~drain ~gate ~source () =
+  let name = match name with Some n -> n | None -> auto t "T" in
+  push t (Egt { name; drain; gate; source; params })
+
+let elements t = List.rev t.elems
+
+let n_vsources t =
+  List.length (List.filter (function Vsource _ -> true | _ -> false) t.elems)
+
+let device_counts t =
+  List.fold_left
+    (fun (tr, r, c) e ->
+      match e with
+      | Egt _ -> (tr + 1, r, c)
+      | Resistor _ -> (tr, r + 1, c)
+      | Capacitor _ -> (tr, r, c + 1)
+      | Vsource _ | Isource _ | Vccs _ | Diode_like _ -> (tr, r, c))
+    (0, 0, 0) t.elems
+
+let has_nonlinear t =
+  List.exists (function Diode_like _ | Egt _ -> true | _ -> false) t.elems

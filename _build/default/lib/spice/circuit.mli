@@ -1,0 +1,91 @@
+(** Netlist construction for the SPICE-lite simulator.
+
+    This replaces the paper's Cadence Virtuoso + printed PDK flow for
+    the circuit-level questions the paper asks of it: filter magnitude
+    and impulse responses, cutoff frequencies, the ptanh transfer
+    curve, and the coupling factor µ of the crossbar-loaded filters.
+
+    Nodes are created by name; node 0 is ground. Elements reference
+    nodes by the handle returned from {!node}. *)
+
+type t
+type node = private int
+
+val create : unit -> t
+val ground : node
+val node : t -> string -> node
+(** Get-or-create a named node. *)
+
+val n_nodes : t -> int
+(** Including ground. *)
+
+val node_name : t -> node -> string
+
+(** {1 Elements}
+
+    Each constructor appends an element and returns unit. Values are in
+    SI units (ohm, farad, volt, ampere, siemens). *)
+
+val resistor : t -> ?name:string -> node -> node -> float -> unit
+val capacitor : t -> ?name:string -> ?ic:float -> node -> node -> float -> unit
+(** [ic] is the initial voltage across the capacitor for transient
+    analysis (default 0). *)
+
+val vsource :
+  t -> ?name:string -> ?ac:float -> ?waveform:(float -> float) -> node -> node -> float -> unit
+(** [vsource t np nn dc]: independent voltage source from [np] (+) to
+    [nn] (−). [ac] is the small-signal amplitude for {!Ac} analysis;
+    [waveform] overrides the value during transient analysis (a
+    function of time in seconds). *)
+
+val isource : t -> ?name:string -> ?waveform:(float -> float) -> node -> node -> float -> unit
+(** Current flows from the first node through the source to the
+    second. *)
+
+val vccs :
+  t -> ?name:string -> out_p:node -> out_n:node -> in_p:node -> in_n:node -> gm:float -> unit -> unit
+(** Linear voltage-controlled current source (transconductance). *)
+
+val diode_like :
+  t -> ?name:string -> node -> node -> i_of_v:(float -> float) -> g_of_v:(float -> float) -> unit
+(** Behavioural two-terminal nonlinear element; [i_of_v] gives the
+    current entering the first node as a function of the voltage across
+    the element, [g_of_v] its derivative (used by the Newton solver). *)
+
+type egt_params = { i0 : float; vth : float; vss : float; vds0 : float }
+(** Behavioural n-type electrolyte-gated transistor (n-EGT):
+    Ids = i0 · (1 + tanh((Vgs − vth)/vss)) · tanh(Vds/vds0).
+    Smooth in both terminal voltages so Newton converges; calibrated to
+    give the ptanh transfer shape of the printed activation circuit. *)
+
+val default_egt : egt_params
+
+val egt : t -> ?name:string -> ?params:egt_params -> drain:node -> gate:node -> source:node -> unit -> unit
+
+(** {1 Introspection (used by analyses and tests)} *)
+
+type element =
+  | Resistor of { name : string; n1 : node; n2 : node; r : float }
+  | Capacitor of { name : string; n1 : node; n2 : node; c : float; ic : float }
+  | Vsource of {
+      name : string;
+      np : node;
+      nn : node;
+      dc : float;
+      ac : float;
+      waveform : (float -> float) option;
+    }
+  | Isource of { name : string; np : node; nn : node; dc : float; waveform : (float -> float) option }
+  | Vccs of { name : string; out_p : node; out_n : node; in_p : node; in_n : node; gm : float }
+  | Diode_like of { name : string; np : node; nn : node; i_of_v : float -> float; g_of_v : float -> float }
+  | Egt of { name : string; drain : node; gate : node; source : node; params : egt_params }
+
+val elements : t -> element list
+(** In insertion order. *)
+
+val n_vsources : t -> int
+
+val device_counts : t -> int * int * int
+(** (transistors, resistors, capacitors) in the netlist. *)
+
+val has_nonlinear : t -> bool

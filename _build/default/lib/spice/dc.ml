@@ -1,0 +1,44 @@
+type solution = { circ : Circuit.t; x : float array }
+
+let cap_open ~gmin b ~ordinal:_ ~n1 ~n2 ~c:_ ~ic:_ = Stamp.conductance b n1 n2 gmin
+
+let vs_dc ~ordinal:_ (e : Circuit.element) =
+  match e with Circuit.Vsource { dc; _ } -> dc | _ -> 0.
+
+let solve ?(gmin = 1e-12) circ =
+  let x = Solver.solve circ ~vs_value:vs_dc ~cap:(cap_open ~gmin) in
+  { circ; x }
+
+let voltage { x; _ } (n : Circuit.node) = Stamp.voltage_of ~solution:x (n :> int)
+
+let vsource_current { circ; x } ~ordinal = x.(Circuit.n_nodes circ - 1 + ordinal)
+
+let sweep ?(gmin = 1e-12) circ ~source ~values ~probe:(probe : Circuit.node) =
+  let prev = ref None in
+  Array.map
+    (fun v ->
+      let vs_value ~ordinal:_ (e : Circuit.element) =
+        match e with
+        | Circuit.Vsource { name; dc; _ } -> if name = source then v else dc
+        | _ -> 0.
+      in
+      let x = Solver.solve ?init:!prev circ ~vs_value ~cap:(cap_open ~gmin) in
+      prev := Some x;
+      Stamp.voltage_of ~solution:x (probe :> int))
+    values
+
+let power sol circ =
+  let volt n = voltage sol n in
+  List.fold_left
+    (fun acc (e : Circuit.element) ->
+      match e with
+      | Circuit.Resistor { n1; n2; r; _ } ->
+          let dv = volt n1 -. volt n2 in
+          acc +. (dv *. dv /. r)
+      | Circuit.Egt { drain; gate; source; params; _ } ->
+          let vgs = volt gate -. volt source and vds = volt drain -. volt source in
+          acc +. Float.abs (Solver.egt_ids params ~vgs ~vds *. vds)
+      | Circuit.Capacitor _ | Circuit.Vsource _ | Circuit.Isource _ | Circuit.Vccs _
+      | Circuit.Diode_like _ ->
+          acc)
+    0. (Circuit.elements circ)

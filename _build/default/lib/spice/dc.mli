@@ -1,0 +1,25 @@
+(** DC operating-point analysis and DC transfer sweeps.
+
+    Capacitors are open circuits (bridged by a tiny [gmin] conductance
+    for numerical robustness); nonlinear elements are solved by
+    Newton iteration. The DC sweep regenerates the ptanh transfer
+    characteristic of the printed activation circuit. *)
+
+type solution
+
+val solve : ?gmin:float -> Circuit.t -> solution
+(** Default [gmin = 1e-12] S across capacitors. *)
+
+val voltage : solution -> Circuit.node -> float
+val vsource_current : solution -> ordinal:int -> float
+(** Branch current of the [ordinal]-th voltage source (netlist order);
+    positive current flows through the source from + to −. *)
+
+val sweep :
+  ?gmin:float -> Circuit.t -> source:string -> values:float array -> probe:Circuit.node -> float array
+(** DC transfer curve: for each value of the named voltage source,
+    re-solve and read the probe voltage. *)
+
+val power : solution -> Circuit.t -> float
+(** Total power dissipated in resistors and EGTs at the operating
+    point (watts). *)

@@ -1,0 +1,73 @@
+let fmt_si v =
+  let mag = Float.abs v in
+  let scaled, suffix =
+    if mag = 0. then (0., "")
+    else if mag >= 1e9 then (v /. 1e9, "G")
+    else if mag >= 1e6 then (v /. 1e6, "Meg")
+    else if mag >= 1e3 then (v /. 1e3, "k")
+    else if mag >= 1. then (v, "")
+    else if mag >= 1e-3 then (v *. 1e3, "m")
+    else if mag >= 1e-6 then (v *. 1e6, "u")
+    else if mag >= 1e-9 then (v *. 1e9, "n")
+    else (v *. 1e12, "p")
+  in
+  (* Trim trailing zeros of the mantissa. *)
+  let s = Printf.sprintf "%.4g" scaled in
+  s ^ suffix
+
+let node_str circ n = if (n : Circuit.node :> int) = 0 then "0" else Circuit.node_name circ n
+
+let card circ (e : Circuit.element) =
+  let n = node_str circ in
+  match e with
+  | Circuit.Resistor { name; n1; n2; r } ->
+      Printf.sprintf "%s %s %s %s" name (n n1) (n n2) (fmt_si r)
+  | Circuit.Capacitor { name; n1; n2; c; ic } ->
+      if ic = 0. then Printf.sprintf "%s %s %s %s" name (n n1) (n n2) (fmt_si c)
+      else Printf.sprintf "%s %s %s %s IC=%s" name (n n1) (n n2) (fmt_si c) (fmt_si ic)
+  | Circuit.Vsource { name; np; nn; dc; ac; waveform } ->
+      let ac_part = if ac <> 0. then Printf.sprintf " AC %s" (fmt_si ac) else "" in
+      let tran_part = match waveform with Some _ -> " TRAN <waveform>" | None -> "" in
+      Printf.sprintf "%s %s %s DC %s%s%s" name (n np) (n nn) (fmt_si dc) ac_part tran_part
+  | Circuit.Isource { name; np; nn; dc; waveform } ->
+      let tran_part = match waveform with Some _ -> " TRAN <waveform>" | None -> "" in
+      Printf.sprintf "%s %s %s DC %s%s" name (n np) (n nn) (fmt_si dc) tran_part
+  | Circuit.Vccs { name; out_p; out_n; in_p; in_n; gm } ->
+      Printf.sprintf "%s %s %s %s %s %s" name (n out_p) (n out_n) (n in_p) (n in_n) (fmt_si gm)
+  | Circuit.Diode_like { name; np; nn; _ } ->
+      Printf.sprintf "* %s %s %s behavioural(i_of_v)" name (n np) (n nn)
+  | Circuit.Egt { name; drain; gate; source; params } ->
+      Printf.sprintf "* %s %s %s %s n-EGT i0=%s vth=%s vss=%s vds0=%s" name (n drain) (n gate)
+        (n source) (fmt_si params.Circuit.i0) (fmt_si params.Circuit.vth)
+        (fmt_si params.Circuit.vss) (fmt_si params.Circuit.vds0)
+
+let to_string ?(title = "pnc_spice netlist") circ =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("* " ^ title ^ "\n");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (card circ e);
+      Buffer.add_char buf '\n')
+    (Circuit.elements circ);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let component_summary circ =
+  let r = ref 0 and c = ref 0 and v = ref 0 and i = ref 0 and g = ref 0 and t = ref 0 and d = ref 0 in
+  List.iter
+    (fun (e : Circuit.element) ->
+      match e with
+      | Circuit.Resistor _ -> incr r
+      | Circuit.Capacitor _ -> incr c
+      | Circuit.Vsource _ -> incr v
+      | Circuit.Isource _ -> incr i
+      | Circuit.Vccs _ -> incr g
+      | Circuit.Egt _ -> incr t
+      | Circuit.Diode_like _ -> incr d)
+    (Circuit.elements circ);
+  let parts =
+    List.filter_map
+      (fun (count, label) -> if count > 0 then Some (Printf.sprintf "%d %s" count label) else None)
+      [ (!r, "R"); (!c, "C"); (!v, "V"); (!i, "I"); (!g, "VCCS"); (!t, "EGT"); (!d, "D") ]
+  in
+  String.concat ", " parts

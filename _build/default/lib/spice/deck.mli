@@ -1,0 +1,17 @@
+(** Textual SPICE deck rendering of a netlist.
+
+    Produces a conventional `.cir`-style listing (one card per element,
+    `.end` terminated) so circuits built programmatically — including
+    crossbars exported from trained networks — can be inspected, put in
+    version control, or fed to an external simulator. Behavioural
+    elements that have no standard card (EGTs, diode-like two-poles)
+    are emitted as commented behavioural cards with their parameters. *)
+
+val to_string : ?title:string -> Circuit.t -> string
+
+val component_summary : Circuit.t -> string
+(** One-line inventory: "3 R, 2 C, 1 V, 2 EGT". *)
+
+val fmt_si : float -> string
+(** Engineering notation with SPICE suffixes: 4700. -> "4.7k",
+    1e-7 -> "100n". *)

@@ -1,0 +1,70 @@
+let cutoff_from_response ~freqs_hz ~mags =
+  let n = Array.length freqs_hz in
+  assert (n = Array.length mags && n >= 2);
+  let target = mags.(0) /. sqrt 2. in
+  let rec find i =
+    if i >= n then invalid_arg "cutoff_from_response: no -3 dB crossing in range"
+    else if mags.(i) <= target then begin
+      let f0 = freqs_hz.(i - 1) and f1 = freqs_hz.(i) in
+      let m0 = mags.(i - 1) and m1 = mags.(i) in
+      let t = (m0 -. target) /. (m0 -. m1) in
+      f0 +. (t *. (f1 -. f0))
+    end
+    else find (i + 1)
+  in
+  find 1
+
+let crossing ~times ~samples level =
+  let n = Array.length samples in
+  let rec find i =
+    if i >= n then invalid_arg "rise_time: level not reached"
+    else if samples.(i) >= level then
+      if i = 0 then times.(0)
+      else begin
+        let t = (level -. samples.(i - 1)) /. (samples.(i) -. samples.(i - 1)) in
+        times.(i - 1) +. (t *. (times.(i) -. times.(i - 1)))
+      end
+    else find (i + 1)
+  in
+  find 0
+
+let rise_time ~times ~samples =
+  assert (Array.length times = Array.length samples);
+  let final = samples.(Array.length samples - 1) in
+  let t10 = crossing ~times ~samples (0.1 *. final) in
+  let t90 = crossing ~times ~samples (0.9 *. final) in
+  t90 -. t10
+
+let fit_first_order ~input ~output =
+  let n = Array.length output in
+  assert (n = Array.length input && n >= 3);
+  (* Normal equations for y_k = a y_{k-1} + b u_k. *)
+  let s_yy = ref 0. and s_uu = ref 0. and s_yu = ref 0. in
+  let s_ty = ref 0. and s_tu = ref 0. in
+  for k = 1 to n - 1 do
+    let yp = output.(k - 1) and u = input.(k) and y = output.(k) in
+    s_yy := !s_yy +. (yp *. yp);
+    s_uu := !s_uu +. (u *. u);
+    s_yu := !s_yu +. (yp *. u);
+    s_ty := !s_ty +. (y *. yp);
+    s_tu := !s_tu +. (y *. u)
+  done;
+  let det = (!s_yy *. !s_uu) -. (!s_yu *. !s_yu) in
+  if Float.abs det < 1e-18 then invalid_arg "fit_first_order: degenerate waveform";
+  let a = ((!s_ty *. !s_uu) -. (!s_tu *. !s_yu)) /. det in
+  let b = ((!s_tu *. !s_yy) -. (!s_ty *. !s_yu)) /. det in
+  (a, b)
+
+let mu_from_coeff ~a ~r ~c ~dt =
+  assert (a > 0.);
+  let rc = r *. c in
+  (rc -. (a *. dt)) /. (a *. rc)
+
+let goodness_of_fit ~input ~output ~a ~b =
+  let n = Array.length output in
+  let acc = ref 0. in
+  for k = 1 to n - 1 do
+    let pred = (a *. output.(k - 1)) +. (b *. input.(k)) in
+    acc := !acc +. ((output.(k) -. pred) ** 2.)
+  done;
+  sqrt (!acc /. float_of_int (n - 1))

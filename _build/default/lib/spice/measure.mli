@@ -1,0 +1,21 @@
+(** Waveform post-processing: the measurements the paper reads off its
+    SPICE runs. *)
+
+val cutoff_from_response : freqs_hz:float array -> mags:float array -> float
+(** −3 dB frequency relative to the first (lowest-frequency) magnitude,
+    linearly interpolated between samples. Requires a decreasing
+    response that actually crosses the −3 dB level. *)
+
+val rise_time : times:float array -> samples:float array -> float
+(** 10 %–90 % rise time of a step response. *)
+
+val fit_first_order : input:float array -> output:float array -> float * float
+(** Least-squares fit of [(a, b)] in [y(k) = a·y(k-1) + b·u(k)] over a
+    sampled waveform (k ≥ 1). This is how the coupling factor µ is
+    recovered from a transient run of the loaded filter stage. *)
+
+val mu_from_coeff : a:float -> r:float -> c:float -> dt:float -> float
+(** Invert [a = RC / (µRC + Δt)] for µ. *)
+
+val goodness_of_fit : input:float array -> output:float array -> a:float -> b:float -> float
+(** RMS residual of the fitted recurrence (diagnostics). *)

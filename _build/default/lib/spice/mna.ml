@@ -1,0 +1,89 @@
+exception Singular
+
+let solve_real a b =
+  let n = Array.length b in
+  assert (Array.length a = n);
+  let m = Array.map Array.copy a in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    (* partial pivot *)
+    let piv = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs m.(r).(col) > Float.abs m.(!piv).(col) then piv := r
+    done;
+    if Float.abs m.(!piv).(col) < 1e-14 then raise Singular;
+    if !piv <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!piv);
+      m.(!piv) <- tmp;
+      let tb = x.(col) in
+      x.(col) <- x.(!piv);
+      x.(!piv) <- tb
+    end;
+    let d = m.(col).(col) in
+    for r = col + 1 to n - 1 do
+      let f = m.(r).(col) /. d in
+      if f <> 0. then begin
+        for c = col to n - 1 do
+          m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
+        done;
+        x.(r) <- x.(r) -. (f *. x.(col))
+      end
+    done
+  done;
+  for r = n - 1 downto 0 do
+    let acc = ref x.(r) in
+    for c = r + 1 to n - 1 do
+      acc := !acc -. (m.(r).(c) *. x.(c))
+    done;
+    x.(r) <- !acc /. m.(r).(r)
+  done;
+  x
+
+let solve_complex a b =
+  let open Complex in
+  let n = Array.length b in
+  assert (Array.length a = n);
+  let m = Array.map Array.copy a in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    let piv = ref col in
+    for r = col + 1 to n - 1 do
+      if norm m.(r).(col) > norm m.(!piv).(col) then piv := r
+    done;
+    if norm m.(!piv).(col) < 1e-14 then raise Singular;
+    if !piv <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!piv);
+      m.(!piv) <- tmp;
+      let tb = x.(col) in
+      x.(col) <- x.(!piv);
+      x.(!piv) <- tb
+    end;
+    let d = m.(col).(col) in
+    for r = col + 1 to n - 1 do
+      let f = div m.(r).(col) d in
+      if norm f <> 0. then begin
+        for c = col to n - 1 do
+          m.(r).(c) <- sub m.(r).(c) (mul f m.(col).(c))
+        done;
+        x.(r) <- sub x.(r) (mul f x.(col))
+      end
+    done
+  done;
+  for r = n - 1 downto 0 do
+    let acc = ref x.(r) in
+    for c = r + 1 to n - 1 do
+      acc := sub !acc (mul m.(r).(c) x.(c))
+    done;
+    x.(r) <- div !acc m.(r).(r)
+  done;
+  x
+
+let mat_vec a v =
+  Array.map
+    (fun row ->
+      let acc = ref 0. in
+      Array.iteri (fun i x -> acc := !acc +. (x *. v.(i))) row;
+      !acc)
+    a

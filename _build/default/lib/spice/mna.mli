@@ -1,0 +1,16 @@
+(** Dense linear solvers for modified nodal analysis systems.
+
+    Systems are small (tens of unknowns), so Gaussian elimination with
+    partial pivoting is both adequate and easy to trust. *)
+
+exception Singular
+(** Raised when the matrix is (numerically) singular — typically a
+    floating node or a loop of ideal voltage sources in the netlist. *)
+
+val solve_real : float array array -> float array -> float array
+(** [solve_real a b] destroys neither input; returns x with a x = b. *)
+
+val solve_complex : Complex.t array array -> Complex.t array -> Complex.t array
+
+val mat_vec : float array array -> float array -> float array
+(** Matrix–vector product (used for residual checks in tests). *)

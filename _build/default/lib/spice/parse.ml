@@ -1,0 +1,91 @@
+let suffixes =
+  [ ("Meg", 1e6); ("MEG", 1e6); ("meg", 1e6); ("G", 1e9); ("g", 1e9); ("k", 1e3); ("K", 1e3);
+    ("m", 1e-3); ("u", 1e-6); ("U", 1e-6); ("n", 1e-9); ("N", 1e-9); ("p", 1e-12); ("P", 1e-12) ]
+
+let value s =
+  let s = String.trim s in
+  let try_suffix (suf, mult) =
+    if String.length s > String.length suf && Filename.check_suffix s suf then
+      let body = String.sub s 0 (String.length s - String.length suf) in
+      Option.map (fun v -> v *. mult) (float_of_string_opt body)
+    else None
+  in
+  (* Longest suffixes first so "Meg" is not read as trailing "g". *)
+  match List.find_map try_suffix suffixes with
+  | Some v -> v
+  | None -> (
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "not a SPICE value: %S" s))
+
+let tokens line =
+  String.split_on_char ' ' line |> List.map String.trim |> List.filter (fun t -> t <> "")
+
+let deck contents =
+  let circ = Circuit.create () in
+  let node name = if name = "0" || name = "gnd" then Circuit.ground else Circuit.node circ name in
+  let parse_line lineno line =
+    let fail fmt = Printf.ksprintf (fun m -> failwith (Printf.sprintf "line %d: %s" lineno m)) fmt in
+    if line = "" || line.[0] = '*' then ()
+    else if line.[0] = '.' then () (* .end and other directives *)
+    else
+      match tokens line with
+      | name :: rest -> (
+          let kind = Char.uppercase_ascii name.[0] in
+          match (kind, rest) with
+          | 'R', [ n1; n2; v ] -> Circuit.resistor circ ~name (node n1) (node n2) (value v)
+          | 'C', [ n1; n2; v ] -> Circuit.capacitor circ ~name (node n1) (node n2) (value v)
+          | 'C', [ n1; n2; v; ic ] when String.length ic > 3 && String.sub ic 0 3 = "IC=" ->
+              Circuit.capacitor circ ~name
+                ~ic:(value (String.sub ic 3 (String.length ic - 3)))
+                (node n1) (node n2) (value v)
+          | 'V', n1 :: n2 :: spec -> (
+              match spec with
+              | [ "DC"; v ] -> Circuit.vsource circ ~name (node n1) (node n2) (value v)
+              | [ "DC"; v; "AC"; a ] ->
+                  Circuit.vsource circ ~name ~ac:(value a) (node n1) (node n2) (value v)
+              | [ v ] -> Circuit.vsource circ ~name (node n1) (node n2) (value v)
+              | _ -> fail "unsupported voltage source card")
+          | 'I', n1 :: n2 :: spec -> (
+              match spec with
+              | [ "DC"; v ] | [ v ] -> Circuit.isource circ ~name (node n1) (node n2) (value v)
+              | _ -> fail "unsupported current source card")
+          | 'G', [ op; on; ip; inn; gm ] ->
+              Circuit.vccs circ ~name ~out_p:(node op) ~out_n:(node on) ~in_p:(node ip)
+                ~in_n:(node inn) ~gm:(value gm) ()
+          | _ -> fail "unrecognized card: %S" line)
+      | [] -> ()
+  in
+  List.iteri
+    (fun i line -> parse_line (i + 1) (String.trim line))
+    (String.split_on_char '\n' contents);
+  circ
+
+let element_signature (circ : Circuit.t) (e : Circuit.element) =
+  (* Compare by node name (ids may be assigned in a different order) and
+     at the precision Deck emits (4 significant digits). *)
+  let n x = if (x : Circuit.node :> int) = 0 then "0" else Circuit.node_name circ x in
+  let v = Printf.sprintf "%.3g" in
+  match e with
+  | Circuit.Resistor { n1; n2; r; _ } -> Printf.sprintf "R %s %s %s" (n n1) (n n2) (v r)
+  | Circuit.Capacitor { n1; n2; c; ic; _ } ->
+      Printf.sprintf "C %s %s %s %s" (n n1) (n n2) (v c) (v ic)
+  | Circuit.Vsource { np; nn; dc; ac; _ } ->
+      Printf.sprintf "V %s %s %s %s" (n np) (n nn) (v dc) (v ac)
+  | Circuit.Isource { np; nn; dc; _ } -> Printf.sprintf "I %s %s %s" (n np) (n nn) (v dc)
+  | Circuit.Vccs { out_p; out_n; in_p; in_n; gm; _ } ->
+      Printf.sprintf "G %s %s %s %s %s" (n out_p) (n out_n) (n in_p) (n in_n) (v gm)
+  | Circuit.Diode_like _ -> "D"
+  | Circuit.Egt _ -> "T"
+
+let roundtrip_equal circ =
+  let parsed = deck (Deck.to_string circ) in
+  let sig_of c =
+    List.filter_map
+      (fun e ->
+        match e with
+        | Circuit.Diode_like _ | Circuit.Egt _ -> None (* emitted as comments *)
+        | _ -> Some (element_signature c e))
+      (Circuit.elements c)
+  in
+  sig_of circ = sig_of parsed

@@ -1,0 +1,19 @@
+(** Parsing of simple SPICE decks back into netlists — the inverse of
+    {!Deck} for the linear element subset (R, C, V with DC/AC, I,
+    VCCS). Comment lines ([*]) and [.end]/[.END] cards are skipped;
+    values accept standard SPICE suffixes (G, Meg, k, m, u, n, p).
+
+    Behavioural elements (EGTs, diode-like two-poles) have no portable
+    card and are not parseable; {!Deck} emits them as comments. *)
+
+val value : string -> float
+(** Parse one SPICE value: ["4.7k"] → 4700., ["100n"] → 1e-7.
+    @raise Failure on malformed input. *)
+
+val deck : string -> Circuit.t
+(** Parse a whole deck.
+    @raise Failure with a line-numbered message on malformed cards. *)
+
+val roundtrip_equal : Circuit.t -> bool
+(** [deck (Deck.to_string c)] has the same element cards as [c] —
+    used by the property tests. Only meaningful for linear circuits. *)

@@ -1,0 +1,62 @@
+type element_op = {
+  name : string;
+  kind : string;
+  voltage : float;
+  current : float;
+  power : float;
+}
+
+let operating_point circ =
+  let sol = Dc.solve circ in
+  let volt n = Dc.voltage sol n in
+  let vs_ord = ref (-1) in
+  List.map
+    (fun (e : Circuit.element) ->
+      match e with
+      | Circuit.Resistor { name; n1; n2; r } ->
+          let v = volt n1 -. volt n2 in
+          let i = v /. r in
+          { name; kind = "R"; voltage = v; current = i; power = v *. i }
+      | Circuit.Capacitor { name; n1; n2; _ } ->
+          { name; kind = "C"; voltage = volt n1 -. volt n2; current = 0.; power = 0. }
+      | Circuit.Vsource { name; np; nn; _ } ->
+          incr vs_ord;
+          let i = Dc.vsource_current sol ~ordinal:!vs_ord in
+          let v = volt np -. volt nn in
+          { name; kind = "V"; voltage = v; current = i; power = v *. i }
+      | Circuit.Isource { name; np; nn; dc; _ } ->
+          let v = volt np -. volt nn in
+          { name; kind = "I"; voltage = v; current = dc; power = v *. dc }
+      | Circuit.Vccs { name; out_p; out_n; in_p; in_n; gm } ->
+          let i = gm *. (volt in_p -. volt in_n) in
+          let v = volt out_p -. volt out_n in
+          { name; kind = "VCCS"; voltage = v; current = i; power = v *. i }
+      | Circuit.Diode_like { name; np; nn; i_of_v; _ } ->
+          let v = volt np -. volt nn in
+          let i = i_of_v v in
+          { name; kind = "D"; voltage = v; current = i; power = v *. i }
+      | Circuit.Egt { name; drain; gate; source; params } ->
+          let vds = volt drain -. volt source and vgs = volt gate -. volt source in
+          let i = Solver.egt_ids params ~vgs ~vds in
+          { name; kind = "EGT"; voltage = vds; current = i; power = vds *. i })
+    (Circuit.elements circ)
+
+let total_dissipation ops =
+  List.fold_left (fun acc op -> if op.power > 0. then acc +. op.power else acc) 0. ops
+
+let to_string ops =
+  let t =
+    Pnc_util.Table.create ~header:[ "Element"; "Kind"; "V"; "I"; "P" ]
+  in
+  List.iter
+    (fun op ->
+      Pnc_util.Table.add_row t
+        [
+          op.name;
+          op.kind;
+          Deck.fmt_si op.voltage ^ "V";
+          Deck.fmt_si op.current ^ "A";
+          Deck.fmt_si op.power ^ "W";
+        ])
+    ops;
+  Pnc_util.Table.render t

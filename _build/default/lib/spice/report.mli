@@ -1,0 +1,19 @@
+(** Operating-point reports: the "what is every element doing" table an
+    analog designer reads before trusting a circuit. *)
+
+type element_op = {
+  name : string;
+  kind : string;  (** "R", "C", "V", "I", "VCCS", "EGT", "D" *)
+  voltage : float;  (** across the element (V), + to − / first to second node *)
+  current : float;  (** through it (A), flowing first node → second node *)
+  power : float;  (** dissipated (W); negative for sources delivering power *)
+}
+
+val operating_point : Circuit.t -> element_op list
+(** Solves DC and tabulates every element. *)
+
+val total_dissipation : element_op list -> float
+(** Sum of positive powers — matches {!Dc.power} for R/EGT circuits. *)
+
+val to_string : element_op list -> string
+(** Aligned text table with SI-formatted values. *)

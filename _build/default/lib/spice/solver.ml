@@ -1,0 +1,106 @@
+let sech2 x =
+  let c = cosh x in
+  1. /. (c *. c)
+
+let egt_ids (p : Circuit.egt_params) ~vgs ~vds =
+  p.i0 *. (1. +. tanh ((vgs -. p.vth) /. p.vss)) *. tanh (vds /. p.vds0)
+
+let egt_gm (p : Circuit.egt_params) ~vgs ~vds =
+  p.i0 *. sech2 ((vgs -. p.vth) /. p.vss) /. p.vss *. tanh (vds /. p.vds0)
+
+let egt_gds (p : Circuit.egt_params) ~vgs ~vds =
+  p.i0 *. (1. +. tanh ((vgs -. p.vth) /. p.vss)) *. sech2 (vds /. p.vds0) /. p.vds0
+
+let default_is_value ~time:_ (e : Circuit.element) =
+  match e with Circuit.Isource { dc; _ } -> dc | _ -> 0.
+
+let solve ?(max_iter = 200) ?(tol = 1e-9) ?init ?(is_value = default_is_value ~time:0.) circ
+    ~vs_value ~cap =
+  let n_nodes = Circuit.n_nodes circ in
+  let n_vs = Circuit.n_vsources circ in
+  let size = n_nodes - 1 + n_vs in
+  let elements = Circuit.elements circ in
+  let nonlinear = Circuit.has_nonlinear circ in
+  let guess =
+    match init with
+    | Some g ->
+        assert (Array.length g = size);
+        Array.copy g
+    | None -> Array.make size 0.
+  in
+  let volt n = Stamp.voltage_of ~solution:guess (n : Circuit.node :> int) in
+  let assemble () =
+    let b = Stamp.create ~n_nodes ~n_vsources:n_vs in
+    let vs_ord = ref 0 in
+    let cap_ord = ref 0 in
+    List.iter
+      (fun (e : Circuit.element) ->
+        match e with
+        | Circuit.Resistor { n1; n2; r; _ } ->
+            Stamp.conductance b (n1 :> int) (n2 :> int) (1. /. r)
+        | Circuit.Capacitor { n1; n2; c; ic; _ } ->
+            let ord = !cap_ord in
+            incr cap_ord;
+            cap b ~ordinal:ord ~n1:(n1 :> int) ~n2:(n2 :> int) ~c ~ic
+        | Circuit.Vsource { np; nn; _ } ->
+            let ord = !vs_ord in
+            incr vs_ord;
+            Stamp.vsource b ~ordinal:ord ~np:(np :> int) ~nn:(nn :> int) ~v:(vs_value ~ordinal:ord e)
+        | Circuit.Isource { np; nn; _ } ->
+            let v = is_value e in
+            Stamp.inject b (np :> int) (-.v);
+            Stamp.inject b (nn :> int) v
+        | Circuit.Vccs { out_p; out_n; in_p; in_n; gm; _ } ->
+            Stamp.transconductance b ~out_p:(out_p :> int) ~out_n:(out_n :> int)
+              ~in_p:(in_p :> int) ~in_n:(in_n :> int) ~gm
+        | Circuit.Diode_like { np; nn; i_of_v; g_of_v; _ } ->
+            let v0 = volt np -. volt nn in
+            let i0 = i_of_v v0 and g = Float.max 1e-12 (g_of_v v0) in
+            Stamp.conductance b (np :> int) (nn :> int) g;
+            let ieq = i0 -. (g *. v0) in
+            Stamp.inject b (np :> int) (-.ieq);
+            Stamp.inject b (nn :> int) ieq
+        | Circuit.Egt { drain; gate; source; params; _ } ->
+            let vgs = volt gate -. volt source and vds = volt drain -. volt source in
+            let ids = egt_ids params ~vgs ~vds in
+            let gm = egt_gm params ~vgs ~vds and gds = Float.max 1e-12 (egt_gds params ~vgs ~vds) in
+            let d = (drain :> int) and g = (gate :> int) and s = (source :> int) in
+            (* Standard transistor stamp: Ids flows drain -> source. *)
+            Stamp.add_matrix b ~row_node:d ~col_node:d gds;
+            Stamp.add_matrix b ~row_node:d ~col_node:g gm;
+            Stamp.add_matrix b ~row_node:d ~col_node:s (-.(gm +. gds));
+            Stamp.add_matrix b ~row_node:s ~col_node:d (-.gds);
+            Stamp.add_matrix b ~row_node:s ~col_node:g (-.gm);
+            Stamp.add_matrix b ~row_node:s ~col_node:s (gm +. gds);
+            let ieq = ids -. (gm *. vgs) -. (gds *. vds) in
+            Stamp.inject b d (-.ieq);
+            Stamp.inject b s ieq)
+      elements;
+    b
+  in
+  let iteration () =
+    let b = assemble () in
+    let matrix, rhs = Stamp.system b in
+    Mna.solve_real matrix rhs
+  in
+  if not nonlinear then iteration ()
+  else begin
+    let converged = ref false and iter = ref 0 in
+    while (not !converged) && !iter < max_iter do
+      incr iter;
+      let x = iteration () in
+      let delta = ref 0. in
+      for i = 0 to size - 1 do
+        delta := Float.max !delta (Float.abs (x.(i) -. guess.(i)))
+      done;
+      (* Damped update keeps the exponential-free EGT model stable even
+         from a cold start. *)
+      let alpha = if !delta > 2. then 2. /. !delta else 1. in
+      for i = 0 to size - 1 do
+        guess.(i) <- guess.(i) +. (alpha *. (x.(i) -. guess.(i)))
+      done;
+      if !delta *. alpha < tol then converged := true
+    done;
+    if not !converged then failwith "Solver.solve: Newton did not converge";
+    guess
+  end

@@ -1,0 +1,25 @@
+(** Shared Newton–Raphson MNA solve used by the DC and transient
+    analyses. Linear circuits converge in one iteration; nonlinear
+    elements (behavioural diodes and EGTs) are relinearized around the
+    previous iterate until the update norm falls below [tol]. *)
+
+val solve :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?init:float array ->
+  ?is_value:(Circuit.element -> float) ->
+  Circuit.t ->
+  vs_value:(ordinal:int -> Circuit.element -> float) ->
+  cap:(Stamp.t -> ordinal:int -> n1:int -> n2:int -> c:float -> ic:float -> unit) ->
+  float array
+(** Returns the full solution vector (node voltages then voltage-source
+    branch currents). [vs_value] chooses the instantaneous value of
+    each voltage source; [cap] stamps each capacitor (open + gmin for
+    DC, a companion model for transient steps).
+
+    @raise Mna.Singular on an ill-posed netlist.
+    @raise Failure if Newton fails to converge within [max_iter]. *)
+
+val egt_ids : Circuit.egt_params -> vgs:float -> vds:float -> float
+(** The behavioural EGT drain current (exposed for tests and for the
+    power model). *)

@@ -1,0 +1,58 @@
+type t = {
+  nn : int; (* number of non-ground nodes *)
+  n_vs : int;
+  matrix : float array array;
+  rhs : float array;
+}
+
+let create ~n_nodes ~n_vsources =
+  let nn = n_nodes - 1 in
+  let size = nn + n_vsources in
+  {
+    nn;
+    n_vs = n_vsources;
+    matrix = Array.make_matrix size size 0.;
+    rhs = Array.make size 0.;
+  }
+
+let size t = t.nn + t.n_vs
+
+(* node -> matrix row/col, or -1 for ground *)
+let idx n = n - 1
+
+let add t r c v = if r >= 0 && c >= 0 then t.matrix.(r).(c) <- t.matrix.(r).(c) +. v
+
+let conductance t n1 n2 g =
+  let i = idx n1 and j = idx n2 in
+  add t i i g;
+  add t j j g;
+  add t i j (-.g);
+  add t j i (-.g)
+
+let inject t n v = if n > 0 then t.rhs.(idx n) <- t.rhs.(idx n) +. v
+
+let transconductance t ~out_p ~out_n ~in_p ~in_n ~gm =
+  let op = idx out_p and on = idx out_n and ip = idx in_p and in_ = idx in_n in
+  add t op ip gm;
+  add t op in_ (-.gm);
+  add t on ip (-.gm);
+  add t on in_ gm
+
+let add_matrix t ~row_node ~col_node v = add t (idx row_node) (idx col_node) v
+
+let vsource t ~ordinal ~np ~nn ~v =
+  let row = t.nn + ordinal in
+  let p = idx np and n = idx nn in
+  if p >= 0 then begin
+    t.matrix.(p).(row) <- t.matrix.(p).(row) +. 1.;
+    t.matrix.(row).(p) <- t.matrix.(row).(p) +. 1.
+  end;
+  if n >= 0 then begin
+    t.matrix.(n).(row) <- t.matrix.(n).(row) -. 1.;
+    t.matrix.(row).(n) <- t.matrix.(row).(n) -. 1.
+  end;
+  t.rhs.(row) <- v
+
+let system t = (t.matrix, t.rhs)
+let voltage_of ~solution n = if n = 0 then 0. else solution.(n - 1)
+let vsource_current t ~solution ~ordinal = solution.(t.nn + ordinal)

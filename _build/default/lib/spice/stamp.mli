@@ -1,0 +1,37 @@
+(** Low-level MNA stamping shared by the DC, AC and transient analyses.
+
+    Unknowns are ordered as [v_1 .. v_{N-1}] (node voltages, ground
+    excluded) followed by one branch current per independent voltage
+    source. The builder hides the ground-row elimination: stamping into
+    node 0 is silently dropped. *)
+
+type t
+
+val create : n_nodes:int -> n_vsources:int -> t
+(** [n_nodes] includes ground. *)
+
+val size : t -> int
+
+val conductance : t -> int -> int -> float -> unit
+(** [conductance b n1 n2 g] stamps a conductance between two nodes. *)
+
+val inject : t -> int -> float -> unit
+(** Current injection into a node (rhs). *)
+
+val transconductance : t -> out_p:int -> out_n:int -> in_p:int -> in_n:int -> gm:float -> unit
+
+val add_matrix : t -> row_node:int -> col_node:int -> float -> unit
+(** Raw nodal matrix entry (for transistor linearizations). *)
+
+val vsource : t -> ordinal:int -> np:int -> nn:int -> v:float -> unit
+(** Stamp independent voltage source number [ordinal] (0-based, in
+    netlist order). *)
+
+val system : t -> float array array * float array
+(** The assembled (matrix, rhs); returned by reference, valid until the
+    builder is reused. *)
+
+val voltage_of : solution:float array -> int -> float
+(** Node voltage from a solution vector (node 0 reads 0). *)
+
+val vsource_current : t -> solution:float array -> ordinal:int -> float

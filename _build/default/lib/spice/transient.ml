@@ -1,0 +1,72 @@
+type integrator = Backward_euler | Trapezoidal
+type result = { times : float array; samples : float array array }
+
+(* Per-capacitor companion state. *)
+type cap_state = { mutable v : float; mutable i : float }
+
+let run ?(integrator = Backward_euler) circ ~dt ~steps ~probes =
+  assert (dt > 0. && steps > 0);
+  let elements = Circuit.elements circ in
+  let caps =
+    List.filter_map
+      (function Circuit.Capacitor { ic; _ } -> Some { v = ic; i = 0. } | _ -> None)
+      elements
+  in
+  let caps = Array.of_list caps in
+  let times = Array.init steps (fun k -> float_of_int (k + 1) *. dt) in
+  let samples = Array.make_matrix (List.length probes) steps 0. in
+  let prev = ref None in
+  Array.iteri
+    (fun k t ->
+      let vs_value ~ordinal:_ (e : Circuit.element) =
+        match e with
+        | Circuit.Vsource { dc; waveform; _ } -> (
+            match waveform with Some f -> f t | None -> dc)
+        | _ -> 0.
+      in
+      let is_value (e : Circuit.element) =
+        match e with
+        | Circuit.Isource { dc; waveform; _ } -> (
+            match waveform with Some f -> f t | None -> dc)
+        | _ -> 0.
+      in
+      (* The first step always uses backward Euler: a source discontinuity
+         at t=0 would otherwise feed a wrong initial capacitor current
+         into the trapezoidal companion and ring. *)
+      let integrator = if k = 0 then Backward_euler else integrator in
+      let cap b ~ordinal ~n1 ~n2 ~c ~ic:_ =
+        let st = caps.(ordinal) in
+        match integrator with
+        | Backward_euler ->
+            let geq = c /. dt in
+            Stamp.conductance b n1 n2 geq;
+            Stamp.inject b n1 (geq *. st.v);
+            Stamp.inject b n2 (-.(geq *. st.v))
+        | Trapezoidal ->
+            let geq = 2. *. c /. dt in
+            let ieq = (geq *. st.v) +. st.i in
+            Stamp.conductance b n1 n2 geq;
+            Stamp.inject b n1 ieq;
+            Stamp.inject b n2 (-.ieq)
+      in
+      let x = Solver.solve ?init:!prev ~is_value circ ~vs_value ~cap in
+      prev := Some x;
+      (* Update companion states from the solved node voltages. *)
+      let volt n = Stamp.voltage_of ~solution:x n in
+      let cap_ord = ref 0 in
+      List.iter
+        (fun (e : Circuit.element) ->
+          match e with
+          | Circuit.Capacitor { n1; n2; c; _ } ->
+              let st = caps.(!cap_ord) in
+              incr cap_ord;
+              let v_new = volt (n1 :> int) -. volt (n2 :> int) in
+              (match integrator with
+              | Backward_euler -> st.i <- c /. dt *. (v_new -. st.v)
+              | Trapezoidal -> st.i <- (2. *. c /. dt *. (v_new -. st.v)) -. st.i);
+              st.v <- v_new
+          | _ -> ())
+        elements;
+      List.iteri (fun p n -> samples.(p).(k) <- volt (n : Circuit.node :> int)) probes)
+    times;
+  { times; samples }

@@ -1,0 +1,26 @@
+(** Transient analysis with backward-Euler or trapezoidal companion
+    models for capacitors.
+
+    This regenerates the time-domain behaviour of the printed filter
+    stages (Fig. 4, left panels) and drives the extraction of the
+    coupling factor µ: a crossbar-loaded RC stage is simulated and the
+    discrete update coefficients are fitted from the waveform. *)
+
+type integrator = Backward_euler | Trapezoidal
+
+type result = {
+  times : float array;  (** t = dt, 2·dt, …, steps·dt *)
+  samples : float array array;  (** [samples.(p).(k)] = probe p at times.(k) *)
+}
+
+val run :
+  ?integrator:integrator ->
+  Circuit.t ->
+  dt:float ->
+  steps:int ->
+  probes:Circuit.node list ->
+  result
+(** Capacitor initial voltages come from their [ic]; voltage sources
+    follow their [waveform] when given, else hold their DC value.
+    Nonlinear circuits are re-solved by Newton at every step, warm
+    started from the previous step. *)

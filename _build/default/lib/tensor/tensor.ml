@@ -1,0 +1,165 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols v =
+  assert (rows >= 0 && cols >= 0);
+  { rows; cols; data = Array.make (rows * cols) v }
+
+let zeros ~rows ~cols = create ~rows ~cols 0.
+let scalar v = { rows = 1; cols = 1; data = [| v |] }
+
+let of_array ~rows ~cols data =
+  assert (Array.length data = rows * cols);
+  { rows; cols; data }
+
+let of_row a = { rows = 1; cols = Array.length a; data = Array.copy a }
+
+let of_rows rs =
+  let rows = Array.length rs in
+  assert (rows > 0);
+  let cols = Array.length rs.(0) in
+  let data = Array.make (rows * cols) 0. in
+  Array.iteri
+    (fun r row ->
+      assert (Array.length row = cols);
+      Array.blit row 0 data (r * cols) cols)
+    rs;
+  { rows; cols; data }
+
+let init ~rows ~cols f =
+  let data = Array.make (rows * cols) 0. in
+  let k = ref 0 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      data.(!k) <- f r c;
+      incr k
+    done
+  done;
+  { rows; cols; data }
+
+let rows t = t.rows
+let cols t = t.cols
+let numel t = t.rows * t.cols
+let get t r c = t.data.((r * t.cols) + c)
+let set t r c v = t.data.((r * t.cols) + c) <- v
+let copy t = { t with data = Array.copy t.data }
+let to_row_array t = Array.copy t.data
+let row t r = Array.sub t.data (r * t.cols) t.cols
+
+let col t c =
+  { rows = t.rows; cols = 1; data = Array.init t.rows (fun r -> get t r c) }
+
+let get_scalar t =
+  assert (t.rows = 1 && t.cols = 1);
+  t.data.(0)
+
+let same_shape a b = a.rows = b.rows && a.cols = b.cols
+let map f t = { t with data = Array.map f t.data }
+
+let map2 f a b =
+  assert (same_shape a b);
+  { a with data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let mul a b = map2 ( *. ) a b
+let div a b = map2 ( /. ) a b
+let neg t = map (fun x -> -.x) t
+let scale k t = map (fun x -> k *. x) t
+let add_scalar k t = map (fun x -> k +. x) t
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let add_inplace acc x =
+  assert (same_shape acc x);
+  for i = 0 to Array.length acc.data - 1 do
+    acc.data.(i) <- acc.data.(i) +. x.data.(i)
+  done
+
+let broadcast_rv f m rv =
+  assert (rv.rows = 1 && rv.cols = m.cols);
+  let cols = m.cols in
+  let data = Array.make (m.rows * cols) 0. in
+  let k = ref 0 in
+  for _r = 0 to m.rows - 1 do
+    for c = 0 to cols - 1 do
+      data.(!k) <- f m.data.(!k) rv.data.(c);
+      incr k
+    done
+  done;
+  { rows = m.rows; cols; data }
+
+let add_rv m rv = broadcast_rv ( +. ) m rv
+let mul_rv m rv = broadcast_rv ( *. ) m rv
+
+let matmul a b =
+  assert (a.cols = b.rows);
+  let out = zeros ~rows:a.rows ~cols:b.cols in
+  for r = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let av = a.data.((r * a.cols) + k) in
+      if av <> 0. then begin
+        let boff = k * b.cols and ooff = r * b.cols in
+        for c = 0 to b.cols - 1 do
+          out.data.(ooff + c) <- out.data.(ooff + c) +. (av *. b.data.(boff + c))
+        done
+      end
+    done
+  done;
+  out
+
+let transpose t = init ~rows:t.cols ~cols:t.rows (fun r c -> get t c r)
+let sum t = Array.fold_left ( +. ) 0. t.data
+let mean t = sum t /. float_of_int (Stdlib.max 1 (numel t))
+
+let sum_rows t =
+  let out = zeros ~rows:1 ~cols:t.cols in
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cols - 1 do
+      out.data.(c) <- out.data.(c) +. get t r c
+    done
+  done;
+  out
+
+let sum_cols t =
+  let out = zeros ~rows:t.rows ~cols:1 in
+  for r = 0 to t.rows - 1 do
+    let acc = ref 0. in
+    for c = 0 to t.cols - 1 do
+      acc := !acc +. get t r c
+    done;
+    out.data.(r) <- !acc
+  done;
+  out
+
+let max_abs t = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. t.data
+
+let uniform rng ~rows ~cols ~lo ~hi =
+  init ~rows ~cols (fun _ _ -> Pnc_util.Rng.uniform rng ~lo ~hi)
+
+let gaussian rng ~rows ~cols ~mu ~sigma =
+  init ~rows ~cols (fun _ _ -> Pnc_util.Rng.gaussian ~mu ~sigma rng)
+
+let one_hot ~n_classes labels =
+  let t = zeros ~rows:(Array.length labels) ~cols:n_classes in
+  Array.iteri
+    (fun r y ->
+      assert (y >= 0 && y < n_classes);
+      set t r y 1.)
+    labels;
+  t
+
+let argmax_rows t = Array.init t.rows (fun r -> Pnc_util.Vec.argmax (row t r))
+
+let equal_eps ~eps a b =
+  same_shape a b && Pnc_util.Vec.equal_eps ~eps a.data b.data
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>[%dx%d]" t.rows t.cols;
+  for r = 0 to Stdlib.min (t.rows - 1) 7 do
+    Format.fprintf ppf "@,";
+    for c = 0 to Stdlib.min (t.cols - 1) 7 do
+      Format.fprintf ppf "% .4f " (get t r c)
+    done;
+    if t.cols > 8 then Format.fprintf ppf "..."
+  done;
+  if t.rows > 8 then Format.fprintf ppf "@,...";
+  Format.fprintf ppf "@]"

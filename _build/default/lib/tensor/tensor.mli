@@ -1,0 +1,101 @@
+(** Dense row-major 2-D tensors.
+
+    Everything in the library is expressed over matrices: a batch of
+    time-series samples at one time step is [batch x features], a
+    parameter vector is [1 x n], a scalar is [1 x 1]. Keeping a single
+    rank makes the reverse-mode engine ({!Pnc_autodiff.Var}) small and
+    easy to verify. *)
+
+type t = private { rows : int; cols : int; data : float array }
+(** [data.(r * cols + c)] stores element [(r, c)]. The type is private:
+    construct through the functions below so the shape invariant
+    [Array.length data = rows * cols] always holds. *)
+
+val create : rows:int -> cols:int -> float -> t
+val zeros : rows:int -> cols:int -> t
+val scalar : float -> t
+(** A [1 x 1] tensor. *)
+
+val of_array : rows:int -> cols:int -> float array -> t
+(** Takes ownership of the array (no copy); length must be [rows*cols]. *)
+
+val of_row : float array -> t
+(** [1 x n] row vector (copies). *)
+
+val of_rows : float array array -> t
+(** Matrix from equal-length rows (copies). *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+
+val rows : t -> int
+val cols : t -> int
+val numel : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val to_row_array : t -> float array
+(** Flat copy of the data (row-major). *)
+
+val row : t -> int -> float array
+(** Copy of one row. *)
+
+val col : t -> int -> t
+(** Column [c] as an [rows x 1] tensor. *)
+
+val get_scalar : t -> float
+(** The single element of a [1 x 1] tensor. *)
+
+val same_shape : t -> t -> bool
+
+(** {1 Elementwise} *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val add_scalar : float -> t -> t
+val fill : t -> float -> unit
+val add_inplace : t -> t -> unit
+(** [add_inplace acc x] accumulates [x] into [acc]; equal shapes. *)
+
+(** {1 Broadcast over rows}
+
+    The second operand is a [1 x n] row vector combined with every row
+    of an [m x n] matrix — used for biases and per-feature
+    coefficients. *)
+
+val add_rv : t -> t -> t
+val mul_rv : t -> t -> t
+
+(** {1 Linear algebra} *)
+
+val matmul : t -> t -> t
+val transpose : t -> t
+
+(** {1 Reductions} *)
+
+val sum : t -> float
+val mean : t -> float
+val sum_rows : t -> t
+(** [m x n -> 1 x n]: column sums. *)
+
+val sum_cols : t -> t
+(** [m x n -> m x 1]: row sums. *)
+
+val max_abs : t -> float
+
+(** {1 Construction helpers} *)
+
+val uniform : Pnc_util.Rng.t -> rows:int -> cols:int -> lo:float -> hi:float -> t
+val gaussian : Pnc_util.Rng.t -> rows:int -> cols:int -> mu:float -> sigma:float -> t
+val one_hot : n_classes:int -> int array -> t
+(** [batch x n_classes] indicator matrix. *)
+
+val argmax_rows : t -> int array
+
+val equal_eps : eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5deece66d |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; a lxor (b lsl 7) |]
+
+let copy = Random.State.copy
+let int t n = Random.State.int t n
+let float t x = Random.State.float t x
+let uniform t ~lo ~hi = lo +. Random.State.float t (hi -. lo)
+let bool t = Random.State.bool t
+
+let gaussian ?(mu = 0.) ?(sigma = 1.) t =
+  (* Box–Muller; discard the second variate to keep the stream simple. *)
+  let rec draw () =
+    let u1 = Random.State.float t 1.0 in
+    if u1 <= 1e-12 then draw () else u1
+  in
+  let u1 = draw () in
+  let u2 = Random.State.float t 1.0 in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let p = Array.init n (fun i -> i) in
+  shuffle t p;
+  p
+
+let choice t a =
+  assert (Array.length a > 0);
+  a.(Random.State.int t (Array.length a))
+
+let sample_indices t ~n ~k =
+  assert (k <= n);
+  let p = permutation t n in
+  let sel = Array.sub p 0 k in
+  Array.sort compare sel;
+  sel

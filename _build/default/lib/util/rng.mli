@@ -1,0 +1,45 @@
+(** Seeded pseudo-random number generation.
+
+    Every stochastic component of the library (dataset generators,
+    augmentation, variation sampling, parameter initialization) draws
+    from an explicit [Rng.t] so that experiments are reproducible from
+    a single integer seed. *)
+
+type t
+
+val create : seed:int -> t
+(** Fresh generator deterministically derived from [seed]. *)
+
+val split : t -> t
+(** Child generator whose stream is independent of further draws from
+    the parent. Used to give each dataset / model / MC sample its own
+    stream without coupling their consumption. *)
+
+val copy : t -> t
+(** Snapshot of the generator state. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform on [0, n). Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform on [0, x). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform on [lo, hi). *)
+
+val bool : t -> bool
+
+val gaussian : ?mu:float -> ?sigma:float -> t -> float
+(** Box–Muller normal draw. Defaults: [mu = 0.], [sigma = 1.]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** Random permutation of [0 .. n-1]. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_indices : t -> n:int -> k:int -> int array
+(** [k] distinct indices drawn uniformly from [0, n); sorted. *)

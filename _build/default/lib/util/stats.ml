@@ -1,0 +1,46 @@
+let mean = Vec.mean
+
+let variance a =
+  let n = Array.length a in
+  if n <= 1 then 0.
+  else
+    let m = mean a in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. m) ** 2.)) 0. a in
+    acc /. float_of_int (n - 1)
+
+let std a = sqrt (variance a)
+
+let percentile a p =
+  assert (Array.length a > 0 && p >= 0. && p <= 100.);
+  let s = Array.copy a in
+  Array.sort compare s;
+  let n = Array.length s in
+  if n = 1 then s.(0)
+  else
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+
+let median a = percentile a 50.
+let mean_std a = (mean a, std a)
+
+let accuracy ~pred ~truth =
+  assert (Array.length pred = Array.length truth);
+  let n = Array.length pred in
+  if n = 0 then 0.
+  else
+    let ok = ref 0 in
+    Array.iteri (fun i p -> if p = truth.(i) then incr ok) pred;
+    float_of_int !ok /. float_of_int n
+
+let confusion ~n_classes ~pred ~truth =
+  assert (Array.length pred = Array.length truth);
+  let m = Array.make_matrix n_classes n_classes 0 in
+  Array.iteri (fun i p -> m.(truth.(i)).(p) <- m.(truth.(i)).(p) + 1) pred;
+  m
+
+let summarize name a =
+  let m, s = mean_std a in
+  Printf.sprintf "%s: %.3f ± %.3f (n=%d)" name m s (Array.length a)

@@ -1,0 +1,21 @@
+(** Descriptive statistics and classification metrics. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for n <= 1. *)
+
+val std : float array -> float
+val median : float array -> float
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [0, 100], linear interpolation. *)
+
+val mean_std : float array -> float * float
+
+val accuracy : pred:int array -> truth:int array -> float
+(** Fraction of positions where prediction equals ground truth. *)
+
+val confusion : n_classes:int -> pred:int array -> truth:int array -> int array array
+(** [confusion.(truth).(pred)] counts. *)
+
+val summarize : string -> float array -> string
+(** ["name: mean ± std (n=...)"] convenience formatting. *)

@@ -1,0 +1,39 @@
+type t = {
+  header : string list;
+  mutable rows : [ `Row of string list | `Rule ] list; (* reversed *)
+}
+
+let create ~header = { header; rows = [] }
+let add_row t cells = t.rows <- `Row cells :: t.rows
+let add_rule t = t.rows <- `Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cells =
+    t.header :: List.filter_map (function `Row r -> Some r | `Rule -> None) rows
+  in
+  let n_cols = List.fold_left (fun m r -> Stdlib.max m (List.length r)) 0 all_cells in
+  let widths = Array.make n_cols 0 in
+  let measure r = List.iteri (fun i c -> widths.(i) <- Stdlib.max widths.(i) (String.length c)) r in
+  List.iter measure all_cells;
+  let pad i c = c ^ String.make (widths.(i) - String.length c) ' ' in
+  let line r = String.concat "  " (List.mapi pad r) in
+  let total = Array.fold_left ( + ) 0 widths + (2 * Stdlib.max 0 (n_cols - 1)) in
+  let rule = String.make total '-' in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      (match r with `Row cells -> Buffer.add_string buf (line cells) | `Rule -> Buffer.add_string buf rule);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+let fmt_f ?(digits = 3) x = Printf.sprintf "%.*f" digits x
+
+let fmt_mean_std ?(digits = 3) (m, s) =
+  Printf.sprintf "%.*f ± %.*f" digits m digits s

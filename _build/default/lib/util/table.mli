@@ -1,0 +1,23 @@
+(** Aligned plain-text tables for the benchmark reports.
+
+    Every table and figure of the paper is regenerated as text; this
+    module renders the rows with column alignment so the output is
+    directly comparable to the paper. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+val add_rule : t -> unit
+(** Horizontal separator before the next row (e.g. above a summary row). *)
+
+val render : t -> string
+(** The formatted table, trailing newline included. *)
+
+val print : t -> unit
+
+val fmt_f : ?digits:int -> float -> string
+(** Fixed-point float formatting, default 3 digits. *)
+
+val fmt_mean_std : ?digits:int -> float * float -> string
+(** ["0.726 ± 0.014"] style cell. *)

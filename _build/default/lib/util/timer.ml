@@ -1,0 +1,19 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let time_mean ~repeats f =
+  assert (repeats > 0);
+  let acc = ref 0. in
+  for _ = 1 to repeats do
+    let _, dt = time f in
+    acc := !acc +. dt
+  done;
+  !acc /. float_of_int repeats
+
+let fmt_seconds s =
+  if s < 1e-6 then Printf.sprintf "%.1f ns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.1f µs" (s *. 1e6)
+  else if s < 1. then Printf.sprintf "%.3f ms" (s *. 1e3)
+  else Printf.sprintf "%.3f s" s

@@ -1,0 +1,10 @@
+(** Wall-clock timing helpers used by the runtime comparison (Table II). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result and the elapsed seconds. *)
+
+val time_mean : repeats:int -> (unit -> 'a) -> float
+(** Mean elapsed seconds of [repeats] runs (result discarded). *)
+
+val fmt_seconds : float -> string
+(** Human formatting: ns/µs/ms/s depending on magnitude. *)

@@ -1,0 +1,85 @@
+let linspace a b n =
+  assert (n >= 2);
+  let step = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i -> a +. (float_of_int i *. step))
+
+let arange n = Array.init n float_of_int
+
+let map2 f a b =
+  assert (Array.length a = Array.length b);
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let mul a b = map2 ( *. ) a b
+let scale k a = Array.map (fun x -> k *. x) a
+let offset k a = Array.map (fun x -> k +. x) a
+
+let dot a b =
+  assert (Array.length a = Array.length b);
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let sum a = Array.fold_left ( +. ) 0. a
+let mean a = sum a /. float_of_int (Stdlib.max 1 (Array.length a))
+let min a = Array.fold_left Stdlib.min a.(0) a
+let max a = Array.fold_left Stdlib.max a.(0) a
+let norm2 a = sqrt (dot a a)
+
+let clip ~lo ~hi a = Array.map (fun x -> Float.max lo (Float.min hi x)) a
+
+let normalize_range ?(lo = -1.) ?(hi = 1.) a =
+  let vmin = min a and vmax = max a in
+  if vmax -. vmin < 1e-12 then Array.map (fun _ -> (lo +. hi) /. 2.) a
+  else
+    let k = (hi -. lo) /. (vmax -. vmin) in
+    Array.map (fun x -> lo +. ((x -. vmin) *. k)) a
+
+let interp1 ~xs ~ys x =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n >= 1);
+  if x <= xs.(0) then ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    (* binary search for the segment containing x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0 = xs.(!lo) and x1 = xs.(!hi) in
+    let t = (x -. x0) /. (x1 -. x0) in
+    ys.(!lo) +. (t *. (ys.(!hi) -. ys.(!lo)))
+  end
+
+let resample a n =
+  let m = Array.length a in
+  assert (m >= 1 && n >= 1);
+  if m = n then Array.copy a
+  else if m = 1 then Array.make n a.(0)
+  else
+    let xs = linspace 0. 1. m in
+    let ts = linspace 0. 1. n in
+    Array.map (fun t -> interp1 ~xs ~ys:a t) ts
+
+let cumsum a =
+  let acc = ref 0. in
+  Array.map
+    (fun x ->
+      acc := !acc +. x;
+      !acc)
+    a
+
+let argmax a =
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+let equal_eps ~eps a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a b

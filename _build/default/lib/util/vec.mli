@@ -1,0 +1,52 @@
+(** Operations on [float array] vectors.
+
+    These are the low-level signal helpers shared by the dataset
+    generators, the augmentation library and the signal-processing
+    substrate. All functions are pure unless stated otherwise. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace a b n] is [n] evenly spaced points from [a] to [b]
+    inclusive. Requires [n >= 2]. *)
+
+val arange : int -> float array
+(** [arange n] is [[|0.; 1.; ...; float (n-1)|]]. *)
+
+val map2 : (float -> float -> float) -> float array -> float array -> float array
+(** Pointwise combination; requires equal lengths. *)
+
+val add : float array -> float array -> float array
+val sub : float array -> float array -> float array
+val mul : float array -> float array -> float array
+val scale : float -> float array -> float array
+val offset : float -> float array -> float array
+
+val dot : float array -> float array -> float
+val sum : float array -> float
+val mean : float array -> float
+val min : float array -> float
+val max : float array -> float
+
+val norm2 : float array -> float
+(** Euclidean norm. *)
+
+val clip : lo:float -> hi:float -> float array -> float array
+
+val normalize_range : ?lo:float -> ?hi:float -> float array -> float array
+(** Affine rescale of the values into [lo, hi] (defaults [-1, 1]).
+    A constant vector maps to the midpoint. *)
+
+val interp1 : xs:float array -> ys:float array -> float -> float
+(** Piecewise-linear interpolation of the sample points [(xs, ys)]
+    (xs strictly increasing). Clamps outside the domain. *)
+
+val resample : float array -> int -> float array
+(** Linear resampling of a series to a new length, preserving the
+    endpoints. Used to resize every dataset to length 64, and by
+    random-crop / time-warp augmentation. *)
+
+val cumsum : float array -> float array
+
+val argmax : float array -> int
+
+val equal_eps : eps:float -> float array -> float array -> bool
+(** Pointwise comparison with absolute tolerance. *)

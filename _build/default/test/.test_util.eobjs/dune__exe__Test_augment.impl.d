@@ -1,0 +1,1 @@
+test/test_augment.ml: Alcotest Array Float List Pnc_augment Pnc_data Pnc_util Printf QCheck QCheck_alcotest Set

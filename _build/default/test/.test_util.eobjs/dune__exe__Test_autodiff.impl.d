@@ -1,0 +1,1 @@
+test/test_autodiff.ml: Alcotest Array Float List Pnc_autodiff Pnc_tensor Pnc_util QCheck QCheck_alcotest

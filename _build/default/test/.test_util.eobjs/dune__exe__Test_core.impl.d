@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List Pnc_autodiff Pnc_core Pnc_data Pnc_signal Pnc_tensor Pnc_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Float List Pnc_data Pnc_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Array List Pnc_core Pnc_exp Pnc_util

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Array Float List Pnc_autodiff Pnc_core Pnc_data Pnc_exp Pnc_spice Pnc_tensor Pnc_util Printf String

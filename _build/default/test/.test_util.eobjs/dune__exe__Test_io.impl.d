@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Filename Float Fun List Pnc_core Pnc_data Pnc_signal Pnc_spice Pnc_util Printf QCheck QCheck_alcotest String Sys

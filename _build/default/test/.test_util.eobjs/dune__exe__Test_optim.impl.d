@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Float List Pnc_autodiff Pnc_optim Pnc_tensor Pnc_util QCheck QCheck_alcotest

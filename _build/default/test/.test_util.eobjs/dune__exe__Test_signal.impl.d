@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest Array Complex Float Gen List Pnc_signal Pnc_util Printf QCheck QCheck_alcotest

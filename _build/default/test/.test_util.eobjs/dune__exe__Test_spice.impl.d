@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Complex Float List Pnc_signal Pnc_spice Pnc_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Format List Pnc_tensor Pnc_util Printf QCheck QCheck_alcotest

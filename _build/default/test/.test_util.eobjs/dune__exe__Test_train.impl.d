@@ -1,0 +1,1 @@
+test/test_train.ml: Alcotest Array Float List Pnc_autodiff Pnc_core Pnc_data Pnc_tensor Pnc_util Printf

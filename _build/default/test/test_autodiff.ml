@@ -1,0 +1,392 @@
+(* Tests for the reverse-mode autodiff engine, centred on comparing
+   analytic gradients against central finite differences. *)
+
+module T = Pnc_tensor.Tensor
+module Var = Pnc_autodiff.Var
+module Loss = Pnc_autodiff.Loss
+module Rng = Pnc_util.Rng
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+(* Numerically check d(f)/d(params) against backward on a fresh graph per
+   evaluation. [f] must rebuild the graph from the given leaf tensors. *)
+let gradient_check ?(h = 1e-5) ?(tol = 1e-4) ~params ~f () =
+  let leaves = List.map Var.param params in
+  let out = f leaves in
+  List.iter Var.zero_grad leaves;
+  Var.backward out;
+  let analytic = List.map (fun v -> T.copy (Var.grad v)) leaves in
+  List.iteri
+    (fun pi p ->
+      let g = List.nth analytic pi in
+      for r = 0 to T.rows p - 1 do
+        for c = 0 to T.cols p - 1 do
+          let orig = T.get p r c in
+          T.set p r c (orig +. h);
+          let f_plus = T.get_scalar (Var.value (f (List.map Var.param params))) in
+          T.set p r c (orig -. h);
+          let f_minus = T.get_scalar (Var.value (f (List.map Var.param params))) in
+          T.set p r c orig;
+          let fd = (f_plus -. f_minus) /. (2. *. h) in
+          let an = T.get g r c in
+          let scale = Float.max 1. (Float.max (Float.abs fd) (Float.abs an)) in
+          if Float.abs (fd -. an) /. scale > tol then
+            Alcotest.failf "grad mismatch param %d (%d,%d): fd=%.8f analytic=%.8f" pi r c fd an
+        done
+      done)
+    params
+
+let rand_t rng ~rows ~cols = T.uniform rng ~rows ~cols ~lo:(-1.5) ~hi:1.5
+let rand_pos rng ~rows ~cols = T.uniform rng ~rows ~cols ~lo:0.2 ~hi:2.
+
+let scalarize v = Var.sum v
+
+(* Basic op values -------------------------------------------------------- *)
+
+let test_values () =
+  let a = Var.const (T.of_row [| 1.; -2. |]) in
+  let b = Var.const (T.of_row [| 3.; 4. |]) in
+  let check name expected v =
+    Alcotest.(check bool) name true (T.equal_eps ~eps:1e-9 (T.of_row expected) (Var.value v))
+  in
+  check "add" [| 4.; 2. |] (Var.add a b);
+  check "sub" [| -2.; -6. |] (Var.sub a b);
+  check "mul" [| 3.; -8. |] (Var.mul a b);
+  check "div" [| 1. /. 3.; -0.5 |] (Var.div a b);
+  check "abs" [| 1.; 2. |] (Var.abs a);
+  check "neg" [| -1.; 2. |] (Var.neg a);
+  check "relu" [| 1.; 0. |] (Var.relu a);
+  Alcotest.(check bool) "tanh value" true
+    (approx ~eps:1e-12 (tanh 1.) (T.get (Var.value (Var.tanh a)) 0 0))
+
+let test_backward_simple () =
+  (* d/dx sum (x * x) = 2x *)
+  let x = Var.param (T.of_row [| 1.; 2.; 3. |]) in
+  let out = Var.sum (Var.mul x x) in
+  Var.backward out;
+  Alcotest.(check bool) "2x" true
+    (T.equal_eps ~eps:1e-12 (T.of_row [| 2.; 4.; 6. |]) (Var.grad x))
+
+let test_backward_accumulates_reuse () =
+  (* y = sum(x + x): the same node used twice must receive both
+     contributions. *)
+  let x = Var.param (T.of_row [| 1.; 1. |]) in
+  let out = Var.sum (Var.add x x) in
+  Var.backward out;
+  Alcotest.(check bool) "grad = 2" true
+    (T.equal_eps ~eps:1e-12 (T.of_row [| 2.; 2. |]) (Var.grad x))
+
+let test_zero_grad () =
+  let x = Var.param (T.of_row [| 3. |]) in
+  let run () = Var.backward (Var.sum (Var.mul x x)) in
+  run ();
+  run ();
+  Alcotest.(check bool) "two backwards accumulate" true
+    (approx ~eps:1e-12 12. (T.get (Var.grad x) 0 0));
+  Var.zero_grad x;
+  run ();
+  Alcotest.(check bool) "after zero_grad" true (approx ~eps:1e-12 6. (T.get (Var.grad x) 0 0))
+
+let test_const_gets_no_grad () =
+  let x = Var.param (T.of_row [| 2. |]) in
+  let c = Var.const (T.of_row [| 5. |]) in
+  Var.backward (Var.sum (Var.mul x c));
+  Alcotest.(check bool) "const requires no grad" false (Var.requires_grad c);
+  Alcotest.(check bool) "param grad = c" true (approx ~eps:1e-12 5. (T.get (Var.grad x) 0 0))
+
+(* Finite-difference checks on each op ------------------------------------ *)
+
+let fd_case name build =
+  Alcotest.test_case name `Quick (fun () -> build ())
+
+let rng = Rng.create ~seed:2024
+
+let test_fd_elementwise () =
+  let a = rand_t rng ~rows:3 ~cols:2 and b = rand_pos rng ~rows:3 ~cols:2 in
+  gradient_check ~params:[ a; b ]
+    ~f:(fun vs ->
+      match vs with
+      | [ x; y ] -> scalarize (Var.mul (Var.add x y) (Var.div x y))
+      | _ -> assert false)
+    ()
+
+let test_fd_matmul () =
+  let a = rand_t rng ~rows:3 ~cols:4 and b = rand_t rng ~rows:4 ~cols:2 in
+  gradient_check ~params:[ a; b ]
+    ~f:(fun vs ->
+      match vs with
+      | [ x; y ] -> scalarize (Var.matmul x y)
+      | _ -> assert false)
+    ()
+
+let test_fd_tanh_chain () =
+  let a = rand_t rng ~rows:2 ~cols:3 in
+  gradient_check ~params:[ a ]
+    ~f:(fun vs ->
+      match vs with
+      | [ x ] -> scalarize (Var.tanh (Var.scale 0.7 (Var.add_scalar 0.1 x)))
+      | _ -> assert false)
+    ()
+
+let test_fd_sigmoid_softplus () =
+  let a = rand_t rng ~rows:2 ~cols:2 in
+  gradient_check ~params:[ a ]
+    ~f:(fun vs ->
+      match vs with
+      | [ x ] -> scalarize (Var.mul (Var.sigmoid x) (Var.softplus x))
+      | _ -> assert false)
+    ()
+
+let test_fd_exp_log () =
+  let a = rand_pos rng ~rows:2 ~cols:2 in
+  gradient_check ~params:[ a ]
+    ~f:(fun vs ->
+      match vs with
+      | [ x ] -> scalarize (Var.log (Var.add_scalar 0.5 (Var.exp (Var.scale 0.3 x))))
+      | _ -> assert false)
+    ()
+
+let test_fd_abs () =
+  (* keep away from the kink at 0 *)
+  let a = T.of_rows [| [| 0.7; -1.3 |]; [| 2.1; -0.4 |] |] in
+  gradient_check ~params:[ a ]
+    ~f:(fun vs -> match vs with [ x ] -> scalarize (Var.abs x) | _ -> assert false)
+    ()
+
+let test_fd_broadcast () =
+  let m = rand_t rng ~rows:4 ~cols:3 in
+  let rv = rand_pos rng ~rows:1 ~cols:3 in
+  gradient_check ~params:[ m; rv ]
+    ~f:(fun vs ->
+      match vs with
+      | [ x; r ] -> scalarize (Var.tanh (Var.div_rv (Var.mul_rv (Var.add_rv x r) r) (Var.add_scalar 1. (Var.abs r))))
+      | _ -> assert false)
+    ()
+
+let test_fd_sub_rv () =
+  let m = rand_t rng ~rows:3 ~cols:2 in
+  let rv = rand_t rng ~rows:1 ~cols:2 in
+  gradient_check ~params:[ m; rv ]
+    ~f:(fun vs ->
+      match vs with
+      | [ x; r ] -> scalarize (Var.sqr (Var.sub_rv x r))
+      | _ -> assert false)
+    ()
+
+let test_fd_sum_rows () =
+  let m = rand_t rng ~rows:4 ~cols:3 in
+  gradient_check ~params:[ m ]
+    ~f:(fun vs ->
+      match vs with
+      | [ x ] -> scalarize (Var.sqr (Var.sum_rows x))
+      | _ -> assert false)
+    ()
+
+let test_fd_concat_cols () =
+  let a = rand_t rng ~rows:3 ~cols:2 and b = rand_t rng ~rows:3 ~cols:1 in
+  gradient_check ~params:[ a; b ]
+    ~f:(fun vs ->
+      match vs with
+      | [ x; y ] -> scalarize (Var.sqr (Var.concat_cols [ x; y ]))
+      | _ -> assert false)
+    ()
+
+let test_fd_reciprocal_transpose () =
+  let a = rand_pos rng ~rows:2 ~cols:3 in
+  gradient_check ~params:[ a ]
+    ~f:(fun vs ->
+      match vs with
+      | [ x ] -> scalarize (Var.reciprocal (Var.transpose x))
+      | _ -> assert false)
+    ()
+
+let test_fd_mean () =
+  let a = rand_t rng ~rows:3 ~cols:3 in
+  gradient_check ~params:[ a ]
+    ~f:(fun vs -> match vs with [ x ] -> Var.mean (Var.sqr x) | _ -> assert false)
+    ()
+
+let test_fd_recurrence () =
+  (* Mimics the filter unrolling: s_{k+1} = a ∘ s_k + b ∘ x_k over 5 steps. *)
+  let coeff_a = T.uniform rng ~rows:1 ~cols:3 ~lo:0.1 ~hi:0.9 in
+  let coeff_b = T.uniform rng ~rows:1 ~cols:3 ~lo:0.1 ~hi:0.9 in
+  let xs = Array.init 5 (fun _ -> rand_t rng ~rows:2 ~cols:3) in
+  gradient_check ~params:[ coeff_a; coeff_b ]
+    ~f:(fun vs ->
+      match vs with
+      | [ a; b ] ->
+          let state = ref (Var.const (T.zeros ~rows:2 ~cols:3)) in
+          Array.iter
+            (fun x -> state := Var.add (Var.mul_rv !state a) (Var.mul_rv (Var.const x) b))
+            xs;
+          scalarize (Var.sqr !state)
+      | _ -> assert false)
+    ()
+
+let test_fd_affine_rv () =
+  (* The fused filter-update op against finite differences. *)
+  let s = rand_t rng ~rows:3 ~cols:4 in
+  let a = rand_pos rng ~rows:1 ~cols:4 in
+  let x = rand_t rng ~rows:3 ~cols:4 in
+  let b = rand_pos rng ~rows:1 ~cols:4 in
+  gradient_check ~params:[ s; a; x; b ]
+    ~f:(fun vs ->
+      match vs with
+      | [ s; a; x; b ] -> scalarize (Var.sqr (Var.affine_rv s a x b))
+      | _ -> assert false)
+    ()
+
+let test_affine_rv_value () =
+  let s = Var.const (T.of_rows [| [| 1.; 2. |] |]) in
+  let a = Var.const (T.of_row [| 0.5; 0.5 |]) in
+  let x = Var.const (T.of_rows [| [| 4.; 8. |] |]) in
+  let b = Var.const (T.of_row [| 0.25; 0.125 |]) in
+  let out = Var.value (Var.affine_rv s a x b) in
+  Alcotest.(check bool) "fused = s.a + x.b" true
+    (T.equal_eps ~eps:1e-12 (T.of_rows [| [| 1.5; 2. |] |]) out)
+
+let test_affine_rv_equals_unfused () =
+  let mk () = rand_t rng ~rows:4 ~cols:3 in
+  let s = Var.param (mk ()) and x = Var.param (mk ()) in
+  let a = Var.param (rand_pos rng ~rows:1 ~cols:3) in
+  let b = Var.param (rand_pos rng ~rows:1 ~cols:3) in
+  let fused = Var.affine_rv s a x b in
+  let unfused = Var.add (Var.mul_rv s a) (Var.mul_rv x b) in
+  Alcotest.(check bool) "same forward" true
+    (T.equal_eps ~eps:1e-12 (Var.value fused) (Var.value unfused));
+  (* same gradients *)
+  List.iter Var.zero_grad [ s; a; x; b ];
+  Var.backward (Var.sum (Var.sqr fused));
+  let g_fused = List.map (fun v -> T.copy (Var.grad v)) [ s; a; x; b ] in
+  List.iter Var.zero_grad [ s; a; x; b ];
+  Var.backward (Var.sum (Var.sqr unfused));
+  let g_unfused = List.map (fun v -> T.copy (Var.grad v)) [ s; a; x; b ] in
+  List.iter2
+    (fun gf gu -> Alcotest.(check bool) "same gradient" true (T.equal_eps ~eps:1e-10 gf gu))
+    g_fused g_unfused
+
+let test_deep_chain_no_stack_overflow () =
+  (* 10k-node chains must not blow the stack in backward. *)
+  let x = Var.param (T.of_row [| 0.5 |]) in
+  let y = ref x in
+  for _ = 1 to 10_000 do
+    y := Var.scale 0.9999 !y
+  done;
+  Var.backward (Var.sum !y);
+  Alcotest.(check bool) "grad finite" true (Float.is_finite (T.get (Var.grad x) 0 0))
+
+(* Softmax cross-entropy --------------------------------------------------- *)
+
+let test_ce_value () =
+  (* Uniform logits over C classes -> loss = log C. *)
+  let logits = Var.param (T.zeros ~rows:4 ~cols:3) in
+  let labels = [| 0; 1; 2; 0 |] in
+  let l = Loss.softmax_cross_entropy ~logits ~labels in
+  Alcotest.(check bool) "log C" true (approx ~eps:1e-9 (log 3.) (T.get_scalar (Var.value l)))
+
+let test_ce_gradient () =
+  let logits = rand_t rng ~rows:5 ~cols:4 in
+  let labels = [| 0; 3; 1; 2; 2 |] in
+  gradient_check ~tol:1e-3
+    ~params:[ logits ]
+    ~f:(fun vs ->
+      match vs with
+      | [ x ] -> Loss.softmax_cross_entropy ~logits:x ~labels
+      | _ -> assert false)
+    ()
+
+let test_ce_perfect_prediction () =
+  let logits = Var.param (T.of_rows [| [| 30.; 0.; 0. |]; [| 0.; 30.; 0. |] |]) in
+  let l = Loss.softmax_cross_entropy ~logits ~labels:[| 0; 1 |] in
+  Alcotest.(check bool) "near zero" true (T.get_scalar (Var.value l) < 1e-9)
+
+let test_softmax_rows () =
+  let p = Loss.softmax_rows (T.of_rows [| [| 1.; 1.; 1. |]; [| 100.; 0.; 0. |] |]) in
+  Alcotest.(check bool) "uniform row" true (approx ~eps:1e-9 (1. /. 3.) (T.get p 0 0));
+  Alcotest.(check bool) "saturated row" true (approx ~eps:1e-9 1. (T.get p 1 0));
+  Alcotest.(check bool) "rows sum to one" true (approx ~eps:1e-9 2. (T.sum p))
+
+let test_mse () =
+  let pred = Var.param (T.of_row [| 1.; 2. |]) in
+  let l = Loss.mse ~pred ~target:(T.of_row [| 0.; 0. |]) in
+  Alcotest.(check bool) "mse value" true (approx ~eps:1e-12 2.5 (T.get_scalar (Var.value l)))
+
+let test_requires_grad_propagation () =
+  let p = Var.param (T.of_row [| 1. |]) in
+  let c = Var.const (T.of_row [| 2. |]) in
+  Alcotest.(check bool) "param requires" true (Var.requires_grad p);
+  Alcotest.(check bool) "const does not" false (Var.requires_grad c);
+  Alcotest.(check bool) "mix requires" true (Var.requires_grad (Var.mul p c));
+  Alcotest.(check bool) "const-only does not" false (Var.requires_grad (Var.mul c c))
+
+let test_predictions () =
+  let logits = T.of_rows [| [| 0.1; 0.9 |]; [| 2.0; -1.0 |] |] in
+  Alcotest.(check (array int)) "argmax rows" [| 1; 0 |] (Loss.predictions logits)
+
+let test_n_nodes () =
+  let x = Var.param (T.of_row [| 1. |]) in
+  let y = Var.sum (Var.mul x x) in
+  Alcotest.(check int) "node count" 3 (Var.n_nodes y)
+
+(* Property: gradient of random polynomial DAGs matches FD ---------------- *)
+
+let prop_random_dag =
+  QCheck.Test.make ~count:30 ~name:"random DAG gradients match finite differences"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let a = rand_t rng ~rows:2 ~cols:2 and b = rand_pos rng ~rows:2 ~cols:2 in
+      gradient_check ~tol:3e-3 ~params:[ a; b ]
+        ~f:(fun vs ->
+          match vs with
+          | [ x; y ] ->
+              let z = Var.add (Var.tanh (Var.matmul x y)) (Var.sigmoid (Var.sub x y)) in
+              Var.mean (Var.mul z z)
+          | _ -> assert false)
+        ();
+      true)
+
+let () =
+  Alcotest.run "pnc_autodiff"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "op values" `Quick test_values;
+          Alcotest.test_case "backward x*x" `Quick test_backward_simple;
+          Alcotest.test_case "reuse accumulates" `Quick test_backward_accumulates_reuse;
+          Alcotest.test_case "zero_grad" `Quick test_zero_grad;
+          Alcotest.test_case "const gets no grad" `Quick test_const_gets_no_grad;
+          Alcotest.test_case "requires_grad propagation" `Quick test_requires_grad_propagation;
+          Alcotest.test_case "predictions" `Quick test_predictions;
+          Alcotest.test_case "node count" `Quick test_n_nodes;
+        ] );
+      ( "finite-differences",
+        [
+          fd_case "elementwise mix" test_fd_elementwise;
+          fd_case "matmul" test_fd_matmul;
+          fd_case "tanh chain" test_fd_tanh_chain;
+          fd_case "sigmoid*softplus" test_fd_sigmoid_softplus;
+          fd_case "exp/log" test_fd_exp_log;
+          fd_case "abs" test_fd_abs;
+          fd_case "broadcast rv ops" test_fd_broadcast;
+          fd_case "sub_rv" test_fd_sub_rv;
+          fd_case "sum_rows" test_fd_sum_rows;
+          fd_case "concat_cols" test_fd_concat_cols;
+          fd_case "reciprocal+transpose" test_fd_reciprocal_transpose;
+          fd_case "mean" test_fd_mean;
+          fd_case "unrolled recurrence" test_fd_recurrence;
+          fd_case "affine_rv (fused)" test_fd_affine_rv;
+          Alcotest.test_case "affine_rv value" `Quick test_affine_rv_value;
+          Alcotest.test_case "affine_rv = unfused" `Quick test_affine_rv_equals_unfused;
+          Alcotest.test_case "deep chain" `Quick test_deep_chain_no_stack_overflow;
+        ] );
+      ( "loss",
+        [
+          Alcotest.test_case "CE uniform value" `Quick test_ce_value;
+          Alcotest.test_case "CE gradient" `Quick test_ce_gradient;
+          Alcotest.test_case "CE perfect prediction" `Quick test_ce_perfect_prediction;
+          Alcotest.test_case "softmax rows" `Quick test_softmax_rows;
+          Alcotest.test_case "mse" `Quick test_mse;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_dag ]);
+    ]

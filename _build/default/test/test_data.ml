@@ -1,0 +1,244 @@
+(* Tests for the dataset container and the 15 synthetic generators. *)
+
+module Dataset = Pnc_data.Dataset
+module Registry = Pnc_data.Registry
+module Rng = Pnc_util.Rng
+module Vec = Pnc_util.Vec
+module Stats = Pnc_util.Stats
+
+let mk_toy () =
+  let x = Array.init 10 (fun i -> Array.init 8 (fun j -> float_of_int ((i * 8) + j))) in
+  let y = Array.init 10 (fun i -> i mod 2) in
+  Dataset.make ~name:"toy" ~n_classes:2 ~x ~y
+
+(* Dataset container ------------------------------------------------------- *)
+
+let test_make_and_shape () =
+  let d = mk_toy () in
+  Alcotest.(check int) "samples" 10 (Dataset.n_samples d);
+  Alcotest.(check int) "length" 8 (Dataset.length d);
+  Alcotest.(check (array int)) "class counts" [| 5; 5 |] (Dataset.class_counts d)
+
+let test_resize () =
+  let d = Dataset.resize (mk_toy ()) 64 in
+  Alcotest.(check int) "new length" 64 (Dataset.length d);
+  (* endpoints preserved by linear resampling *)
+  Alcotest.(check (float 1e-9)) "first" 0. d.Dataset.x.(0).(0);
+  Alcotest.(check (float 1e-9)) "last" 7. d.Dataset.x.(0).(63)
+
+let test_normalize () =
+  let d = Dataset.normalize (mk_toy ()) in
+  Array.iter
+    (fun s ->
+      Alcotest.(check (float 1e-9)) "min -1" (-1.) (Vec.min s);
+      Alcotest.(check (float 1e-9)) "max 1" 1. (Vec.max s))
+    d.Dataset.x
+
+let test_shuffle_preserves_pairs () =
+  let d = mk_toy () in
+  let s = Dataset.shuffle (Rng.create ~seed:3) d in
+  (* In the toy set, sample i starts with value 8*i and label i mod 2:
+     the pairing must survive the shuffle. *)
+  Array.iteri
+    (fun i series ->
+      let orig = int_of_float series.(0) / 8 in
+      Alcotest.(check int) "label follows series" (orig mod 2) s.Dataset.y.(i))
+    s.Dataset.x
+
+let test_split_fractions () =
+  let d = Registry.load ~seed:0 "CBF" in
+  let { Dataset.train; valid; test } = Dataset.preprocess (Rng.create ~seed:1) d in
+  let n = Dataset.n_samples d in
+  Alcotest.(check int) "total preserved" n
+    (Dataset.n_samples train + Dataset.n_samples valid + Dataset.n_samples test);
+  let frac x = float_of_int (Dataset.n_samples x) /. float_of_int n in
+  Alcotest.(check bool) "train ~60%" true (Float.abs (frac train -. 0.6) < 0.02);
+  Alcotest.(check bool) "valid ~20%" true (Float.abs (frac valid -. 0.2) < 0.02);
+  Alcotest.(check int) "preprocessed length" 64 (Dataset.length train)
+
+let test_split_no_overlap () =
+  (* Different splits partition the sample set: series in train must not
+     reappear in test (generators make duplicate series vanishingly
+     unlikely). *)
+  let d = Registry.load ~seed:5 "PowerCons" in
+  let { Dataset.train; test; _ } = Dataset.preprocess (Rng.create ~seed:7) d in
+  Array.iter
+    (fun s ->
+      Array.iter
+        (fun t ->
+          if Vec.equal_eps ~eps:0. s t then Alcotest.fail "series appears in both splits")
+        test.Dataset.x)
+    train.Dataset.x
+
+let test_concat () =
+  let a = mk_toy () and b = mk_toy () in
+  let c = Dataset.concat a b in
+  Alcotest.(check int) "doubled" 20 (Dataset.n_samples c)
+
+let test_map_series () =
+  let d = Dataset.map_series (Array.map (fun x -> 2. *. x)) (mk_toy ()) in
+  Alcotest.(check (float 1e-9)) "doubled values" 2. d.Dataset.x.(0).(1)
+
+(* Generators ---------------------------------------------------------------- *)
+
+let test_registry_complete () =
+  Alcotest.(check int) "15 datasets" 15 (List.length Registry.all);
+  let expected =
+    [ "CBF"; "DPTW"; "FRT"; "FST"; "GPAS"; "GPMVF"; "GPOVY"; "MPOAG"; "MSRT";
+      "PowerCons"; "PPOC"; "SRSCP2"; "Slope"; "SmoothS"; "Symbols" ]
+  in
+  Alcotest.(check (list string)) "paper order" expected Registry.names
+
+let test_generators_shapes () =
+  List.iter
+    (fun spec ->
+      let d = Registry.load ~seed:42 spec.Registry.name in
+      Alcotest.(check string) "name" spec.Registry.name d.Pnc_data.Dataset.name;
+      Alcotest.(check int) "classes" spec.Registry.n_classes d.Pnc_data.Dataset.n_classes;
+      Alcotest.(check int) "samples" spec.Registry.default_n (Dataset.n_samples d);
+      Alcotest.(check int) "length" 128 (Dataset.length d);
+      Array.iter
+        (fun s -> Array.iter (fun v -> if Float.is_nan v then Alcotest.fail "NaN in series") s)
+        d.Pnc_data.Dataset.x)
+    Registry.all
+
+let test_generators_deterministic () =
+  List.iter
+    (fun name ->
+      let a = Registry.load ~seed:11 name and b = Registry.load ~seed:11 name in
+      Alcotest.(check bool) (name ^ " deterministic") true
+        (Array.for_all2 (Vec.equal_eps ~eps:0.) a.Pnc_data.Dataset.x b.Pnc_data.Dataset.x))
+    Registry.names
+
+let test_generators_seed_sensitivity () =
+  let a = Registry.load ~seed:1 "CBF" and b = Registry.load ~seed:2 "CBF" in
+  Alcotest.(check bool) "different seeds differ" false
+    (Array.for_all2 (Vec.equal_eps ~eps:0.) a.Pnc_data.Dataset.x b.Pnc_data.Dataset.x)
+
+let test_classes_all_present () =
+  List.iter
+    (fun spec ->
+      let d = Registry.load ~seed:3 spec.Registry.name in
+      let counts = Dataset.class_counts d in
+      Array.iteri
+        (fun c k ->
+          if k = 0 then Alcotest.failf "%s: class %d empty" spec.Registry.name c)
+        counts;
+      (* roughly balanced: each class within a factor 2 of the expected share *)
+      let expected = float_of_int (Dataset.n_samples d) /. float_of_int spec.Registry.n_classes in
+      Array.iter
+        (fun k ->
+          let f = float_of_int k in
+          if f < expected /. 2. || f > expected *. 2. then
+            Alcotest.failf "%s: class imbalance (%d vs expected %.0f)" spec.Registry.name k expected)
+        counts)
+    Registry.all
+
+(* A 1-nearest-neighbour sanity check: each generated dataset must carry
+   class signal (well above chance), and the near-chance datasets must
+   stay hard. *)
+let nn_accuracy d =
+  let { Dataset.train; test; _ } = Dataset.preprocess (Rng.create ~seed:5) d in
+  let dist a b =
+    let acc = ref 0. in
+    Array.iteri (fun i x -> acc := !acc +. ((x -. b.(i)) ** 2.)) a;
+    !acc
+  in
+  let predict s =
+    let best = ref 0 and best_d = ref infinity in
+    Array.iteri
+      (fun i tr ->
+        let dd = dist s tr in
+        if dd < !best_d then begin
+          best_d := dd;
+          best := train.Dataset.y.(i)
+        end)
+      train.Dataset.x;
+    !best
+  in
+  let pred = Array.map predict test.Dataset.x in
+  Stats.accuracy ~pred ~truth:test.Dataset.y
+
+let test_class_signal () =
+  List.iter
+    (fun (name, min_acc) ->
+      let d = Registry.load ~seed:17 name in
+      let acc = nn_accuracy d in
+      if acc < min_acc then Alcotest.failf "%s: 1-NN accuracy %.3f below %.3f" name acc min_acc)
+    [
+      ("CBF", 0.75); ("GPOVY", 0.9); ("PowerCons", 0.85); ("SmoothS", 0.8);
+      ("Slope", 0.7); ("Symbols", 0.8); ("FRT", 0.7);
+    ]
+
+let test_hard_datasets_stay_hard () =
+  let d = Registry.load ~seed:17 "SRSCP2" in
+  let acc = nn_accuracy d in
+  Alcotest.(check bool) (Printf.sprintf "SRSCP2 near chance (%.3f)" acc) true (acc < 0.8)
+
+let test_load_unknown_raises () =
+  Alcotest.check_raises "unknown dataset" Not_found (fun () ->
+      ignore (Registry.load ~seed:0 "NoSuchDataset"))
+
+let expect_assert name f =
+  match f () with
+  | exception Assert_failure _ -> ()
+  | _ -> Alcotest.fail ("expected assertion: " ^ name)
+
+let test_make_validation () =
+  expect_assert "mismatched labels" (fun () ->
+      Dataset.make ~name:"x" ~n_classes:2 ~x:[| [| 1. |] |] ~y:[| 0; 1 |]);
+  expect_assert "label out of range" (fun () ->
+      Dataset.make ~name:"x" ~n_classes:2 ~x:[| [| 1. |] |] ~y:[| 2 |]);
+  expect_assert "ragged series" (fun () ->
+      Dataset.make ~name:"x" ~n_classes:1 ~x:[| [| 1. |]; [| 1.; 2. |] |] ~y:[| 0; 0 |]);
+  expect_assert "empty" (fun () -> Dataset.make ~name:"x" ~n_classes:1 ~x:[||] ~y:[||])
+
+let test_concat_validation () =
+  let a = mk_toy () in
+  let b = Dataset.resize a 16 in
+  expect_assert "length mismatch" (fun () -> Dataset.concat a b)
+
+let test_custom_n_override () =
+  let d = Registry.load ~seed:0 ~n:33 "CBF" in
+  Alcotest.(check int) "n override" 33 (Dataset.n_samples d)
+
+let prop_generator_finite =
+  QCheck.Test.make ~count:30 ~name:"generated series are finite and bounded"
+    QCheck.(pair (int_range 0 1000) (int_range 0 14))
+    (fun (seed, idx) ->
+      let name = List.nth Registry.names idx in
+      let d = Registry.load ~seed ~n:20 name in
+      Array.for_all
+        (fun s -> Array.for_all (fun v -> Float.is_finite v && Float.abs v < 100.) s)
+        d.Pnc_data.Dataset.x)
+
+let () =
+  Alcotest.run "pnc_data"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "make/shape" `Quick test_make_and_shape;
+          Alcotest.test_case "resize" `Quick test_resize;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "shuffle keeps pairs" `Quick test_shuffle_preserves_pairs;
+          Alcotest.test_case "split fractions" `Quick test_split_fractions;
+          Alcotest.test_case "split no overlap" `Quick test_split_no_overlap;
+          Alcotest.test_case "concat" `Quick test_concat;
+          Alcotest.test_case "map_series" `Quick test_map_series;
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "concat validation" `Quick test_concat_validation;
+          Alcotest.test_case "n override" `Quick test_custom_n_override;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "registry complete" `Quick test_registry_complete;
+          Alcotest.test_case "shapes" `Quick test_generators_shapes;
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_generators_seed_sensitivity;
+          Alcotest.test_case "classes present+balanced" `Quick test_classes_all_present;
+          Alcotest.test_case "class signal (1-NN)" `Quick test_class_signal;
+          Alcotest.test_case "hard datasets stay hard" `Quick test_hard_datasets_stay_hard;
+          Alcotest.test_case "unknown raises" `Quick test_load_unknown_raises;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_generator_finite ]);
+    ]

@@ -1,0 +1,259 @@
+(* Tests for the interop/diagnostic modules: UCR TSV loading, dataset
+   diagnostics, spectral estimation and SPICE deck parsing. *)
+
+module Dataset = Pnc_data.Dataset
+module Ucr_io = Pnc_data.Ucr_io
+module Describe = Pnc_data.Describe
+module Registry = Pnc_data.Registry
+module Spectrum = Pnc_signal.Spectrum
+module Circuit = Pnc_spice.Circuit
+module Deck = Pnc_spice.Deck
+module Parse = Pnc_spice.Parse
+module Rng = Pnc_util.Rng
+module Vec = Pnc_util.Vec
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+(* Ucr_io ------------------------------------------------------------------- *)
+
+let sample_tsv = "1\t0.5\t0.25\t-0.5\n-1\t1.0\t0.0\t-1.0\n1\t0.1\t0.2\t0.3\n"
+
+let test_parse_tsv () =
+  let d = Ucr_io.parse ~name:"toy" sample_tsv in
+  Alcotest.(check int) "samples" 3 (Dataset.n_samples d);
+  Alcotest.(check int) "length" 3 (Dataset.length d);
+  Alcotest.(check int) "classes" 2 d.Dataset.n_classes;
+  (* label 1 first seen -> class 0; -1 -> class 1 *)
+  Alcotest.(check (array int)) "remapped labels" [| 0; 1; 0 |] d.Dataset.y;
+  Alcotest.(check (float 1e-12)) "value" 0.25 d.Dataset.x.(0).(1)
+
+let test_parse_csv_variant () =
+  let d = Ucr_io.parse ~name:"csv" "0,1.5,2.5\n1,3.5,4.5\n" in
+  Alcotest.(check int) "samples" 2 (Dataset.n_samples d);
+  Alcotest.(check (float 1e-12)) "comma values" 4.5 d.Dataset.x.(1).(1)
+
+let test_parse_blank_lines_skipped () =
+  let d = Ucr_io.parse ~name:"b" "0\t1\t2\n\n\n1\t3\t4\n" in
+  Alcotest.(check int) "two samples" 2 (Dataset.n_samples d)
+
+let test_parse_errors () =
+  let expect_failure name contents =
+    match Ucr_io.parse ~name:"x" contents with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail ("expected Failure: " ^ name)
+  in
+  expect_failure "ragged" "0\t1\t2\n1\t3\n";
+  expect_failure "non-numeric" "0\tabc\n";
+  expect_failure "label only" "0\n";
+  expect_failure "empty" "\n\n"
+
+let test_roundtrip_through_tsv () =
+  let d = Registry.load ~seed:3 ~n:20 "CBF" in
+  let d2 = Ucr_io.parse ~name:"CBF" (Ucr_io.to_string d) in
+  Alcotest.(check int) "samples preserved" (Dataset.n_samples d) (Dataset.n_samples d2);
+  Alcotest.(check bool) "series preserved" true
+    (Array.for_all2 (Vec.equal_eps ~eps:1e-9) d.Dataset.x d2.Dataset.x);
+  Alcotest.(check (array int)) "labels preserved" d.Dataset.y d2.Dataset.y
+
+let test_file_io () =
+  let d = Registry.load ~seed:4 ~n:10 "Slope" in
+  let path = Filename.temp_file "pnc_ucr" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ucr_io.save_file d path;
+      let d2 = Ucr_io.load_file path in
+      Alcotest.(check int) "loaded samples" 10 (Dataset.n_samples d2))
+
+let test_default_name_strips_suffix () =
+  let d = Registry.load ~seed:4 ~n:6 "Slope" in
+  let dir = Filename.get_temp_dir_name () in
+  let path = Filename.concat dir "Coffee_TRAIN.tsv" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Ucr_io.save_file d path;
+      let d2 = Ucr_io.load_file path in
+      Alcotest.(check string) "suffix stripped" "Coffee" d2.Dataset.name)
+
+let test_load_pair () =
+  let d = Registry.load ~seed:4 ~n:12 "Slope" in
+  let dir = Filename.get_temp_dir_name () in
+  let train = Filename.concat dir "pnc_pair_TRAIN.tsv" in
+  let test = Filename.concat dir "pnc_pair_TEST.tsv" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ train; test ])
+    (fun () ->
+      Ucr_io.save_file d train;
+      Ucr_io.save_file d test;
+      let pair = Ucr_io.load_pair ~train ~test ~name:"Slope" in
+      Alcotest.(check int) "pooled" 24 (Dataset.n_samples pair);
+      Alcotest.(check int) "classes shared" d.Dataset.n_classes pair.Dataset.n_classes)
+
+let test_label_map () =
+  let map = Ucr_io.label_map sample_tsv in
+  Alcotest.(check (list (pair string int))) "first-appearance order" [ ("1", 0); ("-1", 1) ] map
+
+(* Describe -------------------------------------------------------------------- *)
+
+let test_describe_stats () =
+  let d = Registry.load ~seed:5 "GPOVY" in
+  let s = Describe.stats d in
+  Alcotest.(check int) "classes" 2 s.Describe.n_classes;
+  Alcotest.(check bool) "separable dataset has separability > 0.3" true
+    (Describe.separability s > 0.3);
+  Alcotest.(check bool) "bounded values" true (s.Describe.value_min < s.Describe.value_max)
+
+let test_describe_nn_matches_difficulty () =
+  let easy = Describe.nn_accuracy (Registry.load ~seed:6 "GPOVY") in
+  let hard = Describe.nn_accuracy (Registry.load ~seed:6 "SRSCP2") in
+  Alcotest.(check bool) (Printf.sprintf "easy %.2f > hard %.2f" easy hard) true (easy > hard)
+
+let test_describe_report () =
+  let r = Describe.report (Registry.load ~seed:7 ~n:30 "CBF") in
+  Alcotest.(check bool) "mentions 1-NN" true
+    (String.length r > 0 && String.split_on_char '\n' r |> List.length >= 4)
+
+(* Spectrum ---------------------------------------------------------------------- *)
+
+let test_periodogram_peak () =
+  let fs = 100. in
+  let n = 200 in
+  let x = Array.init n (fun i -> sin (2. *. Float.pi *. 10. *. float_of_int i /. fs)) in
+  let psd = Spectrum.periodogram ~fs x in
+  let peak_f, _ =
+    Array.fold_left (fun (bf, bp) (f, p) -> if p > bp then (f, p) else (bf, bp)) (0., 0.) psd
+  in
+  Alcotest.(check (float 0.6)) "peak at 10 Hz" 10. peak_f
+
+let test_periodogram_parseval () =
+  let rng = Rng.create ~seed:8 in
+  let x = Array.init 128 (fun _ -> Rng.gaussian rng) in
+  let x = Vec.offset (-.Vec.mean x) x in
+  let psd = Spectrum.periodogram ~fs:1. x in
+  let power = Array.fold_left (fun acc (_, p) -> acc +. p) 0. psd in
+  let variance = Vec.dot x x /. float_of_int (Array.length x) in
+  Alcotest.(check bool)
+    (Printf.sprintf "power %.4f ~ variance %.4f" power variance)
+    true
+    (Float.abs (power -. variance) < 0.02 *. variance)
+
+let test_welch_smoother_than_periodogram () =
+  (* For white noise, Welch's averaged estimate has lower variance
+     across bins than the raw periodogram. *)
+  let rng = Rng.create ~seed:9 in
+  let x = Array.init 512 (fun _ -> Rng.gaussian rng) in
+  let spread psd =
+    let values = Array.map snd psd in
+    Pnc_util.Stats.std values /. Float.max 1e-12 (Pnc_util.Stats.mean values)
+  in
+  let raw = spread (Spectrum.periodogram ~fs:1. x) in
+  let welch = spread (Spectrum.welch ~fs:1. ~segment:128 x) in
+  Alcotest.(check bool) (Printf.sprintf "welch %.2f < raw %.2f" welch raw) true (welch < raw)
+
+let test_band_power_and_rolloff () =
+  let fs = 64. in
+  let x = Array.init 256 (fun i -> sin (2. *. Float.pi *. 4. *. float_of_int i /. fs)) in
+  let psd = Spectrum.periodogram ~fs x in
+  let low = Spectrum.band_power psd ~lo_hz:0. ~hi_hz:8. in
+  let high = Spectrum.band_power psd ~lo_hz:8. ~hi_hz:32. in
+  Alcotest.(check bool) "power concentrated low" true (low > 100. *. Float.max 1e-12 high);
+  Alcotest.(check bool) "rolloff near the tone" true (Spectrum.rolloff_hz psd < 6.);
+  Alcotest.(check (float 0.5)) "centroid at tone" 4. (Spectrum.centroid_hz psd)
+
+let test_hann_window () =
+  let w = Spectrum.hann 64 in
+  Alcotest.(check (float 1e-12)) "zero at edges" 0. w.(0);
+  Alcotest.(check bool) "peak at center" true (w.(32) > 0.99)
+
+(* Parse ------------------------------------------------------------------------- *)
+
+let test_value_suffixes () =
+  List.iter
+    (fun (s, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s -> %g" s expected)
+        true
+        (approx ~eps:(1e-9 *. Float.abs expected) expected (Parse.value s)))
+    [
+      ("4.7k", 4700.); ("100n", 1e-7); ("1Meg", 1e6); ("10m", 0.01); ("2.2u", 2.2e-6);
+      ("3p", 3e-12); ("5", 5.); ("1e3", 1000.); ("-2.5k", -2500.);
+    ]
+
+let test_value_errors () =
+  match Parse.value "12xyz" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure"
+
+let test_parse_deck_solves () =
+  let deck = "* divider\nV1 in 0 DC 1\nR1 in mid 1k\nR2 mid 0 3k\n.end\n" in
+  let circ = Parse.deck deck in
+  let sol = Pnc_spice.Dc.solve circ in
+  let mid = Circuit.node circ "mid" in
+  Alcotest.(check (float 1e-9)) "parsed divider solves" 0.75 (Pnc_spice.Dc.voltage sol mid)
+
+let test_roundtrip_linear () =
+  let c = Circuit.create () in
+  let a = Circuit.node c "a" and b = Circuit.node c "b" in
+  Circuit.vsource c ~name:"V1" ~ac:1. a Circuit.ground 2.5;
+  Circuit.resistor c ~name:"R1" a b 4700.;
+  Circuit.capacitor c ~name:"C1" b Circuit.ground 1e-7;
+  Circuit.isource c ~name:"I1" Circuit.ground b 1e-3;
+  Circuit.vccs c ~name:"G1" ~out_p:b ~out_n:Circuit.ground ~in_p:a ~in_n:Circuit.ground
+    ~gm:1e-3 ();
+  Alcotest.(check bool) "deck roundtrip" true (Parse.roundtrip_equal c)
+
+let test_roundtrip_exported_crossbar () =
+  (* The deck of an exported trained crossbar parses back equivalently. *)
+  let rng = Rng.create ~seed:10 in
+  let cb = Pnc_core.Crossbar.create rng ~inputs:3 ~outputs:2 in
+  let circ, _ = Pnc_core.Netlist_export.crossbar cb ~inputs:[| 0.2; -0.4; 0.9 |] in
+  Alcotest.(check bool) "roundtrip" true (Parse.roundtrip_equal circ)
+
+let prop_value_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"fmt_si . value roundtrip within 0.1%"
+    QCheck.(float_range 1e-9 1e8)
+    (fun v ->
+      let parsed = Parse.value (Deck.fmt_si v) in
+      Float.abs (parsed -. v) <= 2e-3 *. v)
+
+let () =
+  Alcotest.run "pnc_io"
+    [
+      ( "ucr-io",
+        [
+          Alcotest.test_case "parse tsv" `Quick test_parse_tsv;
+          Alcotest.test_case "parse csv" `Quick test_parse_csv_variant;
+          Alcotest.test_case "blank lines" `Quick test_parse_blank_lines_skipped;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_through_tsv;
+          Alcotest.test_case "file io" `Quick test_file_io;
+          Alcotest.test_case "name suffix" `Quick test_default_name_strips_suffix;
+          Alcotest.test_case "load pair" `Quick test_load_pair;
+          Alcotest.test_case "label map" `Quick test_label_map;
+        ] );
+      ( "describe",
+        [
+          Alcotest.test_case "stats" `Quick test_describe_stats;
+          Alcotest.test_case "nn difficulty" `Quick test_describe_nn_matches_difficulty;
+          Alcotest.test_case "report" `Quick test_describe_report;
+        ] );
+      ( "spectrum",
+        [
+          Alcotest.test_case "periodogram peak" `Quick test_periodogram_peak;
+          Alcotest.test_case "parseval" `Quick test_periodogram_parseval;
+          Alcotest.test_case "welch variance" `Quick test_welch_smoother_than_periodogram;
+          Alcotest.test_case "band power / rolloff / centroid" `Quick test_band_power_and_rolloff;
+          Alcotest.test_case "hann" `Quick test_hann_window;
+        ] );
+      ( "spice-parse",
+        [
+          Alcotest.test_case "value suffixes" `Quick test_value_suffixes;
+          Alcotest.test_case "value errors" `Quick test_value_errors;
+          Alcotest.test_case "parsed deck solves" `Quick test_parse_deck_solves;
+          Alcotest.test_case "linear roundtrip" `Quick test_roundtrip_linear;
+          Alcotest.test_case "exported crossbar roundtrip" `Quick test_roundtrip_exported_crossbar;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_value_roundtrip ]);
+    ]

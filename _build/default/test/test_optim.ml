@@ -1,0 +1,191 @@
+(* Tests for optimizers and the plateau learning-rate scheduler. *)
+
+module T = Pnc_tensor.Tensor
+module Var = Pnc_autodiff.Var
+module Optimizer = Pnc_optim.Optimizer
+module Scheduler = Pnc_optim.Scheduler
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+(* Minimize f(x) = sum (x - target)^2 and verify convergence. *)
+let quadratic_target = T.of_row [| 3.; -2.; 0.5 |]
+
+let quadratic_loss x =
+  let d = Var.sub x (Var.const quadratic_target) in
+  Var.sum (Var.mul d d)
+
+let run_opt make_opt ~lr ~steps =
+  let x = Var.param (T.of_row [| 0.; 0.; 0. |]) in
+  let opt = make_opt [ x ] in
+  for _ = 1 to steps do
+    Optimizer.zero_grads opt;
+    Var.backward (quadratic_loss x);
+    Optimizer.step opt ~lr
+  done;
+  Var.value x
+
+let test_sgd_converges () =
+  let x = run_opt (fun params -> Optimizer.sgd ~params ()) ~lr:0.1 ~steps:200 in
+  Alcotest.(check bool) "reaches target" true (T.equal_eps ~eps:1e-4 quadratic_target x)
+
+let test_sgd_momentum_converges () =
+  let x = run_opt (fun params -> Optimizer.sgd ~momentum:0.9 ~params ()) ~lr:0.02 ~steps:300 in
+  Alcotest.(check bool) "reaches target" true (T.equal_eps ~eps:1e-3 quadratic_target x)
+
+let test_adam_converges () =
+  let x = run_opt (fun params -> Optimizer.adam ~params ()) ~lr:0.1 ~steps:600 in
+  Alcotest.(check bool) "reaches target" true (T.equal_eps ~eps:1e-3 quadratic_target x)
+
+let test_adamw_decay_shrinks_weights () =
+  (* With zero gradient, AdamW should decay weights toward zero while
+     plain Adam leaves them untouched. *)
+  let run ~wd =
+    let x = Var.param (T.of_row [| 1.; 1. |]) in
+    let opt =
+      if wd then Optimizer.adamw ~weight_decay:0.1 ~params:[ x ] ()
+      else Optimizer.adam ~params:[ x ] ()
+    in
+    for _ = 1 to 10 do
+      Optimizer.zero_grads opt;
+      (* No backward: gradient stays zero. *)
+      Optimizer.step opt ~lr:0.1
+    done;
+    T.get (Var.value x) 0 0
+  in
+  Alcotest.(check bool) "adam keeps weights" true (approx ~eps:1e-12 1. (run ~wd:false));
+  Alcotest.(check bool) "adamw decays weights" true (run ~wd:true < 1.)
+
+let test_adamw_converges_near_target () =
+  (* Small decay pulls the optimum slightly toward zero but must stay
+     close to the unregularized solution. *)
+  let x = run_opt (fun params -> Optimizer.adamw ~weight_decay:0.01 ~params ()) ~lr:0.05 ~steps:1500 in
+  Alcotest.(check bool) "within decay-shifted tolerance" true
+    (T.equal_eps ~eps:0.05 quadratic_target x)
+
+let test_grad_norm_and_clip () =
+  let x = Var.param (T.of_row [| 3.; 4. |]) in
+  let opt = Optimizer.sgd ~params:[ x ] () in
+  (* loss = sum x -> grad = ones. *)
+  Var.backward (Var.sum x);
+  Alcotest.(check bool) "norm sqrt 2" true (approx ~eps:1e-9 (sqrt 2.) (Optimizer.grad_norm opt));
+  Optimizer.clip_grad_norm opt ~max_norm:0.5;
+  Alcotest.(check bool) "clipped norm" true (approx ~eps:1e-9 0.5 (Optimizer.grad_norm opt));
+  (* Clipping below the threshold is a no-op. *)
+  Optimizer.clip_grad_norm opt ~max_norm:10.;
+  Alcotest.(check bool) "no-op clip" true (approx ~eps:1e-9 0.5 (Optimizer.grad_norm opt))
+
+let test_zero_grads () =
+  let x = Var.param (T.of_row [| 1. |]) in
+  let opt = Optimizer.sgd ~params:[ x ] () in
+  Var.backward (Var.sum x);
+  Optimizer.zero_grads opt;
+  Alcotest.(check bool) "grad cleared" true (approx ~eps:0. 0. (T.get (Var.grad x) 0 0))
+
+(* Scheduler -------------------------------------------------------------- *)
+
+let test_plateau_halving () =
+  let s = Scheduler.plateau ~patience:2 ~init_lr:0.1 () in
+  Alcotest.(check bool) "initial lr" true (approx ~eps:0. 0.1 (Scheduler.lr s));
+  ignore (Scheduler.observe s 1.0);
+  (* no improvement for patience+1 epochs -> halve *)
+  ignore (Scheduler.observe s 1.0);
+  ignore (Scheduler.observe s 1.0);
+  ignore (Scheduler.observe s 1.0);
+  Alcotest.(check bool) "halved" true (approx ~eps:1e-12 0.05 (Scheduler.lr s))
+
+let test_plateau_improvement_resets () =
+  let s = Scheduler.plateau ~patience:2 ~init_lr:0.1 () in
+  ignore (Scheduler.observe s 1.0);
+  ignore (Scheduler.observe s 1.0);
+  ignore (Scheduler.observe s 0.5);
+  (* improvement resets patience *)
+  ignore (Scheduler.observe s 0.5);
+  ignore (Scheduler.observe s 0.5);
+  Alcotest.(check bool) "not yet halved" true (approx ~eps:0. 0.1 (Scheduler.lr s))
+
+let test_plateau_stop () =
+  let s = Scheduler.plateau ~patience:0 ~init_lr:1e-4 ~min_lr:1e-5 () in
+  ignore (Scheduler.observe s 1.0);
+  let rec drive n =
+    if n = 0 then `Continue
+    else
+      match Scheduler.observe s 1.0 with `Stop -> `Stop | `Continue -> drive (n - 1)
+  in
+  Alcotest.(check bool) "stops once lr < min_lr" true (drive 10 = `Stop)
+
+let test_plateau_best () =
+  let s = Scheduler.plateau ~init_lr:0.1 () in
+  ignore (Scheduler.observe s 2.0);
+  ignore (Scheduler.observe s 0.7);
+  ignore (Scheduler.observe s 1.5);
+  Alcotest.(check bool) "best tracked" true (approx ~eps:0. 0.7 (Scheduler.best s))
+
+let test_sgd_exact_step () =
+  (* One plain SGD step is exactly x - lr*g. *)
+  let x = Var.param (T.of_row [| 1.; -2. |]) in
+  let opt = Optimizer.sgd ~params:[ x ] () in
+  Var.backward (Var.sum (Var.mul x (Var.const (T.of_row [| 3.; 4. |]))));
+  Optimizer.step opt ~lr:0.1;
+  Alcotest.(check bool) "exact update" true
+    (T.equal_eps ~eps:1e-12 (T.of_row [| 0.7; -2.4 |]) (Var.value x))
+
+let test_params_accessor () =
+  let a = Var.param (T.of_row [| 1. |]) and b = Var.param (T.of_row [| 2. |]) in
+  let opt = Optimizer.adam ~params:[ a; b ] () in
+  Alcotest.(check int) "two params" 2 (List.length (Optimizer.params opt))
+
+let test_scheduler_threshold () =
+  (* An improvement below the threshold must not reset patience. *)
+  let s = Scheduler.plateau ~patience:1 ~threshold:0.1 ~init_lr:0.1 () in
+  ignore (Scheduler.observe s 1.0);
+  ignore (Scheduler.observe s 0.99);
+  (* within threshold: counts as bad epoch *)
+  ignore (Scheduler.observe s 0.99);
+  Alcotest.(check bool) "halved despite tiny improvements" true
+    (approx ~eps:1e-12 0.05 (Scheduler.lr s))
+
+(* Property: Adam converges on random convex quadratics. ------------------ *)
+
+let prop_adam_quadratics =
+  QCheck.Test.make ~count:20 ~name:"adam solves random diagonal quadratics"
+    QCheck.(int_range 0 1_000)
+    (fun seed ->
+      let rng = Pnc_util.Rng.create ~seed in
+      let n = 1 + Pnc_util.Rng.int rng 5 in
+      let target = T.uniform rng ~rows:1 ~cols:n ~lo:(-2.) ~hi:2. in
+      let scale = T.uniform rng ~rows:1 ~cols:n ~lo:0.5 ~hi:3. in
+      let x = Var.param (T.zeros ~rows:1 ~cols:n) in
+      let opt = Optimizer.adam ~params:[ x ] () in
+      for _ = 1 to 800 do
+        Optimizer.zero_grads opt;
+        let d = Var.sub x (Var.const target) in
+        Var.backward (Var.sum (Var.mul (Var.const scale) (Var.mul d d)));
+        Optimizer.step opt ~lr:0.05
+      done;
+      T.equal_eps ~eps:0.02 target (Var.value x))
+
+let () =
+  Alcotest.run "pnc_optim"
+    [
+      ( "optimizers",
+        [
+          Alcotest.test_case "sgd converges" `Quick test_sgd_converges;
+          Alcotest.test_case "sgd+momentum converges" `Quick test_sgd_momentum_converges;
+          Alcotest.test_case "adam converges" `Quick test_adam_converges;
+          Alcotest.test_case "adamw decays weights" `Quick test_adamw_decay_shrinks_weights;
+          Alcotest.test_case "adamw converges near target" `Quick test_adamw_converges_near_target;
+          Alcotest.test_case "grad norm / clip" `Quick test_grad_norm_and_clip;
+          Alcotest.test_case "zero_grads" `Quick test_zero_grads;
+          Alcotest.test_case "sgd exact step" `Quick test_sgd_exact_step;
+          Alcotest.test_case "params accessor" `Quick test_params_accessor;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "halving after patience" `Quick test_plateau_halving;
+          Alcotest.test_case "improvement resets patience" `Quick test_plateau_improvement_resets;
+          Alcotest.test_case "stop below min_lr" `Quick test_plateau_stop;
+          Alcotest.test_case "best tracked" `Quick test_plateau_best;
+          Alcotest.test_case "threshold semantics" `Quick test_scheduler_threshold;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_adam_quadratics ]);
+    ]

@@ -1,0 +1,270 @@
+(* Tests for FFT and analog/discrete filter models. *)
+
+module Fft = Pnc_signal.Fft
+module Filter = Pnc_signal.Filter
+module Rng = Pnc_util.Rng
+module Vec = Pnc_util.Vec
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let complex_of_real x = { Complex.re = x; im = 0. }
+
+let rand_signal rng n = Array.init n (fun _ -> Rng.uniform rng ~lo:(-1.) ~hi:1.)
+
+(* FFT -------------------------------------------------------------------- *)
+
+let test_fft_matches_naive () =
+  let rng = Rng.create ~seed:1 in
+  List.iter
+    (fun n ->
+      let x = Array.map complex_of_real (rand_signal rng n) in
+      let fast = Fft.fft x and slow = Fft.dft_naive x in
+      Array.iteri
+        (fun i f ->
+          if Complex.norm (Complex.sub f slow.(i)) > 1e-8 then
+            Alcotest.failf "n=%d bin %d: fast and naive differ" n i)
+        fast)
+    [ 2; 4; 8; 16; 64; 128 ]
+
+let test_fft_roundtrip () =
+  let rng = Rng.create ~seed:2 in
+  List.iter
+    (fun n ->
+      let x = rand_signal rng n in
+      let y = Fft.ifft_real (Fft.fft_real x) in
+      Alcotest.(check bool) (Printf.sprintf "roundtrip n=%d" n) true
+        (Vec.equal_eps ~eps:1e-9 x y))
+    [ 1; 2; 3; 5; 8; 17; 64 ]
+
+let test_fft_impulse () =
+  (* FFT of a unit impulse is flat ones. *)
+  let x = Array.init 8 (fun i -> complex_of_real (if i = 0 then 1. else 0.)) in
+  let s = Fft.fft x in
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "flat spectrum" true
+        (approx c.Complex.re 1. && approx c.Complex.im 0.))
+    s
+
+let test_fft_sine_peak () =
+  (* A pure sine at bin 5 concentrates magnitude in bins 5 and n-5. *)
+  let n = 64 in
+  let x =
+    Array.init n (fun i -> sin (2. *. Float.pi *. 5. *. float_of_int i /. float_of_int n))
+  in
+  let mag = Fft.magnitude (Fft.fft_real x) in
+  let peak = Vec.argmax (Array.sub mag 0 (n / 2)) in
+  Alcotest.(check int) "peak at bin 5" 5 peak;
+  Alcotest.(check bool) "peak magnitude n/2" true (approx ~eps:1e-6 (float_of_int n /. 2.) mag.(5))
+
+let test_fft_linearity () =
+  let rng = Rng.create ~seed:3 in
+  let a = rand_signal rng 32 and b = rand_signal rng 32 in
+  let lhs = Fft.fft_real (Vec.add a b) in
+  let rhs =
+    Array.map2 (fun x y -> Complex.add x y) (Fft.fft_real a) (Fft.fft_real b)
+  in
+  Array.iteri
+    (fun i c ->
+      if Complex.norm (Complex.sub c rhs.(i)) > 1e-9 then Alcotest.failf "bin %d" i)
+    lhs
+
+let prop_parseval =
+  QCheck.Test.make ~count:100 ~name:"Parseval: sum |x|^2 = sum |X|^2 / N"
+    QCheck.(list_of_size Gen.(int_range 2 64) (float_range (-5.) 5.))
+    (fun l ->
+      let x = Array.of_list l in
+      let n = float_of_int (Array.length x) in
+      let time_energy = Vec.dot x x in
+      let freq_energy = Vec.sum (Fft.power (Fft.fft_real x)) /. n in
+      Float.abs (time_energy -. freq_energy) <= 1e-6 *. Float.max 1. time_energy)
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"ifft . fft = id (all lengths)"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-5.) 5.))
+    (fun l ->
+      let x = Array.of_list l in
+      Vec.equal_eps ~eps:1e-8 x (Fft.ifft_real (Fft.fft_real x)))
+
+(* Filter theory ----------------------------------------------------------- *)
+
+let fo r c = { Filter.r; c }
+
+let test_cutoff_formula () =
+  let f = fo 1000. 1e-6 in
+  (* RC = 1 ms -> fc = 159.15 Hz *)
+  Alcotest.(check bool) "cutoff" true (approx ~eps:0.01 159.1549 (Filter.cutoff_hz f))
+
+let test_magnitude_at_cutoff () =
+  let f = fo 500. 2e-6 in
+  let fc = Filter.cutoff_hz f in
+  Alcotest.(check bool) "|H(fc)| = 1/sqrt2" true
+    (approx ~eps:1e-9 (1. /. sqrt 2.) (Filter.magnitude_1st f fc))
+
+let test_second_order_cutoff () =
+  let so = { Filter.stage1 = fo 1000. 1e-6; stage2 = fo 1000. 1e-6 } in
+  let fc2 = Filter.cutoff_2nd_hz so in
+  let fc1 = Filter.cutoff_hz so.Filter.stage1 in
+  (* Two identical cascaded stages: fc2 = fc1 * sqrt(sqrt(2) - 1) ≈ 0.6436 fc1 *)
+  Alcotest.(check bool) "cascade cutoff ratio" true
+    (approx ~eps:1e-3 (sqrt (sqrt 2. -. 1.)) (fc2 /. fc1));
+  Alcotest.(check bool) "magnitude at fc2" true
+    (approx ~eps:1e-6 (1. /. sqrt 2.) (Filter.magnitude_2nd so fc2))
+
+let test_second_order_sharper_rolloff () =
+  let f1 = fo 1000. 1e-6 in
+  let so = { Filter.stage1 = f1; stage2 = f1 } in
+  let f_test = 10. *. Filter.cutoff_hz f1 in
+  Alcotest.(check bool) "sharper attenuation" true
+    (Filter.magnitude_2nd so f_test < Filter.magnitude_1st f1 f_test)
+
+let test_discrete_coeffs () =
+  let f = fo 100. 1e-5 in
+  (* RC = 1e-3 *)
+  let { Filter.a; b } = Filter.discrete_coeffs ~dt:1e-3 f in
+  Alcotest.(check bool) "a" true (approx ~eps:1e-12 0.5 a);
+  Alcotest.(check bool) "b" true (approx ~eps:1e-12 0.5 b);
+  (* mu > 1 lowers both coefficients' denominator share *)
+  let { Filter.a = a'; b = b' } = Filter.discrete_coeffs ~mu:1.3 ~dt:1e-3 f in
+  Alcotest.(check bool) "a shrinks with mu" true (a' < a);
+  Alcotest.(check bool) "b shrinks with mu" true (b' < b)
+
+let test_dc_gain () =
+  let f = fo 100. 1e-5 in
+  let c1 = Filter.discrete_coeffs ~dt:1e-3 f in
+  Alcotest.(check bool) "unit dc gain at mu=1" true (approx ~eps:1e-12 1. (Filter.dc_gain c1));
+  let c2 = Filter.discrete_coeffs ~mu:1.2 ~dt:1e-3 f in
+  Alcotest.(check bool) "dc gain < 1 for mu>1" true (Filter.dc_gain c2 < 1.)
+
+let test_step_response_converges () =
+  let f = fo 1000. 1e-6 in
+  let co = Filter.discrete_coeffs ~dt:1e-4 f in
+  let resp = Filter.step_response co 2000 in
+  Alcotest.(check bool) "monotone rise" true
+    (Array.for_all (fun x -> x >= 0. && x <= 1. +. 1e-9) resp);
+  Alcotest.(check bool) "reaches dc gain" true
+    (approx ~eps:1e-6 (Filter.dc_gain co) resp.(1999))
+
+let test_impulse_response_decays () =
+  let f = fo 1000. 1e-6 in
+  let co = Filter.discrete_coeffs ~dt:1e-4 f in
+  let h = Filter.impulse_response co 500 in
+  Alcotest.(check bool) "peak at 0" true (h.(0) > h.(1));
+  Alcotest.(check bool) "decays to 0" true (Float.abs h.(499) < 1e-9);
+  (* geometric decay ratio equals a *)
+  Alcotest.(check bool) "ratio = a" true (approx ~eps:1e-9 co.Filter.a (h.(10) /. h.(9)))
+
+let test_apply_second_order_is_cascade () =
+  let rng = Rng.create ~seed:4 in
+  let input = rand_signal rng 50 in
+  let c1 = Filter.discrete_coeffs ~dt:0.01 (fo 300. 1e-5) in
+  let c2 = Filter.discrete_coeffs ~dt:0.01 (fo 700. 2e-5) in
+  let cascade = Filter.apply_second_order ~c1 ~c2 input in
+  let manual = Filter.apply c2 (Filter.apply c1 input) in
+  Alcotest.(check bool) "equal" true (Vec.equal_eps ~eps:1e-12 cascade manual)
+
+let test_settling_monotone_in_rc () =
+  let co_fast = Filter.discrete_coeffs ~dt:1e-4 (fo 100. 1e-6) in
+  let co_slow = Filter.discrete_coeffs ~dt:1e-4 (fo 10_000. 1e-6) in
+  Alcotest.(check bool) "larger RC settles slower" true
+    (Filter.settling_steps co_slow ~eps:1e-3 > Filter.settling_steps co_fast ~eps:1e-3)
+
+let test_filter_v0_forgotten () =
+  (* Stability implies the initial condition washes out: two different
+     V0 converge to the same trajectory. *)
+  let co = Filter.discrete_coeffs ~dt:1e-3 (fo 500. 1e-5) in
+  let input = Array.init 400 (fun i -> sin (0.05 *. float_of_int i)) in
+  let a = Filter.apply co ~v0:1. input in
+  let b = Filter.apply co ~v0:(-1.) input in
+  Alcotest.(check bool) "initially different" true (Float.abs (a.(0) -. b.(0)) > 0.1);
+  Alcotest.(check bool) "eventually identical" true (Float.abs (a.(399) -. b.(399)) < 1e-6)
+
+let test_invalid_filter_inputs_assert () =
+  let expect_assert name f =
+    match f () with
+    | exception Assert_failure _ -> ()
+    | _ -> Alcotest.fail ("expected assertion: " ^ name)
+  in
+  expect_assert "negative R" (fun () -> Filter.discrete_coeffs ~dt:0.01 (fo (-1.) 1e-6));
+  expect_assert "zero dt" (fun () -> Filter.discrete_coeffs ~dt:0. (fo 100. 1e-6));
+  expect_assert "negative mu" (fun () -> Filter.discrete_coeffs ~mu:(-1.) ~dt:0.01 (fo 100. 1e-6))
+
+let prop_magnitude_monotone =
+  QCheck.Test.make ~count:200 ~name:"first-order magnitude decreases with frequency"
+    QCheck.(triple (float_range 10. 1000.) (float_range 1e-7 1e-4) (pair (float_range 0.1 1e4) (float_range 0.1 1e4)))
+    (fun (r, c, (f1, f2)) ->
+      let f1, f2 = if f1 <= f2 then (f1, f2) else (f2, f1) in
+      Filter.magnitude_1st { Filter.r; c } f1 >= Filter.magnitude_1st { Filter.r; c } f2 -. 1e-12)
+
+let prop_fft_shift_magnitude =
+  QCheck.Test.make ~count:100 ~name:"circular shift preserves FFT magnitude"
+    QCheck.(pair (list_of_size Gen.(return 32) (float_range (-3.) 3.)) (int_range 1 31))
+    (fun (l, shift) ->
+      let x = Array.of_list l in
+      let shifted = Array.init 32 (fun i -> x.((i + shift) mod 32)) in
+      let m1 = Fft.magnitude (Fft.fft_real x) in
+      let m2 = Fft.magnitude (Fft.fft_real shifted) in
+      Vec.equal_eps ~eps:1e-6 m1 m2)
+
+let prop_stability =
+  QCheck.Test.make ~count:200 ~name:"discrete filter stable over printable ranges"
+    QCheck.(
+      triple (float_range 10. 1000.) (* R < 1k as in the paper *)
+        (float_range 1e-7 1e-4) (* C in 100nF..100uF *)
+        (float_range 1. 1.3) (* mu *))
+    (fun (r, c, mu) ->
+      let co = Filter.discrete_coeffs ~mu ~dt:0.01 (fo r c) in
+      Filter.is_stable co && co.Filter.a >= 0. && co.Filter.b > 0. && Filter.dc_gain co <= 1. +. 1e-9)
+
+let prop_filter_smooths =
+  QCheck.Test.make ~count:100 ~name:"low-pass reduces total variation"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let x = rand_signal rng 100 in
+      let co = Filter.discrete_coeffs ~dt:0.02 (fo 500. 1e-4) in
+      let y = Filter.apply co x in
+      let tv a =
+        let acc = ref 0. in
+        for i = 1 to Array.length a - 1 do
+          acc := !acc +. Float.abs (a.(i) -. a.(i - 1))
+        done;
+        !acc
+      in
+      tv y <= tv x +. 1e-9)
+
+let () =
+  let qc =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_parseval; prop_roundtrip; prop_stability; prop_filter_smooths;
+        prop_magnitude_monotone; prop_fft_shift_magnitude;
+      ]
+  in
+  Alcotest.run "pnc_signal"
+    [
+      ( "fft",
+        [
+          Alcotest.test_case "matches naive DFT" `Quick test_fft_matches_naive;
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "impulse" `Quick test_fft_impulse;
+          Alcotest.test_case "sine peak" `Quick test_fft_sine_peak;
+          Alcotest.test_case "linearity" `Quick test_fft_linearity;
+        ] );
+      ( "filter",
+        [
+          Alcotest.test_case "cutoff formula" `Quick test_cutoff_formula;
+          Alcotest.test_case "|H(fc)|" `Quick test_magnitude_at_cutoff;
+          Alcotest.test_case "second-order cutoff" `Quick test_second_order_cutoff;
+          Alcotest.test_case "sharper rolloff" `Quick test_second_order_sharper_rolloff;
+          Alcotest.test_case "discrete coefficients" `Quick test_discrete_coeffs;
+          Alcotest.test_case "dc gain" `Quick test_dc_gain;
+          Alcotest.test_case "step response" `Quick test_step_response_converges;
+          Alcotest.test_case "impulse response" `Quick test_impulse_response_decays;
+          Alcotest.test_case "cascade = two stages" `Quick test_apply_second_order_is_cascade;
+          Alcotest.test_case "settling monotone in RC" `Quick test_settling_monotone_in_rc;
+          Alcotest.test_case "v0 forgotten" `Quick test_filter_v0_forgotten;
+          Alcotest.test_case "invalid inputs assert" `Quick test_invalid_filter_inputs_assert;
+        ] );
+      ("properties", qc);
+    ]

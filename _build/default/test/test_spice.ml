@@ -1,0 +1,514 @@
+(* Tests for the SPICE-lite circuit simulator: MNA solver, DC, AC and
+   transient analyses, against hand-computed and analytic solutions. *)
+
+module Circuit = Pnc_spice.Circuit
+module Mna = Pnc_spice.Mna
+module Dc = Pnc_spice.Dc
+module Ac = Pnc_spice.Ac
+module Transient = Pnc_spice.Transient
+module Measure = Pnc_spice.Measure
+module Filter = Pnc_signal.Filter
+module Rng = Pnc_util.Rng
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_f ?eps name expected got =
+  Alcotest.(check bool) (Printf.sprintf "%s (exp %.6g, got %.6g)" name expected got) true
+    (approx ?eps expected got)
+
+(* Mna ---------------------------------------------------------------------- *)
+
+let test_mna_solve () =
+  let a = [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let b = [| 3.; 5. |] in
+  let x = Mna.solve_real a b in
+  check_f ~eps:1e-12 "x0" 0.8 x.(0);
+  check_f ~eps:1e-12 "x1" 1.4 x.(1)
+
+let test_mna_random_residual () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 8 in
+    let a =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              (if i = j then float_of_int n else 0.) +. Rng.uniform rng ~lo:(-1.) ~hi:1.))
+    in
+    let b = Array.init n (fun _ -> Rng.uniform rng ~lo:(-2.) ~hi:2.) in
+    let x = Mna.solve_real a b in
+    let r = Mna.mat_vec a x in
+    Array.iteri (fun i v -> check_f ~eps:1e-8 (Printf.sprintf "residual %d" i) b.(i) v) r
+  done
+
+let test_mna_singular () =
+  let a = [| [| 1.; 1. |]; [| 1.; 1. |] |] in
+  Alcotest.check_raises "singular" Mna.Singular (fun () -> ignore (Mna.solve_real a [| 1.; 2. |]))
+
+let test_mna_complex () =
+  (* (1 + j) x = 2 -> x = 1 - j *)
+  let a = [| [| { Complex.re = 1.; im = 1. } |] |] in
+  let b = [| { Complex.re = 2.; im = 0. } |] in
+  let x = Mna.solve_complex a b in
+  check_f ~eps:1e-12 "re" 1. x.(0).Complex.re;
+  check_f ~eps:1e-12 "im" (-1.) x.(0).Complex.im
+
+(* DC ------------------------------------------------------------------------ *)
+
+let test_voltage_divider () =
+  let c = Circuit.create () in
+  let vin = Circuit.node c "in" and mid = Circuit.node c "mid" in
+  Circuit.vsource c vin Circuit.ground 1.;
+  Circuit.resistor c vin mid 1000.;
+  Circuit.resistor c mid Circuit.ground 3000.;
+  let sol = Dc.solve c in
+  check_f ~eps:1e-9 "divider" 0.75 (Dc.voltage sol mid);
+  (* Source current: 1 V over 4 kOhm. *)
+  check_f ~eps:1e-9 "source current" (-2.5e-4) (Dc.vsource_current sol ~ordinal:0)
+
+let test_current_source () =
+  let c = Circuit.create () in
+  let n = Circuit.node c "n" in
+  Circuit.isource c Circuit.ground n 1e-3;
+  Circuit.resistor c n Circuit.ground 2000.;
+  let sol = Dc.solve c in
+  check_f ~eps:1e-9 "IR drop" 2. (Dc.voltage sol n)
+
+let test_crossbar_weighted_sum () =
+  (* Eq. (1): a 2-input resistor crossbar computes a conductance-weighted
+     average of its input voltages. *)
+  let c = Circuit.create () in
+  let v1 = Circuit.node c "v1" and v2 = Circuit.node c "v2" and out = Circuit.node c "out" in
+  Circuit.vsource c v1 Circuit.ground 0.8;
+  Circuit.vsource c v2 Circuit.ground (-0.4);
+  let g1 = 1e-5 and g2 = 2e-5 and gd = 1e-5 in
+  Circuit.resistor c v1 out (1. /. g1);
+  Circuit.resistor c v2 out (1. /. g2);
+  Circuit.resistor c out Circuit.ground (1. /. gd);
+  let sol = Dc.solve c in
+  let expected = ((g1 *. 0.8) +. (g2 *. -0.4)) /. (g1 +. g2 +. gd) in
+  check_f ~eps:1e-9 "weighted sum" expected (Dc.voltage sol out)
+
+let test_vccs () =
+  let c = Circuit.create () in
+  let inp = Circuit.node c "in" and out = Circuit.node c "out" in
+  Circuit.vsource c inp Circuit.ground 0.5;
+  Circuit.vccs c ~out_p:Circuit.ground ~out_n:out ~in_p:inp ~in_n:Circuit.ground ~gm:1e-3 ();
+  Circuit.resistor c out Circuit.ground 1000.;
+  let sol = Dc.solve c in
+  (* i = gm*vin pushed into out through 1k: v_out = gm*vin*R = 0.5 *)
+  check_f ~eps:1e-9 "vccs gain" 0.5 (Dc.voltage sol out)
+
+let test_capacitor_open_at_dc () =
+  let c = Circuit.create () in
+  let vin = Circuit.node c "in" and out = Circuit.node c "out" in
+  Circuit.vsource c vin Circuit.ground 1.;
+  Circuit.resistor c vin out 1e4;
+  Circuit.capacitor c out Circuit.ground 1e-6;
+  let sol = Dc.solve c in
+  (* No DC path to ground: the output floats up to the source. *)
+  check_f ~eps:1e-6 "cap open" 1. (Dc.voltage sol out)
+
+let test_diode_like_newton () =
+  (* Exponential diode fed by 1 V through 1 kOhm; check KCL at the node. *)
+  let c = Circuit.create () in
+  let vin = Circuit.node c "in" and a = Circuit.node c "a" in
+  Circuit.vsource c vin Circuit.ground 1.;
+  Circuit.resistor c vin a 1000.;
+  let is = 1e-9 and vt = 0.025 in
+  Circuit.diode_like c a Circuit.ground
+    ~i_of_v:(fun v -> is *. (exp (Float.min 40. (v /. vt)) -. 1.))
+    ~g_of_v:(fun v -> is /. vt *. exp (Float.min 40. (v /. vt)));
+  let sol = Dc.solve c in
+  let va = Dc.voltage sol a in
+  let i_r = (1. -. va) /. 1000. in
+  let i_d = is *. (exp (va /. vt) -. 1.) in
+  Alcotest.(check bool) "diode forward drop plausible" true (va > 0.3 && va < 0.8);
+  check_f ~eps:1e-9 "KCL at node" i_r i_d
+
+let test_egt_common_source_transfer () =
+  (* Common-source EGT with resistive load: the DC sweep must be a
+     monotonically decreasing sigmoid (this is the ptanh building
+     block). *)
+  let c = Circuit.create () in
+  let vdd = Circuit.node c "vdd" and g = Circuit.node c "g" and d = Circuit.node c "d" in
+  Circuit.vsource c vdd Circuit.ground 1.;
+  Circuit.vsource c ~name:"Vg" g Circuit.ground 0.;
+  Circuit.resistor c vdd d 50_000.;
+  Circuit.egt c ~drain:d ~gate:g ~source:Circuit.ground ();
+  let values = Pnc_util.Vec.linspace (-1.) 1. 41 in
+  let out = Dc.sweep c ~source:"Vg" ~values ~probe:d in
+  (* decreasing *)
+  for i = 1 to Array.length out - 1 do
+    if out.(i) > out.(i - 1) +. 1e-9 then Alcotest.failf "not monotone at %d" i
+  done;
+  Alcotest.(check bool) "swings low" true (out.(40) < 0.5);
+  Alcotest.(check bool) "starts high" true (out.(0) > 0.9)
+
+let test_dc_power () =
+  let c = Circuit.create () in
+  let vin = Circuit.node c "in" in
+  Circuit.vsource c vin Circuit.ground 2.;
+  Circuit.resistor c vin Circuit.ground 100.;
+  let sol = Dc.solve c in
+  check_f ~eps:1e-9 "P = V^2/R" 0.04 (Dc.power sol c)
+
+(* AC ------------------------------------------------------------------------ *)
+
+let rc_lowpass ?(r = 1000.) ?(cap = 1e-6) () =
+  let c = Circuit.create () in
+  let vin = Circuit.node c "in" and out = Circuit.node c "out" in
+  Circuit.vsource c ~ac:1. vin Circuit.ground 0.;
+  Circuit.resistor c vin out r;
+  Circuit.capacitor c out Circuit.ground cap;
+  (c, out)
+
+let test_ac_rc_cutoff () =
+  let c, out = rc_lowpass () in
+  let fc = Ac.cutoff_hz c ~probe:out in
+  check_f ~eps:0.5 "fc = 1/(2 pi RC)" 159.1549 fc
+
+let test_ac_magnitude_profile () =
+  let c, out = rc_lowpass () in
+  let freqs = [| 1.; 159.1549; 100_000. |] in
+  let mags = Ac.magnitude c ~probe:out ~freqs_hz:freqs in
+  Alcotest.(check bool) "passband ~1" true (mags.(0) > 0.99);
+  check_f ~eps:1e-3 "half-power at fc" (1. /. sqrt 2.) mags.(1);
+  Alcotest.(check bool) "stopband attenuated" true (mags.(2) < 0.01)
+
+let test_ac_matches_theory () =
+  let r = 800. and cap = 4.7e-7 in
+  let c, out = rc_lowpass ~r ~cap () in
+  let fo = { Filter.r; c = cap } in
+  let freqs = [| 10.; 100.; 1000.; 10_000. |] in
+  let mags = Ac.magnitude c ~probe:out ~freqs_hz:freqs in
+  Array.iteri
+    (fun i f -> check_f ~eps:1e-6 (Printf.sprintf "f=%g" f) (Filter.magnitude_1st fo f) mags.(i))
+    freqs
+
+let test_ac_second_order_loading () =
+  (* A second RC stage loads the first: the cascade cutoff must sit
+     below the ideal (buffered) cascade prediction. *)
+  let c = Circuit.create () in
+  let vin = Circuit.node c "in" in
+  let m = Circuit.node c "m" and out = Circuit.node c "out" in
+  Circuit.vsource c ~ac:1. vin Circuit.ground 0.;
+  Circuit.resistor c vin m 1000.;
+  Circuit.capacitor c m Circuit.ground 1e-6;
+  Circuit.resistor c m out 1000.;
+  Circuit.capacitor c out Circuit.ground 1e-6;
+  let fc_loaded = Ac.cutoff_hz c ~probe:out in
+  let ideal =
+    Filter.cutoff_2nd_hz
+      { Filter.stage1 = { Filter.r = 1000.; c = 1e-6 }; stage2 = { Filter.r = 1000.; c = 1e-6 } }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "loading lowers cutoff (loaded %.1f vs ideal %.1f)" fc_loaded ideal)
+    true (fc_loaded < ideal)
+
+(* Transient ------------------------------------------------------------------ *)
+
+let test_transient_rc_charge () =
+  let c = Circuit.create () in
+  let vin = Circuit.node c "in" and out = Circuit.node c "out" in
+  Circuit.vsource c ~waveform:(fun _ -> 1.) vin Circuit.ground 1.;
+  Circuit.resistor c vin out 1000.;
+  Circuit.capacitor c out Circuit.ground 1e-6;
+  (* tau = 1 ms; simulate 5 tau with dt = tau/100 *)
+  let { Transient.times; samples } =
+    Transient.run c ~dt:1e-5 ~steps:500 ~probes:[ out ]
+  in
+  let v = samples.(0) in
+  Array.iteri
+    (fun k t ->
+      let expected = 1. -. exp (-.t /. 1e-3) in
+      if Float.abs (v.(k) -. expected) > 0.01 then
+        Alcotest.failf "t=%g: got %f expected %f" t v.(k) expected)
+    times
+
+let test_transient_trapezoidal_more_accurate () =
+  let build () =
+    let c = Circuit.create () in
+    let vin = Circuit.node c "in" and out = Circuit.node c "out" in
+    Circuit.vsource c ~waveform:(fun _ -> 1.) vin Circuit.ground 1.;
+    Circuit.resistor c vin out 1000.;
+    Circuit.capacitor c out Circuit.ground 1e-6;
+    (c, out)
+  in
+  let err integrator =
+    let c, out = build () in
+    let { Transient.times; samples } = Transient.run ~integrator c ~dt:1e-4 ~steps:50 ~probes:[ out ] in
+    let acc = ref 0. in
+    Array.iteri
+      (fun k t -> acc := !acc +. Float.abs (samples.(0).(k) -. (1. -. exp (-.t /. 1e-3))))
+      times;
+    !acc
+  in
+  Alcotest.(check bool) "trap beats BE" true
+    (err Transient.Trapezoidal < err Transient.Backward_euler)
+
+let test_transient_initial_condition () =
+  let c = Circuit.create () in
+  let out = Circuit.node c "out" in
+  Circuit.resistor c out Circuit.ground 1000.;
+  Circuit.capacitor c ~ic:1. out Circuit.ground 1e-6;
+  let { Transient.times; samples } = Transient.run c ~dt:1e-5 ~steps:300 ~probes:[ out ] in
+  Array.iteri
+    (fun k t ->
+      let expected = exp (-.t /. 1e-3) in
+      if Float.abs (samples.(0).(k) -. expected) > 0.01 then
+        Alcotest.failf "discharge t=%g: got %f expected %f" t samples.(0).(k) expected)
+    times
+
+let test_transient_sine_attenuation () =
+  (* Drive the RC low-pass well above cutoff: output amplitude must be
+     attenuated accordingly. *)
+  let f_sig = 1600. in
+  let c = Circuit.create () in
+  let vin = Circuit.node c "in" and out = Circuit.node c "out" in
+  Circuit.vsource c ~waveform:(fun t -> sin (2. *. Float.pi *. f_sig *. t)) vin Circuit.ground 0.;
+  Circuit.resistor c vin out 1000.;
+  Circuit.capacitor c out Circuit.ground 1e-6;
+  let { Transient.samples; _ } =
+    Transient.run ~integrator:Transient.Trapezoidal c ~dt:2e-6 ~steps:4000 ~probes:[ out ]
+  in
+  let v = samples.(0) in
+  (* steady-state: look at the last half *)
+  let tail = Array.sub v 2000 2000 in
+  let amp = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. tail in
+  let expected = Filter.magnitude_1st { Filter.r = 1000.; c = 1e-6 } f_sig in
+  check_f ~eps:0.02 "attenuated amplitude" expected amp
+
+(* Measure --------------------------------------------------------------------- *)
+
+let test_fit_first_order_exact () =
+  let rng = Rng.create ~seed:21 in
+  let a = 0.83 and b = 0.13 in
+  let input = Array.init 200 (fun _ -> Rng.uniform rng ~lo:(-1.) ~hi:1.) in
+  let state = ref 0. in
+  let output =
+    Array.map
+      (fun u ->
+        state := (a *. !state) +. (b *. u);
+        !state)
+      input
+  in
+  let a_fit, b_fit = Measure.fit_first_order ~input ~output in
+  check_f ~eps:1e-9 "a" a a_fit;
+  check_f ~eps:1e-9 "b" b b_fit;
+  check_f ~eps:1e-9 "fit residual" 0. (Measure.goodness_of_fit ~input ~output ~a:a_fit ~b:b_fit)
+
+let test_mu_roundtrip () =
+  let r = 500. and c = 1e-5 and dt = 1e-3 in
+  List.iter
+    (fun mu ->
+      let { Filter.a; _ } = Filter.discrete_coeffs ~mu ~dt { Filter.r; c } in
+      check_f ~eps:1e-9 (Printf.sprintf "mu=%g" mu) mu (Measure.mu_from_coeff ~a ~r ~c ~dt))
+    [ 1.; 1.1; 1.2; 1.3 ]
+
+let test_rise_time () =
+  (* 10-90% rise of a first-order step response = ln(9) * tau. *)
+  let tau = 1e-3 in
+  let times = Array.init 10_000 (fun k -> float_of_int (k + 1) *. 1e-6) in
+  let samples = Array.map (fun t -> 1. -. exp (-.t /. tau)) times in
+  check_f ~eps:1e-5 "rise time" (log 9. *. tau) (Measure.rise_time ~times ~samples)
+
+let test_cutoff_from_response () =
+  let fo = { Filter.r = 1000.; c = 1e-6 } in
+  let freqs = Pnc_util.Vec.linspace 1. 1000. 2000 in
+  let mags = Array.map (Filter.magnitude_1st fo) freqs in
+  check_f ~eps:0.5 "interpolated cutoff" (Filter.cutoff_hz fo)
+    (Measure.cutoff_from_response ~freqs_hz:freqs ~mags)
+
+let test_transient_current_source_waveform () =
+  (* i(t) charging a capacitor: v(t) = (1/C) ∫ i dt for a constant step. *)
+  let c = Circuit.create () in
+  let out = Circuit.node c "out" in
+  Circuit.isource c ~waveform:(fun _ -> 1e-6) Circuit.ground out 0.;
+  Circuit.capacitor c out Circuit.ground 1e-6;
+  let { Transient.times; samples } = Transient.run c ~dt:1e-4 ~steps:100 ~probes:[ out ] in
+  Array.iteri
+    (fun k t ->
+      let expected = 1e-6 *. t /. 1e-6 in
+      if Float.abs (samples.(0).(k) -. expected) > 1e-6 then
+        Alcotest.failf "integrator t=%g: %g vs %g" t samples.(0).(k) expected)
+    times
+
+let test_floating_node_singular () =
+  let c = Circuit.create () in
+  let a = Circuit.node c "a" and b = Circuit.node c "b" in
+  Circuit.vsource c a Circuit.ground 1.;
+  Circuit.resistor c a Circuit.ground 100.;
+  (* node b floats: only reachable through nothing *)
+  Circuit.resistor c b (Circuit.node c "c") 100.;
+  Alcotest.check_raises "floating island is singular" Mna.Singular (fun () ->
+      ignore (Dc.solve c))
+
+let test_rc_ladder_transient_vs_ac () =
+  (* Three-stage RC ladder: the transient steady-state amplitude under a
+     sine matches the AC magnitude at that frequency. *)
+  let build () =
+    let c = Circuit.create () in
+    let vin = Circuit.node c "in" in
+    let n1 = Circuit.node c "n1" and n2 = Circuit.node c "n2" and n3 = Circuit.node c "n3" in
+    let f_sig = 30. in
+    Circuit.vsource c ~ac:1. ~waveform:(fun t -> sin (2. *. Float.pi *. f_sig *. t)) vin
+      Circuit.ground 0.;
+    List.iter2
+      (fun (a, b) _ -> Circuit.resistor c a b 1000.)
+      [ (vin, n1); (n1, n2); (n2, n3) ]
+      [ (); (); () ];
+    List.iter (fun n -> Circuit.capacitor c n Circuit.ground 2e-6) [ n1; n2; n3 ];
+    (c, n3, f_sig)
+  in
+  let c, out, f_sig = build () in
+  let mag = (Ac.magnitude c ~probe:out ~freqs_hz:[| f_sig |]).(0) in
+  let c2, out2, _ = build () in
+  let { Transient.samples; _ } =
+    Transient.run ~integrator:Transient.Trapezoidal c2 ~dt:1e-4 ~steps:3000 ~probes:[ out2 ]
+  in
+  let tail = Array.sub samples.(0) 1500 1500 in
+  let amp = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. tail in
+  check_f ~eps:0.02 "AC matches transient steady state" mag amp
+
+let test_egt_power_positive () =
+  let c = Circuit.create () in
+  let vdd = Circuit.node c "vdd" and g = Circuit.node c "g" and d = Circuit.node c "d" in
+  Circuit.vsource c vdd Circuit.ground 1.;
+  Circuit.vsource c g Circuit.ground 0.8;
+  Circuit.resistor c vdd d 50_000.;
+  Circuit.egt c ~drain:d ~gate:g ~source:Circuit.ground ();
+  let sol = Dc.solve c in
+  let p = Dc.power sol c in
+  Alcotest.(check bool) (Printf.sprintf "power positive (%.2e W)" p) true (p > 0. && p < 1e-3)
+
+(* Device counting --------------------------------------------------------------- *)
+
+(* Report ------------------------------------------------------------------------ *)
+
+let test_operating_point_report () =
+  let c = Circuit.create () in
+  let vin = Circuit.node c "in" and mid = Circuit.node c "mid" in
+  Circuit.vsource c ~name:"V1" vin Circuit.ground 1.;
+  Circuit.resistor c ~name:"R1" vin mid 1000.;
+  Circuit.resistor c ~name:"R2" mid Circuit.ground 1000.;
+  let ops = Pnc_spice.Report.operating_point c in
+  Alcotest.(check int) "three elements" 3 (List.length ops);
+  let r1 = List.find (fun o -> o.Pnc_spice.Report.name = "R1") ops in
+  check_f ~eps:1e-9 "R1 voltage" 0.5 r1.Pnc_spice.Report.voltage;
+  check_f ~eps:1e-9 "R1 current" 5e-4 r1.Pnc_spice.Report.current;
+  check_f ~eps:1e-9 "R1 power" 2.5e-4 r1.Pnc_spice.Report.power;
+  (* Conservation: source delivers what the resistors burn. *)
+  let v1 = List.find (fun o -> o.Pnc_spice.Report.name = "V1") ops in
+  check_f ~eps:1e-9 "source delivers" (-5e-4) (-.Float.abs v1.Pnc_spice.Report.current);
+  check_f ~eps:1e-9 "dissipation = resistor power"
+    (Pnc_spice.Report.total_dissipation ops)
+    (Dc.power (Dc.solve c) c);
+  Alcotest.(check bool) "renders" true (String.length (Pnc_spice.Report.to_string ops) > 0)
+
+let test_device_counts () =
+  let c = Circuit.create () in
+  let a = Circuit.node c "a" and b = Circuit.node c "b" in
+  Circuit.vsource c a Circuit.ground 1.;
+  Circuit.resistor c a b 100.;
+  Circuit.resistor c b Circuit.ground 100.;
+  Circuit.capacitor c b Circuit.ground 1e-6;
+  Circuit.egt c ~drain:a ~gate:b ~source:Circuit.ground ();
+  let tr, r, cap = Circuit.device_counts c in
+  Alcotest.(check (triple int int int)) "counts" (1, 2, 1) (tr, r, cap)
+
+(* Property: superposition on random connected resistor networks. ----------- *)
+
+let random_network seed =
+  let rng = Rng.create ~seed in
+  let n_nodes = 3 + Rng.int rng 5 in
+  let build i1 i2 =
+    (* current sources with amplitudes i1, i2 into two fixed nodes *)
+    let c = Circuit.create () in
+    let nodes = Array.init n_nodes (fun i -> Circuit.node c (Printf.sprintf "n%d" i)) in
+    (* spanning tree to ground guarantees a connected, well-posed system *)
+    let tree_rng = Rng.create ~seed:(seed + 1) in
+    Array.iteri
+      (fun i node ->
+        let parent = if i = 0 then Circuit.ground else nodes.(Rng.int tree_rng i) in
+        Circuit.resistor c node parent (Rng.uniform tree_rng ~lo:100. ~hi:10_000.))
+      nodes;
+    (* a few extra random edges *)
+    let extra_rng = Rng.create ~seed:(seed + 2) in
+    for _ = 1 to 3 do
+      let a = nodes.(Rng.int extra_rng n_nodes) and b = nodes.(Rng.int extra_rng n_nodes) in
+      if a <> b then Circuit.resistor c a b (Rng.uniform extra_rng ~lo:100. ~hi:10_000.)
+    done;
+    Circuit.isource c Circuit.ground nodes.(0) i1;
+    Circuit.isource c Circuit.ground nodes.(n_nodes - 1) i2;
+    (c, nodes)
+  in
+  build
+
+let prop_superposition =
+  QCheck.Test.make ~count:50 ~name:"MNA is linear: superposition on random networks"
+    QCheck.(triple (int_range 0 10_000) (float_range (-1e-3) 1e-3) (float_range (-1e-3) 1e-3))
+    (fun (seed, i1, i2) ->
+      let build = random_network seed in
+      let volts amps1 amps2 =
+        let c, nodes = build amps1 amps2 in
+        let sol = Dc.solve c in
+        Array.map (fun n -> Dc.voltage sol n) nodes
+      in
+      let both = volts i1 i2 in
+      let only1 = volts i1 0. in
+      let only2 = volts 0. i2 in
+      Array.for_all2
+        (fun v (a, b) -> Float.abs (v -. (a +. b)) < 1e-6 *. Float.max 1. (Float.abs v))
+        both
+        (Array.map2 (fun a b -> (a, b)) only1 only2))
+
+let () =
+  Alcotest.run "pnc_spice"
+    [
+      ( "mna",
+        [
+          Alcotest.test_case "2x2 solve" `Quick test_mna_solve;
+          Alcotest.test_case "random residuals" `Quick test_mna_random_residual;
+          Alcotest.test_case "singular raises" `Quick test_mna_singular;
+          Alcotest.test_case "complex solve" `Quick test_mna_complex;
+        ] );
+      ( "dc",
+        [
+          Alcotest.test_case "voltage divider" `Quick test_voltage_divider;
+          Alcotest.test_case "current source" `Quick test_current_source;
+          Alcotest.test_case "crossbar weighted sum (Eq. 1)" `Quick test_crossbar_weighted_sum;
+          Alcotest.test_case "vccs" `Quick test_vccs;
+          Alcotest.test_case "capacitor open at DC" `Quick test_capacitor_open_at_dc;
+          Alcotest.test_case "diode Newton" `Quick test_diode_like_newton;
+          Alcotest.test_case "EGT common-source transfer" `Quick test_egt_common_source_transfer;
+          Alcotest.test_case "dc power" `Quick test_dc_power;
+        ] );
+      ( "ac",
+        [
+          Alcotest.test_case "RC cutoff" `Quick test_ac_rc_cutoff;
+          Alcotest.test_case "magnitude profile" `Quick test_ac_magnitude_profile;
+          Alcotest.test_case "matches filter theory" `Quick test_ac_matches_theory;
+          Alcotest.test_case "second-order loading" `Quick test_ac_second_order_loading;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "RC charge" `Quick test_transient_rc_charge;
+          Alcotest.test_case "trapezoidal accuracy" `Quick test_transient_trapezoidal_more_accurate;
+          Alcotest.test_case "initial condition" `Quick test_transient_initial_condition;
+          Alcotest.test_case "sine attenuation" `Quick test_transient_sine_attenuation;
+          Alcotest.test_case "current source waveform" `Quick test_transient_current_source_waveform;
+          Alcotest.test_case "floating node singular" `Quick test_floating_node_singular;
+          Alcotest.test_case "RC ladder AC=transient" `Quick test_rc_ladder_transient_vs_ac;
+          Alcotest.test_case "EGT power" `Quick test_egt_power_positive;
+        ] );
+      ( "measure",
+        [
+          Alcotest.test_case "fit first order" `Quick test_fit_first_order_exact;
+          Alcotest.test_case "mu roundtrip" `Quick test_mu_roundtrip;
+          Alcotest.test_case "rise time" `Quick test_rise_time;
+          Alcotest.test_case "cutoff from response" `Quick test_cutoff_from_response;
+        ] );
+      ("report", [ Alcotest.test_case "operating point" `Quick test_operating_point_report ]);
+      ("devices", [ Alcotest.test_case "device counts" `Quick test_device_counts ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_superposition ]);
+    ]

@@ -1,0 +1,196 @@
+(* Unit and property tests for the dense tensor substrate. *)
+
+module T = Pnc_tensor.Tensor
+module Rng = Pnc_util.Rng
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+let check_f ?eps name expected got =
+  Alcotest.(check bool) (Printf.sprintf "%s (exp %.6g, got %.6g)" name expected got) true
+    (approx ?eps expected got)
+
+let t22 a b c d = T.of_rows [| [| a; b |]; [| c; d |] |]
+
+let test_create_get_set () =
+  let t = T.create ~rows:2 ~cols:3 1.5 in
+  Alcotest.(check int) "rows" 2 (T.rows t);
+  Alcotest.(check int) "cols" 3 (T.cols t);
+  check_f "init value" 1.5 (T.get t 1 2);
+  T.set t 1 2 7.;
+  check_f "after set" 7. (T.get t 1 2);
+  check_f "other untouched" 1.5 (T.get t 0 0)
+
+let test_of_rows_row_major () =
+  let t = t22 1. 2. 3. 4. in
+  check_f "0,0" 1. (T.get t 0 0);
+  check_f "0,1" 2. (T.get t 0 1);
+  check_f "1,0" 3. (T.get t 1 0);
+  Alcotest.(check (array (float 1e-12))) "row copy" [| 3.; 4. |] (T.row t 1)
+
+let test_elementwise () =
+  let a = t22 1. 2. 3. 4. and b = t22 5. 6. 7. 8. in
+  Alcotest.(check bool) "add" true (T.equal_eps ~eps:1e-12 (t22 6. 8. 10. 12.) (T.add a b));
+  Alcotest.(check bool) "sub" true (T.equal_eps ~eps:1e-12 (t22 (-4.) (-4.) (-4.) (-4.)) (T.sub a b));
+  Alcotest.(check bool) "mul" true (T.equal_eps ~eps:1e-12 (t22 5. 12. 21. 32.) (T.mul a b));
+  Alcotest.(check bool) "scale" true (T.equal_eps ~eps:1e-12 (t22 2. 4. 6. 8.) (T.scale 2. a));
+  Alcotest.(check bool) "neg" true (T.equal_eps ~eps:1e-12 (t22 (-1.) (-2.) (-3.) (-4.)) (T.neg a))
+
+let test_matmul () =
+  let a = t22 1. 2. 3. 4. and b = t22 5. 6. 7. 8. in
+  let c = T.matmul a b in
+  Alcotest.(check bool) "2x2 matmul" true (T.equal_eps ~eps:1e-12 (t22 19. 22. 43. 50.) c);
+  (* Non-square: (1x3) @ (3x2) *)
+  let x = T.of_row [| 1.; 2.; 3. |] in
+  let w = T.of_rows [| [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] |] in
+  let y = T.matmul x w in
+  check_f "y0" 4. (T.get y 0 0);
+  check_f "y1" 5. (T.get y 0 1)
+
+let test_matmul_identity () =
+  let rng = Rng.create ~seed:1 in
+  let a = T.uniform rng ~rows:4 ~cols:4 ~lo:(-1.) ~hi:1. in
+  let id = T.init ~rows:4 ~cols:4 (fun r c -> if r = c then 1. else 0.) in
+  Alcotest.(check bool) "a @ I = a" true (T.equal_eps ~eps:1e-12 a (T.matmul a id));
+  Alcotest.(check bool) "I @ a = a" true (T.equal_eps ~eps:1e-12 a (T.matmul id a))
+
+let test_transpose () =
+  let a = T.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let at = T.transpose a in
+  Alcotest.(check int) "rows" 3 (T.rows at);
+  check_f "element" 6. (T.get at 2 1);
+  Alcotest.(check bool) "double transpose" true (T.equal_eps ~eps:0. a (T.transpose at))
+
+let test_broadcast () =
+  let m = t22 1. 2. 3. 4. in
+  let rv = T.of_row [| 10.; 20. |] in
+  Alcotest.(check bool) "add_rv" true (T.equal_eps ~eps:1e-12 (t22 11. 22. 13. 24.) (T.add_rv m rv));
+  Alcotest.(check bool) "mul_rv" true (T.equal_eps ~eps:1e-12 (t22 10. 40. 30. 80.) (T.mul_rv m rv))
+
+let test_reductions () =
+  let m = t22 1. 2. 3. 4. in
+  check_f "sum" 10. (T.sum m);
+  check_f "mean" 2.5 (T.mean m);
+  Alcotest.(check bool) "sum_rows" true
+    (T.equal_eps ~eps:1e-12 (T.of_row [| 4.; 6. |]) (T.sum_rows m));
+  let sc = T.sum_cols m in
+  check_f "sum_cols 0" 3. (T.get sc 0 0);
+  check_f "sum_cols 1" 7. (T.get sc 1 0);
+  check_f "max_abs" 4. (T.max_abs m)
+
+let test_one_hot_argmax () =
+  let oh = T.one_hot ~n_classes:3 [| 0; 2; 1 |] in
+  Alcotest.(check (array int)) "argmax recovers labels" [| 0; 2; 1 |] (T.argmax_rows oh);
+  check_f "row sums to 1" 3. (T.sum oh)
+
+let test_col () =
+  let m = T.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let c = T.col m 1 in
+  Alcotest.(check int) "rows" 2 (T.rows c);
+  Alcotest.(check int) "cols" 1 (T.cols c);
+  check_f "values" 5. (T.get c 1 0)
+
+let test_add_inplace () =
+  let a = t22 1. 1. 1. 1. in
+  T.add_inplace a (t22 1. 2. 3. 4.);
+  Alcotest.(check bool) "accumulated" true (T.equal_eps ~eps:0. (t22 2. 3. 4. 5.) a)
+
+let expect_assert name f =
+  match f () with
+  | exception Assert_failure _ -> ()
+  | _ -> Alcotest.fail ("expected assertion failure: " ^ name)
+
+let test_shape_violations_assert () =
+  expect_assert "of_array length" (fun () -> T.of_array ~rows:2 ~cols:2 [| 1.; 2.; 3. |]);
+  expect_assert "matmul shapes" (fun () ->
+      T.matmul (T.zeros ~rows:2 ~cols:3) (T.zeros ~rows:2 ~cols:2));
+  expect_assert "map2 shapes" (fun () ->
+      T.map2 ( +. ) (T.zeros ~rows:1 ~cols:2) (T.zeros ~rows:2 ~cols:1));
+  expect_assert "add_inplace shapes" (fun () ->
+      T.add_inplace (T.zeros ~rows:1 ~cols:2) (T.zeros ~rows:2 ~cols:2));
+  expect_assert "one_hot label range" (fun () -> T.one_hot ~n_classes:2 [| 0; 2 |]);
+  expect_assert "get_scalar non-scalar" (fun () -> T.get_scalar (T.zeros ~rows:2 ~cols:1))
+
+let test_init_row_major_order () =
+  (* init must visit row-major so closures with side effects behave
+     predictably (the tensor fast path depends on it). *)
+  let calls = ref [] in
+  let _ =
+    T.init ~rows:2 ~cols:2 (fun r c ->
+        calls := (r, c) :: !calls;
+        0.)
+  in
+  Alcotest.(check (list (pair int int))) "row-major order" [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+    (List.rev !calls)
+
+let test_scalar_and_of_row () =
+  let s = T.scalar 3.5 in
+  check_f "scalar value" 3.5 (T.get_scalar s);
+  let input = [| 1.; 2. |] in
+  let r = T.of_row input in
+  input.(0) <- 99.;
+  check_f "of_row copies" 1. (T.get r 0 0)
+
+(* Properties ------------------------------------------------------------ *)
+
+let tensor_gen =
+  QCheck.Gen.(
+    int_range 1 6 >>= fun rows ->
+    int_range 1 6 >>= fun cols ->
+    list_repeat (rows * cols) (float_range (-10.) 10.) >|= fun l ->
+    T.of_array ~rows ~cols (Array.of_list l))
+
+let tensor_arb = QCheck.make ~print:(fun t -> Format.asprintf "%a" T.pp t) tensor_gen
+
+let prop_transpose_involution =
+  QCheck.Test.make ~count:200 ~name:"transpose involution" tensor_arb (fun t ->
+      T.equal_eps ~eps:0. t (T.transpose (T.transpose t)))
+
+let prop_sum_linear =
+  QCheck.Test.make ~count:200 ~name:"sum (a+a) = 2 sum a" tensor_arb (fun t ->
+      approx ~eps:1e-6 (T.sum (T.add t t)) (2. *. T.sum t))
+
+let prop_matmul_transpose =
+  QCheck.Test.make ~count:100 ~name:"(A B)^T = B^T A^T"
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 1 5 >>= fun m ->
+         int_range 1 5 >>= fun k ->
+         int_range 1 5 >>= fun n ->
+         list_repeat (m * k) (float_range (-3.) 3.) >>= fun la ->
+         list_repeat (k * n) (float_range (-3.) 3.) >|= fun lb ->
+         ( T.of_array ~rows:m ~cols:k (Array.of_list la),
+           T.of_array ~rows:k ~cols:n (Array.of_list lb) )))
+    (fun (a, b) ->
+      T.equal_eps ~eps:1e-9
+        (T.transpose (T.matmul a b))
+        (T.matmul (T.transpose b) (T.transpose a)))
+
+let prop_sum_rows_consistent =
+  QCheck.Test.make ~count:200 ~name:"sum of sum_rows = sum" tensor_arb (fun t ->
+      approx ~eps:1e-6 (T.sum (T.sum_rows t)) (T.sum t))
+
+let () =
+  let qc =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_transpose_involution; prop_sum_linear; prop_matmul_transpose; prop_sum_rows_consistent ]
+  in
+  Alcotest.run "pnc_tensor"
+    [
+      ( "tensor",
+        [
+          Alcotest.test_case "create/get/set" `Quick test_create_get_set;
+          Alcotest.test_case "of_rows layout" `Quick test_of_rows_row_major;
+          Alcotest.test_case "elementwise" `Quick test_elementwise;
+          Alcotest.test_case "matmul" `Quick test_matmul;
+          Alcotest.test_case "matmul identity" `Quick test_matmul_identity;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "reductions" `Quick test_reductions;
+          Alcotest.test_case "one_hot/argmax" `Quick test_one_hot_argmax;
+          Alcotest.test_case "col" `Quick test_col;
+          Alcotest.test_case "add_inplace" `Quick test_add_inplace;
+          Alcotest.test_case "shape violations assert" `Quick test_shape_violations_assert;
+          Alcotest.test_case "init row-major" `Quick test_init_row_major_order;
+          Alcotest.test_case "scalar / of_row copy" `Quick test_scalar_and_of_row;
+        ] );
+      ("properties", qc);
+    ]

@@ -1,0 +1,261 @@
+(* Unit and property tests for the pnc_util substrate. *)
+
+module Rng = Pnc_util.Rng
+module Vec = Pnc_util.Vec
+module Stats = Pnc_util.Stats
+module Table = Pnc_util.Table
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_f ?(eps = 1e-9) name expected got =
+  Alcotest.(check bool) (Printf.sprintf "%s (exp %.6g, got %.6g)" name expected got) true
+    (approx ~eps expected got)
+
+(* Rng ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let xs = Array.init 32 (fun _ -> Rng.int a 1_000_000) in
+  let ys = Array.init 32 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different seeds differ" true (xs <> ys)
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:7 in
+  let child = Rng.split parent in
+  let c1 = Array.init 16 (fun _ -> Rng.int child 1000) in
+  (* Re-derive: same parent seed, same split point -> same child stream. *)
+  let parent' = Rng.create ~seed:7 in
+  let child' = Rng.split parent' in
+  let c2 = Array.init 16 (fun _ -> Rng.int child' 1000) in
+  Alcotest.(check (array int)) "split reproducible" c1 c2
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:3 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian ~mu:2. ~sigma:0.5 rng) in
+  let m = Stats.mean xs and s = Stats.std xs in
+  Alcotest.(check bool) "mean near 2" true (Float.abs (m -. 2.) < 0.02);
+  Alcotest.(check bool) "std near 0.5" true (Float.abs (s -. 0.5) < 0.02)
+
+let test_uniform_bounds () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng ~lo:(-3.) ~hi:(-1.) in
+    Alcotest.(check bool) "in range" true (x >= -3. && x < -1.)
+  done
+
+let test_permutation () =
+  let rng = Rng.create ~seed:11 in
+  let p = Rng.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_indices () =
+  let rng = Rng.create ~seed:13 in
+  let s = Rng.sample_indices rng ~n:20 ~k:5 in
+  Alcotest.(check int) "k elements" 5 (Array.length s);
+  let module S = Set.Make (Int) in
+  Alcotest.(check int) "distinct" 5 (S.cardinal (S.of_list (Array.to_list s)));
+  Array.iter (fun i -> Alcotest.(check bool) "bounds" true (i >= 0 && i < 20)) s
+
+(* Vec ------------------------------------------------------------------ *)
+
+let test_linspace () =
+  let a = Vec.linspace 0. 1. 5 in
+  Alcotest.(check int) "length" 5 (Array.length a);
+  check_f "first" 0. a.(0);
+  check_f "last" 1. a.(4);
+  check_f "mid" 0.5 a.(2)
+
+let test_dot_norm () =
+  check_f "dot" 32. (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  check_f "norm" 5. (Vec.norm2 [| 3.; 4. |])
+
+let test_normalize_range () =
+  let a = Vec.normalize_range [| 2.; 4.; 6. |] in
+  check_f "lo" (-1.) a.(0);
+  check_f "mid" 0. a.(1);
+  check_f "hi" 1. a.(2);
+  let c = Vec.normalize_range [| 5.; 5.; 5. |] in
+  Array.iter (fun x -> check_f "constant maps to midpoint" 0. x) c
+
+let test_interp1 () =
+  let xs = [| 0.; 1.; 2. |] and ys = [| 0.; 10.; 0. |] in
+  check_f "interior" 5. (Vec.interp1 ~xs ~ys 0.5);
+  check_f "node" 10. (Vec.interp1 ~xs ~ys 1.);
+  check_f "clamp low" 0. (Vec.interp1 ~xs ~ys (-1.));
+  check_f "clamp high" 0. (Vec.interp1 ~xs ~ys 5.)
+
+let test_resample_identity () =
+  let a = [| 1.; 3.; 2.; 5. |] in
+  Alcotest.(check bool) "same length is copy" true (Vec.equal_eps ~eps:0. (Vec.resample a 4) a)
+
+let test_resample_endpoints () =
+  let a = [| 1.; 3.; 2.; 5.; 4. |] in
+  let b = Vec.resample a 11 in
+  check_f "start preserved" a.(0) b.(0);
+  check_f "end preserved" a.(4) b.(10)
+
+let test_cumsum () =
+  let c = Vec.cumsum [| 1.; 2.; 3. |] in
+  Alcotest.(check bool) "cumsum" true (Vec.equal_eps ~eps:1e-12 [| 1.; 3.; 6. |] c)
+
+let test_clip () =
+  let c = Vec.clip ~lo:0. ~hi:1. [| -2.; 0.5; 3. |] in
+  Alcotest.(check bool) "clip" true (Vec.equal_eps ~eps:0. [| 0.; 0.5; 1. |] c)
+
+(* Stats ---------------------------------------------------------------- *)
+
+let test_stats_basic () =
+  let a = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_f "mean" 5. (Stats.mean a);
+  check_f ~eps:1e-6 "std" (sqrt (32. /. 7.)) (Stats.std a);
+  check_f "median" 4.5 (Stats.median a)
+
+let test_percentile () =
+  let a = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_f "p0" 1. (Stats.percentile a 0.);
+  check_f "p50" 3. (Stats.percentile a 50.);
+  check_f "p100" 5. (Stats.percentile a 100.);
+  check_f "p25" 2. (Stats.percentile a 25.)
+
+let test_accuracy_confusion () =
+  let pred = [| 0; 1; 1; 2 |] and truth = [| 0; 1; 2; 2 |] in
+  check_f "accuracy" 0.75 (Stats.accuracy ~pred ~truth);
+  let m = Stats.confusion ~n_classes:3 ~pred ~truth in
+  Alcotest.(check int) "diag 0" 1 m.(0).(0);
+  Alcotest.(check int) "off diag" 1 m.(2).(1);
+  Alcotest.(check int) "diag 2" 1 m.(2).(2)
+
+(* Table ---------------------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_rule t;
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count" 6 (List.length lines)
+(* header, rule, row, rule, row, trailing "" *)
+
+let test_fmt () =
+  Alcotest.(check string) "fmt_f" "1.500" (Table.fmt_f 1.5);
+  Alcotest.(check string) "fmt_mean_std" "0.726 ± 0.014" (Table.fmt_mean_std (0.726, 0.014))
+
+(* Timer ------------------------------------------------------------------ *)
+
+let test_timer_fmt () =
+  let module Timer = Pnc_util.Timer in
+  Alcotest.(check string) "ns" "5.0 ns" (Timer.fmt_seconds 5e-9);
+  Alcotest.(check string) "µs" "12.0 µs" (Timer.fmt_seconds 1.2e-5);
+  Alcotest.(check string) "ms" "3.400 ms" (Timer.fmt_seconds 3.4e-3);
+  Alcotest.(check string) "s" "2.500 s" (Timer.fmt_seconds 2.5)
+
+let test_timer_time () =
+  let module Timer = Pnc_util.Timer in
+  let r, dt = Timer.time (fun () -> 41 + 1) in
+  Alcotest.(check int) "result returned" 42 r;
+  Alcotest.(check bool) "time non-negative" true (dt >= 0.);
+  let mean = Timer.time_mean ~repeats:3 (fun () -> ()) in
+  Alcotest.(check bool) "mean non-negative" true (mean >= 0.)
+
+let test_rng_copy_forks_stream () =
+  let a = Rng.create ~seed:21 in
+  ignore (Rng.int a 100);
+  let b = Rng.copy a in
+  let xa = Array.init 8 (fun _ -> Rng.int a 1000) in
+  let xb = Array.init 8 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (array int)) "copies replay the same stream" xa xb
+
+let test_arange () =
+  Alcotest.(check bool) "arange" true
+    (Vec.equal_eps ~eps:0. [| 0.; 1.; 2.; 3. |] (Vec.arange 4))
+
+let test_summarize () =
+  let s = Stats.summarize "acc" [| 0.5; 0.7 |] in
+  Alcotest.(check bool) "mentions n" true (String.length s > 0 && s.[0] = 'a')
+
+(* Property tests --------------------------------------------------------- *)
+
+let prop_resample_bounds =
+  QCheck.Test.make ~count:200 ~name:"resample stays within input range"
+    QCheck.(pair (list_of_size Gen.(int_range 2 50) (float_range (-10.) 10.)) (int_range 2 100))
+    (fun (l, n) ->
+      let a = Array.of_list l in
+      let b = Pnc_util.Vec.resample a n in
+      let lo = Vec.min a -. 1e-9 and hi = Vec.max a +. 1e-9 in
+      Array.for_all (fun x -> x >= lo && x <= hi) b)
+
+let prop_normalize_range =
+  QCheck.Test.make ~count:200 ~name:"normalize_range lands in [-1,1]"
+    QCheck.(list_of_size Gen.(int_range 1 60) (float_range (-100.) 100.))
+    (fun l ->
+      let a = Vec.normalize_range (Array.of_list l) in
+      Array.for_all (fun x -> x >= -1. -. 1e-9 && x <= 1. +. 1e-9) a)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentile is monotone in p"
+    QCheck.(pair (list_of_size Gen.(int_range 1 40) (float_range (-50.) 50.)) (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (l, (p, q)) ->
+      let a = Array.of_list l in
+      let p, q = if p <= q then (p, q) else (q, p) in
+      Stats.percentile a p <= Stats.percentile a q +. 1e-9)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest [ prop_resample_bounds; prop_normalize_range; prop_percentile_monotone ] in
+  Alcotest.run "pnc_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split reproducible" `Quick test_rng_split_independent;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+          Alcotest.test_case "permutation" `Quick test_permutation;
+          Alcotest.test_case "sample_indices" `Quick test_sample_indices;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "dot/norm" `Quick test_dot_norm;
+          Alcotest.test_case "normalize_range" `Quick test_normalize_range;
+          Alcotest.test_case "interp1" `Quick test_interp1;
+          Alcotest.test_case "resample identity" `Quick test_resample_identity;
+          Alcotest.test_case "resample endpoints" `Quick test_resample_endpoints;
+          Alcotest.test_case "cumsum" `Quick test_cumsum;
+          Alcotest.test_case "clip" `Quick test_clip;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/std/median" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "accuracy/confusion" `Quick test_accuracy_confusion;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "formatting" `Quick test_fmt;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "fmt_seconds" `Quick test_timer_fmt;
+          Alcotest.test_case "time/time_mean" `Quick test_timer_time;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "rng copy" `Quick test_rng_copy_forks_stream;
+          Alcotest.test_case "arange" `Quick test_arange;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+        ] );
+      ("properties", qc);
+    ]
