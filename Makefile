@@ -1,0 +1,4 @@
+check:
+	dune build && dune runtest
+
+.PHONY: check

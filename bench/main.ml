@@ -85,6 +85,58 @@ let bechamel_table2 cfg =
     clock;
   print_newline ()
 
+(* Tentpole benchmark: throughput of accuracy evaluation under
+   variation — the Var-graph path (builds the full autodiff DAG per
+   draw) against the no-grad tensor fast path used by Model.predict /
+   Mc_loss.expected_value. Also reports training epochs/s for
+   context. *)
+let bench_eval_throughput cfg =
+  let dataset = List.hd cfg.Config.datasets in
+  let raw = Pnc_data.Registry.load ?n:cfg.Config.dataset_n ~seed:0 dataset in
+  let split = Pnc_data.Dataset.preprocess (Pnc_util.Rng.create ~seed:1) raw in
+  let classes = raw.Pnc_data.Dataset.n_classes in
+  let rng = Pnc_util.Rng.create ~seed:2 in
+  let net =
+    Pnc_core.Network.create ~hidden:(max 4 (2 * classes)) rng Pnc_core.Network.Adapt ~inputs:1
+      ~classes
+  in
+  let x, y = Pnc_core.Train.to_xy split.Pnc_data.Dataset.test in
+  let spec = Pnc_core.Variation.uniform 0.1 in
+  let n_draws = 20 in
+  let eval_with forward () =
+    let r = Pnc_util.Rng.create ~seed:7 in
+    for _ = 1 to n_draws do
+      let draw = Pnc_core.Variation.make_draw r spec in
+      let pred = forward ~draw in
+      ignore (Pnc_util.Stats.accuracy ~pred ~truth:y)
+    done
+  in
+  let eval_var =
+    eval_with (fun ~draw ->
+        Pnc_tensor.Tensor.argmax_rows
+          (Pnc_autodiff.Var.value (Pnc_core.Network.forward ~draw net x)))
+  in
+  let eval_fast = eval_with (fun ~draw -> Pnc_core.Network.predict ~draw net x) in
+  eval_var ();
+  eval_fast ();
+  let t_var = Pnc_util.Timer.time_mean ~repeats:3 eval_var in
+  let t_fast = Pnc_util.Timer.time_mean ~repeats:3 eval_fast in
+  let per_draw t = t /. float_of_int n_draws in
+  print_endline "Eval throughput - accuracy under +-10% variation, ADAPT net, test split";
+  Printf.printf "  Var graph path               %8.1f draws/s (%s per draw)\n"
+    (1. /. per_draw t_var)
+    (Pnc_util.Timer.fmt_seconds (per_draw t_var));
+  Printf.printf "  no-grad tensor path          %8.1f draws/s (%s per draw)\n"
+    (1. /. per_draw t_fast)
+    (Pnc_util.Timer.fmt_seconds (per_draw t_fast));
+  Printf.printf "  speedup                      %8.2fx\n" (t_var /. t_fast);
+  let t_epoch =
+    Pnc_core.Train.epoch_seconds cfg.Config.train_va (Pnc_core.Model.Circuit net) split
+  in
+  Printf.printf "  training (Var path)          %8.2f epochs/s (%s per epoch)\n\n%!"
+    (1. /. t_epoch)
+    (Pnc_util.Timer.fmt_seconds t_epoch)
+
 let () =
   let cfg = Config.from_env () in
   Printf.printf "ADAPT-pNC benchmark harness (scale: %s, %d datasets, seeds: %d)\n\n"
@@ -96,6 +148,7 @@ let () =
   Experiments.print_fig6 (Experiments.fig6 ());
   Experiments.print_mu_survey (Experiments.mu_survey ());
   Experiments.filter_characterization ();
+  bench_eval_throughput cfg;
 
   (* The shared training grid behind Table I, Fig. 5, Fig. 7, Table III. *)
   let variants = Experiments.Reference :: Experiments.fig7_variants in

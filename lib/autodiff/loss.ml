@@ -46,6 +46,16 @@ let softmax_cross_entropy ~logits ~labels =
   let k = loss -. T.get_scalar (Var.value linear) in
   Var.add_scalar k linear
 
+let cross_entropy_value ~logits ~labels =
+  let b = T.rows logits in
+  assert (Array.length labels = b);
+  let probs = softmax_rows logits in
+  let loss = ref 0. in
+  for r = 0 to b - 1 do
+    loss := !loss -. log (Float.max 1e-12 (T.get probs r labels.(r)))
+  done;
+  !loss /. float_of_int b
+
 let mse ~pred ~target =
   let diff = Var.sub pred (Var.const target) in
   Var.mean (Var.sqr diff)

@@ -9,6 +9,11 @@ val softmax_cross_entropy : logits:Var.t -> labels:int array -> Var.t
 (** Mean cross-entropy over the batch; [logits] is [batch x classes],
     [labels.(b)] in [0, classes). Returns a [1 x 1] node. *)
 
+val cross_entropy_value : logits:Pnc_tensor.Tensor.t -> labels:int array -> float
+(** Forward-only mean cross-entropy on raw logits — the no-grad
+    counterpart of {!softmax_cross_entropy}, same clipping and
+    summation order. *)
+
 val mse : pred:Var.t -> target:Pnc_tensor.Tensor.t -> Var.t
 (** Mean squared error against a constant target of the same shape. *)
 

@@ -21,11 +21,75 @@ let grad v =
   | Some g -> g
   | None -> T.zeros ~rows:(T.rows v.value) ~cols:(T.cols v.value)
 
+let grad_opt v = v.grad
 let requires_grad v = v.requires
 
+(* Tape ------------------------------------------------------------------ *)
+
+(* Interior nodes are recorded at creation, in creation order — which is
+   a topological order of any DAG built by these combinators — so
+   [backward] walks the tape in reverse instead of collecting and
+   sorting the reachable set on every call. The tape holds weak
+   pointers: a graph the caller has dropped is collected by the GC as
+   usual, and its empty slots are compacted away the next time the tape
+   fills up, so recording nodes never extends their lifetime. *)
+module Tape = struct
+  let arr = ref (Weak.create 4096)
+  let len = ref 0
+  let recorded = ref 0
+
+  let compact () =
+    let a = !arr in
+    let j = ref 0 in
+    for i = 0 to !len - 1 do
+      match Weak.get a i with
+      | Some _ as v ->
+          if !j < i then Weak.set a !j v;
+          incr j
+      | None -> ()
+    done;
+    for i = !j to !len - 1 do
+      Weak.set a i None
+    done;
+    len := !j
+
+  let push v =
+    let cap = Weak.length !arr in
+    if !len = cap then begin
+      compact ();
+      (* Still mostly live after compaction: double the capacity. *)
+      if 2 * !len >= cap then begin
+        let bigger = Weak.create (2 * cap) in
+        Weak.blit !arr 0 bigger 0 !len;
+        arr := bigger
+      end
+    end;
+    Weak.set !arr !len (Some v);
+    incr len;
+    incr recorded
+end
+
+let nodes_created () = !counter
+let tape_recorded () = !Tape.recorded
+
+(* No-grad mode ---------------------------------------------------------- *)
+
+let no_grad = ref false
+
+let with_no_grad f =
+  let saved = !no_grad in
+  no_grad := true;
+  Fun.protect ~finally:(fun () -> no_grad := saved) f
+
 let mk ?(requires = true) value parents =
-  let requires = requires && List.exists (fun (p, _) -> p.requires) parents in
-  { id = next_id (); value; grad = None; parents; requires }
+  if !no_grad then
+    { id = next_id (); value; grad = None; parents = []; requires = false }
+  else begin
+    let requires = requires && List.exists (fun (p, _) -> p.requires) parents in
+    let v = { id = next_id (); value; grad = None; parents; requires } in
+    Tape.push v;
+    v
+  end
 
 let param value = { id = next_id (); value; grad = None; parents = []; requires = true }
 let const value = { id = next_id (); value; grad = None; parents = []; requires = false }
@@ -168,8 +232,6 @@ let concat_cols vs =
 
 (* Backward ------------------------------------------------------------- *)
 
-module Int_set = Set.Make (Int)
-
 let reachable root =
   let seen = Hashtbl.create 64 in
   let rec go v =
@@ -182,20 +244,38 @@ let reachable root =
   seen
 
 let backward root =
-  let seen = reachable root in
-  let nodes = Hashtbl.fold (fun _ v acc -> v :: acc) seen [] in
-  let nodes = List.sort (fun a b -> compare b.id a.id) nodes in
   accumulate root (T.create ~rows:(T.rows root.value) ~cols:(T.cols root.value) 1.);
-  let propagate v =
-    if v.requires then
-      match v.grad with
-      | None -> ()
-      | Some g ->
-          List.iter (fun (p, back) -> if p.requires then accumulate p (back g)) v.parents
-  in
-  List.iter propagate nodes;
-  (* Interior node gradients are only needed during propagation; release
-     them so repeated forward/backward passes do not retain the DAG. *)
-  List.iter (fun v -> if v.parents <> [] then v.grad <- None) nodes
+  (* Walk the tape in reverse creation order. Between passes no tape
+     node carries a gradient (interior gradients are released as they
+     are consumed, and leaves are never on the tape), so the nodes with
+     pending gradients are exactly the root plus whatever this walk
+     accumulates into. Counting them lets the walk stop as soon as all
+     pending gradients have drained, instead of scanning the stale
+     region of long-dead graphs below the current one. *)
+  let pending = ref (if root.parents = [] then 0 else 1) in
+  let a = !Tape.arr in
+  let i = ref (!Tape.len - 1) in
+  while !pending > 0 && !i >= 0 do
+    (match Weak.get a !i with
+    | Some v when v.id <= root.id -> (
+        match v.grad with
+        | None -> ()
+        | Some g ->
+            decr pending;
+            if v.requires then
+              List.iter
+                (fun (p, back) ->
+                  if p.requires then begin
+                    if p.grad = None && p.parents <> [] then incr pending;
+                    accumulate p (back g)
+                  end)
+                v.parents;
+            (* Interior node gradients are only needed during
+               propagation; release them so repeated forward/backward
+               passes do not retain the DAG. *)
+            v.grad <- None)
+    | _ -> ());
+    decr i
+  done
 
 let n_nodes root = Hashtbl.length (reachable root)

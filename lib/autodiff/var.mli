@@ -17,9 +17,33 @@ type t
 
 val value : t -> Pnc_tensor.Tensor.t
 val grad : t -> Pnc_tensor.Tensor.t
-(** Accumulated gradient; zeros until {!backward} reaches the node. *)
+(** Accumulated gradient; a fresh zeros tensor if none has been
+    accumulated. Optimizer hot paths should prefer {!grad_opt}. *)
+
+val grad_opt : t -> Pnc_tensor.Tensor.t option
+(** Accumulated gradient without allocating: [None] until {!backward}
+    reaches the node (and again after {!zero_grad}). *)
 
 val requires_grad : t -> bool
+
+(** {1 No-grad mode}
+
+    Under {!with_no_grad}, every operation returns a constant-like node
+    — no parents recorded, nothing pushed on the tape, [requires_grad]
+    false — so evaluation-only code retains no graph. The pure-tensor
+    fast paths in [lib/core] avoid [Var] entirely; this mode is the
+    safety net for code still routed through the combinators. *)
+
+val no_grad : bool ref
+val with_no_grad : (unit -> 'a) -> 'a
+
+val nodes_created : unit -> int
+(** Total [Var] records ever created (monotonic counter). Used by tests
+    to assert that evaluation fast paths allocate zero nodes. *)
+
+val tape_recorded : unit -> int
+(** Total nodes ever recorded on the backward tape (monotonic). Stays
+    flat under {!with_no_grad} and across pure-tensor evaluation. *)
 
 (** {1 Leaves} *)
 
@@ -94,8 +118,11 @@ val concat_cols : t list -> t
 
 val backward : t -> unit
 (** Seeds the node (any shape; seeded with ones) and accumulates
-    gradients into every reachable leaf with [requires_grad]. Multiple
-    calls accumulate; call {!zero_grad} on the leaves between steps. *)
+    gradients into every reachable leaf with [requires_grad]. Interior
+    nodes are recorded on a global tape at creation, so the pass is a
+    single reverse walk of the tape — no per-call reachability
+    collection or sort. Multiple calls accumulate; call {!zero_grad} on
+    the leaves between steps. *)
 
 val n_nodes : t -> int
 (** Number of distinct nodes reachable from [t] (diagnostics). *)

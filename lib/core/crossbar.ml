@@ -55,6 +55,31 @@ let apply real x =
 let forward_const ~theta_eps ~bias_eps cb x = apply (realize_const ~theta_eps ~bias_eps cb) x
 let forward ~draw cb x = apply (realize ~draw cb) x
 
+(* Pure-tensor realization for the no-grad evaluation path. Applies the
+   exact floating-point operation sequence of [realize]/[apply] on raw
+   tensors (the normalization divides by multiplying with a precomputed
+   reciprocal, as [Var.div_rv] does), so logits are bit-identical to the
+   Var path under the same draw. *)
+type realization_t = { theta_eff_t : T.t; bias_num_t : T.t; inv_den_t : T.t }
+
+let realize_t ~draw cb =
+  let theta_eps, bias_eps = sample_eps ~draw cb in
+  let theta_eff = T.mul (Var.value cb.theta) theta_eps in
+  let bias_eff = T.mul (Var.value cb.theta_b) bias_eps in
+  let den =
+    T.add_scalar g_dummy (T.add (T.sum_rows (T.map Float.abs theta_eff)) (T.map Float.abs bias_eff))
+  in
+  {
+    theta_eff_t = theta_eff;
+    bias_num_t = T.scale Printed.v_supply bias_eff;
+    inv_den_t = T.map (fun x -> 1. /. x) den;
+  }
+
+let apply_t_into ~dst real x =
+  T.matmul_into ~dst x real.theta_eff_t;
+  T.add_rv_inplace dst real.bias_num_t;
+  T.mul_rv_inplace dst real.inv_den_t
+
 let theta_values cb = T.copy (Var.value cb.theta)
 let bias_values cb = T.copy (Var.value cb.theta_b)
 

@@ -32,6 +32,17 @@ type realization
 val realize : draw:Variation.draw -> t -> realization
 val apply : realization -> Pnc_autodiff.Var.t -> Pnc_autodiff.Var.t
 
+type realization_t
+(** Pure-tensor realization for the no-grad evaluation path; consumes
+    the draw's random stream exactly like {!realize} and produces
+    bit-identical outputs without building autodiff nodes. *)
+
+val realize_t : draw:Variation.draw -> t -> realization_t
+
+val apply_t_into : dst:Pnc_tensor.Tensor.t -> realization_t -> Pnc_tensor.Tensor.t -> unit
+(** Writes the [batch x outputs] crossbar response into [dst]
+    (allocation-free; [dst] must not alias the input). *)
+
 val forward_const :
   theta_eps:Pnc_tensor.Tensor.t ->
   bias_eps:Pnc_tensor.Tensor.t ->

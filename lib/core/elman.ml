@@ -54,4 +54,26 @@ let forward m x =
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
   forward_multi m steps
 
-let predict m x = T.argmax_rows (Var.value (forward m x))
+(* Pure-tensor forward for evaluation — same floating-point operation
+   sequence as the Var path, no autodiff nodes. *)
+let cell_step_t c h x =
+  T.map Stdlib.tanh
+    (T.add_rv (T.add (T.matmul x (Var.value c.w)) (T.matmul h (Var.value c.u))) (Var.value c.b))
+
+let forward_multi_t m steps =
+  assert (Array.length steps > 0);
+  let batch = T.rows steps.(0) in
+  let h1 = ref (T.zeros ~rows:batch ~cols:m.n_hidden) in
+  let h2 = ref (T.zeros ~rows:batch ~cols:m.n_hidden) in
+  Array.iter
+    (fun x_t ->
+      h1 := cell_step_t m.l1 !h1 x_t;
+      h2 := cell_step_t m.l2 !h2 !h1)
+    steps;
+  T.add_rv (T.matmul !h2 (Var.value m.w_out)) (Var.value m.b_out)
+
+let forward_t m x =
+  let steps = Array.init (T.cols x) (fun k -> T.col x k) in
+  forward_multi_t m steps
+
+let predict m x = T.argmax_rows (forward_t m x)

@@ -16,4 +16,11 @@ val forward : t -> Pnc_tensor.Tensor.t -> Pnc_autodiff.Var.t
     (linear read-out of the final hidden state). *)
 
 val forward_multi : t -> Pnc_tensor.Tensor.t array -> Pnc_autodiff.Var.t
+
+val forward_t : t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+(** Pure-tensor forward (no autodiff nodes); bit-identical logits. *)
+
+val forward_multi_t : t -> Pnc_tensor.Tensor.t array -> Pnc_tensor.Tensor.t
+
 val predict : t -> Pnc_tensor.Tensor.t -> int array
+(** Runs on the tensor fast path. *)

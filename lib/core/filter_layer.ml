@@ -66,6 +66,46 @@ let step real (st : state) x =
   in
   (st', !x_in)
 
+(* Pure-tensor realization for the no-grad evaluation path: same
+   sampling order and floating-point operation sequence as [realize],
+   on raw tensors. *)
+type stage_real_t = { a_t : T.t; b_t : T.t; v0_t : T.t }
+type realization_t = { stage_reals_t : stage_real_t array }
+
+let realize_t ~draw f =
+  let realize_stage (s : stage) =
+    let eps_r = Variation.eps_for draw ~rows:1 ~cols:f.n in
+    let eps_c = Variation.eps_for draw ~rows:1 ~cols:f.n in
+    let mu = Variation.mu_for draw ~cols:f.n in
+    let r_eff = T.mul (Var.value s.r_norm) eps_r in
+    let c_eff = T.mul (Var.value s.c_norm) eps_c in
+    let tau = T.scale tau_max (T.mul r_eff c_eff) in
+    let den = T.add_scalar Printed.dt (T.mul mu tau) in
+    {
+      a_t = T.div tau den;
+      b_t = T.div (T.create ~rows:1 ~cols:f.n Printed.dt) den;
+      v0_t = Variation.v0_for draw ~cols:f.n;
+    }
+  in
+  { stage_reals_t = Array.map realize_stage f.stages }
+
+type state_t = T.t array
+
+let init_state_t real ~batch =
+  Array.map
+    (fun sr -> T.init ~rows:batch ~cols:(T.cols sr.v0_t) (fun _ c -> T.get sr.v0_t 0 c))
+    real.stage_reals_t
+
+let step_t real (st : state_t) x =
+  let x_in = ref x in
+  Array.iteri
+    (fun i s ->
+      let sr = real.stage_reals_t.(i) in
+      T.affine_rv_into ~dst:s s sr.a_t !x_in sr.b_t;
+      x_in := s)
+    st;
+  !x_in
+
 let r_values f =
   Array.map
     (fun s -> Array.map (fun x -> x *. Printed.filter_r_max) (T.row (Var.value s.r_norm) 0))

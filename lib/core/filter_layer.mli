@@ -42,6 +42,26 @@ val step : realization -> state -> Pnc_autodiff.Var.t -> state * Pnc_autodiff.Va
 (** Advance the filter bank by one time step: input and output are
     [batch x features] nodes. *)
 
+(** {1 Pure-tensor realization (no-grad evaluation path)}
+
+    Consumes the draw's random stream exactly like {!realize} and steps
+    through the same floating-point update in place, without building
+    autodiff nodes. *)
+
+type realization_t
+
+val realize_t : draw:Variation.draw -> t -> realization_t
+
+type state_t = Pnc_tensor.Tensor.t array
+(** One [batch x features] voltage tensor per stage, mutated in place
+    by {!step_t}. *)
+
+val init_state_t : realization_t -> batch:int -> state_t
+
+val step_t : realization_t -> state_t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+(** Advances the state in place and returns the last stage's voltages
+    (an alias of the state, valid until the next step). *)
+
 (** {1 Physical values} *)
 
 val r_values : t -> float array array

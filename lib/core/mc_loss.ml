@@ -37,5 +37,36 @@ let expected ?(antithetic = false) ~rng ~spec ~n model ~x ~labels =
     Var.scale (1. /. float_of_int n) (sum_losses first (n - 1))
   end
 
-let expected_value ?antithetic ~rng ~spec ~n model ~x ~labels =
-  Pnc_tensor.Tensor.get_scalar (Var.value (expected ?antithetic ~rng ~spec ~n model ~x ~labels))
+(* Forward-only estimate on the tensor fast path: consumes the random
+   stream exactly like [expected] (same draw construction, same order)
+   but never allocates autodiff nodes. *)
+let value_of_draw ~draw model ~x ~labels =
+  Loss.cross_entropy_value ~logits:(Model.logits_t ~draw model x) ~labels
+
+let one_sample_value ~rng ~spec model ~x ~labels =
+  let draw =
+    if Model.is_circuit model then Variation.make_draw rng spec else Variation.deterministic
+  in
+  value_of_draw ~draw model ~x ~labels
+
+let expected_value ?(antithetic = false) ~rng ~spec ~n model ~x ~labels =
+  assert (n >= 1);
+  let n = if Model.is_circuit model then n else 1 in
+  if antithetic && Model.is_circuit model && n >= 2 then begin
+    let pairs = n / 2 in
+    let acc = ref 0. in
+    for _ = 1 to pairs do
+      let d1, d2 = Variation.antithetic_pair rng spec in
+      acc := !acc +. value_of_draw ~draw:d1 model ~x ~labels;
+      acc := !acc +. value_of_draw ~draw:d2 model ~x ~labels
+    done;
+    if n mod 2 = 1 then acc := !acc +. one_sample_value ~rng ~spec model ~x ~labels;
+    1. /. float_of_int n *. !acc
+  end
+  else begin
+    let acc = ref (one_sample_value ~rng ~spec model ~x ~labels) in
+    for _ = 2 to n do
+      acc := !acc +. one_sample_value ~rng ~spec model ~x ~labels
+    done;
+    1. /. float_of_int n *. !acc
+  end

@@ -29,4 +29,6 @@ val expected_value :
   x:Pnc_tensor.Tensor.t ->
   labels:int array ->
   float
-(** Forward-only evaluation of the same objective. *)
+(** Forward-only evaluation of the same objective on the pure-tensor
+    fast path — consumes the random stream exactly like {!expected} but
+    allocates no autodiff nodes. *)

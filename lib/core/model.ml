@@ -12,8 +12,13 @@ let logits ?(draw = Variation.deterministic) t x =
   | Circuit net -> Network.forward ~draw net x
   | Reference m -> Elman.forward m x
 
+let logits_t ?(draw = Variation.deterministic) t x =
+  match t with
+  | Circuit net -> Network.forward_t ~draw net x
+  | Reference m -> Elman.forward_t m x
+
 let predict ?(draw = Variation.deterministic) t x =
-  Pnc_tensor.Tensor.argmax_rows (Pnc_autodiff.Var.value (logits ~draw t x))
+  Pnc_tensor.Tensor.argmax_rows (logits_t ~draw t x)
 
 let clamp = function Circuit net -> Network.clamp net | Reference _ -> ()
 let is_circuit = function Circuit _ -> true | Reference _ -> false

@@ -13,7 +13,12 @@ val logits : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_autodiff.Va
 (** [batch x time] to [batch x classes]. The draw is meaningful only
     for circuit models (the RNN has no physical components). *)
 
+val logits_t : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+(** Pure-tensor logits (no autodiff nodes); bit-identical to
+    [Var.value (logits ...)] under the same draw. *)
+
 val predict : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
+(** Runs on the tensor fast path. *)
 
 val clamp : t -> unit
 (** Printable-window projection; no-op for the reference RNN. *)

@@ -56,13 +56,13 @@ type layer_real = {
 let realize_layers_selective ~draw_crossbar ~draw_filter ~draw_act ~batch net =
   List.map
     (fun (cb, fl, act) ->
+      (* Explicit sampling order — filters, activation, crossbar. The
+         tensor path below must consume the draws' random streams in
+         exactly this order for realization parity. *)
       let filt = Filter_layer.realize ~draw:draw_filter fl in
-      {
-        cb = Crossbar.realize ~draw:draw_crossbar cb;
-        filt;
-        act = Ptanh.realize ~draw:draw_act act;
-        filt_state = Filter_layer.init_state filt ~batch;
-      })
+      let act = Ptanh.realize ~draw:draw_act act in
+      let cb = Crossbar.realize ~draw:draw_crossbar cb in
+      { cb; filt; act; filt_state = Filter_layer.init_state filt ~batch })
     net.layers
 
 let step_layer lr x =
@@ -117,8 +117,78 @@ let forward ~draw net x =
   let steps = Array.init time (fun k -> T.col x k) in
   forward_multi ~draw net steps
 
-let predict ?(draw = Variation.deterministic) net x =
-  T.argmax_rows (Var.value (forward ~draw net x))
+(* Pure-tensor forward for evaluation: same sampling order and same
+   floating-point operation sequence as the Var path, but no autodiff
+   nodes are allocated and the per-step kernels run in preallocated
+   buffers. Logits are bit-identical to [forward] under the same
+   draw(s). *)
+type layer_fast = {
+  cb_t : Crossbar.realization_t;
+  filt_t : Filter_layer.realization_t;
+  act_t : Ptanh.realization_t;
+  filt_state_t : Filter_layer.state_t;
+  cb_out : T.t;
+  act_out : T.t;
+}
+
+let realize_layers_t ~draw_crossbar ~draw_filter ~draw_act ~batch net =
+  List.map
+    (fun (cb, fl, act) ->
+      let filt_t = Filter_layer.realize_t ~draw:draw_filter fl in
+      let act_t = Ptanh.realize_t ~draw:draw_act act in
+      let cb_t = Crossbar.realize_t ~draw:draw_crossbar cb in
+      let n_out = Crossbar.outputs cb in
+      {
+        cb_t;
+        filt_t;
+        act_t;
+        filt_state_t = Filter_layer.init_state_t filt_t ~batch;
+        cb_out = T.zeros ~rows:batch ~cols:n_out;
+        act_out = T.zeros ~rows:batch ~cols:n_out;
+      })
+    net.layers
+
+let step_layer_t lr x =
+  Crossbar.apply_t_into ~dst:lr.cb_out lr.cb_t x;
+  let filtered = Filter_layer.step_t lr.filt_t lr.filt_state_t lr.cb_out in
+  Ptanh.apply_t_into ~dst:lr.act_out lr.act_t filtered;
+  lr.act_out
+
+let forward_multi_readout_t ~readout ~draw_crossbar ~draw_filter ~draw_act net steps =
+  assert (Array.length steps > 0);
+  let batch = T.rows steps.(0) in
+  let reals = realize_layers_t ~draw_crossbar ~draw_filter ~draw_act ~batch net in
+  let acc = T.zeros ~rows:batch ~cols:net.n_classes in
+  let last = ref acc in
+  Array.iter
+    (fun x_t ->
+      let signal = ref x_t in
+      List.iter (fun lr -> signal := step_layer_t lr !signal) reals;
+      (match readout with
+      | Integrated -> T.add_inplace acc !signal
+      | Last_step -> ());
+      last := !signal)
+    steps;
+  match readout with
+  | Integrated -> T.scale (1. /. float_of_int (Array.length steps)) acc
+  | Last_step -> T.copy !last
+
+let forward_multi_selective_t ~draw_crossbar ~draw_filter ~draw_act net steps =
+  forward_multi_readout_t ~readout:Integrated ~draw_crossbar ~draw_filter ~draw_act net steps
+
+let forward_multi_t ~draw net steps =
+  forward_multi_selective_t ~draw_crossbar:draw ~draw_filter:draw ~draw_act:draw net steps
+
+let forward_readout_t ~readout ~draw net x =
+  let steps = Array.init (T.cols x) (fun k -> T.col x k) in
+  forward_multi_readout_t ~readout ~draw_crossbar:draw ~draw_filter:draw ~draw_act:draw net
+    steps
+
+let forward_t ~draw net x =
+  let steps = Array.init (T.cols x) (fun k -> T.col x k) in
+  forward_multi_t ~draw net steps
+
+let predict ?(draw = Variation.deterministic) net x = T.argmax_rows (forward_t ~draw net x)
 
 let clamp net =
   List.iter

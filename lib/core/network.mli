@@ -67,8 +67,32 @@ val forward_selective :
     conductances, filter RC values or activation parameters
     separately. *)
 
+(** {1 Pure-tensor forward (no-grad evaluation path)}
+
+    Same sampling order and floating-point operation sequence as the
+    Var-based forwards above — logits are bit-identical under the same
+    draw — but no autodiff nodes are allocated and the per-step kernels
+    run in preallocated buffers. *)
+
+val forward_t : draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+
+val forward_multi_t :
+  draw:Variation.draw -> t -> Pnc_tensor.Tensor.t array -> Pnc_tensor.Tensor.t
+
+val forward_readout_t :
+  readout:readout -> draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+
+val forward_multi_selective_t :
+  draw_crossbar:Variation.draw ->
+  draw_filter:Variation.draw ->
+  draw_act:Variation.draw ->
+  t ->
+  Pnc_tensor.Tensor.t array ->
+  Pnc_tensor.Tensor.t
+
 val predict : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
-(** Argmax class per sample; deterministic unless a draw is given. *)
+(** Argmax class per sample; deterministic unless a draw is given.
+    Runs on the tensor fast path. *)
 
 val clamp : t -> unit
 (** Project every component value into its printable window. *)

@@ -39,6 +39,33 @@ let apply real x =
 let forward_const ~eps a x = apply (realize_const ~eps a) x
 let forward ~draw a x = forward_const ~eps:(sample_eps ~draw a) a x
 
+(* Pure-tensor realization for the no-grad evaluation path. *)
+type realization_t = { e1_t : T.t; e2_t : T.t; e3_t : T.t; e4_t : T.t }
+
+let realize_t ~draw a =
+  let eps = sample_eps ~draw a in
+  let e i v = T.mul (Var.value v) eps.(i) in
+  { e1_t = e 0 a.eta1; e2_t = e 1 a.eta2; e3_t = e 2 a.eta3; e4_t = e 3 a.eta4 }
+
+let apply_t_into ~dst real x =
+  assert (T.same_shape dst x && T.cols x = T.cols real.e1_t);
+  let cols = T.cols x in
+  let xd = x.T.data and od = dst.T.data in
+  let e1 = real.e1_t.T.data
+  and e2 = real.e2_t.T.data
+  and e3 = real.e3_t.T.data
+  and e4 = real.e4_t.T.data in
+  let k = ref 0 in
+  for _r = 0 to T.rows x - 1 do
+    for c = 0 to cols - 1 do
+      (* Fused η₁ + η₂·tanh((x − η₃)·η₄) with the exact elementwise
+         operation sequence of [apply] (sub_rv is add of the negation),
+         so results stay bit-identical to the Var path. *)
+      od.(!k) <- (Stdlib.tanh ((xd.(!k) +. -.e3.(c)) *. e4.(c)) *. e2.(c)) +. e1.(c);
+      incr k
+    done
+  done
+
 let eta_values a = Array.map (fun v -> T.copy (Var.value v)) [| a.eta1; a.eta2; a.eta3; a.eta4 |]
 
 let clamp a =

@@ -27,6 +27,14 @@ type realization
 val realize : draw:Variation.draw -> t -> realization
 val apply : realization -> Pnc_autodiff.Var.t -> Pnc_autodiff.Var.t
 
+type realization_t
+(** Pure-tensor realization for the no-grad evaluation path. *)
+
+val realize_t : draw:Variation.draw -> t -> realization_t
+
+val apply_t_into : dst:Pnc_tensor.Tensor.t -> realization_t -> Pnc_tensor.Tensor.t -> unit
+(** Writes ptanh of [x] into [dst] elementwise ([dst] may alias [x]). *)
+
 val eta_values : t -> Pnc_tensor.Tensor.t array
 (** Current η₁..η₄ rows, for inspection and hardware costing. *)
 

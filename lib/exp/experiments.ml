@@ -73,7 +73,10 @@ let train_run cfg ~dataset ~variant ~seed =
     if uses_augmented_training variant then begin
       let arng = Rng.create ~seed:(seed + 2000) in
       let aug d = Augment.augment_dataset arng Augment.default_policy ~copies:cfg.Config.aug_copies d in
-      { split with Dataset.train = aug split.Dataset.train; valid = aug split.Dataset.valid }
+      (* Augment the training split only: model selection must see the
+         clean validation data, or the augmentation policy leaks into
+         the eval protocol. *)
+      { split with Dataset.train = aug split.Dataset.train }
     end
     else split
   in

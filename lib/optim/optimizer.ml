@@ -45,7 +45,14 @@ let adamw ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ?(weight_decay = 0.01) ~
   make_adam ~beta1 ~beta2 ~eps ~weight_decay params
 
 let data p = (Var.value p : T.t).data
-let grad_data p = (Var.grad p : T.t).data
+
+(* Non-allocating gradient access: [Var.grad] manufactures a fresh
+   zeros tensor for untouched params, so the hot loops below read the
+   option directly and treat [None] as an all-zero gradient (identical
+   arithmetic — momentum still decays, AdamW still applies decoupled
+   weight decay — without the throwaway buffer). *)
+let grad_data p =
+  match Var.grad_opt p with Some (g : T.t) -> Some g.data | None -> None
 
 let step t ~lr =
   match t.algo with
@@ -54,7 +61,8 @@ let step t ~lr =
         (fun i p ->
           let x = data p and g = grad_data p and v = velocity.(i) in
           for j = 0 to Array.length x - 1 do
-            v.(j) <- (momentum *. v.(j)) -. (lr *. g.(j));
+            let gj = match g with Some ga -> ga.(j) | None -> 0. in
+            v.(j) <- (momentum *. v.(j)) -. (lr *. gj);
             x.(j) <- x.(j) +. v.(j)
           done)
         t.params
@@ -67,8 +75,9 @@ let step t ~lr =
           let x = data p and g = grad_data p in
           let m = a.m.(i) and v = a.v.(i) in
           for j = 0 to Array.length x - 1 do
-            m.(j) <- (a.beta1 *. m.(j)) +. ((1. -. a.beta1) *. g.(j));
-            v.(j) <- (a.beta2 *. v.(j)) +. ((1. -. a.beta2) *. g.(j) *. g.(j));
+            let gj = match g with Some ga -> ga.(j) | None -> 0. in
+            m.(j) <- (a.beta1 *. m.(j)) +. ((1. -. a.beta1) *. gj);
+            v.(j) <- (a.beta2 *. v.(j)) +. ((1. -. a.beta2) *. gj *. gj);
             let mh = m.(j) /. bc1 and vh = v.(j) /. bc2 in
             (* Decoupled weight decay: applied directly to the weights,
                not folded into the gradient. *)
@@ -83,8 +92,9 @@ let grad_norm t =
   let acc = ref 0. in
   Array.iter
     (fun p ->
-      let g = grad_data p in
-      Array.iter (fun x -> acc := !acc +. (x *. x)) g)
+      match grad_data p with
+      | None -> ()
+      | Some g -> Array.iter (fun x -> acc := !acc +. (x *. x)) g)
     t.params;
   sqrt !acc
 
@@ -94,9 +104,11 @@ let clip_grad_norm t ~max_norm =
     let k = max_norm /. n in
     Array.iter
       (fun p ->
-        let g = grad_data p in
-        for j = 0 to Array.length g - 1 do
-          g.(j) <- g.(j) *. k
-        done)
+        match grad_data p with
+        | None -> ()
+        | Some g ->
+            for j = 0 to Array.length g - 1 do
+              g.(j) <- g.(j) *. k
+            done)
       t.params
   end

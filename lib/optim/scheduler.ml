@@ -18,13 +18,20 @@ let best t = t.best
 let observe t loss =
   if loss < t.best -. t.threshold then begin
     t.best <- loss;
-    t.bad_epochs <- 0
+    t.bad_epochs <- 0;
+    `Continue
   end
   else begin
     t.bad_epochs <- t.bad_epochs + 1;
-    if t.bad_epochs > t.patience then begin
-      t.lr <- t.lr *. t.factor;
-      t.bad_epochs <- 0
-    end
-  end;
-  if t.lr < t.min_lr then `Stop else `Continue
+    if t.bad_epochs > t.patience then
+      (* The schedule reduces the LR *down to* min_lr and keeps
+         training there; only a further full patience window without
+         improvement at the floor stops the run. *)
+      if t.lr <= t.min_lr then `Stop
+      else begin
+        t.lr <- Float.max (t.lr *. t.factor) t.min_lr;
+        t.bad_epochs <- 0;
+        `Continue
+      end
+    else `Continue
+  end

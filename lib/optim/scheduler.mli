@@ -1,8 +1,9 @@
 (** Learning-rate schedules.
 
     The paper's schedule: start at 0.1, halve after [patience] epochs
-    without validation improvement, stop when the learning rate falls
-    below 1e-5. *)
+    without validation improvement, clamped at [min_lr]; training
+    continues at the floor and stops only after a further full
+    [patience] window without improvement there. *)
 
 type t
 
@@ -14,8 +15,9 @@ val plateau :
 val lr : t -> float
 
 val observe : t -> float -> [ `Continue | `Stop ]
-(** Feed the epoch's validation loss. Returns [`Stop] once the learning
-    rate has decayed below [min_lr]. *)
+(** Feed the epoch's validation loss. Returns [`Stop] only after the
+    learning rate has been pinned at [min_lr] for a full [patience]
+    window without improvement. *)
 
 val best : t -> float
 (** Best validation loss seen so far ([infinity] before the first

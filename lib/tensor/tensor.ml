@@ -9,7 +9,7 @@ let scalar v = { rows = 1; cols = 1; data = [| v |] }
 
 let of_array ~rows ~cols data =
   assert (Array.length data = rows * cols);
-  { rows; cols; data }
+  { rows; cols; data = Array.copy data }
 
 let of_row a = { rows = 1; cols = Array.length a; data = Array.copy a }
 
@@ -90,20 +90,54 @@ let broadcast_rv f m rv =
 let add_rv m rv = broadcast_rv ( +. ) m rv
 let mul_rv m rv = broadcast_rv ( *. ) m rv
 
-let matmul a b =
+let broadcast_rv_inplace f m rv =
+  assert (rv.rows = 1 && rv.cols = m.cols);
+  let cols = m.cols in
+  let k = ref 0 in
+  for _r = 0 to m.rows - 1 do
+    for c = 0 to cols - 1 do
+      m.data.(!k) <- f m.data.(!k) rv.data.(c);
+      incr k
+    done
+  done
+
+let add_rv_inplace m rv = broadcast_rv_inplace ( +. ) m rv
+let mul_rv_inplace m rv = broadcast_rv_inplace ( *. ) m rv
+
+let affine_rv_into ~dst s a x b =
+  assert (same_shape s x && same_shape dst s);
+  assert (a.rows = 1 && a.cols = s.cols && b.rows = 1 && b.cols = s.cols);
+  let cols = s.cols in
+  let k = ref 0 in
+  for _r = 0 to s.rows - 1 do
+    for c = 0 to cols - 1 do
+      (* dst may alias s (the filter state update overwrites in place);
+         each element is read before it is written. *)
+      dst.data.(!k) <- (s.data.(!k) *. a.data.(c)) +. (x.data.(!k) *. b.data.(c));
+      incr k
+    done
+  done
+
+let matmul_into ~dst a b =
   assert (a.cols = b.rows);
-  let out = zeros ~rows:a.rows ~cols:b.cols in
+  assert (dst.rows = a.rows && dst.cols = b.cols);
+  Array.fill dst.data 0 (Array.length dst.data) 0.;
   for r = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let av = a.data.((r * a.cols) + k) in
       if av <> 0. then begin
         let boff = k * b.cols and ooff = r * b.cols in
         for c = 0 to b.cols - 1 do
-          out.data.(ooff + c) <- out.data.(ooff + c) +. (av *. b.data.(boff + c))
+          dst.data.(ooff + c) <- dst.data.(ooff + c) +. (av *. b.data.(boff + c))
         done
       end
     done
-  done;
+  done
+
+let matmul a b =
+  assert (a.cols = b.rows);
+  let out = zeros ~rows:a.rows ~cols:b.cols in
+  matmul_into ~dst:out a b;
   out
 
 let transpose t = init ~rows:t.cols ~cols:t.rows (fun r c -> get t c r)

@@ -17,7 +17,8 @@ val scalar : float -> t
 (** A [1 x 1] tensor. *)
 
 val of_array : rows:int -> cols:int -> float array -> t
-(** Takes ownership of the array (no copy); length must be [rows*cols]. *)
+(** Copies the array (the result never aliases the caller's buffer);
+    length must be [rows*cols]. *)
 
 val of_row : float array -> t
 (** [1 x n] row vector (copies). *)
@@ -71,9 +72,24 @@ val add_inplace : t -> t -> unit
 val add_rv : t -> t -> t
 val mul_rv : t -> t -> t
 
+val add_rv_inplace : t -> t -> unit
+val mul_rv_inplace : t -> t -> unit
+(** In-place variants mutating the matrix operand — allocation-free
+    kernels for the no-grad evaluation path. *)
+
+val affine_rv_into : dst:t -> t -> t -> t -> t -> unit
+(** [affine_rv_into ~dst s a x b] writes [s ∘ a + x ∘ b] into [dst]
+    ([s], [x], [dst] matrices of one shape; [a], [b] row vectors).
+    [dst] may alias [s] — the filter state update runs in place. *)
+
 (** {1 Linear algebra} *)
 
 val matmul : t -> t -> t
+
+val matmul_into : dst:t -> t -> t -> unit
+(** [matmul_into ~dst a b] overwrites [dst] with [a × b] (zero-fills
+    first); [dst] must not alias [a] or [b]. *)
+
 val transpose : t -> t
 
 (** {1 Reductions} *)

@@ -44,5 +44,5 @@ let sample_indices t ~n ~k =
   assert (k <= n);
   let p = permutation t n in
   let sel = Array.sub p 0 k in
-  Array.sort compare sel;
+  Array.sort Int.compare sel;
   sel

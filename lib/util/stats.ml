@@ -13,7 +13,7 @@ let std a = sqrt (variance a)
 let percentile a p =
   assert (Array.length a > 0 && p >= 0. && p <= 100.);
   let s = Array.copy a in
-  Array.sort compare s;
+  Array.sort Float.compare s;
   let n = Array.length s in
   if n = 1 then s.(0)
   else

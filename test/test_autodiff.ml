@@ -275,6 +275,77 @@ let test_deep_chain_no_stack_overflow () =
   Var.backward (Var.sum !y);
   Alcotest.(check bool) "grad finite" true (Float.is_finite (T.get (Var.grad x) 0 0))
 
+(* Tape and no-grad mode --------------------------------------------------- *)
+
+let test_no_grad_records_nothing () =
+  let x = Var.param (T.of_row [| 1.; 2. |]) in
+  let before = Var.tape_recorded () in
+  let y = Var.with_no_grad (fun () -> Var.tanh (Var.scale 2. (Var.add x x))) in
+  Alcotest.(check int) "nothing on the tape" before (Var.tape_recorded ());
+  Alcotest.(check bool) "result does not require grad" false (Var.requires_grad y);
+  Alcotest.(check bool) "value still computed" true
+    (approx ~eps:1e-12 (tanh 4.) (T.get (Var.value y) 0 0));
+  (* backward through a no-grad node is a no-op on the leaves *)
+  List.iter Var.zero_grad [ x ];
+  Var.backward (Var.sum y);
+  Alcotest.(check bool) "leaf grad untouched" true
+    (T.equal_eps ~eps:0. (T.zeros ~rows:1 ~cols:2) (Var.grad x))
+
+let test_no_grad_restores_mode () =
+  Alcotest.(check bool) "off before" false !Var.no_grad;
+  (try Var.with_no_grad (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "off after exception" false !Var.no_grad;
+  let nested = Var.with_no_grad (fun () -> Var.with_no_grad (fun () -> !Var.no_grad)) in
+  Alcotest.(check bool) "nested stays on" true nested;
+  Alcotest.(check bool) "off after nesting" false !Var.no_grad
+
+let test_grad_opt_non_allocating () =
+  let x = Var.param (T.of_row [| 1.; 2. |]) in
+  Alcotest.(check bool) "no grad yet" true (Var.grad_opt x = None);
+  Var.backward (Var.sum (Var.scale 3. x));
+  (match Var.grad_opt x with
+  | None -> Alcotest.fail "grad expected after backward"
+  | Some g -> Alcotest.(check bool) "grad value" true (T.equal_eps ~eps:1e-12 (T.of_row [| 3.; 3. |]) g));
+  Var.zero_grad x;
+  Alcotest.(check bool) "cleared" true (Var.grad_opt x = None)
+
+let test_tape_backward_known_graph () =
+  (* z = sum (a*b + tanh a): dz/da = b + 1 - tanh(a)^2, dz/db = a. *)
+  let a_t = T.of_row [| 0.3; -0.7 |] and b_t = T.of_row [| 1.2; 0.4 |] in
+  let a = Var.param a_t and b = Var.param b_t in
+  Var.backward (Var.sum (Var.add (Var.mul a b) (Var.tanh a)));
+  let exp_da =
+    T.of_row (Array.map2 (fun bv av -> bv +. 1. -. (tanh av *. tanh av)) (T.row b_t 0) (T.row a_t 0))
+  in
+  Alcotest.(check bool) "dz/da" true (T.equal_eps ~eps:1e-12 exp_da (Var.grad a));
+  Alcotest.(check bool) "dz/db" true (T.equal_eps ~eps:1e-12 a_t (Var.grad b));
+  gradient_check ~params:[ T.copy a_t; T.copy b_t ]
+    ~f:(fun l ->
+      match l with
+      | [ a; b ] -> Var.sum (Var.add (Var.mul a b) (Var.tanh a))
+      | _ -> assert false)
+    ()
+
+let test_backward_twice_accumulates () =
+  let x = Var.param (T.of_row [| 2. |]) in
+  let y = Var.sum (Var.sqr x) in
+  Var.backward y;
+  Var.backward y;
+  (* two passes over the same root accumulate on the leaf: 2 * 2x = 8 *)
+  Alcotest.(check bool) "accumulated" true (approx ~eps:1e-12 8. (T.get (Var.grad x) 0 0))
+
+let test_backward_cross_graph_after_backward () =
+  (* A graph built before an earlier backward must still propagate when
+     its own root is differentiated later (the tape is not truncated). *)
+  let x = Var.param (T.of_row [| 1.5 |]) in
+  let shared = Var.scale 2. x in
+  let first = Var.sum (Var.sqr shared) in
+  let second = Var.sum (Var.scale 3. shared) in
+  Var.backward first;
+  Var.zero_grad x;
+  Var.backward second;
+  Alcotest.(check bool) "second graph grad" true (approx ~eps:1e-12 6. (T.get (Var.grad x) 0 0))
+
 (* Softmax cross-entropy --------------------------------------------------- *)
 
 let test_ce_value () =
@@ -379,6 +450,15 @@ let () =
           Alcotest.test_case "affine_rv value" `Quick test_affine_rv_value;
           Alcotest.test_case "affine_rv = unfused" `Quick test_affine_rv_equals_unfused;
           Alcotest.test_case "deep chain" `Quick test_deep_chain_no_stack_overflow;
+        ] );
+      ( "tape",
+        [
+          Alcotest.test_case "no-grad records nothing" `Quick test_no_grad_records_nothing;
+          Alcotest.test_case "no-grad restores mode" `Quick test_no_grad_restores_mode;
+          Alcotest.test_case "grad_opt" `Quick test_grad_opt_non_allocating;
+          Alcotest.test_case "known graph gradients" `Quick test_tape_backward_known_graph;
+          Alcotest.test_case "backward twice accumulates" `Quick test_backward_twice_accumulates;
+          Alcotest.test_case "cross-graph backward" `Quick test_backward_cross_graph_after_backward;
         ] );
       ( "loss",
         [

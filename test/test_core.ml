@@ -564,6 +564,97 @@ let test_antithetic_same_mean () =
   Alcotest.(check bool) "estimators agree in mean" true
     (Float.abs (mean true -. mean false) < 0.02)
 
+(* Tensor fast path ------------------------------------------------------------------ *)
+
+let test_fast_path_parity_circuit () =
+  (* No-grad logits must be bit-identical to the Var-path logits under
+     the same variation draw, for both circuit architectures. *)
+  List.iter
+    (fun arch ->
+      let net = Network.create (rng ()) arch ~inputs:1 ~classes:3 in
+      let x = T.uniform (rng ()) ~rows:5 ~cols:24 ~lo:(-1.) ~hi:1. in
+      let spec = Variation.uniform 0.1 in
+      let d_var = Variation.make_draw (Rng.create ~seed:42) spec in
+      let d_fast = Variation.make_draw (Rng.create ~seed:42) spec in
+      let var_logits = Var.value (Network.forward ~draw:d_var net x) in
+      let fast_logits = Network.forward_t ~draw:d_fast net x in
+      Alcotest.(check bool)
+        (Network.arch_name arch ^ " bit-identical logits")
+        true
+        (T.equal_eps ~eps:0. var_logits fast_logits);
+      (* Deterministic draw too (exercises the eps = 1 branches). *)
+      let model = Model.Circuit net in
+      Alcotest.(check bool)
+        (Network.arch_name arch ^ " deterministic parity")
+        true
+        (T.equal_eps ~eps:0.
+           (Var.value (Model.logits model x))
+           (Model.logits_t model x)))
+    [ Network.Ptpnc; Network.Adapt ]
+
+let test_fast_path_parity_reference () =
+  let m = Elman.create (rng ()) ~inputs:1 ~classes:3 in
+  let x = T.uniform (rng ()) ~rows:5 ~cols:24 ~lo:(-1.) ~hi:1. in
+  Alcotest.(check bool) "elman bit-identical logits" true
+    (T.equal_eps ~eps:0. (Var.value (Elman.forward m x)) (Elman.forward_t m x));
+  let model = Model.Reference m in
+  Alcotest.(check bool) "model dispatch parity" true
+    (T.equal_eps ~eps:0. (Var.value (Model.logits model x)) (Model.logits_t model x))
+
+let test_fast_path_readouts_parity () =
+  let net = Network.create (rng ()) Network.Adapt ~inputs:1 ~classes:2 in
+  let x = T.uniform (rng ()) ~rows:4 ~cols:16 ~lo:(-1.) ~hi:1. in
+  List.iter
+    (fun readout ->
+      let d1 = Variation.make_draw (Rng.create ~seed:9) (Variation.uniform 0.1) in
+      let d2 = Variation.make_draw (Rng.create ~seed:9) (Variation.uniform 0.1) in
+      Alcotest.(check bool) "readout parity" true
+        (T.equal_eps ~eps:0.
+           (Var.value (Network.forward_readout ~readout ~draw:d1 net x))
+           (Network.forward_readout_t ~readout ~draw:d2 net x)))
+    [ Network.Integrated; Network.Last_step ]
+
+let test_expected_value_matches_var_path () =
+  (* The pure-tensor MC estimate consumes the same random stream and
+     computes (up to the fused-loss value trick, an ulp) the same
+     number as the Var-graph estimate. *)
+  let net = Network.create (rng ()) Network.Adapt ~inputs:1 ~classes:2 in
+  let model = Model.Circuit net in
+  let x = T.uniform (rng ()) ~rows:6 ~cols:12 ~lo:(-1.) ~hi:1. in
+  let labels = [| 0; 1; 0; 1; 0; 1 |] in
+  List.iter
+    (fun antithetic ->
+      let v_var =
+        T.get_scalar
+          (Var.value
+             (Mc_loss.expected ~antithetic ~rng:(Rng.create ~seed:11)
+                ~spec:(Variation.uniform 0.1) ~n:3 model ~x ~labels))
+      in
+      let v_fast =
+        Mc_loss.expected_value ~antithetic ~rng:(Rng.create ~seed:11)
+          ~spec:(Variation.uniform 0.1) ~n:3 model ~x ~labels
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "mc estimate agrees (antithetic=%b)" antithetic)
+        true
+        (Float.abs (v_var -. v_fast) <= 1e-12))
+    [ false; true ]
+
+let test_fast_path_allocates_no_var_nodes () =
+  let net = Network.create (rng ()) Network.Adapt ~inputs:1 ~classes:2 in
+  let model = Model.Circuit net in
+  let x = T.uniform (rng ()) ~rows:4 ~cols:12 ~lo:(-1.) ~hi:1. in
+  let labels = [| 0; 1; 0; 1 |] in
+  let before = Var.nodes_created () in
+  let _ = Model.predict model x in
+  let _ =
+    Mc_loss.expected_value ~rng:(Rng.create ~seed:3) ~spec:(Variation.uniform 0.1) ~n:4 model
+      ~x ~labels
+  in
+  let d = Variation.make_draw (Rng.create ~seed:4) (Variation.uniform 0.1) in
+  let _ = Model.predict ~draw:d model x in
+  Alcotest.(check int) "zero Var nodes allocated" before (Var.nodes_created ())
+
 (* Hardware -------------------------------------------------------------------------- *)
 
 let test_hardware_counts_shape () =
@@ -894,6 +985,14 @@ let () =
           Alcotest.test_case "antithetic mirrors" `Quick test_antithetic_mirror_mirrors;
           Alcotest.test_case "antithetic variance" `Quick test_antithetic_reduces_variance;
           Alcotest.test_case "antithetic mean" `Quick test_antithetic_same_mean;
+        ] );
+      ( "fast-path",
+        [
+          Alcotest.test_case "circuit parity" `Quick test_fast_path_parity_circuit;
+          Alcotest.test_case "reference parity" `Quick test_fast_path_parity_reference;
+          Alcotest.test_case "readout parity" `Quick test_fast_path_readouts_parity;
+          Alcotest.test_case "mc value agrees" `Quick test_expected_value_matches_var_path;
+          Alcotest.test_case "zero Var allocation" `Quick test_fast_path_allocates_no_var_nodes;
         ] );
       ( "hardware",
         [

@@ -113,6 +113,29 @@ let test_plateau_stop () =
   in
   Alcotest.(check bool) "stops once lr < min_lr" true (drive 10 = `Stop)
 
+let test_plateau_min_lr_floor () =
+  (* Regression: the lr is clamped at min_lr and training continues
+     there; `Stop comes only after a further full patience window
+     without improvement at the floor. *)
+  let s = Scheduler.plateau ~patience:1 ~factor:0.5 ~init_lr:4e-5 ~min_lr:1e-5 () in
+  ignore (Scheduler.observe s 1.0);
+  let obs () = Scheduler.observe s 1.0 in
+  Alcotest.(check bool) "patience not yet exceeded" true (obs () = `Continue);
+  Alcotest.(check bool) "halved to 2e-5, continue" true (obs () = `Continue);
+  Alcotest.(check bool) "patience again" true (obs () = `Continue);
+  Alcotest.(check bool) "clamped at floor, continue" true (obs () = `Continue);
+  Alcotest.(check bool) "lr pinned at exactly min_lr" true
+    (approx ~eps:0. 1e-5 (Scheduler.lr s));
+  Alcotest.(check bool) "still training at min_lr" true (obs () = `Continue);
+  Alcotest.(check bool) "stops after full window at floor" true (obs () = `Stop);
+  (* An improvement at the floor keeps training alive. *)
+  let s2 = Scheduler.plateau ~patience:0 ~factor:0.5 ~init_lr:2e-5 ~min_lr:1e-5 () in
+  ignore (Scheduler.observe s2 1.0);
+  Alcotest.(check bool) "drop to floor" true (Scheduler.observe s2 1.0 = `Continue);
+  Alcotest.(check bool) "improvement at floor continues" true
+    (Scheduler.observe s2 0.5 = `Continue);
+  Alcotest.(check bool) "at floor lr" true (approx ~eps:0. 1e-5 (Scheduler.lr s2))
+
 let test_plateau_best () =
   let s = Scheduler.plateau ~init_lr:0.1 () in
   ignore (Scheduler.observe s 2.0);
@@ -184,6 +207,7 @@ let () =
           Alcotest.test_case "halving after patience" `Quick test_plateau_halving;
           Alcotest.test_case "improvement resets patience" `Quick test_plateau_improvement_resets;
           Alcotest.test_case "stop below min_lr" `Quick test_plateau_stop;
+          Alcotest.test_case "min_lr floor regression" `Quick test_plateau_min_lr_floor;
           Alcotest.test_case "best tracked" `Quick test_plateau_best;
           Alcotest.test_case "threshold semantics" `Quick test_scheduler_threshold;
         ] );

@@ -129,6 +129,45 @@ let test_scalar_and_of_row () =
   input.(0) <- 99.;
   check_f "of_row copies" 1. (T.get r 0 0)
 
+let test_of_array_copies () =
+  (* Regression: of_array used to alias the caller's buffer. *)
+  let input = [| 1.; 2.; 3.; 4. |] in
+  let t = T.of_array ~rows:2 ~cols:2 input in
+  input.(0) <- 99.;
+  check_f "of_array copies" 1. (T.get t 0 0);
+  T.set t 1 1 (-7.);
+  check_f "writes stay inside the tensor" 4. input.(3)
+
+let test_inplace_kernels_match_allocating () =
+  let m = T.of_rows [| [| 1.; -2.; 3. |]; [| 0.5; 4.; -1. |] |] in
+  let rv = T.of_row [| 2.; -0.5; 3. |] in
+  let a = T.copy m in
+  T.add_rv_inplace a rv;
+  Alcotest.(check bool) "add_rv_inplace" true (T.equal_eps ~eps:0. (T.add_rv m rv) a);
+  let b = T.copy m in
+  T.mul_rv_inplace b rv;
+  Alcotest.(check bool) "mul_rv_inplace" true (T.equal_eps ~eps:0. (T.mul_rv m rv) b)
+
+let test_matmul_into_matches_matmul () =
+  let a = T.of_rows [| [| 1.; 0.; -2. |]; [| 3.; 4.; 0. |] |] in
+  let b = T.of_rows [| [| 1.; 2. |]; [| -1.; 0.5 |]; [| 0.; 3. |] |] in
+  let dst = T.create ~rows:2 ~cols:2 42. in
+  T.matmul_into ~dst a b;
+  Alcotest.(check bool) "matmul_into overwrites" true (T.equal_eps ~eps:0. (T.matmul a b) dst)
+
+let test_affine_rv_into () =
+  let s = T.of_rows [| [| 1.; 2. |]; [| -3.; 0.5 |] |] in
+  let x = T.of_rows [| [| 0.5; -1. |]; [| 2.; 4. |] |] in
+  let a = T.of_row [| 0.9; 0.8 |] and b = T.of_row [| 0.1; 0.2 |] in
+  let expected = T.add (T.mul_rv s a) (T.mul_rv x b) in
+  let dst = T.zeros ~rows:2 ~cols:2 in
+  T.affine_rv_into ~dst s a x b;
+  Alcotest.(check bool) "into fresh dst" true (T.equal_eps ~eps:0. expected dst);
+  (* dst aliasing s is the filter-state in-place update *)
+  let s' = T.copy s in
+  T.affine_rv_into ~dst:s' s' a x b;
+  Alcotest.(check bool) "dst may alias s" true (T.equal_eps ~eps:0. expected s')
+
 (* Properties ------------------------------------------------------------ *)
 
 let tensor_gen =
@@ -191,6 +230,10 @@ let () =
           Alcotest.test_case "shape violations assert" `Quick test_shape_violations_assert;
           Alcotest.test_case "init row-major" `Quick test_init_row_major_order;
           Alcotest.test_case "scalar / of_row copy" `Quick test_scalar_and_of_row;
+          Alcotest.test_case "of_array copies" `Quick test_of_array_copies;
+          Alcotest.test_case "in-place rv kernels" `Quick test_inplace_kernels_match_allocating;
+          Alcotest.test_case "matmul_into" `Quick test_matmul_into_matches_matmul;
+          Alcotest.test_case "affine_rv_into" `Quick test_affine_rv_into;
         ] );
       ("properties", qc);
     ]
