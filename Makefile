@@ -1,4 +1,13 @@
-check:
-	dune build && dune runtest
+# JOBS selects the worker count for the pool-parity test suite
+# (exported as POOL_SIZE, read by test/test_pool.ml) and the
+# evaluation pool of the bench harness (ADAPT_PNC_JOBS).
+# Results are worker-count-invariant; only wall-clock changes.
+JOBS ?= 4
 
-.PHONY: check
+check:
+	dune build && POOL_SIZE=$(JOBS) dune runtest
+
+bench:
+	dune build bench/main.exe && ADAPT_PNC_JOBS=$(JOBS) dune exec bench/main.exe
+
+.PHONY: check bench

@@ -135,14 +135,59 @@ let bench_eval_throughput cfg =
   in
   Printf.printf "  training (Var path)          %8.2f epochs/s (%s per epoch)\n\n%!"
     (1. /. t_epoch)
-    (Pnc_util.Timer.fmt_seconds t_epoch)
+    (Pnc_util.Timer.fmt_seconds t_epoch);
+
+  (* Multicore MC engine: the same no-grad MC objective distributed
+     over a domain pool, per worker count. Each draw owns a pre-split
+     child stream, so every row computes the *same* estimate — checked
+     here at eps 0 — and only wall-clock changes. *)
+  let model = Pnc_core.Model.Circuit net in
+  let labels = y in
+  let mc_draws = 32 in
+  let mc_value ?pool () =
+    Pnc_core.Mc_loss.expected_value ?pool ~rng:(Pnc_util.Rng.create ~seed:7) ~spec ~n:mc_draws
+      model ~x ~labels
+  in
+  let reference = mc_value () in
+  let t_seq = Pnc_util.Timer.time_mean ~repeats:3 (fun () -> ignore (mc_value ())) in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "MC eval throughput vs pool size - %d draws, ADAPT net (%d core%s available)\n"
+    mc_draws cores (if cores = 1 then "" else "s");
+  Printf.printf "  %-10s %12s %12s %10s\n" "workers" "draws/s" "per draw" "speedup";
+  let report label t =
+    Printf.printf "  %-10s %12.1f %12s %9.2fx\n" label
+      (float_of_int mc_draws /. t)
+      (Pnc_util.Timer.fmt_seconds (t /. float_of_int mc_draws))
+      (t_seq /. t)
+  in
+  report "sequential" t_seq;
+  List.iter
+    (fun size ->
+      Pnc_util.Pool.with_pool ~size (fun pool ->
+          let v = mc_value ~pool () in
+          if v <> reference then
+            Printf.printf "  PARITY VIOLATION at %d workers: %.17g vs %.17g\n" size v reference;
+          let t = Pnc_util.Timer.time_mean ~repeats:3 (fun () -> ignore (mc_value ~pool ())) in
+          report (string_of_int size) t))
+    [ 1; 2; 4 ];
+  print_newline ()
 
 let () =
   let cfg = Config.from_env () in
-  Printf.printf "ADAPT-pNC benchmark harness (scale: %s, %d datasets, seeds: %d)\n\n"
+  (* ADAPT_PNC_JOBS=n selects the evaluation pool size (default: one
+     worker per available core minus one; 0/1 = sequential). Results
+     are worker-count-invariant by construction. *)
+  let jobs =
+    match Sys.getenv_opt "ADAPT_PNC_JOBS" with
+    | Some s -> (try int_of_string (String.trim s) with _ -> Pnc_util.Pool.default_size ())
+    | None -> Pnc_util.Pool.default_size ()
+  in
+  let pool = Pnc_util.Pool.create ~size:jobs () in
+  Printf.printf "ADAPT-pNC benchmark harness (scale: %s, %d datasets, seeds: %d, eval workers: %d)\n\n"
     (Config.scale_name cfg.Config.scale)
     (List.length cfg.Config.datasets)
-    (List.length cfg.Config.seeds);
+    (List.length cfg.Config.seeds)
+    (Pnc_util.Pool.size pool);
 
   (* Light artifacts first. *)
   Experiments.print_fig6 (Experiments.fig6 ());
@@ -152,7 +197,7 @@ let () =
 
   (* The shared training grid behind Table I, Fig. 5, Fig. 7, Table III. *)
   let variants = Experiments.Reference :: Experiments.fig7_variants in
-  let grid = Experiments.run_grid ~progress cfg ~variants in
+  let grid = Experiments.run_grid ~progress ~pool cfg ~variants in
   Experiments.print_table1 (Experiments.table1_of_grid cfg grid);
   Experiments.print_fig5 (Experiments.fig5_of_grid cfg grid);
   Experiments.print_fig7 (Experiments.fig7_of_grid cfg grid);
@@ -161,9 +206,10 @@ let () =
   (* Extension ablation: robustness and manufacturing yield as the
      process variation grows beyond the paper's 10% operating point. *)
   Experiments.print_variation_sweep ~threshold:0.6
-    (Experiments.variation_sweep_of_grid ~threshold:0.6 cfg grid);
+    (Experiments.variation_sweep_of_grid ~threshold:0.6 ~pool cfg grid);
 
   (* Runtime comparisons. *)
   Experiments.print_table2 (Experiments.table2 ~progress cfg);
   bechamel_table2 cfg;
+  Pnc_util.Pool.shutdown pool;
   print_endline "done."

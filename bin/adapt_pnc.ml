@@ -31,6 +31,19 @@ let scale_arg =
   let doc = "Experiment scale: smoke, fast or paper." in
   Arg.(value & opt string "fast" & info [ "scale" ] ~docv:"SCALE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for Monte-Carlo evaluation (0 or 1 = sequential; results are identical \
+     for every worker count, only wall-clock changes)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Evaluation pool from --jobs: sizes <= 1 skip pool creation entirely
+   so the default CLI behaviour is byte-for-byte the sequential path. *)
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Pnc_util.Pool.with_pool ~size:jobs (fun pool -> f (Some pool))
+
 let config_of ~scale =
   Config.of_scale (Config.scale_of_string scale)
 
@@ -74,14 +87,14 @@ let model_arg =
   Arg.(value & opt string "adapt" & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
 
 let train_cmd =
-  let run dataset model seed scale =
+  let run dataset model seed scale jobs =
     check_dataset dataset;
     let cfg = config_of ~scale in
     let variant = variant_of_string model in
     Printf.printf "training %s on %s (seed %d, scale %s)...\n%!"
       (Experiments.variant_name variant)
       dataset seed scale;
-    let r = Experiments.train_run cfg ~dataset ~variant ~seed in
+    let r = with_jobs jobs (fun pool -> Experiments.train_run ?pool cfg ~dataset ~variant ~seed) in
     Printf.printf "epochs:                                   %d (%.1f s)\n" r.Experiments.epochs
       r.Experiments.train_seconds;
     Printf.printf "accuracy, clean:                          %.3f\n" r.Experiments.clean_acc;
@@ -97,34 +110,35 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train one model on one dataset and evaluate it as the paper does.")
-    Term.(const run $ dataset_arg $ model_arg $ seed_arg $ scale_arg)
+    Term.(const run $ dataset_arg $ model_arg $ seed_arg $ scale_arg $ jobs_arg)
 
 (* ablate -------------------------------------------------------------------- *)
 
 let ablate_cmd =
-  let run dataset seed scale =
+  let run dataset seed scale jobs =
     check_dataset dataset;
     let cfg = config_of ~scale in
     let t =
       Pnc_util.Table.create
         ~header:[ "Configuration"; "clean+var"; "perturbed+var" ]
     in
-    List.iter
-      (fun variant ->
-        Printf.eprintf "training %s...\n%!" (Experiments.variant_name variant);
-        let r = Experiments.train_run cfg ~dataset ~variant ~seed in
-        Pnc_util.Table.add_row t
-          [
-            Experiments.variant_name variant;
-            Printf.sprintf "%.3f" r.Experiments.clean_var_acc;
-            Printf.sprintf "%.3f" r.Experiments.pert_var_acc;
-          ])
-      Experiments.fig7_variants;
+    with_jobs jobs (fun pool ->
+        List.iter
+          (fun variant ->
+            Printf.eprintf "training %s...\n%!" (Experiments.variant_name variant);
+            let r = Experiments.train_run ?pool cfg ~dataset ~variant ~seed in
+            Pnc_util.Table.add_row t
+              [
+                Experiments.variant_name variant;
+                Printf.sprintf "%.3f" r.Experiments.clean_var_acc;
+                Printf.sprintf "%.3f" r.Experiments.pert_var_acc;
+              ])
+          Experiments.fig7_variants);
     Printf.printf "Fig. 7 ablation on %s (seed %d):\n" dataset seed;
     Pnc_util.Table.print t
   in
   Cmd.v (Cmd.info "ablate" ~doc:"Run the Fig. 7 ablation variants on one dataset.")
-    Term.(const run $ dataset_arg $ seed_arg $ scale_arg)
+    Term.(const run $ dataset_arg $ seed_arg $ scale_arg $ jobs_arg)
 
 (* hwcost -------------------------------------------------------------------- *)
 
@@ -300,28 +314,29 @@ let sensitivity_cmd =
   let level_arg =
     Arg.(value & opt float 0.1 & info [ "level" ] ~docv:"L" ~doc:"Variation level (0.1 = ±10%).")
   in
-  let run dataset seed level =
+  let run dataset seed level jobs =
     check_dataset dataset;
     let cfg = config_of ~scale:"smoke" in
     Printf.eprintf "training an ADAPT-pNC on %s...\n%!" dataset;
-    let r = Experiments.train_run cfg ~dataset ~variant:Experiments.Full ~seed in
-    match r.Experiments.model with
-    | Pnc_core.Model.Circuit net ->
-        let raw = Registry.load ?n:cfg.Pnc_exp.Config.dataset_n ~seed dataset in
-        let split = Dataset.preprocess (Rng.create ~seed:(seed + 1000)) raw in
-        let rows =
-          Pnc_core.Sensitivity.analyze ~rng:(Rng.create ~seed:77) ~level ~draws:10 net
-            split.Dataset.test
-        in
-        Printf.printf "component-family sensitivity on %s at ±%.0f%%:\n%s\n" dataset
-          (100. *. level)
-          (Pnc_core.Sensitivity.report rows)
-    | Pnc_core.Model.Reference _ -> ()
+    with_jobs jobs (fun pool ->
+        let r = Experiments.train_run ?pool cfg ~dataset ~variant:Experiments.Full ~seed in
+        match r.Experiments.model with
+        | Pnc_core.Model.Circuit net ->
+            let raw = Registry.load ?n:cfg.Pnc_exp.Config.dataset_n ~seed dataset in
+            let split = Dataset.preprocess (Rng.create ~seed:(seed + 1000)) raw in
+            let rows =
+              Pnc_core.Sensitivity.analyze ?pool ~rng:(Rng.create ~seed:77) ~level ~draws:10 net
+                split.Dataset.test
+            in
+            Printf.printf "component-family sensitivity on %s at ±%.0f%%:\n%s\n" dataset
+              (100. *. level)
+              (Pnc_core.Sensitivity.report rows)
+        | Pnc_core.Model.Reference _ -> ())
   in
   Cmd.v
     (Cmd.info "sensitivity"
        ~doc:"Which printed component family drives the accuracy loss under variation.")
-    Term.(const run $ dataset_arg $ seed_arg $ level_arg)
+    Term.(const run $ dataset_arg $ seed_arg $ level_arg $ jobs_arg)
 
 (* discretize --------------------------------------------------------------------- *)
 

@@ -1,5 +1,7 @@
 module Var = Pnc_autodiff.Var
 module Loss = Pnc_autodiff.Loss
+module Rng = Pnc_util.Rng
+module Pool = Pnc_util.Pool
 
 let loss_of_draw ~draw model ~x ~labels =
   Loss.softmax_cross_entropy ~logits:(Model.logits ~draw model x) ~labels
@@ -10,36 +12,49 @@ let one_sample ~rng ~spec model ~x ~labels =
   in
   loss_of_draw ~draw model ~x ~labels
 
+(* Per-draw stream pre-splitting (the engine's determinism contract):
+   every MC draw — or antithetic pair — owns one child generator,
+   derived by indexed splitting from the caller's stream. Draw i is
+   then a function of (parent state, i) alone, so the per-draw values
+   are identical whether the draws run sequentially or distributed
+   over a domain pool of any size, and the Var and tensor paths below
+   consume randomness identically. *)
+let draw_rngs ~antithetic ~rng ~n =
+  let tasks = if antithetic then (n / 2) + (n mod 2) else n in
+  Rng.split_n rng tasks
+
+let normalize ~antithetic ~n model =
+  let n = if Model.is_circuit model then n else 1 in
+  (n, antithetic && Model.is_circuit model && n >= 2)
+
 let expected ?(antithetic = false) ~rng ~spec ~n model ~x ~labels =
   assert (n >= 1);
-  let n = if Model.is_circuit model then n else 1 in
-  if antithetic && Model.is_circuit model && n >= 2 then begin
-    (* n/2 mirrored pairs (plus one plain sample if n is odd). *)
-    let pairs = n / 2 in
-    let acc = ref None in
-    let add l = acc := Some (match !acc with None -> l | Some a -> Var.add a l) in
-    for _ = 1 to pairs do
-      let d1, d2 = Variation.antithetic_pair rng spec in
-      add (loss_of_draw ~draw:d1 model ~x ~labels);
-      add (loss_of_draw ~draw:d2 model ~x ~labels)
-    done;
-    if n mod 2 = 1 then add (one_sample ~rng ~spec model ~x ~labels);
-    match !acc with
-    | Some sum -> Var.scale (1. /. float_of_int n) sum
-    | None -> assert false
-  end
-  else begin
-    let rec sum_losses acc k =
-      if k = 0 then acc
-      else sum_losses (Var.add acc (one_sample ~rng ~spec model ~x ~labels)) (k - 1)
-    in
-    let first = one_sample ~rng ~spec model ~x ~labels in
-    Var.scale (1. /. float_of_int n) (sum_losses first (n - 1))
-  end
+  let n, antithetic = normalize ~antithetic ~n model in
+  let rngs = draw_rngs ~antithetic ~rng ~n in
+  let tasks =
+    if antithetic then
+      (* n/2 mirrored pairs (plus one plain sample if n is odd); each
+         task contributes the pair's summed loss so the accumulation
+         order matches [expected_value] exactly. *)
+      Array.init (Array.length rngs) (fun j ->
+          if j < n / 2 then begin
+            let d1, d2 = Variation.antithetic_pair rngs.(j) spec in
+            Var.add (loss_of_draw ~draw:d1 model ~x ~labels) (loss_of_draw ~draw:d2 model ~x ~labels)
+          end
+          else one_sample ~rng:rngs.(j) ~spec model ~x ~labels)
+    else Array.init n (fun i -> one_sample ~rng:rngs.(i) ~spec model ~x ~labels)
+  in
+  let sum =
+    Array.fold_left
+      (fun acc l -> match acc with None -> Some l | Some a -> Some (Var.add a l))
+      None tasks
+  in
+  match sum with Some s -> Var.scale (1. /. float_of_int n) s | None -> assert false
 
 (* Forward-only estimate on the tensor fast path: consumes the random
-   stream exactly like [expected] (same draw construction, same order)
-   but never allocates autodiff nodes. *)
+   stream exactly like [expected] (same pre-split children, same draw
+   construction, same accumulation order) but never allocates autodiff
+   nodes — which also makes it safe to distribute over a domain pool. *)
 let value_of_draw ~draw model ~x ~labels =
   Loss.cross_entropy_value ~logits:(Model.logits_t ~draw model x) ~labels
 
@@ -49,24 +64,23 @@ let one_sample_value ~rng ~spec model ~x ~labels =
   in
   value_of_draw ~draw model ~x ~labels
 
-let expected_value ?(antithetic = false) ~rng ~spec ~n model ~x ~labels =
+let expected_value ?(antithetic = false) ?pool ~rng ~spec ~n model ~x ~labels =
   assert (n >= 1);
-  let n = if Model.is_circuit model then n else 1 in
-  if antithetic && Model.is_circuit model && n >= 2 then begin
-    let pairs = n / 2 in
-    let acc = ref 0. in
-    for _ = 1 to pairs do
-      let d1, d2 = Variation.antithetic_pair rng spec in
-      acc := !acc +. value_of_draw ~draw:d1 model ~x ~labels;
-      acc := !acc +. value_of_draw ~draw:d2 model ~x ~labels
-    done;
-    if n mod 2 = 1 then acc := !acc +. one_sample_value ~rng ~spec model ~x ~labels;
-    1. /. float_of_int n *. !acc
-  end
-  else begin
-    let acc = ref (one_sample_value ~rng ~spec model ~x ~labels) in
-    for _ = 2 to n do
-      acc := !acc +. one_sample_value ~rng ~spec model ~x ~labels
-    done;
-    1. /. float_of_int n *. !acc
-  end
+  let n, antithetic = normalize ~antithetic ~n model in
+  let rngs = draw_rngs ~antithetic ~rng ~n in
+  let task j =
+    if antithetic then
+      if j < n / 2 then begin
+        let d1, d2 = Variation.antithetic_pair rngs.(j) spec in
+        value_of_draw ~draw:d1 model ~x ~labels +. value_of_draw ~draw:d2 model ~x ~labels
+      end
+      else one_sample_value ~rng:rngs.(j) ~spec model ~x ~labels
+    else one_sample_value ~rng:rngs.(j) ~spec model ~x ~labels
+  in
+  let n_tasks = Array.length rngs in
+  let values =
+    match pool with
+    | None -> Array.init n_tasks task
+    | Some p -> Pool.init p ~n:n_tasks task
+  in
+  1. /. float_of_int n *. Array.fold_left ( +. ) 0. values

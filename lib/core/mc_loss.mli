@@ -4,7 +4,15 @@
     initial voltages is approximated by averaging [n] independent
     forward passes, each with a fresh joint sample (θᵢ, Cᵢ, Rᵢ, µᵢ,
     V₀ᵢ). With [spec = Variation.none] and [n = 1] this reduces to the
-    ordinary (no-variation-aware) objective used by the baseline. *)
+    ordinary (no-variation-aware) objective used by the baseline.
+
+    {b Determinism contract.} Both estimators pre-split one child
+    generator per draw (per antithetic pair) from [rng] via
+    {!Pnc_util.Rng.split_n}: draw i consumes child i and nothing else,
+    so the per-draw values — and their fixed-order sum — are identical
+    whether the draws run sequentially or distributed over a
+    {!Pnc_util.Pool} of any worker count, and the Var and tensor paths
+    consume randomness identically. *)
 
 val expected :
   ?antithetic:bool ->
@@ -22,6 +30,7 @@ val expected :
 
 val expected_value :
   ?antithetic:bool ->
+  ?pool:Pnc_util.Pool.t ->
   rng:Pnc_util.Rng.t ->
   spec:Variation.spec ->
   n:int ->
@@ -31,4 +40,8 @@ val expected_value :
   float
 (** Forward-only evaluation of the same objective on the pure-tensor
     fast path — consumes the random stream exactly like {!expected} but
-    allocates no autodiff nodes. *)
+    allocates no autodiff nodes. With [pool], the independent draws are
+    distributed across the pool's worker domains; the result is
+    bit-identical to the sequential path for every worker count (each
+    draw owns a pre-split child stream and the summation order is
+    fixed). *)

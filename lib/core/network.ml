@@ -179,6 +179,10 @@ let forward_multi_selective_t ~draw_crossbar ~draw_filter ~draw_act net steps =
 let forward_multi_t ~draw net steps =
   forward_multi_selective_t ~draw_crossbar:draw ~draw_filter:draw ~draw_act:draw net steps
 
+let forward_selective_t ~draw_crossbar ~draw_filter ~draw_act net x =
+  let steps = Array.init (T.cols x) (fun k -> T.col x k) in
+  forward_multi_selective_t ~draw_crossbar ~draw_filter ~draw_act net steps
+
 let forward_readout_t ~readout ~draw net x =
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
   forward_multi_readout_t ~readout ~draw_crossbar:draw ~draw_filter:draw ~draw_act:draw net

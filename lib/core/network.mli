@@ -90,6 +90,17 @@ val forward_multi_selective_t :
   Pnc_tensor.Tensor.t array ->
   Pnc_tensor.Tensor.t
 
+val forward_selective_t :
+  draw_crossbar:Variation.draw ->
+  draw_filter:Variation.draw ->
+  draw_act:Variation.draw ->
+  t ->
+  Pnc_tensor.Tensor.t ->
+  Pnc_tensor.Tensor.t
+(** Tensor-path twin of {!forward_selective} — bit-identical logits
+    under the same draws, no autodiff nodes; safe inside a
+    {!Pnc_util.Pool} task. *)
+
 val predict : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
 (** Argmax class per sample; deterministic unless a draw is given.
     Runs on the tensor fast path. *)

@@ -12,10 +12,14 @@ let family_name = function
 
 type row = { family : family; accuracy : float; drop : float }
 
-let accuracy_with ~rng ~spec ~draws ~family net x y =
-  let acc = ref 0. in
-  for _ = 1 to draws do
-    let varied = Variation.make_draw rng spec in
+(* Runs on the tensor fast path (bit-identical to the Var-path forward
+   under the same draws): pool tasks must not touch the global gradient
+   tape, and the analysis needs no gradients anyway. Draw i owns child
+   stream i, so the mean is worker-count-invariant. *)
+let accuracy_with ?pool ~rng ~spec ~draws ~family net x y =
+  let rngs = Rng.split_n rng draws in
+  let instance i =
+    let varied = Variation.make_draw rngs.(i) spec in
     let nominal = Variation.deterministic in
     let draw_crossbar, draw_filter, draw_act =
       match family with
@@ -24,25 +28,25 @@ let accuracy_with ~rng ~spec ~draws ~family net x y =
       | Activation_eta -> (nominal, nominal, varied)
       | All_families -> (varied, varied, varied)
     in
-    let logits =
-      Network.forward_selective ~draw_crossbar ~draw_filter ~draw_act net x
-    in
-    let pred = T.argmax_rows (Pnc_autodiff.Var.value logits) in
-    acc := !acc +. Stats.accuracy ~pred ~truth:y
-  done;
-  !acc /. float_of_int draws
+    let logits = Network.forward_selective_t ~draw_crossbar ~draw_filter ~draw_act net x in
+    Stats.accuracy ~pred:(T.argmax_rows logits) ~truth:y
+  in
+  let accs =
+    match pool with
+    | None -> Array.init draws instance
+    | Some p -> Pnc_util.Pool.init p ~n:draws instance
+  in
+  Array.fold_left ( +. ) 0. accs /. float_of_int draws
 
-let analyze ~rng ~level ~draws net dataset =
+let analyze ?pool ~rng ~level ~draws net dataset =
   assert (draws >= 1 && level >= 0.);
   let x, y = Train.to_xy dataset in
   let spec = Variation.uniform level in
-  let nominal_pred =
-    T.argmax_rows (Pnc_autodiff.Var.value (Network.forward ~draw:Variation.deterministic net x))
-  in
+  let nominal_pred = T.argmax_rows (Network.forward_t ~draw:Variation.deterministic net x) in
   let nominal = Stats.accuracy ~pred:nominal_pred ~truth:y in
   List.map
     (fun family ->
-      let accuracy = accuracy_with ~rng ~spec ~draws ~family net x y in
+      let accuracy = accuracy_with ?pool ~rng ~spec ~draws ~family net x y in
       { family; accuracy; drop = nominal -. accuracy })
     [ Crossbar_conductances; Filter_rc; Activation_eta; All_families ]
 

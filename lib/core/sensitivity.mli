@@ -18,6 +18,7 @@ type row = {
 }
 
 val analyze :
+  ?pool:Pnc_util.Pool.t ->
   rng:Pnc_util.Rng.t ->
   level:float ->
   draws:int ->
@@ -26,6 +27,8 @@ val analyze :
   row list
 (** Rows for the three families plus [All_families], ordered as
     declared. The [All_families] row reproduces the standard
-    evaluation-under-variation number. *)
+    evaluation-under-variation number. Runs on the no-grad tensor path;
+    with [pool] the per-family Monte-Carlo draws evaluate in parallel
+    with worker-count-invariant results (pre-split child streams). *)
 
 val report : row list -> string

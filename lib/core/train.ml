@@ -119,16 +119,22 @@ let accuracy ?draw model d =
   let pred = Model.predict ?draw model x in
   Pnc_util.Stats.accuracy ~pred ~truth:y
 
-let accuracy_under_variation ~rng ~spec ~draws model d =
+let accuracy_under_variation ?pool ~rng ~spec ~draws model d =
   assert (draws >= 1);
   let x, y = to_xy d in
-  let acc = ref 0. in
-  for _ = 1 to draws do
-    let draw = Variation.make_draw rng spec in
-    let pred = Model.predict ~draw model x in
-    acc := !acc +. Pnc_util.Stats.accuracy ~pred ~truth:y
-  done;
-  !acc /. float_of_int draws
+  (* One pre-split child stream per sampled instance — values and
+     summation order are identical for every pool worker count. *)
+  let rngs = Rng.split_n rng draws in
+  let instance i =
+    let draw = Variation.make_draw rngs.(i) spec in
+    Pnc_util.Stats.accuracy ~pred:(Model.predict ~draw model x) ~truth:y
+  in
+  let accs =
+    match pool with
+    | None -> Array.init draws instance
+    | Some p -> Pnc_util.Pool.init p ~n:draws instance
+  in
+  Array.fold_left ( +. ) 0. accs /. float_of_int draws
 
 let epoch_seconds ?(rng = Rng.create ~seed:0) cfg model split =
   let x_train, y_train = to_xy split.Dataset.train in

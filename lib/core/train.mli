@@ -49,9 +49,17 @@ val accuracy : ?draw:Variation.draw -> Model.t -> Pnc_data.Dataset.t -> float
 (** Deterministic accuracy unless a draw is supplied. *)
 
 val accuracy_under_variation :
-  rng:Pnc_util.Rng.t -> spec:Variation.spec -> draws:int -> Model.t -> Pnc_data.Dataset.t -> float
+  ?pool:Pnc_util.Pool.t ->
+  rng:Pnc_util.Rng.t ->
+  spec:Variation.spec ->
+  draws:int ->
+  Model.t ->
+  Pnc_data.Dataset.t ->
+  float
 (** Mean accuracy over [draws] independent physical instances — the
-    paper's "tested under ±10 % variation" protocol. *)
+    paper's "tested under ±10 % variation" protocol. Each instance owns
+    a pre-split child stream; with [pool] the instances evaluate in
+    parallel with a result identical to the sequential one. *)
 
 val epoch_seconds : ?rng:Pnc_util.Rng.t -> config -> Model.t -> Pnc_data.Dataset.split -> float
 (** Wall-clock seconds of one training epoch (forward + backward +

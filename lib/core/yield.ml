@@ -24,24 +24,34 @@ let of_accuracies ~threshold accs =
     threshold;
   }
 
-let estimate ~rng ~spec ~threshold ~draws model dataset =
+let estimate ?pool ~rng ~spec ~threshold ~draws model dataset =
   assert (draws >= 1);
   let x, y = Train.to_xy dataset in
   let accs =
-    if Model.is_circuit model then
-      Array.init draws (fun _ ->
-          let draw = Variation.make_draw rng spec in
-          Pnc_util.Stats.accuracy ~pred:(Model.predict ~draw model x) ~truth:y)
+    if Model.is_circuit model then begin
+      (* One pre-split child stream per printed instance: instance i is
+         a function of (rng state, i) alone, so the sampled accuracies
+         are identical in value and order for every pool worker
+         count (and with no pool at all). *)
+      let rngs = Pnc_util.Rng.split_n rng draws in
+      let instance i =
+        let draw = Variation.make_draw rngs.(i) spec in
+        Pnc_util.Stats.accuracy ~pred:(Model.predict ~draw model x) ~truth:y
+      in
+      match pool with
+      | None -> Array.init draws instance
+      | Some p -> Pnc_util.Pool.init p ~n:draws instance
+    end
     else [| Pnc_util.Stats.accuracy ~pred:(Model.predict model x) ~truth:y |]
   in
   of_accuracies ~threshold accs
 
-let sweep_levels ~rng ~levels ~threshold ~draws model dataset =
+let sweep_levels ?pool ~rng ~levels ~threshold ~draws model dataset =
   List.map
     (fun level ->
       let spec = if level = 0. then Variation.none else Variation.uniform level in
       let draws = if level = 0. then 1 else draws in
-      (level, estimate ~rng ~spec ~threshold ~draws model dataset))
+      (level, estimate ?pool ~rng ~spec ~threshold ~draws model dataset))
     levels
 
 let describe r =

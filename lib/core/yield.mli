@@ -18,6 +18,7 @@ type result = {
 }
 
 val estimate :
+  ?pool:Pnc_util.Pool.t ->
   rng:Pnc_util.Rng.t ->
   spec:Variation.spec ->
   threshold:float ->
@@ -26,9 +27,13 @@ val estimate :
   Pnc_data.Dataset.t ->
   result
 (** Reference (non-circuit) models have a single deterministic instance;
-    their result collapses to that accuracy. *)
+    their result collapses to that accuracy. With [pool], the sampled
+    instances are evaluated in parallel on the pool's domains; each
+    instance owns a pre-split child stream, so the result is identical
+    for every worker count. *)
 
 val sweep_levels :
+  ?pool:Pnc_util.Pool.t ->
   rng:Pnc_util.Rng.t ->
   levels:float list ->
   threshold:float ->

@@ -63,7 +63,7 @@ let build_model cfg ~variant ~classes ~seed =
       Model.Circuit
         (Network.create ~hidden:(adapt_hidden ~classes) rng Network.Adapt ~inputs:1 ~classes)
 
-let train_run cfg ~dataset ~variant ~seed =
+let train_run ?pool cfg ~dataset ~variant ~seed =
   let split, classes = load_split cfg ~dataset ~seed in
   let model = build_model cfg ~variant ~classes ~seed in
   let train_cfg =
@@ -96,7 +96,7 @@ let train_run cfg ~dataset ~variant ~seed =
   let pert_test = Augment.perturb_dataset prng Augment.default_policy test in
   let under_variation d =
     if Model.is_circuit model then
-      Train.accuracy_under_variation ~rng:erng ~spec ~draws:cfg.Config.eval_draws model d
+      Train.accuracy_under_variation ?pool ~rng:erng ~spec ~draws:cfg.Config.eval_draws model d
     else Train.accuracy model d
   in
   {
@@ -112,7 +112,7 @@ let train_run cfg ~dataset ~variant ~seed =
     epochs = history.Train.epochs_run;
   }
 
-let run_grid ?(progress = fun _ -> ()) cfg ~variants =
+let run_grid ?(progress = fun _ -> ()) ?pool cfg ~variants =
   List.concat_map
     (fun dataset ->
       List.concat_map
@@ -121,7 +121,7 @@ let run_grid ?(progress = fun _ -> ()) cfg ~variants =
             (fun seed ->
               progress
                 (Printf.sprintf "%s / %s / seed %d" dataset (variant_name variant) seed);
-              train_run cfg ~dataset ~variant ~seed)
+              train_run ?pool cfg ~dataset ~variant ~seed)
             cfg.Config.seeds)
         variants)
     cfg.Config.datasets
@@ -436,7 +436,8 @@ type sweep_row = {
   adapt_yield : float;
 }
 
-let variation_sweep_of_grid ?(levels = [ 0.; 0.05; 0.1; 0.2; 0.3 ]) ?(threshold = 0.6) cfg runs =
+let variation_sweep_of_grid ?(levels = [ 0.; 0.05; 0.1; 0.2; 0.3 ]) ?(threshold = 0.6) ?pool cfg
+    runs =
   let module Yield = Pnc_core.Yield in
   let eval_variant variant level =
     let accs, yields =
@@ -447,7 +448,7 @@ let variation_sweep_of_grid ?(levels = [ 0.; 0.05; 0.1; 0.2; 0.3 ]) ?(threshold 
              | best :: _ ->
                  let split, _ = load_split cfg ~dataset ~seed:best.seed in
                  let r =
-                   Yield.estimate
+                   Yield.estimate ?pool
                      ~rng:(Rng.create ~seed:4242)
                      ~spec:(if level = 0. then Variation.none else Variation.uniform level)
                      ~threshold

@@ -31,10 +31,18 @@ type run = {
   epochs : int;
 }
 
-val train_run : Config.t -> dataset:string -> variant:variant -> seed:int -> run
+val train_run :
+  ?pool:Pnc_util.Pool.t -> Config.t -> dataset:string -> variant:variant -> seed:int -> run
+(** Training itself stays on the (sequential) autodiff path; [pool]
+    parallelizes the Monte-Carlo evaluation protocols with
+    worker-count-invariant results. *)
 
 val run_grid :
-  ?progress:(string -> unit) -> Config.t -> variants:variant list -> run list
+  ?progress:(string -> unit) ->
+  ?pool:Pnc_util.Pool.t ->
+  Config.t ->
+  variants:variant list ->
+  run list
 (** All datasets × variants × seeds of the config. *)
 
 (** {1 Artifacts} *)
@@ -108,8 +116,14 @@ type sweep_row = {
 }
 
 val variation_sweep_of_grid :
-  ?levels:float list -> ?threshold:float -> Config.t -> run list -> sweep_row list
-(** Defaults: levels 0/5/10/20/30 %, yield threshold 0.6. *)
+  ?levels:float list ->
+  ?threshold:float ->
+  ?pool:Pnc_util.Pool.t ->
+  Config.t ->
+  run list ->
+  sweep_row list
+(** Defaults: levels 0/5/10/20/30 %, yield threshold 0.6. [pool]
+    parallelizes the per-level yield estimation. *)
 
 val print_variation_sweep : threshold:float -> sweep_row list -> unit
 

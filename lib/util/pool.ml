@@ -1,0 +1,122 @@
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  mutable alive : bool;
+}
+
+let default_size () = Stdlib.max 0 (Domain.recommended_domain_count () - 1)
+
+(* Set in each worker domain so that nested submission — a pool task
+   submitting to a pool, which would deadlock a full pool — is rejected
+   eagerly instead of wedging. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop pool () =
+  Domain.DLS.set in_worker true;
+  let rec next () =
+    Mutex.lock pool.mutex;
+    let rec take () =
+      if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+      else if pool.stop then None
+      else begin
+        Condition.wait pool.has_work pool.mutex;
+        take ()
+      end
+    in
+    let job = take () in
+    Mutex.unlock pool.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+        (* Tasks wrap their own exceptions (see [init]); a raise here
+           would kill the worker and wedge the pool. *)
+        job ();
+        next ()
+  in
+  next ()
+
+let create ?size () =
+  let size = match size with Some s -> s | None -> default_size () in
+  if size < 0 then invalid_arg "Pool.create: negative size";
+  let pool =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      stop = false;
+      workers = [||];
+      alive = true;
+    }
+  in
+  if size > 1 then pool.workers <- Array.init size (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+let check_submittable pool who =
+  if Domain.DLS.get in_worker then
+    invalid_arg (who ^ ": nested submission from inside a pool task");
+  if not pool.alive then invalid_arg (who ^ ": pool is shut down")
+
+let init pool ~n f =
+  if n < 0 then invalid_arg "Pool.init: negative n";
+  check_submittable pool "Pool.init";
+  if pool.size <= 1 || n <= 1 then Array.init n f
+  else begin
+    (* Each task writes its own slot; the join mutex publishes the
+       writes to the caller, so index order is preserved regardless of
+       scheduling. *)
+    let results = Array.make n None in
+    let remaining = ref n in
+    let join_mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    Mutex.lock pool.mutex;
+    for i = 0 to n - 1 do
+      Queue.push
+        (fun () ->
+          let r = try Ok (f i) with e -> Error e in
+          results.(i) <- Some r;
+          Mutex.lock join_mutex;
+          decr remaining;
+          if !remaining = 0 then Condition.signal all_done;
+          Mutex.unlock join_mutex)
+        pool.queue
+    done;
+    Condition.broadcast pool.has_work;
+    Mutex.unlock pool.mutex;
+    Mutex.lock join_mutex;
+    while !remaining > 0 do
+      Condition.wait all_done join_mutex
+    done;
+    Mutex.unlock join_mutex;
+    (* Re-raise the lowest-indexed failure, deterministically. *)
+    Array.map
+      (function Some (Ok v) -> v | Some (Error e) -> raise e | None -> assert false)
+      results
+  end
+
+let map pool f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (init pool ~n:(Array.length arr) (fun i -> f arr.(i)))
+
+let run pool tasks = ignore (map pool (fun task -> task ()) tasks)
+
+let shutdown pool =
+  if pool.alive then begin
+    pool.alive <- false;
+    Mutex.lock pool.mutex;
+    pool.stop <- true;
+    Condition.broadcast pool.has_work;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ?size f =
+  let pool = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,59 @@
+(** Fixed-size domain pool for embarrassingly-parallel evaluation work.
+
+    A pool owns [size] worker domains fed from one shared work queue
+    (mutex + condition variable). It exists to parallelize the
+    read-only Monte-Carlo hot loops — independent forward passes on the
+    pure-tensor no-grad path — across cores of the OCaml 5 runtime.
+
+    {b Determinism contract.} The pool never changes results, only
+    wall-clock time: {!init} and {!map} write each task's result into
+    its own slot, so the output order is the submission order no matter
+    which worker ran which task or in which order tasks finished.
+    Callers pair this with {!Rng.split_n} (one pre-split child stream
+    per task) so that a task's random draws are a function of its index
+    alone — the pooled result is then bit-identical to the sequential
+    one for every worker count.
+
+    {b Safety.} Pool tasks must not build autodiff graphs: the [Var]
+    gradient tape is global state owned by the main domain. Only the
+    pure-tensor [*_t] evaluation paths may run inside a pool. *)
+
+type t
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count () - 1] (never negative): one
+    worker per available core, leaving a core for the submitting
+    domain. *)
+
+val create : ?size:int -> unit -> t
+(** Spawn a pool of [size] workers (default {!default_size}). Sizes 0
+    and 1 spawn {e no} domains: every task then runs sequentially in
+    the caller, making single-core behaviour identical to not having a
+    pool at all. Raises [Invalid_argument] on negative sizes. *)
+
+val size : t -> int
+
+val init : t -> n:int -> (int -> 'a) -> 'a array
+(** [init pool ~n f] is [Array.init n f] computed on the pool: tasks
+    [f 0 .. f (n-1)] are distributed across the workers and the result
+    array preserves index order. Blocks until all tasks finish. If one
+    or more tasks raise, the exception of the lowest-indexed failing
+    task is re-raised after all tasks have completed — the pool itself
+    stays usable. Raises [Invalid_argument] when called from inside a
+    pool task (nested submission) or after {!shutdown}. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] is [List.map f xs] computed on the pool; same
+    ordering, exception and nesting guarantees as {!init}. *)
+
+val run : t -> (unit -> unit) list -> unit
+(** Run side-effecting tasks to completion on the pool; same
+    guarantees as {!init}. *)
+
+val shutdown : t -> unit
+(** Drain outstanding work, stop the workers and join every domain.
+    Idempotent. Subsequent submissions raise [Invalid_argument]. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards
+    (also on exception). *)

@@ -6,6 +6,17 @@ let split t =
   let a = Random.State.bits t and b = Random.State.bits t in
   Random.State.make [| a; b; a lxor (b lsl 7) |]
 
+let split_n t n =
+  assert (n >= 0);
+  (* Indexed splitting: the parent stream is consumed exactly twice
+     regardless of [n], and child [i] is a pure function of those two
+     words and its index. Children are therefore insensitive to how the
+     parent is consumed afterwards, and child [i] never depends on how
+     many siblings were requested before it. *)
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Array.init n (fun i ->
+      Random.State.make [| a; b; i; (i * 0x9e3779b9) lxor a lxor (b lsl 5) |])
+
 let copy = Random.State.copy
 let int t n = Random.State.int t n
 let float t x = Random.State.float t x

@@ -15,6 +15,16 @@ val split : t -> t
     the parent. Used to give each dataset / model / MC sample its own
     stream without coupling their consumption. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] child generators derived by {e indexed}
+    splitting: the parent stream is consumed exactly twice regardless
+    of [n], and child [i] is a pure function of the consumed words and
+    its index. Children are mutually independent and unaffected by any
+    further consumption of the parent — the construction behind the
+    deterministic per-draw streams of the Monte-Carlo engine (each MC
+    draw owns child [i], so the per-draw values are identical whether
+    the draws run sequentially or on a {!Pool} of any size). *)
+
 val copy : t -> t
 (** Snapshot of the generator state. *)
 

@@ -640,6 +640,39 @@ let test_expected_value_matches_var_path () =
         (Float.abs (v_var -. v_fast) <= 1e-12))
     [ false; true ]
 
+let test_expected_value_reseed_regression () =
+  (* Re-seeding reproduces the whole sequential draw sequence exactly:
+     the per-draw child streams come from indexed splitting, so the MC
+     estimate is a pure function of the seed — repeated runs, and runs
+     interleaved with unrelated rng activity, give the identical bits.
+     Guards the reproducibility contract the pool parity tests build on. *)
+  let net = Network.create (rng ()) Network.Adapt ~inputs:1 ~classes:2 in
+  let model = Model.Circuit net in
+  let x = T.uniform (rng ()) ~rows:5 ~cols:10 ~lo:(-1.) ~hi:1. in
+  let labels = [| 0; 1; 0; 1; 1 |] in
+  let eval () =
+    Mc_loss.expected_value ~rng:(Rng.create ~seed:23) ~spec:(Variation.uniform 0.15) ~n:6 model
+      ~x ~labels
+  in
+  let v1 = eval () in
+  (* Unrelated global-ish rng noise between runs must not leak in. *)
+  let noise = Rng.create ~seed:999 in
+  for _ = 1 to 100 do
+    ignore (Rng.gaussian noise)
+  done;
+  let v2 = eval () in
+  Alcotest.(check bool)
+    (Printf.sprintf "re-seeded run identical (%.17g vs %.17g)" v1 v2)
+    true (v1 = v2);
+  (* And the Var-graph objective is equally a pure function of the seed. *)
+  let tr seed =
+    T.get_scalar
+      (Var.value
+         (Mc_loss.expected ~rng:(Rng.create ~seed) ~spec:(Variation.uniform 0.15) ~n:4 model ~x
+            ~labels))
+  in
+  Alcotest.(check bool) "Var path re-seeded run identical" true (tr 29 = tr 29)
+
 let test_fast_path_allocates_no_var_nodes () =
   let net = Network.create (rng ()) Network.Adapt ~inputs:1 ~classes:2 in
   let model = Model.Circuit net in
@@ -992,6 +1025,7 @@ let () =
           Alcotest.test_case "reference parity" `Quick test_fast_path_parity_reference;
           Alcotest.test_case "readout parity" `Quick test_fast_path_readouts_parity;
           Alcotest.test_case "mc value agrees" `Quick test_expected_value_matches_var_path;
+          Alcotest.test_case "re-seeded run identical" `Quick test_expected_value_reseed_regression;
           Alcotest.test_case "zero Var allocation" `Quick test_fast_path_allocates_no_var_nodes;
         ] );
       ( "hardware",

@@ -35,6 +35,33 @@ let test_rng_split_independent () =
   let c2 = Array.init 16 (fun _ -> Rng.int child' 1000) in
   Alcotest.(check (array int)) "split reproducible" c1 c2
 
+let test_rng_split_n_indexed () =
+  (* Indexed splitting: child [i] depends only on the parent state at
+     the split point and on [i] — not on how many siblings were
+     requested, and not on anything drawn from the parent afterwards. *)
+  let stream r = Array.init 16 (fun _ -> Rng.int r 1_000_000) in
+  let p1 = Rng.create ~seed:7 and p2 = Rng.create ~seed:7 in
+  let small = Rng.split_n p1 2 and large = Rng.split_n p2 9 in
+  for _ = 1 to 100 do
+    ignore (Rng.int p2 1000)
+  done;
+  for i = 0 to 1 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "child %d independent of n and of parent use" i)
+      (stream small.(i)) (stream large.(i))
+  done;
+  (* The parent is consumed by a fixed amount regardless of n, so code
+     after a split stays reproducible when the draw count changes. *)
+  let p3 = Rng.create ~seed:8 and p4 = Rng.create ~seed:8 in
+  ignore (Rng.split_n p3 1);
+  ignore (Rng.split_n p4 32);
+  let tail3 = stream p3 in
+  Alcotest.(check (array int)) "parent tail independent of n" tail3 (stream p4);
+  (* Empty split is legal and still advances the parent identically. *)
+  let p5 = Rng.create ~seed:8 in
+  Alcotest.(check int) "n = 0 gives no children" 0 (Array.length (Rng.split_n p5 0));
+  Alcotest.(check (array int)) "n = 0 consumes like n > 0" tail3 (stream p5)
+
 let test_gaussian_moments () =
   let rng = Rng.create ~seed:3 in
   let n = 20_000 in
@@ -219,6 +246,7 @@ let () =
           Alcotest.test_case "deterministic per seed" `Quick test_rng_deterministic;
           Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
           Alcotest.test_case "split reproducible" `Quick test_rng_split_independent;
+          Alcotest.test_case "split_n indexed" `Quick test_rng_split_n_indexed;
           Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
           Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
           Alcotest.test_case "permutation" `Quick test_permutation;
