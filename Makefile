@@ -4,10 +4,25 @@
 # Results are worker-count-invariant; only wall-clock changes.
 JOBS ?= 4
 
+# BENCH_OUT streams every bench section (plus a final metrics
+# snapshot) as JSON Lines alongside the human-readable report.
+BENCH_OUT ?= docs/bench_pr3.json
+
 check:
 	dune build && POOL_SIZE=$(JOBS) dune runtest
 
 bench:
-	dune build bench/main.exe && ADAPT_PNC_JOBS=$(JOBS) dune exec bench/main.exe
+	dune build bench/main.exe && \
+	  ADAPT_PNC_JOBS=$(JOBS) BENCH_OUT=$(BENCH_OUT) dune exec bench/main.exe
 
-.PHONY: check bench
+# Refresh the golden-file references after an intentional change to
+# the hardware cost model or the netlist exporter.
+golden:
+	UPDATE_GOLDEN=1 dune runtest test --force
+
+# Source hygiene gate (no ocamlformat in the toolchain): rejects tabs
+# and trailing whitespace in OCaml sources.
+fmt-check:
+	./scripts/fmt_check.sh
+
+.PHONY: check bench golden fmt-check

@@ -15,6 +15,7 @@
 
 module Config = Pnc_exp.Config
 module Experiments = Pnc_exp.Experiments
+module Obs = Pnc_obs.Obs
 
 let progress msg = Printf.eprintf "[bench] %s\n%!" msg
 
@@ -122,6 +123,17 @@ let bench_eval_throughput cfg =
   let t_var = Pnc_util.Timer.time_mean ~repeats:3 eval_var in
   let t_fast = Pnc_util.Timer.time_mean ~repeats:3 eval_fast in
   let per_draw t = t /. float_of_int n_draws in
+  let emit_throughput path t =
+    if Obs.enabled () then
+      Obs.emit "bench.throughput"
+        [
+          ("section", Obs.Str "eval");
+          ("path", Obs.Str path);
+          ("draws", Obs.Int n_draws);
+          ("seconds", Obs.Float t);
+          ("draws_per_s", Obs.Float (1. /. per_draw t));
+        ]
+  in
   print_endline "Eval throughput - accuracy under +-10% variation, ADAPT net, test split";
   Printf.printf "  Var graph path               %8.1f draws/s (%s per draw)\n"
     (1. /. per_draw t_var)
@@ -130,12 +142,17 @@ let bench_eval_throughput cfg =
     (1. /. per_draw t_fast)
     (Pnc_util.Timer.fmt_seconds (per_draw t_fast));
   Printf.printf "  speedup                      %8.2fx\n" (t_var /. t_fast);
+  emit_throughput "var" t_var;
+  emit_throughput "tensor" t_fast;
   let t_epoch =
     Pnc_core.Train.epoch_seconds cfg.Config.train_va (Pnc_core.Model.Circuit net) split
   in
   Printf.printf "  training (Var path)          %8.2f epochs/s (%s per epoch)\n\n%!"
     (1. /. t_epoch)
     (Pnc_util.Timer.fmt_seconds t_epoch);
+  if Obs.enabled () then
+    Obs.emit "bench.train"
+      [ ("seconds_per_epoch", Obs.Float t_epoch); ("epochs_per_s", Obs.Float (1. /. t_epoch)) ];
 
   (* Multicore MC engine: the same no-grad MC objective distributed
      over a domain pool, per worker count. Each draw owns a pre-split
@@ -154,13 +171,22 @@ let bench_eval_throughput cfg =
   Printf.printf "MC eval throughput vs pool size - %d draws, ADAPT net (%d core%s available)\n"
     mc_draws cores (if cores = 1 then "" else "s");
   Printf.printf "  %-10s %12s %12s %10s\n" "workers" "draws/s" "per draw" "speedup";
-  let report label t =
+  let report label workers t =
     Printf.printf "  %-10s %12.1f %12s %9.2fx\n" label
       (float_of_int mc_draws /. t)
       (Pnc_util.Timer.fmt_seconds (t /. float_of_int mc_draws))
-      (t_seq /. t)
+      (t_seq /. t);
+    if Obs.enabled () then
+      Obs.emit "bench.mc_pool"
+        [
+          ("workers", Obs.Int workers);
+          ("draws", Obs.Int mc_draws);
+          ("seconds", Obs.Float t);
+          ("draws_per_s", Obs.Float (float_of_int mc_draws /. t));
+          ("speedup", Obs.Float (t_seq /. t));
+        ]
   in
-  report "sequential" t_seq;
+  report "sequential" 0 t_seq;
   List.iter
     (fun size ->
       Pnc_util.Pool.with_pool ~size (fun pool ->
@@ -168,11 +194,11 @@ let bench_eval_throughput cfg =
           if v <> reference then
             Printf.printf "  PARITY VIOLATION at %d workers: %.17g vs %.17g\n" size v reference;
           let t = Pnc_util.Timer.time_mean ~repeats:3 (fun () -> ignore (mc_value ~pool ())) in
-          report (string_of_int size) t))
+          report (string_of_int size) size t))
     [ 1; 2; 4 ];
   print_newline ()
 
-let () =
+let run_all () =
   let cfg = Config.from_env () in
   (* ADAPT_PNC_JOBS=n selects the evaluation pool size (default: one
      worker per available core minus one; 0/1 = sequential). Results
@@ -182,6 +208,15 @@ let () =
     | Some s -> (try int_of_string (String.trim s) with _ -> Pnc_util.Pool.default_size ())
     | None -> Pnc_util.Pool.default_size ()
   in
+  if Obs.enabled () then
+    Obs.emit "bench.meta"
+      [
+        ("scale", Obs.Str (Config.scale_name cfg.Config.scale));
+        ("datasets", Obs.Int (List.length cfg.Config.datasets));
+        ("seeds", Obs.Int (List.length cfg.Config.seeds));
+        ("jobs", Obs.Int jobs);
+        ("cores", Obs.Int (Domain.recommended_domain_count ()));
+      ];
   let pool = Pnc_util.Pool.create ~size:jobs () in
   Printf.printf "ADAPT-pNC benchmark harness (scale: %s, %d datasets, seeds: %d, eval workers: %d)\n\n"
     (Config.scale_name cfg.Config.scale)
@@ -212,4 +247,14 @@ let () =
   Experiments.print_table2 (Experiments.table2 ~progress cfg);
   bechamel_table2 cfg;
   Pnc_util.Pool.shutdown pool;
+  Obs.emit_metrics ();
   print_endline "done."
+
+let () =
+  (* BENCH_OUT=path streams every bench section as JSON Lines (plus a
+     final metrics snapshot) alongside the human-readable report. The
+     instrumentation never touches an Rng stream, so the printed
+     numbers are identical with and without the sink. *)
+  match Sys.getenv_opt "BENCH_OUT" with
+  | Some path when String.trim path <> "" -> Obs.with_jsonl ~path run_all
+  | _ -> run_all ()

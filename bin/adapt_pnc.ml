@@ -16,6 +16,7 @@ module Experiments = Pnc_exp.Experiments
 module Registry = Pnc_data.Registry
 module Dataset = Pnc_data.Dataset
 module Rng = Pnc_util.Rng
+module Obs = Pnc_obs.Obs
 
 (* Common arguments ------------------------------------------------------- *)
 
@@ -43,6 +44,32 @@ let jobs_arg =
 let with_jobs jobs f =
   if jobs <= 1 then f None
   else Pnc_util.Pool.with_pool ~size:jobs (fun pool -> f (Some pool))
+
+(* Observability: --metrics-out installs the JSONL sink for the whole
+   command (and appends a final metrics snapshot); --trace prints the
+   span tree to stderr as it closes. Neither flag changes any computed
+   number — telemetry is read-only (see docs/OBSERVABILITY.md). *)
+
+let metrics_out_arg =
+  let doc =
+    "Write telemetry (per-epoch training records, Monte-Carlo throughput, pool utilization) \
+     as JSON Lines to $(docv). With no sink installed the instrumentation is inert."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc = "Print span open/close lines (with durations) to stderr." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let with_obs ~metrics_out ~trace f =
+  Obs.trace_stderr := trace;
+  match metrics_out with
+  | None -> f ()
+  | Some path ->
+      Obs.with_jsonl ~path (fun () ->
+          let r = f () in
+          Obs.emit_metrics ();
+          r)
 
 let config_of ~scale =
   Config.of_scale (Config.scale_of_string scale)
@@ -87,14 +114,17 @@ let model_arg =
   Arg.(value & opt string "adapt" & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
 
 let train_cmd =
-  let run dataset model seed scale jobs =
+  let run dataset model seed scale jobs metrics_out trace =
     check_dataset dataset;
     let cfg = config_of ~scale in
     let variant = variant_of_string model in
     Printf.printf "training %s on %s (seed %d, scale %s)...\n%!"
       (Experiments.variant_name variant)
       dataset seed scale;
-    let r = with_jobs jobs (fun pool -> Experiments.train_run ?pool cfg ~dataset ~variant ~seed) in
+    let r =
+      with_obs ~metrics_out ~trace (fun () ->
+          with_jobs jobs (fun pool -> Experiments.train_run ?pool cfg ~dataset ~variant ~seed))
+    in
     Printf.printf "epochs:                                   %d (%.1f s)\n" r.Experiments.epochs
       r.Experiments.train_seconds;
     Printf.printf "accuracy, clean:                          %.3f\n" r.Experiments.clean_acc;
@@ -110,35 +140,44 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train one model on one dataset and evaluate it as the paper does.")
-    Term.(const run $ dataset_arg $ model_arg $ seed_arg $ scale_arg $ jobs_arg)
+    Term.(
+      const run $ dataset_arg $ model_arg $ seed_arg $ scale_arg $ jobs_arg $ metrics_out_arg
+      $ trace_arg)
 
 (* ablate -------------------------------------------------------------------- *)
 
 let ablate_cmd =
-  let run dataset seed scale jobs =
+  let run dataset seed scale jobs metrics_out trace =
     check_dataset dataset;
     let cfg = config_of ~scale in
     let t =
       Pnc_util.Table.create
         ~header:[ "Configuration"; "clean+var"; "perturbed+var" ]
     in
-    with_jobs jobs (fun pool ->
-        List.iter
-          (fun variant ->
-            Printf.eprintf "training %s...\n%!" (Experiments.variant_name variant);
-            let r = Experiments.train_run ?pool cfg ~dataset ~variant ~seed in
-            Pnc_util.Table.add_row t
-              [
-                Experiments.variant_name variant;
-                Printf.sprintf "%.3f" r.Experiments.clean_var_acc;
-                Printf.sprintf "%.3f" r.Experiments.pert_var_acc;
-              ])
-          Experiments.fig7_variants);
+    with_obs ~metrics_out ~trace (fun () ->
+        with_jobs jobs (fun pool ->
+            List.iter
+              (fun variant ->
+                Printf.eprintf "training %s...\n%!" (Experiments.variant_name variant);
+                let r =
+                  Obs.Span.with_
+                    ~attrs:[ ("variant", Obs.Str (Experiments.variant_name variant)) ]
+                    "ablate.variant"
+                    (fun () -> Experiments.train_run ?pool cfg ~dataset ~variant ~seed)
+                in
+                Pnc_util.Table.add_row t
+                  [
+                    Experiments.variant_name variant;
+                    Printf.sprintf "%.3f" r.Experiments.clean_var_acc;
+                    Printf.sprintf "%.3f" r.Experiments.pert_var_acc;
+                  ])
+              Experiments.fig7_variants));
     Printf.printf "Fig. 7 ablation on %s (seed %d):\n" dataset seed;
     Pnc_util.Table.print t
   in
   Cmd.v (Cmd.info "ablate" ~doc:"Run the Fig. 7 ablation variants on one dataset.")
-    Term.(const run $ dataset_arg $ seed_arg $ scale_arg $ jobs_arg)
+    Term.(
+      const run $ dataset_arg $ seed_arg $ scale_arg $ jobs_arg $ metrics_out_arg $ trace_arg)
 
 (* hwcost -------------------------------------------------------------------- *)
 
@@ -314,29 +353,31 @@ let sensitivity_cmd =
   let level_arg =
     Arg.(value & opt float 0.1 & info [ "level" ] ~docv:"L" ~doc:"Variation level (0.1 = ±10%).")
   in
-  let run dataset seed level jobs =
+  let run dataset seed level jobs metrics_out trace =
     check_dataset dataset;
     let cfg = config_of ~scale:"smoke" in
     Printf.eprintf "training an ADAPT-pNC on %s...\n%!" dataset;
-    with_jobs jobs (fun pool ->
-        let r = Experiments.train_run ?pool cfg ~dataset ~variant:Experiments.Full ~seed in
-        match r.Experiments.model with
-        | Pnc_core.Model.Circuit net ->
-            let raw = Registry.load ?n:cfg.Pnc_exp.Config.dataset_n ~seed dataset in
-            let split = Dataset.preprocess (Rng.create ~seed:(seed + 1000)) raw in
-            let rows =
-              Pnc_core.Sensitivity.analyze ?pool ~rng:(Rng.create ~seed:77) ~level ~draws:10 net
-                split.Dataset.test
-            in
-            Printf.printf "component-family sensitivity on %s at ±%.0f%%:\n%s\n" dataset
-              (100. *. level)
-              (Pnc_core.Sensitivity.report rows)
-        | Pnc_core.Model.Reference _ -> ())
+    with_obs ~metrics_out ~trace (fun () ->
+        with_jobs jobs (fun pool ->
+            let r = Experiments.train_run ?pool cfg ~dataset ~variant:Experiments.Full ~seed in
+            match r.Experiments.model with
+            | Pnc_core.Model.Circuit net ->
+                let raw = Registry.load ?n:cfg.Pnc_exp.Config.dataset_n ~seed dataset in
+                let split = Dataset.preprocess (Rng.create ~seed:(seed + 1000)) raw in
+                let rows =
+                  Pnc_core.Sensitivity.analyze ?pool ~rng:(Rng.create ~seed:77) ~level ~draws:10
+                    net split.Dataset.test
+                in
+                Printf.printf "component-family sensitivity on %s at ±%.0f%%:\n%s\n" dataset
+                  (100. *. level)
+                  (Pnc_core.Sensitivity.report rows)
+            | Pnc_core.Model.Reference _ -> ()))
   in
   Cmd.v
     (Cmd.info "sensitivity"
        ~doc:"Which printed component family drives the accuracy loss under variation.")
-    Term.(const run $ dataset_arg $ seed_arg $ level_arg $ jobs_arg)
+    Term.(
+      const run $ dataset_arg $ seed_arg $ level_arg $ jobs_arg $ metrics_out_arg $ trace_arg)
 
 (* discretize --------------------------------------------------------------------- *)
 

@@ -2,6 +2,28 @@ module Var = Pnc_autodiff.Var
 module Loss = Pnc_autodiff.Loss
 module Rng = Pnc_util.Rng
 module Pool = Pnc_util.Pool
+module Obs = Pnc_obs.Obs
+module Clock = Pnc_obs.Clock
+
+let draws_counter = Obs.Counter.make "mc.draws"
+let eval_seconds_hist = Obs.Histogram.make "mc.eval_seconds"
+
+(* Per-call telemetry for both MC estimators. [path] distinguishes the
+   autodiff ("var") and no-grad tensor ("tensor") evaluation paths;
+   everything is behind the enabled-guard so the null sink reads no
+   clock and allocates nothing. *)
+let emit_eval ~path ~n ~t0 =
+  if Obs.enabled () then begin
+    let dt = Clock.elapsed t0 in
+    Obs.Histogram.observe eval_seconds_hist dt;
+    Obs.emit "mc.eval"
+      [
+        ("path", Obs.Str path);
+        ("draws", Obs.Int n);
+        ("seconds", Obs.Float dt);
+        ("draws_per_s", Obs.Float (float_of_int n /. Float.max dt 1e-9));
+      ]
+  end
 
 let loss_of_draw ~draw model ~x ~labels =
   Loss.softmax_cross_entropy ~logits:(Model.logits ~draw model x) ~labels
@@ -29,6 +51,7 @@ let normalize ~antithetic ~n model =
 
 let expected ?(antithetic = false) ~rng ~spec ~n model ~x ~labels =
   assert (n >= 1);
+  let t0 = if Obs.enabled () then Clock.now () else 0. in
   let n, antithetic = normalize ~antithetic ~n model in
   let rngs = draw_rngs ~antithetic ~rng ~n in
   let tasks =
@@ -49,7 +72,12 @@ let expected ?(antithetic = false) ~rng ~spec ~n model ~x ~labels =
       (fun acc l -> match acc with None -> Some l | Some a -> Some (Var.add a l))
       None tasks
   in
-  match sum with Some s -> Var.scale (1. /. float_of_int n) s | None -> assert false
+  let result =
+    match sum with Some s -> Var.scale (1. /. float_of_int n) s | None -> assert false
+  in
+  Obs.Counter.add draws_counter n;
+  emit_eval ~path:"var" ~n ~t0;
+  result
 
 (* Forward-only estimate on the tensor fast path: consumes the random
    stream exactly like [expected] (same pre-split children, same draw
@@ -66,6 +94,7 @@ let one_sample_value ~rng ~spec model ~x ~labels =
 
 let expected_value ?(antithetic = false) ?pool ~rng ~spec ~n model ~x ~labels =
   assert (n >= 1);
+  let t0 = if Obs.enabled () then Clock.now () else 0. in
   let n, antithetic = normalize ~antithetic ~n model in
   let rngs = draw_rngs ~antithetic ~rng ~n in
   let task j =
@@ -83,4 +112,7 @@ let expected_value ?(antithetic = false) ?pool ~rng ~spec ~n model ~x ~labels =
     | None -> Array.init n_tasks task
     | Some p -> Pool.init p ~n:n_tasks task
   in
-  1. /. float_of_int n *. Array.fold_left ( +. ) 0. values
+  let result = 1. /. float_of_int n *. Array.fold_left ( +. ) 0. values in
+  Obs.Counter.add draws_counter n;
+  emit_eval ~path:"tensor" ~n ~t0;
+  result

@@ -1,6 +1,10 @@
 module T = Pnc_tensor.Tensor
 module Rng = Pnc_util.Rng
 module Stats = Pnc_util.Stats
+module Obs = Pnc_obs.Obs
+module Clock = Pnc_obs.Clock
+
+let draws_counter = Obs.Counter.make "sensitivity.draws"
 
 type family = Crossbar_conductances | Filter_rc | Activation_eta | All_families
 
@@ -40,13 +44,30 @@ let accuracy_with ?pool ~rng ~spec ~draws ~family net x y =
 
 let analyze ?pool ~rng ~level ~draws net dataset =
   assert (draws >= 1 && level >= 0.);
+  Obs.Span.with_ ~attrs:[ ("level", Obs.Float level); ("draws", Obs.Int draws) ]
+    "sensitivity.analyze"
+  @@ fun () ->
   let x, y = Train.to_xy dataset in
   let spec = Variation.uniform level in
   let nominal_pred = T.argmax_rows (Network.forward_t ~draw:Variation.deterministic net x) in
   let nominal = Stats.accuracy ~pred:nominal_pred ~truth:y in
   List.map
     (fun family ->
+      let t0 = if Obs.enabled () then Clock.now () else 0. in
       let accuracy = accuracy_with ?pool ~rng ~spec ~draws ~family net x y in
+      Obs.Counter.add draws_counter draws;
+      if Obs.enabled () then begin
+        let dt = Clock.elapsed t0 in
+        Obs.emit "sensitivity.family"
+          [
+            ("family", Obs.Str (family_name family));
+            ("draws", Obs.Int draws);
+            ("seconds", Obs.Float dt);
+            ("draws_per_s", Obs.Float (float_of_int draws /. Float.max dt 1e-9));
+            ("accuracy", Obs.Float accuracy);
+            ("drop", Obs.Float (nominal -. accuracy));
+          ]
+      end;
       { family; accuracy; drop = nominal -. accuracy })
     [ Crossbar_conductances; Filter_rc; Activation_eta; All_families ]
 

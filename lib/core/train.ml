@@ -4,6 +4,12 @@ module Optimizer = Pnc_optim.Optimizer
 module Scheduler = Pnc_optim.Scheduler
 module Dataset = Pnc_data.Dataset
 module Rng = Pnc_util.Rng
+module Obs = Pnc_obs.Obs
+module Clock = Pnc_obs.Clock
+
+let epochs_counter = Obs.Counter.make "train.epochs"
+let epoch_seconds_hist = Obs.Histogram.make "train.epoch_seconds"
+let eval_draws_counter = Obs.Counter.make "eval.variation_draws"
 
 type config = {
   lr : float;
@@ -69,6 +75,7 @@ let restore params snap =
     params snap
 
 let train ?(rng = Rng.create ~seed:0) cfg model split =
+  Obs.Span.with_ "train" @@ fun () ->
   let x_train, y_train = to_xy split.Dataset.train in
   let x_val, y_val = to_xy split.Dataset.valid in
   let params = Model.params model in
@@ -82,6 +89,8 @@ let train ?(rng = Rng.create ~seed:0) cfg model split =
   let epoch = ref 0 and stop = ref false in
   while (not !stop) && !epoch < cfg.max_epochs do
     incr epoch;
+    Obs.Counter.incr epochs_counter;
+    let t0 = if Obs.enabled () then Clock.now () else 0. in
     Optimizer.zero_grads opt;
     let loss =
       Mc_loss.expected ~rng ~spec:cfg.variation ~n:cfg.mc_samples model ~x:x_train
@@ -103,9 +112,29 @@ let train ?(rng = Rng.create ~seed:0) cfg model split =
       best := val_loss;
       best_snap := snapshot params
     end;
+    if Obs.enabled () then begin
+      let dt = Clock.elapsed t0 in
+      Obs.Histogram.observe epoch_seconds_hist dt;
+      Obs.emit "train.epoch"
+        [
+          ("epoch", Obs.Int !epoch);
+          ("train_loss", Obs.Float (T.get_scalar (Var.value loss)));
+          ("val_loss", Obs.Float val_loss);
+          ("lr", Obs.Float (Scheduler.lr sched));
+          ("grad_norm", Obs.Float (Optimizer.grad_norm opt));
+          ("seconds", Obs.Float dt);
+        ]
+    end;
     match Scheduler.observe sched val_loss with `Stop -> stop := true | `Continue -> ()
   done;
   restore params !best_snap;
+  if Obs.enabled () then
+    Obs.emit "train.done"
+      [
+        ("epochs_run", Obs.Int !epoch);
+        ("final_lr", Obs.Float (Scheduler.lr sched));
+        ("best_val_loss", Obs.Float !best);
+      ];
   {
     epochs_run = !epoch;
     final_lr = Scheduler.lr sched;
@@ -121,6 +150,7 @@ let accuracy ?draw model d =
 
 let accuracy_under_variation ?pool ~rng ~spec ~draws model d =
   assert (draws >= 1);
+  let t0 = if Obs.enabled () then Clock.now () else 0. in
   let x, y = to_xy d in
   (* One pre-split child stream per sampled instance — values and
      summation order are identical for every pool worker count. *)
@@ -134,7 +164,19 @@ let accuracy_under_variation ?pool ~rng ~spec ~draws model d =
     | None -> Array.init draws instance
     | Some p -> Pnc_util.Pool.init p ~n:draws instance
   in
-  Array.fold_left ( +. ) 0. accs /. float_of_int draws
+  let acc = Array.fold_left ( +. ) 0. accs /. float_of_int draws in
+  Obs.Counter.add eval_draws_counter draws;
+  if Obs.enabled () then begin
+    let dt = Clock.elapsed t0 in
+    Obs.emit "eval.variation"
+      [
+        ("draws", Obs.Int draws);
+        ("seconds", Obs.Float dt);
+        ("draws_per_s", Obs.Float (float_of_int draws /. Float.max dt 1e-9));
+        ("accuracy", Obs.Float acc);
+      ]
+  end;
+  acc
 
 let epoch_seconds ?(rng = Rng.create ~seed:0) cfg model split =
   let x_train, y_train = to_xy split.Dataset.train in

@@ -1,4 +1,8 @@
 module Stats = Pnc_util.Stats
+module Obs = Pnc_obs.Obs
+module Clock = Pnc_obs.Clock
+
+let draws_counter = Obs.Counter.make "yield.draws"
 
 type result = {
   draws : int;
@@ -26,6 +30,7 @@ let of_accuracies ~threshold accs =
 
 let estimate ?pool ~rng ~spec ~threshold ~draws model dataset =
   assert (draws >= 1);
+  let t0 = if Obs.enabled () then Clock.now () else 0. in
   let x, y = Train.to_xy dataset in
   let accs =
     if Model.is_circuit model then begin
@@ -44,7 +49,21 @@ let estimate ?pool ~rng ~spec ~threshold ~draws model dataset =
     end
     else [| Pnc_util.Stats.accuracy ~pred:(Model.predict model x) ~truth:y |]
   in
-  of_accuracies ~threshold accs
+  let r = of_accuracies ~threshold accs in
+  Obs.Counter.add draws_counter r.draws;
+  if Obs.enabled () then begin
+    let dt = Clock.elapsed t0 in
+    Obs.emit "yield.estimate"
+      [
+        ("draws", Obs.Int r.draws);
+        ("seconds", Obs.Float dt);
+        ("draws_per_s", Obs.Float (float_of_int r.draws /. Float.max dt 1e-9));
+        ("mean_acc", Obs.Float r.mean_acc);
+        ("yield", Obs.Float r.yield);
+        ("threshold", Obs.Float r.threshold);
+      ]
+  end;
+  r
 
 let sweep_levels ?pool ~rng ~levels ~threshold ~draws model dataset =
   List.map

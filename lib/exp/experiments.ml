@@ -11,6 +11,7 @@ module Train = Pnc_core.Train
 module Variation = Pnc_core.Variation
 module Hardware = Pnc_core.Hardware
 module Coupling = Pnc_core.Coupling
+module Obs = Pnc_obs.Obs
 
 type variant = Reference | Base | Va | At | So_lf | Full
 
@@ -113,6 +114,7 @@ let train_run ?pool cfg ~dataset ~variant ~seed =
   }
 
 let run_grid ?(progress = fun _ -> ()) ?pool cfg ~variants =
+  Obs.Span.with_ "grid" @@ fun () ->
   List.concat_map
     (fun dataset ->
       List.concat_map
@@ -121,7 +123,31 @@ let run_grid ?(progress = fun _ -> ()) ?pool cfg ~variants =
             (fun seed ->
               progress
                 (Printf.sprintf "%s / %s / seed %d" dataset (variant_name variant) seed);
-              train_run ?pool cfg ~dataset ~variant ~seed)
+              let attrs =
+                if Obs.enabled () then
+                  [
+                    ("dataset", Obs.Str dataset);
+                    ("variant", Obs.Str (variant_name variant));
+                    ("seed", Obs.Int seed);
+                  ]
+                else []
+              in
+              Obs.Span.with_ ~attrs "grid.cell" @@ fun () ->
+              let r = train_run ?pool cfg ~dataset ~variant ~seed in
+              if Obs.enabled () then
+                Obs.emit "grid.result"
+                  [
+                    ("dataset", Obs.Str dataset);
+                    ("variant", Obs.Str (variant_name variant));
+                    ("seed", Obs.Int seed);
+                    ("clean_acc", Obs.Float r.clean_acc);
+                    ("clean_var_acc", Obs.Float r.clean_var_acc);
+                    ("aug_var_acc", Obs.Float r.aug_var_acc);
+                    ("pert_var_acc", Obs.Float r.pert_var_acc);
+                    ("train_seconds", Obs.Float r.train_seconds);
+                    ("epochs", Obs.Int r.epochs);
+                  ];
+              r)
             cfg.Config.seeds)
         variants)
     cfg.Config.datasets

@@ -1,0 +1,3 @@
+let now_ns () = Monotonic_clock.now ()
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+let elapsed t0 = Float.max 0. (now () -. t0)

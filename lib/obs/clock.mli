@@ -1,0 +1,19 @@
+(** Monotonic time source shared by every timer and span in the repo.
+
+    Wall-clock time ([Unix.gettimeofday]) jumps backwards and forwards
+    under NTP steps, which corrupts benchmark means and span durations.
+    Everything that measures a duration must go through this module;
+    the stdlib [Unix] shipped here has no [clock_gettime], so the
+    implementation reads the OS monotonic clock through the
+    [bechamel.monotonic_clock] C stub (CLOCK_MONOTONIC on Linux). *)
+
+val now_ns : unit -> int64
+(** Monotonic nanoseconds since an arbitrary epoch. Comparable only
+    against other values from this function within the same process. *)
+
+val now : unit -> float
+(** Monotonic seconds since an arbitrary epoch, as a float. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0]: seconds elapsed since the earlier
+    {!now} reading [t0]. Never negative. *)

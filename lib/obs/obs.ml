@@ -1,0 +1,435 @@
+type value = Bool of bool | Int of int | Float of float | Str of string
+type field = string * value
+
+type sink = {
+  write : t:float -> seq:int -> name:string -> field list -> unit;
+  flush : unit -> unit;
+}
+
+(* The installed sink. [is_enabled] mirrors it as a plain flag so hot
+   paths pay one unsynchronized bool read on the null-sink path; the
+   mutex serializes writers from pool worker domains. *)
+let sink : sink option ref = ref None
+let is_enabled = ref false
+let sink_mutex = Mutex.create ()
+let seq = ref 0
+
+let enabled () = !is_enabled
+
+let set_sink s =
+  Mutex.lock sink_mutex;
+  (match !sink with Some old -> old.flush () | None -> ());
+  sink := s;
+  (* seq numbers each sink's stream from 1: consumers treat it as the
+     record index within one telemetry file. *)
+  seq := 0;
+  (is_enabled := match s with Some _ -> true | None -> false);
+  Mutex.unlock sink_mutex
+
+let emit name fields =
+  if !is_enabled then begin
+    Mutex.lock sink_mutex;
+    (match !sink with
+    | None -> ()
+    | Some s ->
+        incr seq;
+        s.write ~t:(Clock.now ()) ~seq:!seq ~name fields);
+    Mutex.unlock sink_mutex
+  end
+
+(* JSONL sink ------------------------------------------------------------- *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let json_float b v =
+  if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.17g" v)
+  else Buffer.add_string b "null"
+
+let json_value b = function
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float v -> json_float b v
+  | Str s ->
+      Buffer.add_char b '"';
+      json_escape b s;
+      Buffer.add_char b '"'
+
+let jsonl_sink oc =
+  let b = Buffer.create 256 in
+  let write ~t ~seq ~name fields =
+    Buffer.clear b;
+    Buffer.add_string b "{\"t\":";
+    json_float b t;
+    Buffer.add_string b ",\"seq\":";
+    Buffer.add_string b (string_of_int seq);
+    Buffer.add_string b ",\"event\":\"";
+    json_escape b name;
+    Buffer.add_char b '"';
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b ",\"";
+        json_escape b k;
+        Buffer.add_string b "\":";
+        json_value b v)
+      fields;
+    Buffer.add_string b "}\n";
+    Buffer.output_buffer oc b
+  in
+  { write; flush = (fun () -> flush oc) }
+
+let with_jsonl ~path f =
+  let oc = open_out path in
+  set_sink (Some (jsonl_sink oc));
+  Fun.protect
+    ~finally:(fun () ->
+      set_sink None;
+      close_out oc)
+    f
+
+let trace_stderr = ref false
+
+(* Metrics registry --------------------------------------------------------
+
+   Each metric registers a snapshot closure (its current value as event
+   fields) and a reset closure; the registry itself never needs to know
+   the metric's concrete type. *)
+
+type registered = { name : string; snapshot : unit -> field list; reset : unit -> unit }
+
+let registry : registered list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let register r =
+  Mutex.lock registry_mutex;
+  registry := r :: !registry;
+  Mutex.unlock registry_mutex
+
+module Counter = struct
+  type t = { name : string; v : int Atomic.t }
+
+  let make name =
+    let t = { name; v = Atomic.make 0 } in
+    register
+      {
+        name;
+        snapshot = (fun () -> [ ("kind", Str "counter"); ("value", Int (Atomic.get t.v)) ]);
+        reset = (fun () -> Atomic.set t.v 0);
+      };
+    t
+
+  let incr t = ignore (Atomic.fetch_and_add t.v 1)
+  let add t n = ignore (Atomic.fetch_and_add t.v n)
+  let value t = Atomic.get t.v
+end
+
+module Gauge = struct
+  (* Set from the main domain only; float reads cannot tear in OCaml
+     (the field holds a word-sized pointer or unboxed float). *)
+  type t = { name : string; mutable g : float }
+
+  let make name =
+    let t = { name; g = 0. } in
+    register
+      {
+        name;
+        snapshot = (fun () -> [ ("kind", Str "gauge"); ("value", Float t.g) ]);
+        reset = (fun () -> t.g <- 0.);
+      };
+    t
+
+  let set t v = t.g <- v
+  let value t = t.g
+end
+
+module Histogram = struct
+  type t = {
+    name : string;
+    counts : int Atomic.t array; (* 64 fixed log-scale buckets *)
+    n : int Atomic.t;
+    mutable total : float; (* main-domain observers only *)
+  }
+
+  let n_buckets = 64
+
+  (* Bucket i covers [2^(i-33), 2^(i-32)): frexp gives v = m * 2^e with
+     m in [0.5, 1), i.e. v in [2^(e-1), 2^e), mapping e to i = e + 32.
+     The extreme buckets absorb under- and overflow. *)
+  let bucket_of v =
+    if not (Float.is_finite v) || v <= 0. then 0
+    else
+      let _, e = Float.frexp v in
+      Stdlib.max 0 (Stdlib.min (n_buckets - 1) (e + 32))
+
+  let upper_bound i = Float.ldexp 1. (i - 32)
+  let count t = Atomic.get t.n
+  let sum t = t.total
+
+  let buckets t =
+    let out = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      let c = Atomic.get t.counts.(i) in
+      if c > 0 then out := (upper_bound i, c) :: !out
+    done;
+    Array.of_list !out
+
+  let make name =
+    let t =
+      {
+        name;
+        counts = Array.init n_buckets (fun _ -> Atomic.make 0);
+        n = Atomic.make 0;
+        total = 0.;
+      }
+    in
+    register
+      {
+        name;
+        snapshot =
+          (fun () ->
+            let bucket_fields =
+              Array.to_list (buckets t)
+              |> List.map (fun (ub, c) -> (Printf.sprintf "le_%.3g" ub, Int c))
+            in
+            [ ("kind", Str "histogram"); ("count", Int (count t)); ("sum", Float t.total) ]
+            @ bucket_fields);
+        reset =
+          (fun () ->
+            Array.iter (fun c -> Atomic.set c 0) t.counts;
+            Atomic.set t.n 0;
+            t.total <- 0.);
+      };
+    t
+
+  let observe t v =
+    ignore (Atomic.fetch_and_add t.counts.(bucket_of v) 1);
+    ignore (Atomic.fetch_and_add t.n 1);
+    t.total <- t.total +. v
+end
+
+let metrics_snapshot () =
+  List.rev_map (fun r -> (r.name, r.snapshot ())) !registry
+
+let emit_metrics () =
+  if !is_enabled then
+    List.iter
+      (fun r -> emit "metric" (("name", Str r.name) :: r.snapshot ()))
+      (List.rev !registry)
+
+let reset_metrics () = List.iter (fun r -> r.reset ()) !registry
+
+(* Span tracing ------------------------------------------------------------ *)
+
+module Span = struct
+  (* Nesting depth is main-domain state: spans are opened by the
+     submitting domain only (pool tasks never open spans). *)
+  let current_depth = ref 0
+
+  let depth () = !current_depth
+
+  let with_ ?(attrs = []) name f =
+    if not (!is_enabled || !trace_stderr) then f ()
+    else begin
+      let d = !current_depth in
+      current_depth := d + 1;
+      if !is_enabled then emit "span.begin" (("span", Str name) :: ("depth", Int d) :: attrs);
+      let t0 = Clock.now () in
+      let finish ok =
+        let dt = Clock.elapsed t0 in
+        current_depth := d;
+        if !is_enabled then
+          emit "span.end"
+            (("span", Str name) :: ("depth", Int d) :: ("dur_s", Float dt)
+            :: ("ok", Bool ok) :: attrs);
+        if !trace_stderr then
+          Printf.eprintf "[trace] %s%s %.6fs%s\n%!" (String.make (2 * d) ' ') name dt
+            (if ok then "" else " (raised)")
+      in
+      match f () with
+      | r ->
+          finish true;
+          r
+      | exception e ->
+          finish false;
+          raise e
+    end
+end
+
+(* Minimal JSON ------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = failwith (Printf.sprintf "Json.parse: %s at offset %d" msg !pos) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+            | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+            | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+            | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+            | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+            | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+            | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
+            | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
+            | Some 'u' ->
+                advance ();
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                let code = int_of_string ("0x" ^ hex) in
+                (* Telemetry strings are ASCII; encode BMP code points
+                   as UTF-8 without surrogate-pair handling. *)
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end;
+                go ()
+            | _ -> fail "bad escape")
+        | Some c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      in
+      while (match peek () with Some c when num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some v -> v
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected , or }"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected , or ]"
+            in
+            List (elements [])
+          end
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let to_float = function Num v -> v | _ -> failwith "Json.to_float: not a number"
+
+  let to_int = function
+    | Num v when Float.is_integer v -> int_of_float v
+    | _ -> failwith "Json.to_int: not an integral number"
+
+  let to_string = function String s -> s | _ -> failwith "Json.to_string: not a string"
+end

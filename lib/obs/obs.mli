@@ -1,0 +1,168 @@
+(** Observability: metrics registry, span tracing and pluggable sinks.
+
+    Training and Monte-Carlo evaluation runs emit structured telemetry
+    through this module — per-epoch loss/lr/grad-norm records, draw
+    throughput, pool utilization, per-grid-cell spans — so that the
+    quantities the paper reports (runtime, accuracy under variation)
+    are captured machine-readably on every run instead of being
+    reconstructed from ad-hoc [Printf] lines.
+
+    {b Sinks.} The compiled-in default is the null sink: {!enabled} is
+    [false], {!emit} returns immediately and instrumented call sites
+    skip even the construction of their field lists, so the hot paths
+    allocate nothing. Installing a sink (usually the JSONL sink via
+    {!with_jsonl}) turns every event into one self-describing record.
+
+    {b Determinism contract.} Instrumentation is read-only: it never
+    draws from any {!Pnc_util.Rng} stream and never feeds a measured
+    value back into computation, so results are bit-identical whether
+    a sink is installed or not (enforced by [test/test_obs.ml]).
+
+    {b Threading.} {!emit} and the metric updates are safe to call
+    from pool worker domains (the sink is mutex-protected, counters
+    are atomic). {!Span} tracks nesting depth in the main domain only:
+    open spans from the submitting domain, not from inside pool
+    tasks. *)
+
+(** {1 Events} *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type field = string * value
+(** One key/value pair of an event record. *)
+
+val enabled : unit -> bool
+(** [true] iff a sink is installed. Instrumented call sites should
+    guard field-list construction with this to keep the null-sink
+    path allocation-free. *)
+
+val emit : string -> field list -> unit
+(** [emit name fields] sends one event to the installed sink, stamped
+    with the monotonic time and a sequence number counting from 1 per
+    installed sink (the record index within one telemetry stream). A
+    no-op when no sink is installed. *)
+
+(** {1 Sinks} *)
+
+type sink = {
+  write : t:float -> seq:int -> name:string -> field list -> unit;
+  flush : unit -> unit;
+}
+
+val set_sink : sink option -> unit
+(** Install ([Some]) or remove ([None], the null sink) the process
+    sink. *)
+
+val jsonl_sink : out_channel -> sink
+(** A sink writing one JSON object per line:
+    [{"t":<mono s>,"seq":<n>,"event":"<name>",...fields}].
+    Non-finite floats are written as [null]. *)
+
+val with_jsonl : path:string -> (unit -> 'a) -> 'a
+(** [with_jsonl ~path f] runs [f] with a JSONL sink writing to [path],
+    then flushes, closes and restores the null sink (also on
+    exception). *)
+
+val trace_stderr : bool ref
+(** When set, every closing {!Span.with_} also prints one indented
+    human-readable line to [stderr] (the [--trace] CLI flag). Works
+    with or without a sink. *)
+
+(** {1 Metrics registry}
+
+    Named process-wide metrics, registered at creation. Updates are
+    cheap (an atomic increment) and happen whether or not a sink is
+    installed; {!emit_metrics} serializes the current values as
+    events. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Create and register a monotonically increasing counter. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  (** Create and register a last-value-wins gauge. *)
+
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  (** Create and register a histogram over fixed log-scale buckets:
+      bucket [i] counts observations in [[2^(i-33), 2^(i-32))] seconds
+      (or any other unit), [i = 0 .. 63], with the extreme buckets
+      absorbing under-/overflow. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val buckets : t -> (float * int) array
+  (** Non-empty buckets only, as [(upper_bound, count)] pairs in
+      increasing bound order. *)
+end
+
+val metrics_snapshot : unit -> (string * field list) list
+(** Current value of every registered metric, as the field lists that
+    {!emit_metrics} would send. *)
+
+val emit_metrics : unit -> unit
+(** Emit one ["metric"] event per registered metric. *)
+
+val reset_metrics : unit -> unit
+(** Zero every registered metric (test isolation). *)
+
+(** {1 Span tracing} *)
+
+module Span : sig
+  val with_ : ?attrs:field list -> string -> (unit -> 'a) -> 'a
+  (** [with_ name f] runs [f] inside a named span. With a sink
+      installed it emits a ["span.begin"] event, then a ["span.end"]
+      event carrying the monotonic duration ([dur_s]), the nesting
+      depth and [ok:false] if [f] raised (the exception is
+      re-raised). With {!trace_stderr} it prints an indented line on
+      close. With neither, it is exactly [f ()]. *)
+
+  val depth : unit -> int
+  (** Current nesting depth (0 outside any span). *)
+end
+
+(** {1 Minimal JSON (for reading telemetry back)} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val parse : string -> t
+  (** Parse one complete JSON value. Raises [Failure] on malformed
+      input or trailing garbage. *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] for other constructors. *)
+
+  val to_float : t -> float
+  (** [Num]; raises [Failure] otherwise. *)
+
+  val to_int : t -> int
+  (** [Num] with an integral value; raises [Failure] otherwise. *)
+
+  val to_string : t -> string
+  (** [String]; raises [Failure] otherwise. *)
+end

@@ -1,3 +1,6 @@
+module Obs = Pnc_obs.Obs
+module Clock = Pnc_obs.Clock
+
 type t = {
   size : int;
   queue : (unit -> unit) Queue.t;
@@ -6,6 +9,12 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t array;
   mutable alive : bool;
+  created : float; (* Clock.now at creation, for utilization *)
+  (* Per-worker telemetry. Slot w is written only by worker w (slot 0
+     by the caller on the sequential fallback), so no synchronization
+     is needed beyond the joins that already order reads. *)
+  tasks_done : int array;
+  busy_s : float array;
 }
 
 let default_size () = Stdlib.max 0 (Domain.recommended_domain_count () - 1)
@@ -15,7 +24,7 @@ let default_size () = Stdlib.max 0 (Domain.recommended_domain_count () - 1)
    eagerly instead of wedging. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-let worker_loop pool () =
+let worker_loop pool w () =
   Domain.DLS.set in_worker true;
   let rec next () =
     Mutex.lock pool.mutex;
@@ -34,7 +43,13 @@ let worker_loop pool () =
     | Some job ->
         (* Tasks wrap their own exceptions (see [init]); a raise here
            would kill the worker and wedge the pool. *)
-        job ();
+        if Obs.enabled () then begin
+          let t0 = Clock.now () in
+          job ();
+          pool.busy_s.(w) <- pool.busy_s.(w) +. Clock.elapsed t0
+        end
+        else job ();
+        pool.tasks_done.(w) <- pool.tasks_done.(w) + 1;
         next ()
   in
   next ()
@@ -42,6 +57,7 @@ let worker_loop pool () =
 let create ?size () =
   let size = match size with Some s -> s | None -> default_size () in
   if size < 0 then invalid_arg "Pool.create: negative size";
+  let slots = Stdlib.max 1 size in
   let pool =
     {
       size;
@@ -51,12 +67,16 @@ let create ?size () =
       stop = false;
       workers = [||];
       alive = true;
+      created = Clock.now ();
+      tasks_done = Array.make slots 0;
+      busy_s = Array.make slots 0.;
     }
   in
-  if size > 1 then pool.workers <- Array.init size (fun _ -> Domain.spawn (worker_loop pool));
+  if size > 1 then pool.workers <- Array.init size (fun w -> Domain.spawn (worker_loop pool w));
   pool
 
 let size pool = pool.size
+let stats pool = (Array.copy pool.tasks_done, Array.copy pool.busy_s)
 
 let check_submittable pool who =
   if Domain.DLS.get in_worker then
@@ -66,7 +86,13 @@ let check_submittable pool who =
 let init pool ~n f =
   if n < 0 then invalid_arg "Pool.init: negative n";
   check_submittable pool "Pool.init";
-  if pool.size <= 1 || n <= 1 then Array.init n f
+  if pool.size <= 1 || n <= 1 then begin
+    let t0 = if Obs.enabled () then Clock.now () else 0. in
+    let r = Array.init n f in
+    if Obs.enabled () then pool.busy_s.(0) <- pool.busy_s.(0) +. Clock.elapsed t0;
+    pool.tasks_done.(0) <- pool.tasks_done.(0) + n;
+    r
+  end
   else begin
     (* Each task writes its own slot; the join mutex publishes the
        writes to the caller, so index order is preserved regardless of
@@ -114,7 +140,30 @@ let shutdown pool =
     Condition.broadcast pool.has_work;
     Mutex.unlock pool.mutex;
     Array.iter Domain.join pool.workers;
-    pool.workers <- [||]
+    pool.workers <- [||];
+    if Obs.enabled () then begin
+      (* The joins above ordered every worker's slot writes before
+         these reads. *)
+      let lifetime = Clock.elapsed pool.created in
+      let total = Array.fold_left ( + ) 0 pool.tasks_done in
+      Array.iteri
+        (fun w tasks ->
+          Obs.emit "pool.worker"
+            [
+              ("worker", Obs.Int w);
+              ("tasks", Obs.Int tasks);
+              ("busy_s", Obs.Float pool.busy_s.(w));
+              ( "utilization",
+                Obs.Float (if lifetime > 0. then pool.busy_s.(w) /. lifetime else 0.) );
+            ])
+        pool.tasks_done;
+      Obs.emit "pool.shutdown"
+        [
+          ("size", Obs.Int pool.size);
+          ("tasks_total", Obs.Int total);
+          ("lifetime_s", Obs.Float lifetime);
+        ]
+    end
   end
 
 let with_pool ?size f =

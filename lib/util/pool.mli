@@ -33,6 +33,17 @@ val create : ?size:int -> unit -> t
 
 val size : t -> int
 
+val stats : t -> int array * float array
+(** [(tasks, busy_s)]: per-worker completed-task counts and (when an
+    observability sink is installed — see {!Pnc_obs.Obs.enabled}) busy
+    seconds, both of length [max 1 size]. On the sequential fallback
+    everything lands in slot 0. Which worker ran which task is
+    scheduler-dependent, so the per-slot split is {e not}
+    deterministic — only the results of {!init}/{!map} are. Read after
+    {!shutdown} (or between submissions) for consistent values.
+    {!shutdown} additionally emits one [pool.worker] telemetry event
+    per slot when a sink is installed. *)
+
 val init : t -> n:int -> (int -> 'a) -> 'a array
 (** [init pool ~n f] is [Array.init n f] computed on the pool: tasks
     [f 0 .. f (n-1)] are distributed across the workers and the result

@@ -1,7 +1,11 @@
+(* All durations come from the shared monotonic clock: wall-clock time
+   (Unix.gettimeofday) jumps under NTP steps and would corrupt the
+   runtime comparisons of Table II. *)
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Pnc_obs.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Pnc_obs.Clock.elapsed t0)
 
 let time_mean ~repeats f =
   assert (repeats > 0);

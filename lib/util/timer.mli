@@ -1,7 +1,12 @@
-(** Wall-clock timing helpers used by the runtime comparison (Table II). *)
+(** Timing helpers used by the runtime comparison (Table II).
+
+    All elapsed times are read from the monotonic clock
+    ({!Pnc_obs.Clock}); they measure real elapsed time but are immune
+    to wall-clock steps (NTP adjustments, manual clock changes). *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result and the elapsed seconds. *)
+(** [time f] runs [f ()] and returns its result and the elapsed
+    (monotonic) seconds. *)
 
 val time_mean : repeats:int -> (unit -> 'a) -> float
 (** Mean elapsed seconds of [repeats] runs (result discarded). *)

@@ -399,6 +399,144 @@ let test_n_nodes () =
   let y = Var.sum (Var.mul x x) in
   Alcotest.(check int) "node count" 3 (Var.n_nodes y)
 
+(* End-to-end gradient checks on the circuit models (satellite: PR 3) ------
+
+   These drive the real network modules: a central-difference oracle
+   over the *existing* parameter Vars of a randomly-configured SO-LF
+   network (and each layer type in isolation), perturbing the leaf
+   tensors in place. The FD side of the end-to-end check runs on the
+   pure-tensor forward path, which is bit-identical to the Var path
+   under the same draw — so any discrepancy is a backward bug, not a
+   forward mismatch. *)
+
+module Network = Pnc_core.Network
+module Crossbar = Pnc_core.Crossbar
+module Filter_layer = Pnc_core.Filter_layer
+module Ptanh = Pnc_core.Ptanh
+module Variation = Pnc_core.Variation
+
+(* Central-difference check against [Var.backward] for parameters that
+   already live inside a model. [loss_var] rebuilds the autodiff graph;
+   [loss_val] recomputes the scalar loss from the current leaf tensors
+   (it may use the no-grad tensor path). *)
+let check_model_grads ?(h = 1e-5) ?(tol = 1e-5) ~what ~params ~loss_var ~loss_val () =
+  List.iter Var.zero_grad params;
+  Var.backward (loss_var ());
+  let analytic = List.map (fun p -> T.copy (Var.grad p)) params in
+  List.iteri
+    (fun pi p ->
+      let v = Var.value p in
+      let g = List.nth analytic pi in
+      for r = 0 to T.rows v - 1 do
+        for c = 0 to T.cols v - 1 do
+          let orig = T.get v r c in
+          T.set v r c (orig +. h);
+          let f_plus = loss_val () in
+          T.set v r c (orig -. h);
+          let f_minus = loss_val () in
+          T.set v r c orig;
+          let fd = (f_plus -. f_minus) /. (2. *. h) in
+          let an = T.get g r c in
+          let scale = Float.max 1. (Float.max (Float.abs fd) (Float.abs an)) in
+          if Float.abs (fd -. an) /. scale > tol then
+            Alcotest.failf "%s: grad mismatch param %d (%d,%d): fd=%.10f analytic=%.10f" what pi
+              r c fd an
+        done
+      done)
+    params
+
+let random_labels rng ~batch ~classes = Array.init batch (fun _ -> Rng.int rng classes)
+
+let check_network_end_to_end seed =
+  let rng = Rng.create ~seed in
+  let arch = if Rng.int rng 2 = 0 then Network.Ptpnc else Network.Adapt in
+  let hidden = 2 + Rng.int rng 3 in
+  let classes = 2 + Rng.int rng 2 in
+  let batch = 2 + Rng.int rng 3 in
+  let time = 4 + Rng.int rng 5 in
+  let net = Network.create ~hidden rng arch ~inputs:1 ~classes in
+  let x = T.uniform rng ~rows:batch ~cols:time ~lo:(-1.) ~hi:1. in
+  let labels = random_labels rng ~batch ~classes in
+  let draw = Variation.deterministic in
+  check_model_grads
+    ~what:
+      (Printf.sprintf "net seed=%d %s h=%d c=%d b=%d t=%d" seed (Network.arch_name arch) hidden
+         classes batch time)
+    ~params:(Network.params net)
+    ~loss_var:(fun () ->
+      Loss.softmax_cross_entropy ~logits:(Network.forward ~draw net x) ~labels)
+    ~loss_val:(fun () -> Loss.cross_entropy_value ~logits:(Network.forward_t ~draw net x) ~labels)
+    ()
+
+let prop_network_gradients =
+  QCheck.Test.make ~count:50 ~name:"SO-LF network gradients match central differences"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      check_network_end_to_end seed;
+      true)
+
+let layer_loss_val loss_var () = T.get_scalar (Var.value (loss_var ()))
+
+let check_crossbar_grads seed =
+  let rng = Rng.create ~seed in
+  let inputs = 1 + Rng.int rng 4 and outputs = 1 + Rng.int rng 4 in
+  let batch = 2 + Rng.int rng 3 in
+  let cb = Crossbar.create rng ~inputs ~outputs in
+  let x = Var.const (T.uniform rng ~rows:batch ~cols:inputs ~lo:(-1.) ~hi:1.) in
+  let loss_var () = Var.sum (Var.sqr (Crossbar.forward ~draw:Variation.deterministic cb x)) in
+  check_model_grads
+    ~what:(Printf.sprintf "crossbar seed=%d" seed)
+    ~params:(Crossbar.params cb) ~loss_var ~loss_val:(layer_loss_val loss_var) ()
+
+let check_filter_grads seed =
+  let rng = Rng.create ~seed in
+  let order = if Rng.int rng 2 = 0 then Filter_layer.First else Filter_layer.Second in
+  let features = 1 + Rng.int rng 4 in
+  let batch = 2 + Rng.int rng 3 in
+  let time = 3 + Rng.int rng 4 in
+  let fl = Filter_layer.create rng order ~features in
+  let xs =
+    Array.init time (fun _ -> T.uniform rng ~rows:batch ~cols:features ~lo:(-1.) ~hi:1.)
+  in
+  let loss_var () =
+    let realization = Filter_layer.realize ~draw:Variation.deterministic fl in
+    let state = ref (Filter_layer.init_state realization ~batch) in
+    let acc = ref None in
+    Array.iter
+      (fun x ->
+        let state', out = Filter_layer.step realization !state (Var.const x) in
+        state := state';
+        let term = Var.sum (Var.sqr out) in
+        acc := Some (match !acc with None -> term | Some a -> Var.add a term))
+      xs;
+    match !acc with Some a -> a | None -> assert false
+  in
+  check_model_grads
+    ~what:(Printf.sprintf "filter seed=%d" seed)
+    ~params:(Filter_layer.params fl) ~loss_var ~loss_val:(layer_loss_val loss_var) ()
+
+let check_ptanh_grads seed =
+  let rng = Rng.create ~seed in
+  let features = 1 + Rng.int rng 5 in
+  let batch = 2 + Rng.int rng 3 in
+  let pt = Ptanh.create rng ~features in
+  let x = Var.const (T.uniform rng ~rows:batch ~cols:features ~lo:(-1.5) ~hi:1.5) in
+  let loss_var () = Var.sum (Var.sqr (Ptanh.forward ~draw:Variation.deterministic pt x)) in
+  check_model_grads
+    ~what:(Printf.sprintf "ptanh seed=%d" seed)
+    ~params:(Ptanh.params pt) ~loss_var ~loss_val:(layer_loss_val loss_var) ()
+
+let prop_layer name check =
+  QCheck.Test.make ~count:20 ~name
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      check seed;
+      true)
+
+let prop_crossbar_gradients = prop_layer "crossbar gradients match FD" check_crossbar_grads
+let prop_filter_gradients = prop_layer "filter-layer gradients match FD" check_filter_grads
+let prop_ptanh_gradients = prop_layer "ptanh gradients match FD" check_ptanh_grads
+
 (* Property: gradient of random polynomial DAGs matches FD ---------------- *)
 
 let prop_random_dag =
@@ -469,4 +607,11 @@ let () =
           Alcotest.test_case "mse" `Quick test_mse;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_random_dag ]);
+      ( "model gradients",
+        [
+          QCheck_alcotest.to_alcotest prop_network_gradients;
+          QCheck_alcotest.to_alcotest prop_crossbar_gradients;
+          QCheck_alcotest.to_alcotest prop_filter_gradients;
+          QCheck_alcotest.to_alcotest prop_ptanh_gradients;
+        ] );
     ]

@@ -1,0 +1,126 @@
+(* Golden-file regression tests (satellite: PR 3).
+
+   Byte-for-byte comparison of deterministic textual artifacts against
+   checked-in references under test/golden/:
+
+   - the Table III hardware device-count/power table for fixed-seed
+     baseline and ADAPT networks;
+   - the exported SPICE deck of a fixed-seed ADAPT network.
+
+   Both artifacts are pure functions of the seed (no training, no
+   variation draws), so any diff is a real behaviour change in the
+   hardware cost model or the netlist exporter. Refresh intentionally
+   changed files with:
+
+     UPDATE_GOLDEN=1 dune runtest test *)
+
+module Rng = Pnc_util.Rng
+module Network = Pnc_core.Network
+module Hardware = Pnc_core.Hardware
+
+let golden_seed = 42
+
+let is_dir d = Sys.file_exists d && Sys.is_directory d
+let first_dir candidates fallback = match List.find_opt is_dir candidates with Some d -> d | None -> fallback
+
+(* Under `dune runtest` the cwd is _build/default/test (the golden
+   files are staged into ./golden by the dune deps); under a bare
+   `dune exec` from the repo root it is the root itself. UPDATE_GOLDEN
+   writes through to the source tree when it is reachable, so
+   refreshed files land in version control. *)
+let golden_dir_for_update () =
+  first_dir
+    [ Filename.concat "../../../test" "golden"; Filename.concat "test" "golden" ]
+    "golden"
+
+let golden_dir_for_read () =
+  first_dir [ "golden"; Filename.concat "test" "golden" ] "golden"
+
+let updating () =
+  match Sys.getenv_opt "UPDATE_GOLDEN" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let first_diff a b =
+  let n = Stdlib.min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let check_golden ~file actual =
+  if updating () then begin
+    write_file (Filename.concat (golden_dir_for_update ()) file) actual;
+    Printf.printf "refreshed golden file %s\n" file
+  end
+  else begin
+    let path = Filename.concat (golden_dir_for_read ()) file in
+    if not (Sys.file_exists path) then
+      Alcotest.failf "missing golden file %s (run UPDATE_GOLDEN=1 dune runtest test)" file;
+    let expected = read_file path in
+    if not (String.equal expected actual) then begin
+      let i = first_diff expected actual in
+      let ctx s =
+        let lo = Stdlib.max 0 (i - 30) in
+        let len = Stdlib.min 60 (String.length s - lo) in
+        String.escaped (String.sub s lo len)
+      in
+      Alcotest.failf
+        "golden mismatch %s at byte %d (expected %d bytes, got %d)\n  expected ...%s...\n  actual   ...%s...\n(refresh with UPDATE_GOLDEN=1 dune runtest test if intentional)"
+        file i (String.length expected) (String.length actual) (ctx expected) (ctx actual)
+    end
+  end
+
+(* Artifacts ---------------------------------------------------------------- *)
+
+let make_net arch =
+  (* Fresh-seeded network: never trained, so the artifact depends only
+     on Rng.create and the init path. *)
+  Network.create (Rng.create ~seed:golden_seed) arch ~inputs:1 ~classes:2
+
+let hardware_table () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun arch ->
+      let net = make_net arch in
+      let c = Hardware.of_network net in
+      Buffer.add_string b
+        (Printf.sprintf "%s seed=%d inputs=1 classes=2 hidden=%d\n" (Network.arch_name arch)
+           golden_seed (Network.hidden net));
+      Buffer.add_string b
+        (Printf.sprintf "  transistors=%d resistors=%d capacitors=%d total=%d\n" c.Hardware.transistors
+           c.Hardware.resistors c.Hardware.capacitors (Hardware.total c));
+      Buffer.add_string b (Printf.sprintf "  describe: %s\n" (Hardware.describe c));
+      Buffer.add_string b (Printf.sprintf "  power_mw=%.9f\n" (Hardware.power_mw net)))
+    [ Network.Ptpnc; Network.Adapt ];
+  Buffer.contents b
+
+let netlist_deck () = Pnc_core.Netlist_export.deck (make_net Network.Adapt)
+
+let test_hardware_table () = check_golden ~file:"hardware_table.txt" (hardware_table ())
+let test_netlist_deck () = check_golden ~file:"netlist_adapt.txt" (netlist_deck ())
+
+let test_artifacts_are_deterministic () =
+  (* The golden comparison is only sound if regeneration is
+     reproducible within one binary. *)
+  Alcotest.(check string) "hardware table stable" (hardware_table ()) (hardware_table ());
+  Alcotest.(check string) "netlist deck stable" (netlist_deck ()) (netlist_deck ())
+
+let () =
+  Alcotest.run "pnc_golden"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "hardware table" `Quick test_hardware_table;
+          Alcotest.test_case "netlist deck (adapt)" `Quick test_netlist_deck;
+          Alcotest.test_case "artifacts deterministic" `Quick test_artifacts_are_deterministic;
+        ] );
+    ]

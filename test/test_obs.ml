@@ -1,0 +1,393 @@
+(* Observability layer tests (tentpole + satellite: PR 3).
+
+   Three layers of coverage:
+   - units: counters, gauges, histograms, span nesting, the JSON
+     parser and the JSONL encoder (via an in-memory sink);
+   - schema: a smoke-scale instrumented training + Monte-Carlo
+     evaluation streamed to a real JSONL file, parsed back, with the
+     record invariants asserted (monotone epochs, positive throughput,
+     well-formed span nesting, consistent pool worker accounting);
+   - determinism: the same pipeline run under the null sink and the
+     JSONL sink produces bit-identical losses, parameters and MC
+     estimates (eps 0) — instrumentation must never touch an Rng
+     stream. *)
+
+module T = Pnc_tensor.Tensor
+module Var = Pnc_autodiff.Var
+module Rng = Pnc_util.Rng
+module Pool = Pnc_util.Pool
+module Obs = Pnc_obs.Obs
+module Json = Pnc_obs.Obs.Json
+module Registry = Pnc_data.Registry
+module Dataset = Pnc_data.Dataset
+module Network = Pnc_core.Network
+module Model = Pnc_core.Model
+module Train = Pnc_core.Train
+module Mc_loss = Pnc_core.Mc_loss
+module Variation = Pnc_core.Variation
+
+(* In-memory sink for unit tests: records (name, fields) in order. *)
+let with_memory_sink f =
+  let events = ref [] in
+  let sink =
+    {
+      Obs.write = (fun ~t:_ ~seq:_ ~name fields -> events := (name, fields) :: !events);
+      flush = ignore;
+    }
+  in
+  Obs.set_sink (Some sink);
+  Fun.protect ~finally:(fun () -> Obs.set_sink None) f;
+  List.rev !events
+
+(* Units -------------------------------------------------------------------- *)
+
+let test_counter () =
+  let c = Obs.Counter.make "test.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Obs.Counter.value c)
+
+let test_gauge () =
+  let g = Obs.Gauge.make "test.gauge" in
+  Obs.Gauge.set g 2.5;
+  Alcotest.(check (float 0.)) "set/get" 2.5 (Obs.Gauge.value g)
+
+let test_histogram () =
+  let h = Obs.Histogram.make "test.histogram" in
+  Obs.Histogram.observe h 0.75;
+  Obs.Histogram.observe h 3.0;
+  Obs.Histogram.observe h 3.9;
+  Alcotest.(check int) "count" 3 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-12)) "sum" 7.65 (Obs.Histogram.sum h);
+  (* 0.75 lands in the bucket with upper bound 2^0; 3.0 and 3.9 in the
+     one with upper bound 2^2. *)
+  let buckets = Obs.Histogram.buckets h in
+  Alcotest.(check int) "two non-empty buckets" 2 (Array.length buckets);
+  let ub0, c0 = buckets.(0) and ub1, c1 = buckets.(1) in
+  Alcotest.(check (float 0.)) "first bucket ub" 1. ub0;
+  Alcotest.(check int) "first bucket count" 1 c0;
+  Alcotest.(check (float 0.)) "second bucket ub" 4. ub1;
+  Alcotest.(check int) "second bucket count" 2 c1
+
+let test_enabled_flag () =
+  Alcotest.(check bool) "disabled by default" false (Obs.enabled ());
+  let events = with_memory_sink (fun () -> Alcotest.(check bool) "enabled inside" true (Obs.enabled ())) in
+  Alcotest.(check bool) "disabled after" false (Obs.enabled ());
+  Alcotest.(check int) "no spurious events" 0 (List.length events)
+
+let test_emit_routing () =
+  let events =
+    with_memory_sink (fun () -> Obs.emit "hello" [ ("x", Obs.Int 1); ("y", Obs.Str "z") ])
+  in
+  match events with
+  | [ ("hello", [ ("x", Obs.Int 1); ("y", Obs.Str "z") ]) ] -> ()
+  | _ -> Alcotest.fail "unexpected event stream"
+
+let test_span_nesting_and_exceptions () =
+  let events =
+    with_memory_sink (fun () ->
+        Obs.Span.with_ "outer" (fun () ->
+            Alcotest.(check int) "depth inside outer" 1 (Obs.Span.depth ());
+            Obs.Span.with_ "inner" (fun () ->
+                Alcotest.(check int) "depth inside inner" 2 (Obs.Span.depth ()));
+            (try Obs.Span.with_ "boom" (fun () -> failwith "expected") with Failure _ -> ());
+            Alcotest.(check int) "depth restored after raise" 1 (Obs.Span.depth ())))
+  in
+  Alcotest.(check int) "depth zero outside" 0 (Obs.Span.depth ());
+  let names = List.map fst events in
+  Alcotest.(check (list string)) "event order"
+    [ "span.begin"; "span.begin"; "span.end"; "span.begin"; "span.end"; "span.end" ]
+    names;
+  (* The failed span reports ok=false; the others ok=true. *)
+  let oks =
+    List.filter_map
+      (fun (name, fields) ->
+        if name = "span.end" then
+          match List.assoc_opt "ok" fields with Some (Obs.Bool b) -> Some b | _ -> None
+        else None)
+      events
+  in
+  Alcotest.(check (list bool)) "ok flags" [ true; false; true ] oks
+
+let test_metrics_snapshot () =
+  let c = Obs.Counter.make "test.snapshot_counter" in
+  Obs.Counter.add c 7;
+  let snap = Obs.metrics_snapshot () in
+  match List.assoc_opt "test.snapshot_counter" snap with
+  | Some fields ->
+      (match List.assoc_opt "value" fields with
+      | Some (Obs.Int 7) -> ()
+      | _ -> Alcotest.fail "snapshot value wrong")
+  | None -> Alcotest.fail "metric not registered"
+
+(* JSON parser -------------------------------------------------------------- *)
+
+let test_json_parse () =
+  let j = Json.parse {|{"a":[1,2.5,-3e2],"b":"x\n\"","c":true,"d":null,"e":{}}|} in
+  (match Json.member "a" j with
+  | Some (Json.List [ x; y; z ]) ->
+      Alcotest.(check (float 0.)) "int" 1. (Json.to_float x);
+      Alcotest.(check (float 0.)) "float" 2.5 (Json.to_float y);
+      Alcotest.(check (float 0.)) "exp" (-300.) (Json.to_float z)
+  | _ -> Alcotest.fail "array member");
+  (match Json.member "b" j with
+  | Some s -> Alcotest.(check string) "escapes" "x\n\"" (Json.to_string s)
+  | None -> Alcotest.fail "string member");
+  (match Json.member "c" j with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.fail "bool member");
+  (match Json.member "d" j with Some Json.Null -> () | _ -> Alcotest.fail "null member");
+  (match Json.member "e" j with Some (Json.Obj []) -> () | _ -> Alcotest.fail "empty object")
+
+let test_json_rejects_garbage () =
+  let bad s = match Json.parse s with exception Failure _ -> true | _ -> false in
+  Alcotest.(check bool) "trailing garbage" true (bad {|{"a":1} x|});
+  Alcotest.(check bool) "unterminated" true (bad {|{"a|});
+  Alcotest.(check bool) "bare word" true (bad "frob")
+
+(* JSONL round-trip --------------------------------------------------------- *)
+
+let read_jsonl path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (Json.parse line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_jsonl_roundtrip () =
+  let path = Filename.temp_file "pnc_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.with_jsonl ~path (fun () ->
+          Obs.emit "alpha"
+            [
+              ("i", Obs.Int (-3));
+              ("f", Obs.Float 1.5);
+              ("nan", Obs.Float Float.nan);
+              ("inf", Obs.Float Float.infinity);
+              ("s", Obs.Str "quote\" newline\n tab\t");
+              ("b", Obs.Bool false);
+            ];
+          Obs.emit "beta" []);
+      match read_jsonl path with
+      | [ a; b ] ->
+          (match Json.member "event" a with
+          | Some e -> Alcotest.(check string) "event name" "alpha" (Json.to_string e)
+          | None -> Alcotest.fail "missing event");
+          (match Json.member "seq" a with
+          | Some s -> Alcotest.(check int) "first seq" 1 (Json.to_int s)
+          | None -> Alcotest.fail "missing seq");
+          (match Json.member "i" a with
+          | Some v -> Alcotest.(check int) "int field" (-3) (Json.to_int v)
+          | None -> Alcotest.fail "missing i");
+          (match Json.member "f" a with
+          | Some v -> Alcotest.(check (float 0.)) "float field" 1.5 (Json.to_float v)
+          | None -> Alcotest.fail "missing f");
+          (* Non-finite floats are encoded as null (JSON has no nan). *)
+          (match (Json.member "nan" a, Json.member "inf" a) with
+          | Some Json.Null, Some Json.Null -> ()
+          | _ -> Alcotest.fail "non-finite floats must encode as null");
+          (match Json.member "s" a with
+          | Some v -> Alcotest.(check string) "string escapes" "quote\" newline\n tab\t" (Json.to_string v)
+          | None -> Alcotest.fail "missing s");
+          (match Json.member "b" a with
+          | Some (Json.Bool false) -> ()
+          | _ -> Alcotest.fail "bool field");
+          (match Json.member "seq" b with
+          | Some s -> Alcotest.(check int) "second seq" 2 (Json.to_int s)
+          | None -> Alcotest.fail "missing seq on beta")
+      | l -> Alcotest.failf "expected 2 records, got %d" (List.length l))
+
+(* Instrumented pipeline: bit-parity and schema ----------------------------- *)
+
+type pipeline_result = {
+  history : Train.history;
+  params : T.t list;
+  mc : float;
+  var_acc : float;
+}
+
+(* One deterministic smoke pipeline: train a small ADAPT net, then a
+   pooled MC loss estimate and a pooled accuracy-under-variation pass.
+   Everything is freshly seeded, so two invocations must agree bit for
+   bit no matter which sink is installed. *)
+let run_pipeline () =
+  let raw = Registry.load ~seed:5 ~n:40 "GPOVY" in
+  let split = Dataset.preprocess (Rng.create ~seed:6) raw in
+  let net =
+    Network.create ~hidden:3 (Rng.create ~seed:7) Network.Adapt ~inputs:1
+      ~classes:raw.Dataset.n_classes
+  in
+  let model = Model.Circuit net in
+  let cfg = { Train.smoke_config with Train.max_epochs = 6; patience = 3 } in
+  let history = Train.train ~rng:(Rng.create ~seed:8) cfg model split in
+  let spec = Variation.uniform 0.1 in
+  Pool.with_pool ~size:2 (fun pool ->
+      let x, labels = Train.to_xy split.Dataset.test in
+      let mc =
+        Mc_loss.expected_value ~pool ~rng:(Rng.create ~seed:9) ~spec ~n:8 model ~x ~labels
+      in
+      let var_acc =
+        Train.accuracy_under_variation ~pool ~rng:(Rng.create ~seed:10) ~spec ~draws:6 model
+          split.Dataset.test
+      in
+      {
+        history;
+        params = List.map (fun p -> T.copy (Var.value p)) (Model.params model);
+        mc;
+        var_acc;
+      })
+
+let check_parity a b =
+  Alcotest.(check int) "epochs_run" a.history.Train.epochs_run b.history.Train.epochs_run;
+  Alcotest.(check bool) "train curve bit-identical" true
+    (a.history.Train.train_loss_curve = b.history.Train.train_loss_curve);
+  Alcotest.(check bool) "val curve bit-identical" true
+    (a.history.Train.val_loss_curve = b.history.Train.val_loss_curve);
+  List.iter2
+    (fun p q -> Alcotest.(check bool) "params bit-identical" true (T.equal_eps ~eps:0. p q))
+    a.params b.params;
+  Alcotest.(check bool) "mc estimate bit-identical" true (a.mc = b.mc);
+  Alcotest.(check bool) "variation accuracy bit-identical" true (a.var_acc = b.var_acc)
+
+let num_field record key =
+  match Json.member key record with
+  | Some v -> Json.to_float v
+  | None -> Alcotest.failf "record missing field %s" key
+
+let str_field record key =
+  match Json.member key record with
+  | Some v -> Json.to_string v
+  | None -> Alcotest.failf "record missing field %s" key
+
+let events_named records name =
+  List.filter (fun r -> str_field r "event" = name) records
+
+let check_schema records =
+  Alcotest.(check bool) "stream non-empty" true (records <> []);
+  (* Every record is self-describing: t, strictly increasing seq, event. *)
+  let last_seq = ref 0 in
+  List.iter
+    (fun r ->
+      let seq = int_of_float (num_field r "seq") in
+      Alcotest.(check bool) "seq strictly increasing" true (seq > !last_seq);
+      last_seq := seq;
+      Alcotest.(check bool) "t finite" true (Float.is_finite (num_field r "t"));
+      ignore (str_field r "event"))
+    records;
+  (* Epoch records: epoch strictly increasing from 1, fields sane. *)
+  let epochs = events_named records "train.epoch" in
+  Alcotest.(check bool) "has epoch records" true (epochs <> []);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check int) "epoch numbering" (i + 1) (int_of_float (num_field r "epoch"));
+      Alcotest.(check bool) "epoch seconds >= 0" true (num_field r "seconds" >= 0.);
+      Alcotest.(check bool) "lr positive" true (num_field r "lr" > 0.);
+      Alcotest.(check bool) "grad norm finite" true (Float.is_finite (num_field r "grad_norm")))
+    epochs;
+  (match events_named records "train.done" with
+  | [ d ] ->
+      Alcotest.(check int) "train.done epochs = #epoch records" (List.length epochs)
+        (int_of_float (num_field d "epochs_run"))
+  | l -> Alcotest.failf "expected exactly one train.done, got %d" (List.length l));
+  (* Throughput records are positive wherever emitted. *)
+  let throughputs =
+    events_named records "mc.eval" @ events_named records "eval.variation"
+  in
+  Alcotest.(check bool) "has throughput records" true (throughputs <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "draws positive" true (num_field r "draws" > 0.);
+      Alcotest.(check bool) "draws/s positive" true (num_field r "draws_per_s" > 0.))
+    throughputs;
+  (* Span discipline: begin/end alternate like a well-formed bracket
+     sequence, names and depths matching. *)
+  let stack = ref [] in
+  List.iter
+    (fun r ->
+      match str_field r "event" with
+      | "span.begin" ->
+          let name = str_field r "span" and d = int_of_float (num_field r "depth") in
+          Alcotest.(check int) "begin depth = stack size" (List.length !stack) d;
+          stack := name :: !stack
+      | "span.end" -> (
+          let name = str_field r "span" and d = int_of_float (num_field r "depth") in
+          Alcotest.(check bool) "end dur >= 0" true (num_field r "dur_s" >= 0.);
+          match !stack with
+          | top :: rest ->
+              Alcotest.(check string) "end matches innermost begin" top name;
+              Alcotest.(check int) "end depth" (List.length rest) d;
+              stack := rest
+          | [] -> Alcotest.fail "span.end without begin")
+      | _ -> ())
+    records;
+  Alcotest.(check int) "all spans closed" 0 (List.length !stack);
+  (* Pool accounting: worker task counts sum to the shutdown total. *)
+  (match events_named records "pool.shutdown" with
+  | [] -> Alcotest.fail "expected a pool.shutdown record"
+  | shutdowns ->
+      let workers = events_named records "pool.worker" in
+      let worker_sum =
+        List.fold_left (fun acc r -> acc + int_of_float (num_field r "tasks")) 0 workers
+      in
+      let totals =
+        List.fold_left (fun acc r -> acc + int_of_float (num_field r "tasks_total")) 0 shutdowns
+      in
+      Alcotest.(check int) "worker tasks sum to pool total" totals worker_sum);
+  (* The final metrics snapshot is present and self-consistent. *)
+  let metrics = events_named records "metric" in
+  Alcotest.(check bool) "has metrics snapshot" true (metrics <> []);
+  match List.find_opt (fun r -> str_field r "name" = "train.epochs") metrics with
+  | Some m ->
+      Alcotest.(check bool) "train.epochs counter >= epoch records" true
+        (int_of_float (num_field m "value") >= List.length epochs)
+  | None -> Alcotest.fail "train.epochs metric missing from snapshot"
+
+let test_pipeline_parity_and_schema () =
+  let baseline = run_pipeline () in
+  let path = Filename.temp_file "pnc_obs_schema" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let instrumented =
+        Obs.with_jsonl ~path (fun () ->
+            let r = run_pipeline () in
+            Obs.emit_metrics ();
+            r)
+      in
+      (* Determinism: the sink must not perturb a single bit. *)
+      check_parity baseline instrumented;
+      (* And once more under the null sink, after the instrumented run. *)
+      check_parity baseline (run_pipeline ());
+      check_schema (read_jsonl path))
+
+let () =
+  Alcotest.run "pnc_obs"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram;
+          Alcotest.test_case "enabled flag" `Quick test_enabled_flag;
+          Alcotest.test_case "emit routing" `Quick test_emit_routing;
+          Alcotest.test_case "span nesting + exceptions" `Quick test_span_nesting_and_exceptions;
+          Alcotest.test_case "metrics snapshot" `Quick test_metrics_snapshot;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "bit-parity + schema" `Quick test_pipeline_parity_and_schema;
+        ] );
+    ]

@@ -167,6 +167,67 @@ let test_scheduler_threshold () =
   Alcotest.(check bool) "halved despite tiny improvements" true
     (approx ~eps:1e-12 0.05 (Scheduler.lr s))
 
+(* AdamW single step against the closed form (satellite: PR 3) ------------ *)
+
+let test_adamw_first_step_closed_form () =
+  (* After one step from zero state: m = (1-b1)g, v = (1-b2)g^2,
+     mh = m/(1-b1) = g, vh = v/(1-b2) = g^2, so the update is exactly
+       x1 = x0 - lr*(g/(|g| + eps) + wd*x0)
+     with the weight decay decoupled (applied to x0, not the grad). *)
+  let x0 = [| 1.5; -0.75; 2.0 |] and g = [| 0.3; -1.2; 0.04 |] in
+  let lr = 0.1 and wd = 0.25 and eps = 1e-8 in
+  let x = Var.param (T.of_row x0) in
+  let opt = Optimizer.adamw ~eps ~weight_decay:wd ~params:[ x ] () in
+  Var.backward (Var.sum (Var.mul x (Var.const (T.of_row g))));
+  Optimizer.step opt ~lr;
+  Array.iteri
+    (fun j x0j ->
+      let expect = x0j -. (lr *. ((g.(j) /. (Float.abs g.(j) +. eps)) +. (wd *. x0j))) in
+      Alcotest.(check bool)
+        (Printf.sprintf "component %d" j)
+        true
+        (approx ~eps:1e-12 expect (T.get (Var.value x) 0 j)))
+    x0
+
+let test_adamw_multi_step_reference () =
+  (* Several steps with a fresh gradient each step, mirrored by a
+     hand-rolled scalar AdamW carrying explicit bias correction. *)
+  let beta1 = 0.9 and beta2 = 0.999 and eps = 1e-8 and wd = 0.1 and lr = 0.05 in
+  let grads = [| 0.7; -0.3; 1.9; 0.0; -2.4 |] in
+  let x = Var.param (T.of_row [| 1.0 |]) in
+  let opt = Optimizer.adamw ~beta1 ~beta2 ~eps ~weight_decay:wd ~params:[ x ] () in
+  let rx = ref 1.0 and m = ref 0. and v = ref 0. in
+  Array.iteri
+    (fun k g ->
+      Optimizer.zero_grads opt;
+      Var.backward (Var.scale g (Var.sum x));
+      Optimizer.step opt ~lr;
+      let t = float_of_int (k + 1) in
+      m := (beta1 *. !m) +. ((1. -. beta1) *. g);
+      v := (beta2 *. !v) +. ((1. -. beta2) *. g *. g);
+      let mh = !m /. (1. -. (beta1 ** t)) and vh = !v /. (1. -. (beta2 ** t)) in
+      rx := !rx -. (lr *. ((mh /. (sqrt vh +. eps)) +. (wd *. !rx)));
+      Alcotest.(check bool)
+        (Printf.sprintf "step %d matches reference" (k + 1))
+        true
+        (approx ~eps:1e-12 !rx (T.get (Var.value x) 0 0)))
+    grads
+
+let test_adam_is_adamw_with_zero_decay () =
+  let run make =
+    let x = Var.param (T.of_row [| 0.4; -1.1; 0.9 |]) in
+    let opt = make [ x ] in
+    for _ = 1 to 5 do
+      Optimizer.zero_grads opt;
+      Var.backward (quadratic_loss x);
+      Optimizer.step opt ~lr:0.05
+    done;
+    Var.value x
+  in
+  let a = run (fun params -> Optimizer.adam ~params ()) in
+  let b = run (fun params -> Optimizer.adamw ~weight_decay:0. ~params ()) in
+  Alcotest.(check bool) "identical trajectories" true (T.equal_eps ~eps:0. a b)
+
 (* Property: Adam converges on random convex quadratics. ------------------ *)
 
 let prop_adam_quadratics =
@@ -187,6 +248,44 @@ let prop_adam_quadratics =
       done;
       T.equal_eps ~eps:0.02 target (Var.value x))
 
+(* Property: plateau schedule is monotone and floored (satellite: PR 3). -- *)
+
+let prop_scheduler_monotone =
+  QCheck.Test.make ~count:200 ~name:"plateau lr is non-increasing and floored at min_lr"
+    QCheck.(
+      triple (int_range 0 1_000) (int_range 0 4) (float_range 0.1 0.9))
+    (fun (seed, patience, factor) ->
+      let rng = Pnc_util.Rng.create ~seed in
+      let min_lr = 1e-5 in
+      let init_lr = min_lr *. (1. +. (100. *. Pnc_util.Rng.float rng 1.)) in
+      let s = Scheduler.plateau ~factor ~patience ~min_lr ~init_lr () in
+      let n = 5 + Pnc_util.Rng.int rng 60 in
+      let prev = ref (Scheduler.lr s) in
+      let stopped = ref false in
+      let ok = ref (!prev >= min_lr) in
+      for _ = 1 to n do
+        if not !stopped then begin
+          (* Mostly-flat loss stream with occasional improvements. *)
+          let loss =
+            if Pnc_util.Rng.float rng 1. < 0.2 then -.Pnc_util.Rng.float rng 10.
+            else 1.0
+          in
+          let lr_before = Scheduler.lr s in
+          let verdict = Scheduler.observe s loss in
+          let lr = Scheduler.lr s in
+          if lr > !prev +. 1e-18 then ok := false; (* never increases *)
+          if lr < min_lr -. 1e-18 then ok := false; (* never below the floor *)
+          (* `Stop is only legal once the lr has already hit the floor. *)
+          (match verdict with
+          | `Stop ->
+              stopped := true;
+              if lr_before > min_lr then ok := false
+          | `Continue -> ());
+          prev := lr
+        end
+      done;
+      !ok)
+
 let () =
   Alcotest.run "pnc_optim"
     [
@@ -201,6 +300,10 @@ let () =
           Alcotest.test_case "zero_grads" `Quick test_zero_grads;
           Alcotest.test_case "sgd exact step" `Quick test_sgd_exact_step;
           Alcotest.test_case "params accessor" `Quick test_params_accessor;
+          Alcotest.test_case "adamw first step closed form" `Quick
+            test_adamw_first_step_closed_form;
+          Alcotest.test_case "adamw multi-step reference" `Quick test_adamw_multi_step_reference;
+          Alcotest.test_case "adam = adamw at wd 0" `Quick test_adam_is_adamw_with_zero_decay;
         ] );
       ( "scheduler",
         [
@@ -211,5 +314,9 @@ let () =
           Alcotest.test_case "best tracked" `Quick test_plateau_best;
           Alcotest.test_case "threshold semantics" `Quick test_scheduler_threshold;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_adam_quadratics ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_adam_quadratics;
+          QCheck_alcotest.to_alcotest prop_scheduler_monotone;
+        ] );
     ]
