@@ -25,4 +25,12 @@ golden:
 fmt-check:
 	./scripts/fmt_check.sh
 
-.PHONY: check bench golden fmt-check
+# End-to-end crash/resume demo through the CLI: a straight run and a
+# crash-at-epoch-N + --resume run must produce byte-identical final
+# checkpoints (see docs/CHECKPOINTS.md). RESUME_DEMO_OUT keeps the
+# checkpoint files (CI uploads one as an artifact).
+resume-demo:
+	dune build bin/adapt_pnc.exe && \
+	  ./scripts/resume_demo.sh $(RESUME_DEMO_OUT)
+
+.PHONY: check bench golden fmt-check resume-demo

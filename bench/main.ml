@@ -232,7 +232,14 @@ let run_all () =
 
   (* The shared training grid behind Table I, Fig. 5, Fig. 7, Table III. *)
   let variants = Experiments.Reference :: Experiments.fig7_variants in
-  let grid = Experiments.run_grid ~progress ~pool cfg ~variants in
+  (* ADAPT_PNC_CACHE_DIR=path caches each trained cell on disk, so an
+     interrupted or re-run harness skips completed training runs. *)
+  let cache_dir =
+    match Sys.getenv_opt "ADAPT_PNC_CACHE_DIR" with
+    | Some d when String.trim d <> "" -> Some d
+    | _ -> None
+  in
+  let grid = Experiments.run_grid ~progress ~pool ?cache_dir cfg ~variants in
   Experiments.print_table1 (Experiments.table1_of_grid cfg grid);
   Experiments.print_fig5 (Experiments.fig5_of_grid cfg grid);
   Experiments.print_fig7 (Experiments.fig7_of_grid cfg grid);

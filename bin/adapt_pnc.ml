@@ -113,18 +113,65 @@ let model_arg =
   let doc = "Model variant: elman, ptpnc, va, at, so-lf or adapt." in
   Arg.(value & opt string "adapt" & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
 
+let checkpoint_dir_arg =
+  let doc =
+    "Write a resumable training checkpoint to $(docv)/train.ckpt (atomically, every \
+     --checkpoint-every epochs) and the final trained model to $(docv)/model.ckpt."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Epochs between training checkpoints (with --checkpoint-dir)." in
+  Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let resume_arg =
+  let doc = "Resume from DIR/train.ckpt (with --checkpoint-dir); the completed run is \
+             bit-identical to an uninterrupted one." in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let die_at_epoch_arg =
+  let doc =
+    "Simulate a crash: exit right after writing the checkpoint for epoch $(docv) (for \
+     testing crash-safe resume; see `make resume-demo`)."
+  in
+  Arg.(value & opt (some int) None & info [ "die-at-epoch" ] ~docv:"EPOCH" ~doc)
+
 let train_cmd =
-  let run dataset model seed scale jobs metrics_out trace =
+  let run dataset model seed scale jobs ckpt_dir ckpt_every resume die_at metrics_out trace =
     check_dataset dataset;
     let cfg = config_of ~scale in
     let variant = variant_of_string model in
+    let train_ckpt = Option.map (fun d -> Filename.concat d "train.ckpt") ckpt_dir in
+    Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755) ckpt_dir;
+    let resume_from =
+      match (resume, train_ckpt) with
+      | true, Some p when Sys.file_exists p -> Some p
+      | true, None ->
+          prerr_endline "--resume requires --checkpoint-dir";
+          exit 2
+      | _ -> None
+    in
     Printf.printf "training %s on %s (seed %d, scale %s)...\n%!"
       (Experiments.variant_name variant)
       dataset seed scale;
     let r =
-      with_obs ~metrics_out ~trace (fun () ->
-          with_jobs jobs (fun pool -> Experiments.train_run ?pool cfg ~dataset ~variant ~seed))
+      try
+        with_obs ~metrics_out ~trace (fun () ->
+            with_jobs jobs (fun pool ->
+                Experiments.train_run ?pool ~checkpoint_every:ckpt_every
+                  ?checkpoint_path:train_ckpt ?resume_from ?die_at_epoch:die_at cfg ~dataset
+                  ~variant ~seed))
+      with Pnc_core.Train.Killed e ->
+        Printf.printf "simulated crash after epoch %d; checkpoint written%s\n" e
+          (match train_ckpt with Some p -> " to " ^ p | None -> "");
+        exit 0
     in
+    Option.iter
+      (fun d ->
+        let path = Filename.concat d "model.ckpt" in
+        Pnc_core.Persist.save_model ~path r.Experiments.model;
+        Printf.printf "model checkpoint:                         %s\n" path)
+      ckpt_dir;
     Printf.printf "epochs:                                   %d (%.1f s)\n" r.Experiments.epochs
       r.Experiments.train_seconds;
     Printf.printf "accuracy, clean:                          %.3f\n" r.Experiments.clean_acc;
@@ -141,8 +188,82 @@ let train_cmd =
   Cmd.v
     (Cmd.info "train" ~doc:"Train one model on one dataset and evaluate it as the paper does.")
     Term.(
-      const run $ dataset_arg $ model_arg $ seed_arg $ scale_arg $ jobs_arg $ metrics_out_arg
-      $ trace_arg)
+      const run $ dataset_arg $ model_arg $ seed_arg $ scale_arg $ jobs_arg
+      $ checkpoint_dir_arg $ checkpoint_every_arg $ resume_arg $ die_at_epoch_arg
+      $ metrics_out_arg $ trace_arg)
+
+(* eval ---------------------------------------------------------------------- *)
+
+let eval_cmd =
+  let load_arg =
+    let doc = "Model or train checkpoint to evaluate (written by `train --checkpoint-dir`)." in
+    Arg.(required & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
+  in
+  let draws_arg =
+    let doc = "Monte-Carlo draws for accuracy under variation." in
+    Arg.(value & opt int 10 & info [ "draws" ] ~docv:"N" ~doc)
+  in
+  let level_arg =
+    let doc = "Component variation level (0.1 = ±10%)." in
+    Arg.(value & opt float 0.1 & info [ "level" ] ~docv:"L" ~doc)
+  in
+  let run load dataset seed scale draws level jobs metrics_out trace =
+    check_dataset dataset;
+    let cfg = config_of ~scale in
+    let model =
+      match Pnc_core.Persist.load_model ~path:load with
+      | Ok m -> m
+      | Error e ->
+          Printf.eprintf "cannot load %s: %s\n" load (Pnc_ckpt.Ckpt.error_to_string e);
+          exit 1
+    in
+    let raw = Registry.load ?n:cfg.Pnc_exp.Config.dataset_n ~seed dataset in
+    let split = Dataset.preprocess (Rng.create ~seed:(seed + 1000)) raw in
+    let test = split.Dataset.test in
+    with_obs ~metrics_out ~trace (fun () ->
+        with_jobs jobs (fun pool ->
+            Printf.printf "%s on %s (test set, seed %d)\n"
+              (Pnc_core.Model.label model) dataset seed;
+            Printf.printf "accuracy, clean:            %.3f\n"
+              (Pnc_core.Train.accuracy model test);
+            if Pnc_core.Model.is_circuit model then
+              Printf.printf "accuracy, ±%.0f%% components: %.3f (%d draws)\n"
+                (100. *. level)
+                (Pnc_core.Train.accuracy_under_variation ?pool
+                   ~rng:(Rng.create ~seed:(seed + 4000))
+                   ~spec:(Pnc_core.Variation.uniform level) ~draws model test)
+                draws))
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Evaluate a checkpointed model on a dataset (no-grad fast path), clean and under \
+             variation.")
+    Term.(
+      const run $ load_arg $ dataset_arg $ seed_arg $ scale_arg $ draws_arg $ level_arg
+      $ jobs_arg $ metrics_out_arg $ trace_arg)
+
+(* ckpt ---------------------------------------------------------------------- *)
+
+let ckpt_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Checkpoint file.")
+  in
+  let inspect =
+    let run file =
+      match Pnc_ckpt.Ckpt.load ~path:file with
+      | Ok ck -> print_string (Pnc_ckpt.Ckpt.inspect ck)
+      | Error e ->
+          Printf.eprintf "%s: %s\n" file (Pnc_ckpt.Ckpt.error_to_string e);
+          exit 1
+    in
+    Cmd.v
+      (Cmd.info "inspect"
+         ~doc:"Validate a checkpoint (magic, version, CRCs) and print its header.")
+      Term.(const run $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "ckpt" ~doc:"Checkpoint utilities (see docs/CHECKPOINTS.md).")
+    [ inspect ]
 
 (* ablate -------------------------------------------------------------------- *)
 
@@ -414,6 +535,8 @@ let () =
           [
             datasets_cmd;
             train_cmd;
+            eval_cmd;
+            ckpt_cmd;
             ablate_cmd;
             hwcost_cmd;
             augment_preview_cmd;

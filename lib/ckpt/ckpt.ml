@@ -1,0 +1,329 @@
+module Obs = Pnc_obs.Obs
+module Json = Pnc_obs.Obs.Json
+
+let saves_counter = Obs.Counter.make "ckpt.saves"
+let loads_counter = Obs.Counter.make "ckpt.loads"
+
+(* On-disk layout (all integers unsigned 32-bit little-endian):
+
+     offset  0   magic   "PNCCKPT0"            (8 bytes)
+     offset  8   format version                (u32, currently 1)
+     offset 12   header length                 (u32)
+     offset 16   CRC-32 of the header bytes    (u32)
+     offset 20   payload length                (u32)
+     offset 24   CRC-32 of the payload bytes   (u32)
+     offset 28   header: one JSON object
+     offset 28+header_length   payload
+
+   The header object is {"kind":…,"meta":{…},"sections":[…]} with one
+   descriptor {"name","kind","offset","len"[,"rows","cols"]} per
+   section; offsets are relative to the payload start. Float sections
+   ("f64") hold newline-separated %.17g decimals — exact for every
+   finite double, and deterministic, so equal states encode to equal
+   bytes. Opaque sections ("bytes") hold raw bytes. Both CRCs are
+   checked before any section is parsed, so corruption is reported as a
+   typed error instead of reaching a parser. *)
+
+let magic = "PNCCKPT0"
+let format_version = 1
+let prefix_len = 28
+
+type section = F64 of { rows : int; cols : int; data : float array } | Bytes of string
+
+type t = {
+  version : int;
+  kind : string;
+  meta : (string * Json.t) list;
+  sections : (string * section) list;
+}
+
+type error =
+  | Io_error of string
+  | Bad_magic
+  | Unsupported_version of int
+  | Truncated of { what : string; expected : int; actual : int }
+  | Crc_mismatch of { what : string; expected : int; got : int }
+  | Bad_header of string
+  | Missing_section of string
+  | Bad_section of string
+
+let error_to_string = function
+  | Io_error msg -> "i/o error: " ^ msg
+  | Bad_magic -> "bad magic (not a PNC checkpoint)"
+  | Unsupported_version v -> Printf.sprintf "unsupported format version %d" v
+  | Truncated { what; expected; actual } ->
+      Printf.sprintf "truncated %s: need %d bytes, have %d" what expected actual
+  | Crc_mismatch { what; expected; got } ->
+      Printf.sprintf "%s CRC mismatch: stored %08x, computed %08x" what expected got
+  | Bad_header msg -> "bad header: " ^ msg
+  | Missing_section name -> "missing section: " ^ name
+  | Bad_section msg -> "bad section: " ^ msg
+
+(* Encoding ---------------------------------------------------------------- *)
+
+let add_u32 b v =
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let encode ~kind ~meta ~sections =
+  let payload = Buffer.create 4096 in
+  let descriptors =
+    List.map
+      (fun (name, sec) ->
+        let offset = Buffer.length payload in
+        let fields =
+          match sec with
+          | F64 { rows; cols; data } ->
+              if rows * cols <> Array.length data then
+                invalid_arg
+                  (Printf.sprintf "Ckpt.encode: section %s is %dx%d but holds %d values" name
+                     rows cols (Array.length data));
+              Array.iteri
+                (fun i v ->
+                  if i > 0 then Buffer.add_char payload '\n';
+                  Buffer.add_string payload (Printf.sprintf "%.17g" v))
+                data;
+              [ ("kind", Json.String "f64"); ("rows", Json.Num (float_of_int rows));
+                ("cols", Json.Num (float_of_int cols)) ]
+          | Bytes s ->
+              Buffer.add_string payload s;
+              [ ("kind", Json.String "bytes") ]
+        in
+        let len = Buffer.length payload - offset in
+        Json.Obj
+          (("name", Json.String name)
+          :: fields
+          @ [ ("offset", Json.Num (float_of_int offset)); ("len", Json.Num (float_of_int len)) ]))
+      sections
+  in
+  let header =
+    Json.render
+      (Json.Obj
+         [ ("kind", Json.String kind); ("meta", Json.Obj meta); ("sections", Json.List descriptors) ])
+  in
+  let payload = Buffer.contents payload in
+  let b = Buffer.create (prefix_len + String.length header + String.length payload) in
+  Buffer.add_string b magic;
+  add_u32 b format_version;
+  add_u32 b (String.length header);
+  add_u32 b (Crc32.string header);
+  add_u32 b (String.length payload);
+  add_u32 b (Crc32.string payload);
+  Buffer.add_string b header;
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* Decoding ---------------------------------------------------------------- *)
+
+let read_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let header_int header name j =
+  match Json.member name j with
+  | Some (Json.Num v) when Float.is_integer v && v >= 0. -> Ok (int_of_float v)
+  | _ -> Error (Bad_header (Printf.sprintf "section %s: missing or bad %s" header name))
+
+let parse_f64 ~name ~rows ~cols raw =
+  let expected = rows * cols in
+  let parts = if String.length raw = 0 then [] else String.split_on_char '\n' raw in
+  if List.length parts <> expected then
+    Error
+      (Bad_section
+         (Printf.sprintf "%s: %d values, expected %dx%d = %d" name (List.length parts) rows cols
+            expected))
+  else
+    let data = Array.make expected 0. in
+    let rec fill i = function
+      | [] -> Ok (F64 { rows; cols; data })
+      | p :: rest -> (
+          match float_of_string_opt p with
+          | Some v ->
+              data.(i) <- v;
+              fill (i + 1) rest
+          | None -> Error (Bad_section (Printf.sprintf "%s: malformed float %S" name p)))
+    in
+    fill 0 parts
+
+let decode s =
+  let n = String.length s in
+  if n < prefix_len then Error (Truncated { what = "prefix"; expected = prefix_len; actual = n })
+  else if String.sub s 0 8 <> magic then Error Bad_magic
+  else
+    let version = read_u32 s 8 in
+    if version <> format_version then Error (Unsupported_version version)
+    else
+      let header_len = read_u32 s 12 in
+      let header_crc = read_u32 s 16 in
+      let payload_len = read_u32 s 20 in
+      let payload_crc = read_u32 s 24 in
+      let expected = prefix_len + header_len + payload_len in
+      if n < expected then Error (Truncated { what = "file"; expected; actual = n })
+      else if n > expected then
+        Error (Bad_header (Printf.sprintf "%d trailing bytes after payload" (n - expected)))
+      else
+        let got_hcrc = Crc32.string ~pos:prefix_len ~len:header_len s in
+        if got_hcrc <> header_crc then
+          Error (Crc_mismatch { what = "header"; expected = header_crc; got = got_hcrc })
+        else
+          let got_pcrc = Crc32.string ~pos:(prefix_len + header_len) ~len:payload_len s in
+          if got_pcrc <> payload_crc then
+            Error (Crc_mismatch { what = "payload"; expected = payload_crc; got = got_pcrc })
+          else
+            let* header =
+              match Json.parse (String.sub s prefix_len header_len) with
+              | j -> Ok j
+              | exception Failure msg -> Error (Bad_header msg)
+            in
+            let* kind =
+              match Json.member "kind" header with
+              | Some (Json.String k) -> Ok k
+              | _ -> Error (Bad_header "missing kind")
+            in
+            let* meta =
+              match Json.member "meta" header with
+              | Some (Json.Obj kvs) -> Ok kvs
+              | _ -> Error (Bad_header "missing meta object")
+            in
+            let* descriptors =
+              match Json.member "sections" header with
+              | Some (Json.List ds) -> Ok ds
+              | _ -> Error (Bad_header "missing sections list")
+            in
+            let payload_off = prefix_len + header_len in
+            let rec sections acc = function
+              | [] -> Ok (List.rev acc)
+              | d :: rest ->
+                  let* name =
+                    match Json.member "name" d with
+                    | Some (Json.String s) -> Ok s
+                    | _ -> Error (Bad_header "section without name")
+                  in
+                  let* offset = header_int name "offset" d in
+                  let* len = header_int name "len" d in
+                  let* () =
+                    if offset + len <= payload_len then Ok ()
+                    else
+                      Error
+                        (Bad_header
+                           (Printf.sprintf "section %s: range %d+%d exceeds payload %d" name
+                              offset len payload_len))
+                  in
+                  let raw = String.sub s (payload_off + offset) len in
+                  let* sec =
+                    match Json.member "kind" d with
+                    | Some (Json.String "bytes") -> Ok (Bytes raw)
+                    | Some (Json.String "f64") ->
+                        let* rows = header_int name "rows" d in
+                        let* cols = header_int name "cols" d in
+                        parse_f64 ~name ~rows ~cols raw
+                    | Some (Json.String k) ->
+                        Error (Bad_header (Printf.sprintf "section %s: unknown kind %s" name k))
+                    | _ -> Error (Bad_header (Printf.sprintf "section %s: missing kind" name))
+                  in
+                  sections ((name, sec) :: acc) rest
+            in
+            let* sections = sections [] descriptors in
+            Ok { version; kind; meta; sections }
+
+(* File I/O ---------------------------------------------------------------- *)
+
+let atomic_write ~path write =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match write oc with
+  | () -> close_out oc
+  | exception e ->
+      (* Never leave a torn file: drop the partial temp and keep
+         whatever valid checkpoint was at [path] before. *)
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
+
+let save ~path ~kind ~meta ~sections =
+  let image = encode ~kind ~meta ~sections in
+  atomic_write ~path (fun oc -> output_string oc image);
+  Obs.Counter.incr saves_counter;
+  if Obs.enabled () then
+    Obs.emit "ckpt.save"
+      [
+        ("path", Obs.Str path);
+        ("kind", Obs.Str kind);
+        ("bytes", Obs.Int (String.length image));
+        ("sections", Obs.Int (List.length sections));
+      ]
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error (Io_error msg)
+  | image -> (
+      match decode image with
+      | Error _ as e -> e
+      | Ok t ->
+          Obs.Counter.incr loads_counter;
+          if Obs.enabled () then
+            Obs.emit "ckpt.load"
+              [
+                ("path", Obs.Str path);
+                ("kind", Obs.Str t.kind);
+                ("bytes", Obs.Int (String.length image));
+                ("sections", Obs.Int (List.length t.sections));
+              ];
+          Ok t)
+
+(* Defined here, after [decode] and friends, so that the exception
+   constructor does not shadow [result]'s [Error] in the code above. *)
+exception Error of error
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Pnc_ckpt.Ckpt.Error: " ^ error_to_string e)
+    | _ -> None)
+
+let load_exn ~path = match load ~path with Ok t -> t | Stdlib.Error e -> raise (Error e)
+
+(* Accessors --------------------------------------------------------------- *)
+
+let meta_field t name = List.assoc_opt name t.meta
+
+let find t name =
+  match List.assoc_opt name t.sections with
+  | Some s -> Ok s
+  | None -> Error (Missing_section name)
+
+let f64 t name =
+  let* s = find t name in
+  match s with
+  | F64 { data; _ } -> Ok data
+  | Bytes _ -> Error (Bad_section (name ^ ": expected f64, found bytes"))
+
+let f64_shaped t name =
+  let* s = find t name in
+  match s with
+  | F64 { rows; cols; data } -> Ok (rows, cols, data)
+  | Bytes _ -> Error (Bad_section (name ^ ": expected f64, found bytes"))
+
+let bytes t name =
+  let* s = find t name in
+  match s with
+  | Bytes b -> Ok b
+  | F64 _ -> Error (Bad_section (name ^ ": expected bytes, found f64"))
+
+let inspect t =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "kind:    %s\nversion: %d\nmeta:\n" t.kind t.version;
+  List.iter (fun (k, v) -> Printf.bprintf b "  %-24s %s\n" k (Json.render v)) t.meta;
+  Printf.bprintf b "sections (%d):\n" (List.length t.sections);
+  List.iter
+    (fun (name, sec) ->
+      match sec with
+      | F64 { rows; cols; _ } -> Printf.bprintf b "  %-40s f64   %d x %d\n" name rows cols
+      | Bytes s -> Printf.bprintf b "  %-40s bytes %d B\n" name (String.length s))
+    t.sections;
+  Buffer.contents b

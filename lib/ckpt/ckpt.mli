@@ -1,0 +1,107 @@
+(** Versioned, checksummed, self-describing checkpoint container.
+
+    One file holds a JSON header (kind + free-form metadata + section
+    directory, built on {!Pnc_obs.Obs.Json}) and a payload of named
+    sections: [F64] float arrays encoded as newline-separated [%.17g]
+    decimals (exact and deterministic for every double, so equal states
+    produce byte-identical files) and opaque [Bytes] blobs (RNG state
+    images). Header and payload each carry a CRC-32 checked before any
+    parsing, and every well-formedness violation is reported as a typed
+    {!error} — a corrupted or truncated file can never yield a silently
+    wrong model, and writes go through {!atomic_write} so a crash
+    mid-save never leaves a torn file behind.
+
+    Layout (integers are unsigned 32-bit little-endian):
+    {v
+    offset  0   magic "PNCCKPT0"           (8 bytes)
+    offset  8   format version             (u32, currently 1)
+    offset 12   header length              (u32)
+    offset 16   CRC-32 of the header       (u32)
+    offset 20   payload length             (u32)
+    offset 24   CRC-32 of the payload      (u32)
+    offset 28   header JSON, then payload
+    v}
+
+    See [docs/CHECKPOINTS.md] for the full byte-level specification and
+    the compatibility policy. *)
+
+module Json := Pnc_obs.Obs.Json
+
+val format_version : int
+(** Current writer version. Readers accept exactly this version and
+    reject anything else with {!Unsupported_version}. *)
+
+type section = F64 of { rows : int; cols : int; data : float array } | Bytes of string
+
+type t = {
+  version : int;
+  kind : string;  (** checkpoint flavour: ["model"], ["train"], ["grid-cell"], … *)
+  meta : (string * Json.t) list;  (** free-form header metadata *)
+  sections : (string * section) list;  (** payload, in file order *)
+}
+
+(** {1 Errors} *)
+
+type error =
+  | Io_error of string
+  | Bad_magic
+  | Unsupported_version of int
+  | Truncated of { what : string; expected : int; actual : int }
+  | Crc_mismatch of { what : string; expected : int; got : int }
+  | Bad_header of string
+  | Missing_section of string
+  | Bad_section of string
+
+exception Error of error
+(** Raised only by the [_exn] conveniences; the primary API returns
+    [result]. *)
+
+val error_to_string : error -> string
+
+(** {1 Encoding / decoding} *)
+
+val encode :
+  kind:string -> meta:(string * Json.t) list -> sections:(string * section) list -> string
+(** The complete file image. Deterministic: equal inputs produce equal
+    bytes. Raises [Invalid_argument] if an [F64] section's [rows*cols]
+    disagrees with its data length. *)
+
+val decode : string -> (t, error) result
+(** Inverse of {!encode}. Validates, in order: length of the fixed
+    prefix, magic, version, declared lengths against the actual size
+    (trailing bytes are an error too), header CRC, payload CRC, header
+    JSON shape, then every section (range, kind, float syntax, count).
+    Never raises on malformed input. *)
+
+(** {1 Files} *)
+
+val atomic_write : path:string -> (out_channel -> unit) -> unit
+(** Run the writer on [path ^ ".tmp"], then atomically rename over
+    [path]. If the writer raises, the temp file is removed, the
+    exception is re-raised, and a previously existing [path] is left
+    untouched — interrupted saves never clobber the last good
+    checkpoint. *)
+
+val save :
+  path:string -> kind:string -> meta:(string * Json.t) list -> sections:(string * section) list -> unit
+(** {!encode} + {!atomic_write}; emits a [ckpt.save] event when a
+    telemetry sink is installed. *)
+
+val load : path:string -> (t, error) result
+(** Read + {!decode}; emits a [ckpt.load] event on success. *)
+
+val load_exn : path:string -> t
+(** Raises {!Error}. *)
+
+(** {1 Accessors} *)
+
+val meta_field : t -> string -> Json.t option
+
+val find : t -> string -> (section, error) result
+val f64 : t -> string -> (float array, error) result
+val f64_shaped : t -> string -> (int * int * float array, error) result
+val bytes : t -> string -> (string, error) result
+
+val inspect : t -> string
+(** Human-readable header dump (the [ckpt inspect] CLI output): kind,
+    version, metadata, and the section directory with shapes/sizes. *)

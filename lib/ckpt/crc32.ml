@@ -1,0 +1,27 @@
+(* CRC-32 (IEEE 802.3): reflected polynomial 0xEDB88320, initial value
+   and final XOR 0xFFFFFFFF — the common zlib/PNG/Ethernet checksum.
+   Table-driven, one lookup per byte; values fit comfortably in OCaml's
+   native int. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let string ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.string: range out of bounds";
+  update 0 s ~pos ~len

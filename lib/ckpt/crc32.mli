@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3 / zlib flavour: reflected polynomial 0xEDB88320,
+    init and final XOR 0xFFFFFFFF). Guards the checkpoint format's
+    header and payload against truncation and bit corruption: any
+    single-bit error is detected, as is any burst shorter than 32
+    bits. *)
+
+val string : ?pos:int -> ?len:int -> string -> int
+(** Checksum of a substring (default: the whole string), as an unsigned
+    32-bit value in an [int]. Raises [Invalid_argument] on an
+    out-of-bounds range. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** Streaming form: [update crc s ~pos ~len] extends a previous
+    checksum, with [update 0 s] ≡ [string s]. *)

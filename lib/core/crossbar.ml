@@ -24,6 +24,7 @@ let create rng ~inputs ~outputs =
 let inputs cb = cb.n_in
 let outputs cb = cb.n_out
 let params cb = [ cb.theta; cb.theta_b ]
+let named_params cb = [ ("theta", cb.theta); ("theta_b", cb.theta_b) ]
 
 let sample_eps ~draw cb =
   ( Variation.eps_for draw ~rows:cb.n_in ~cols:cb.n_out,

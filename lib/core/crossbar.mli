@@ -21,6 +21,10 @@ val outputs : t -> int
 val params : t -> Pnc_autodiff.Var.t list
 (** [theta; theta_b] — handed to the optimizer. *)
 
+val named_params : t -> (string * Pnc_autodiff.Var.t) list
+(** Stable checkpoint path names ([theta], [theta_b]); same order as
+    {!params}. *)
+
 val forward : draw:Variation.draw -> t -> Pnc_autodiff.Var.t -> Pnc_autodiff.Var.t
 (** Map a [batch x inputs] node to [batch x outputs]. A fresh ε sample
     is taken from [draw] per call (per Monte-Carlo sample). *)

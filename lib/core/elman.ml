@@ -29,9 +29,23 @@ let create ?(hidden = 8) rng ~inputs ~classes =
   }
 
 let hidden m = m.n_hidden
+let inputs m = m.n_in
+let classes m = m.n_classes
 
 let params m =
   [ m.l1.w; m.l1.u; m.l1.b; m.l2.w; m.l2.u; m.l2.b; m.w_out; m.b_out ]
+
+let named_params m =
+  [
+    ("l1/w", m.l1.w);
+    ("l1/u", m.l1.u);
+    ("l1/b", m.l1.b);
+    ("l2/w", m.l2.w);
+    ("l2/u", m.l2.u);
+    ("l2/b", m.l2.b);
+    ("w_out", m.w_out);
+    ("b_out", m.b_out);
+  ]
 
 let n_params m = List.fold_left (fun acc v -> acc + T.numel (Var.value v)) 0 (params m)
 

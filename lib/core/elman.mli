@@ -8,7 +8,14 @@ val create : ?hidden:int -> Pnc_util.Rng.t -> inputs:int -> classes:int -> t
 (** Default [hidden = 8]. *)
 
 val hidden : t -> int
+val inputs : t -> int
+val classes : t -> int
 val params : t -> Pnc_autodiff.Var.t list
+
+val named_params : t -> (string * Pnc_autodiff.Var.t) list
+(** Stable checkpoint path names ([l1/w] .. [b_out]); same order as
+    {!params}. *)
+
 val n_params : t -> int
 
 val forward : t -> Pnc_tensor.Tensor.t -> Pnc_autodiff.Var.t

@@ -27,6 +27,16 @@ let features f = f.n
 let params f =
   Array.to_list f.stages |> List.concat_map (fun s -> [ s.r_norm; s.c_norm ])
 
+let named_params f =
+  List.concat
+    (List.mapi
+       (fun i s ->
+         [
+           (Printf.sprintf "stage%d/r_norm" i, s.r_norm);
+           (Printf.sprintf "stage%d/c_norm" i, s.c_norm);
+         ])
+       (Array.to_list f.stages))
+
 type stage_real = { a : Var.t; b : Var.t; v0 : T.t }
 type realization = { stage_reals : stage_real array }
 

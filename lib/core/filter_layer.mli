@@ -24,6 +24,10 @@ val order : t -> order
 val features : t -> int
 val params : t -> Pnc_autodiff.Var.t list
 
+val named_params : t -> (string * Pnc_autodiff.Var.t) list
+(** Stable checkpoint path names ([stage<i>/r_norm], [stage<i>/c_norm]);
+    same order as {!params}. *)
+
 (** {1 Per-forward-pass realization}
 
     One physical sample of the filter bank: coefficient nodes with ε

@@ -5,6 +5,10 @@ let label = function
   | Reference _ -> "Elman RNN"
 
 let params = function Circuit net -> Network.params net | Reference m -> Elman.params m
+
+let named_params = function
+  | Circuit net -> Network.named_params net
+  | Reference m -> Elman.named_params m
 let n_params = function Circuit net -> Network.n_params net | Reference m -> Elman.n_params m
 
 let logits ?(draw = Variation.deterministic) t x =

@@ -7,6 +7,12 @@ type t = Circuit of Network.t | Reference of Elman.t
 val label : t -> string
 
 val params : t -> Pnc_autodiff.Var.t list
+
+val named_params : t -> (string * Pnc_autodiff.Var.t) list
+(** Stable checkpoint path names for every trainable parameter; same
+    order as {!params} (the persistence layer keys sections by these
+    paths). *)
+
 val n_params : t -> int
 
 val logits : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_autodiff.Var.t

@@ -40,6 +40,18 @@ let params net =
     (fun (cb, fl, act) -> Crossbar.params cb @ Filter_layer.params fl @ Ptanh.params act)
     net.layers
 
+let named_params net =
+  List.concat
+    (List.mapi
+       (fun i (cb, fl, act) ->
+         let under prefix ps =
+           List.map (fun (n, p) -> (Printf.sprintf "layer%d/%s/%s" i prefix n, p)) ps
+         in
+         under "crossbar" (Crossbar.named_params cb)
+         @ under "filter" (Filter_layer.named_params fl)
+         @ under "ptanh" (Ptanh.named_params act))
+       net.layers)
+
 let n_params net =
   List.fold_left (fun acc v -> acc + T.numel (Var.value v)) 0 (params net)
 

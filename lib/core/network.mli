@@ -29,6 +29,12 @@ val inputs : t -> int
 val classes : t -> int
 val hidden : t -> int
 val params : t -> Pnc_autodiff.Var.t list
+
+val named_params : t -> (string * Pnc_autodiff.Var.t) list
+(** Stable checkpoint path names
+    ([layer<i>/{crossbar,filter,ptanh}/<leaf>]); same order as
+    {!params}. *)
+
 val n_params : t -> int
 
 val layers : t -> (Crossbar.t * Filter_layer.t * Ptanh.t) list

@@ -18,6 +18,9 @@ let create rng ~features =
 let features a = a.n
 let params a = [ a.eta1; a.eta2; a.eta3; a.eta4 ]
 
+let named_params a =
+  [ ("eta1", a.eta1); ("eta2", a.eta2); ("eta3", a.eta3); ("eta4", a.eta4) ]
+
 let sample_eps ~draw a =
   Array.init 4 (fun _ -> Variation.eps_for draw ~rows:1 ~cols:a.n)
 

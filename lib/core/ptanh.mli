@@ -12,6 +12,10 @@ val create : Pnc_util.Rng.t -> features:int -> t
 val features : t -> int
 val params : t -> Pnc_autodiff.Var.t list
 
+val named_params : t -> (string * Pnc_autodiff.Var.t) list
+(** Stable checkpoint path names ([eta1] .. [eta4]); same order as
+    {!params}. *)
+
 val forward_const :
   eps:Pnc_tensor.Tensor.t array -> t -> Pnc_autodiff.Var.t -> Pnc_autodiff.Var.t
 (** [eps] holds four [1 x features] factors for η₁..η₄. *)

@@ -74,7 +74,10 @@ let restore params snap =
       done)
     params snap
 
-let train ?(rng = Rng.create ~seed:0) cfg model split =
+exception Killed of int
+
+let train ?(rng = Rng.create ~seed:0) ?checkpoint_every ?checkpoint_path ?resume_from
+    ?die_at_epoch cfg model split =
   Obs.Span.with_ "train" @@ fun () ->
   let x_train, y_train = to_xy split.Dataset.train in
   let x_val, y_val = to_xy split.Dataset.valid in
@@ -87,6 +90,35 @@ let train ?(rng = Rng.create ~seed:0) cfg model split =
   let train_curve = ref [] and val_curve = ref [] in
   let best = ref infinity and best_snap = ref (snapshot params) in
   let epoch = ref 0 and stop = ref false in
+  let rng =
+    match resume_from with
+    | None -> rng
+    | Some path ->
+        (* Restores model params, optimizer and scheduler in place;
+           curves are stored oldest-first, the refs hold newest-first. *)
+        let r = Persist.load_train_state ~path ~model ~opt ~sched in
+        let r = match r with Ok r -> r | Error e -> raise (Pnc_ckpt.Ckpt.Error e) in
+        epoch := r.Persist.r_epoch;
+        best := r.Persist.r_best;
+        best_snap := r.Persist.r_best_snap;
+        train_curve := List.rev (Array.to_list r.Persist.r_train_curve);
+        val_curve := List.rev (Array.to_list r.Persist.r_val_curve);
+        r.Persist.r_rng
+  in
+  let every = match checkpoint_every with Some k when k >= 1 -> k | _ -> 1 in
+  let maybe_checkpoint () =
+    match checkpoint_path with
+    | None -> ()
+    | Some path ->
+        if
+          !epoch mod every = 0 || !stop || !epoch = cfg.max_epochs
+          || die_at_epoch = Some !epoch
+        then
+          Persist.save_train_state ~path ~model ~opt ~sched ~rng ~epoch:!epoch ~best:!best
+            ~best_snap:!best_snap
+            ~train_curve:(Array.of_list (List.rev !train_curve))
+            ~val_curve:(Array.of_list (List.rev !val_curve))
+  in
   while (not !stop) && !epoch < cfg.max_epochs do
     incr epoch;
     Obs.Counter.incr epochs_counter;
@@ -125,7 +157,11 @@ let train ?(rng = Rng.create ~seed:0) cfg model split =
           ("seconds", Obs.Float dt);
         ]
     end;
-    match Scheduler.observe sched val_loss with `Stop -> stop := true | `Continue -> ()
+    (match Scheduler.observe sched val_loss with `Stop -> stop := true | `Continue -> ());
+    maybe_checkpoint ();
+    match die_at_epoch with
+    | Some e when e = !epoch -> raise (Killed !epoch)
+    | _ -> ()
   done;
   restore params !best_snap;
   if Obs.enabled () then

@@ -41,9 +41,34 @@ type history = {
 val to_xy : Pnc_data.Dataset.t -> Pnc_tensor.Tensor.t * int array
 (** Dataset to ([batch x time] tensor, labels). *)
 
-val train : ?rng:Pnc_util.Rng.t -> config -> Model.t -> Pnc_data.Dataset.split -> history
+exception Killed of int
+(** Raised by [train] right after writing the checkpoint for epoch [e]
+    when called with [~die_at_epoch:e] — a deterministic crash point
+    for the fault-injection tests and the resume demo. *)
+
+val train :
+  ?rng:Pnc_util.Rng.t ->
+  ?checkpoint_every:int ->
+  ?checkpoint_path:string ->
+  ?resume_from:string ->
+  ?die_at_epoch:int ->
+  config ->
+  Model.t ->
+  Pnc_data.Dataset.split ->
+  history
 (** Trains in place (the model's parameter tensors are mutated);
-    restores the best-validation snapshot before returning. *)
+    restores the best-validation snapshot before returning.
+
+    With [checkpoint_path], a ["train"] checkpoint is written
+    atomically every [checkpoint_every] epochs (default 1) and always
+    at the final epoch. With [resume_from], the loop state — including
+    the RNG stream position — is restored from that checkpoint before
+    the first epoch, and the run continues bit-identically with the
+    uninterrupted one: same per-epoch losses, same final parameters,
+    and a [history] covering the run from epoch 1. Raises
+    {!Pnc_ckpt.Ckpt.Error} if the resume checkpoint is corrupt or was
+    written for a different model. [die_at_epoch] raises {!Killed}
+    after that epoch's checkpoint is written. *)
 
 val accuracy : ?draw:Variation.draw -> Model.t -> Pnc_data.Dataset.t -> float
 (** Deterministic accuracy unless a draw is supplied. *)

@@ -67,6 +67,37 @@ let of_scale scale =
         datasets = all_datasets;
       }
 
+(* Canonical text over every field that affects the computation of one
+   grid cell (a dataset x variant x seed training run). Seeds, dataset
+   and variant lists, and [top_k] are deliberately excluded: they select
+   which cells run and how results aggregate, so changing them must not
+   invalidate cached cells. Floats are rendered %.17g (exact). *)
+
+let variation_fingerprint (v : Variation.spec) =
+  let dist =
+    match v.Variation.dist with
+    | Variation.Uniform -> "uniform"
+    | Variation.Gaussian -> "gaussian"
+    | Variation.Gmm { w1; m1; s1; m2; s2 } ->
+        Printf.sprintf "gmm(%.17g,%.17g,%.17g,%.17g,%.17g)" w1 m1 s1 m2 s2
+  in
+  Printf.sprintf "%s@%.17g" dist v.Variation.level
+
+let train_fingerprint (c : Train.config) =
+  Printf.sprintf
+    "lr=%.17g;lr_factor=%.17g;patience=%d;min_lr=%.17g;max_epochs=%d;mc=%d;mc_val=%d;var=%s;clip=%s;wd=%.17g"
+    c.Train.lr c.Train.lr_factor c.Train.patience c.Train.min_lr c.Train.max_epochs
+    c.Train.mc_samples c.Train.mc_samples_val
+    (variation_fingerprint c.Train.variation)
+    (match c.Train.grad_clip with None -> "none" | Some g -> Printf.sprintf "%.17g" g)
+    c.Train.weight_decay
+
+let fingerprint t =
+  Printf.sprintf "cell-v1|base{%s}|va{%s}|aug_copies=%d;eval_draws=%d;eval_level=%.17g;dataset_n=%s"
+    (train_fingerprint t.train_base) (train_fingerprint t.train_va) t.aug_copies t.eval_draws
+    t.eval_level
+    (match t.dataset_n with None -> "default" | Some n -> string_of_int n)
+
 let scale_of_string = function
   | "smoke" -> Smoke
   | "fast" -> Fast

@@ -26,5 +26,13 @@ val scale_of_string : string -> scale
 
 val scale_name : scale -> string
 
+val fingerprint : t -> string
+(** Canonical text over every field that affects one grid cell's
+    computation (both train budgets including their variation specs,
+    augmentation copies, evaluation draws/level, dataset sizing).
+    Fields that only select or aggregate cells — seeds, dataset and
+    variant lists, [top_k] — are excluded, so reshaping the grid reuses
+    cached cells. The cell cache keys on the digest of this string. *)
+
 val from_env : unit -> t
 (** Reads the ADAPT_PNC_SCALE environment variable (default fast). *)

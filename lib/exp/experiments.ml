@@ -12,6 +12,9 @@ module Variation = Pnc_core.Variation
 module Hardware = Pnc_core.Hardware
 module Coupling = Pnc_core.Coupling
 module Obs = Pnc_obs.Obs
+module Json = Pnc_obs.Obs.Json
+module Ckpt = Pnc_ckpt.Ckpt
+module Persist = Pnc_core.Persist
 
 type variant = Reference | Base | Va | At | So_lf | Full
 
@@ -22,6 +25,25 @@ let variant_name = function
   | At -> "AT"
   | So_lf -> "SO-LF"
   | Full -> "VA+SO-LF+AT"
+
+(* Stable lowercase tags for cache keys and checkpoint metadata (the
+   display names above carry spaces and parentheses). *)
+let variant_tag = function
+  | Reference -> "reference"
+  | Base -> "base"
+  | Va -> "va"
+  | At -> "at"
+  | So_lf -> "so_lf"
+  | Full -> "full"
+
+let variant_of_tag = function
+  | "reference" -> Some Reference
+  | "base" -> Some Base
+  | "va" -> Some Va
+  | "at" -> Some At
+  | "so_lf" -> Some So_lf
+  | "full" -> Some Full
+  | _ -> None
 
 let table1_variants = [ Reference; Base; Full ]
 let fig7_variants = [ Base; Va; At; So_lf; Full ]
@@ -64,7 +86,8 @@ let build_model cfg ~variant ~classes ~seed =
       Model.Circuit
         (Network.create ~hidden:(adapt_hidden ~classes) rng Network.Adapt ~inputs:1 ~classes)
 
-let train_run ?pool cfg ~dataset ~variant ~seed =
+let train_run ?pool ?checkpoint_every ?checkpoint_path ?resume_from ?die_at_epoch cfg ~dataset
+    ~variant ~seed =
   let split, classes = load_split cfg ~dataset ~seed in
   let model = build_model cfg ~variant ~classes ~seed in
   let train_cfg =
@@ -83,7 +106,9 @@ let train_run ?pool cfg ~dataset ~variant ~seed =
   in
   let rng = Rng.create ~seed:(seed + 3000) in
   let (history, dt) =
-    Pnc_util.Timer.time (fun () -> Train.train ~rng train_cfg model split_for_training)
+    Pnc_util.Timer.time (fun () ->
+        Train.train ~rng ?checkpoint_every ?checkpoint_path ?resume_from ?die_at_epoch
+          train_cfg model split_for_training)
   in
   (* Evaluation protocols. The circuit models are evaluated under +-10%
      component variation; the reference RNN has no physical components. *)
@@ -113,8 +138,93 @@ let train_run ?pool cfg ~dataset ~variant ~seed =
     epochs = history.Train.epochs_run;
   }
 
-let run_grid ?(progress = fun _ -> ()) ?pool cfg ~variants =
+(* On-disk cell cache ---------------------------------------------------- *)
+
+let cache_hits_counter = Obs.Counter.make "grid.cache_hits"
+
+(* One file per (config fingerprint, dataset, variant, seed); reshaping
+   the grid (seeds, datasets, variants) reuses cells, any change to a
+   cell-affecting knob changes the digest. *)
+let cell_digest cfg ~dataset ~variant ~seed =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [ Config.fingerprint cfg; dataset; variant_tag variant; string_of_int seed ]))
+
+let cell_path ~dir cfg ~dataset ~variant ~seed =
+  Filename.concat dir ("cell-" ^ cell_digest cfg ~dataset ~variant ~seed ^ ".ckpt")
+
+let metric_names =
+  [ "clean_acc"; "clean_var_acc"; "aug_var_acc"; "pert_var_acc"; "train_seconds"; "epochs" ]
+
+let save_cell ~path cfg (r : run) =
+  let meta =
+    Persist.model_meta r.model
+    @ [
+        ("dataset", Json.String r.dataset);
+        ("variant", Json.String (variant_tag r.variant));
+        ("seed", Json.Num (float_of_int r.seed));
+        ("fingerprint", Json.String (Config.fingerprint cfg));
+      ]
+  in
+  let metrics =
+    [|
+      r.clean_acc; r.clean_var_acc; r.aug_var_acc; r.pert_var_acc; r.train_seconds;
+      float_of_int r.epochs;
+    |]
+  in
+  Ckpt.save ~path ~kind:"grid-cell" ~meta
+    ~sections:
+      (Persist.param_sections r.model
+      @ [ ("metrics", Ckpt.F64 { rows = 1; cols = List.length metric_names; data = metrics }) ])
+
+(* [None] on any failure — a missing, corrupt or stale cache entry means
+   the cell is recomputed (and rewritten), never trusted. *)
+let load_cell ~path cfg ~dataset ~variant ~seed =
+  let ( let* ) o f = match o with Some v -> f v | None -> None in
+  let* ck = match Ckpt.load ~path with Ok ck -> Some ck | Error _ -> None in
+  let* () = if ck.Ckpt.kind = "grid-cell" then Some () else None in
+  let check field expect =
+    if Ckpt.meta_field ck field = Some (Json.String expect) then Some () else None
+  in
+  let* () = check "fingerprint" (Config.fingerprint cfg) in
+  let* () = check "dataset" dataset in
+  let* () = check "variant" (variant_tag variant) in
+  let* () =
+    if Ckpt.meta_field ck "seed" = Some (Json.Num (float_of_int seed)) then Some () else None
+  in
+  let* model = match Persist.model_of_meta ck.Ckpt.meta with Ok m -> Some m | Error _ -> None in
+  let* () =
+    match Persist.load_params_into model ck with Ok () -> Some () | Error _ -> None
+  in
+  let* m =
+    match Ckpt.f64 ck "metrics" with
+    | Ok m when Array.length m = List.length metric_names -> Some m
+    | _ -> None
+  in
+  Some
+    {
+      dataset;
+      variant;
+      seed;
+      model;
+      clean_acc = m.(0);
+      clean_var_acc = m.(1);
+      aug_var_acc = m.(2);
+      pert_var_acc = m.(3);
+      train_seconds = m.(4);
+      epochs = int_of_float m.(5);
+    }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let run_grid ?(progress = fun _ -> ()) ?pool ?cache_dir cfg ~variants =
   Obs.Span.with_ "grid" @@ fun () ->
+  Option.iter mkdir_p cache_dir;
   List.concat_map
     (fun dataset ->
       List.concat_map
@@ -133,7 +243,32 @@ let run_grid ?(progress = fun _ -> ()) ?pool cfg ~variants =
                 else []
               in
               Obs.Span.with_ ~attrs "grid.cell" @@ fun () ->
+              let cached =
+                match cache_dir with
+                | None -> None
+                | Some dir ->
+                    let path = cell_path ~dir cfg ~dataset ~variant ~seed in
+                    let r = load_cell ~path cfg ~dataset ~variant ~seed in
+                    if r <> None then begin
+                      Obs.Counter.incr cache_hits_counter;
+                      if Obs.enabled () then
+                        Obs.emit "grid.cell.cached"
+                          [
+                            ("path", Obs.Str path);
+                            ("dataset", Obs.Str dataset);
+                            ("variant", Obs.Str (variant_tag variant));
+                            ("seed", Obs.Int seed);
+                          ]
+                    end;
+                    r
+              in
+              match cached with
+              | Some r -> r
+              | None ->
               let r = train_run ?pool cfg ~dataset ~variant ~seed in
+              (match cache_dir with
+              | Some dir -> save_cell ~path:(cell_path ~dir cfg ~dataset ~variant ~seed) cfg r
+              | None -> ());
               if Obs.enabled () then
                 Obs.emit "grid.result"
                   [

@@ -12,6 +12,15 @@
 type variant = Reference | Base | Va | At | So_lf | Full
 
 val variant_name : variant -> string
+
+val variant_tag : variant -> string
+(** Stable lowercase identifier used in cache keys and checkpoint
+    metadata (["reference"], ["base"], ["va"], ["at"], ["so_lf"],
+    ["full"]). *)
+
+val variant_of_tag : string -> variant option
+(** Inverse of {!variant_tag}. *)
+
 val table1_variants : variant list
 (** [Reference; Base; Full]. *)
 
@@ -32,18 +41,42 @@ type run = {
 }
 
 val train_run :
-  ?pool:Pnc_util.Pool.t -> Config.t -> dataset:string -> variant:variant -> seed:int -> run
+  ?pool:Pnc_util.Pool.t ->
+  ?checkpoint_every:int ->
+  ?checkpoint_path:string ->
+  ?resume_from:string ->
+  ?die_at_epoch:int ->
+  Config.t ->
+  dataset:string ->
+  variant:variant ->
+  seed:int ->
+  run
 (** Training itself stays on the (sequential) autodiff path; [pool]
     parallelizes the Monte-Carlo evaluation protocols with
-    worker-count-invariant results. *)
+    worker-count-invariant results. The checkpoint arguments are passed
+    through to {!Pnc_core.Train.train}. *)
+
+val cell_path :
+  dir:string -> Config.t -> dataset:string -> variant:variant -> seed:int -> string
+(** Cache file for one grid cell: [dir/cell-<md5hex>.ckpt], where the
+    digest covers {!Config.fingerprint} plus (dataset, variant, seed). *)
 
 val run_grid :
   ?progress:(string -> unit) ->
   ?pool:Pnc_util.Pool.t ->
+  ?cache_dir:string ->
   Config.t ->
   variants:variant list ->
   run list
-(** All datasets × variants × seeds of the config. *)
+(** All datasets × variants × seeds of the config.
+
+    With [cache_dir] (created if missing), every computed cell is
+    written to {!cell_path} as a ["grid-cell"] checkpoint (model
+    parameters + metrics) and subsequent runs load it back bit-identical
+    instead of retraining — emitting a [grid.cell.cached] event. A
+    missing, corrupt or stale entry (any decode error, or a fingerprint
+    / dataset / variant / seed mismatch) is silently recomputed and
+    rewritten, never trusted. *)
 
 (** {1 Artifacts} *)
 

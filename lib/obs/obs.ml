@@ -427,6 +427,44 @@ module Json = struct
   let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
   let to_float = function Num v -> v | _ -> failwith "Json.to_float: not a number"
 
+  (* Writer: the inverse of [parse] for every value this library
+     produces. Numbers print with %.17g (integral floats render without
+     a decimal point, so [to_int] round-trips); output is deterministic
+     byte-for-byte — the checkpoint format relies on that for its
+     byte-stability guarantee. *)
+  let render v =
+    let b = Buffer.create 256 in
+    let rec go = function
+      | Null -> Buffer.add_string b "null"
+      | Bool x -> Buffer.add_string b (if x then "true" else "false")
+      | Num x -> json_float b x
+      | String s ->
+          Buffer.add_char b '"';
+          json_escape b s;
+          Buffer.add_char b '"'
+      | List xs ->
+          Buffer.add_char b '[';
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_char b ',';
+              go x)
+            xs;
+          Buffer.add_char b ']'
+      | Obj kvs ->
+          Buffer.add_char b '{';
+          List.iteri
+            (fun i (k, x) ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_char b '"';
+              json_escape b k;
+              Buffer.add_string b "\":";
+              go x)
+            kvs;
+          Buffer.add_char b '}'
+    in
+    go v;
+    Buffer.contents b
+
   let to_int = function
     | Num v when Float.is_integer v -> int_of_float v
     | _ -> failwith "Json.to_int: not an integral number"

@@ -165,4 +165,12 @@ module Json : sig
 
   val to_string : t -> string
   (** [String]; raises [Failure] otherwise. *)
+
+  val render : t -> string
+  (** Serialize a value as compact JSON, the inverse of {!parse}.
+      Deterministic byte-for-byte (object order is preserved, floats
+      print with [%.17g] so they round-trip exactly); non-finite
+      numbers render as [null] — keep them out of values that must
+      round-trip (the checkpoint headers built on this writer store
+      possibly-infinite floats in payload sections instead). *)
 end

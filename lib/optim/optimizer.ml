@@ -88,6 +88,45 @@ let step t ~lr =
 let zero_grads t = Array.iter Var.zero_grad t.params
 let params t = Array.to_list t.params
 
+(* State persistence: everything the update rule accumulates across
+   steps, exposed as named per-parameter slot arrays so checkpoints can
+   store them next to the parameters they belong to. *)
+
+let algo_name t = match t.algo with Sgd _ -> "sgd" | Adam _ -> "adam"
+let step_count t = match t.algo with Sgd _ -> 0 | Adam a -> a.step_count
+
+let slots t =
+  match t.algo with
+  | Sgd { velocity; _ } -> [ ("velocity", Array.map Array.copy velocity) ]
+  | Adam a -> [ ("m", Array.map Array.copy a.m); ("v", Array.map Array.copy a.v) ]
+
+let restore_slot ~what dst src =
+  if Array.length dst <> Array.length src then
+    invalid_arg (Printf.sprintf "Optimizer.restore: %s has %d parameter slots, expected %d"
+                   what (Array.length src) (Array.length dst));
+  Array.iteri
+    (fun i d ->
+      if Array.length d <> Array.length src.(i) then
+        invalid_arg (Printf.sprintf "Optimizer.restore: %s slot %d has %d entries, expected %d"
+                       what i (Array.length src.(i)) (Array.length d)))
+    dst;
+  Array.iteri (fun i d -> Array.blit src.(i) 0 d 0 (Array.length d)) dst
+
+let restore t ~step_count:n ~slots:sl =
+  let slot what = match List.assoc_opt what sl with
+    | Some a -> a
+    | None -> invalid_arg ("Optimizer.restore: missing slot " ^ what)
+  in
+  match t.algo with
+  | Sgd { velocity; _ } ->
+      if n <> 0 then invalid_arg "Optimizer.restore: sgd carries no step count";
+      restore_slot ~what:"velocity" velocity (slot "velocity")
+  | Adam a ->
+      if n < 0 then invalid_arg "Optimizer.restore: negative step count";
+      restore_slot ~what:"m" a.m (slot "m");
+      restore_slot ~what:"v" a.v (slot "v");
+      a.step_count <- n
+
 let grad_norm t =
   let acc = ref 0. in
   Array.iter

@@ -29,6 +29,28 @@ val step : t -> lr:float -> unit
 val zero_grads : t -> unit
 val params : t -> Pnc_autodiff.Var.t list
 
+(** {1 State persistence}
+
+    Everything the update rule accumulates across steps — exposed so a
+    checkpoint can capture an optimizer mid-run and {!restore} can make
+    a fresh optimizer continue bit-identically. *)
+
+val algo_name : t -> string
+(** ["sgd"] or ["adam"] (AdamW is Adam with nonzero decay; the decay
+    itself is configuration, not accumulated state). *)
+
+val step_count : t -> int
+(** Adam's bias-correction step counter; [0] for SGD. *)
+
+val slots : t -> (string * float array array) list
+(** Copies of the per-parameter accumulator arrays, in parameter order:
+    [["velocity"]] for SGD, [["m"; "v"]] for Adam/AdamW. *)
+
+val restore : t -> step_count:int -> slots:(string * float array array) list -> unit
+(** Overwrite the accumulators in place. Raises [Invalid_argument] on a
+    missing slot or any shape mismatch with the optimizer's parameters
+    (nothing is partially written before validation of each slot). *)
+
 val grad_norm : t -> float
 (** Global L2 norm of all parameter gradients. *)
 

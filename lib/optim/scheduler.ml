@@ -15,6 +15,17 @@ let plateau ?(factor = 0.5) ?(patience = 100) ?(min_lr = 1e-5) ?(threshold = 1e-
 let lr t = t.lr
 let best t = t.best
 
+type snapshot = { s_lr : float; s_best : float; s_bad_epochs : int }
+
+let snapshot t = { s_lr = t.lr; s_best = t.best; s_bad_epochs = t.bad_epochs }
+
+let restore t s =
+  if not (s.s_lr > 0.) || s.s_bad_epochs < 0 then
+    invalid_arg "Scheduler.restore: invalid snapshot";
+  t.lr <- s.s_lr;
+  t.best <- s.s_best;
+  t.bad_epochs <- s.s_bad_epochs
+
 let observe t loss =
   if loss < t.best -. t.threshold then begin
     t.best <- loss;

@@ -22,3 +22,17 @@ val observe : t -> float -> [ `Continue | `Stop ]
 val best : t -> float
 (** Best validation loss seen so far ([infinity] before the first
     observation). *)
+
+(** {1 State persistence} *)
+
+type snapshot = { s_lr : float; s_best : float; s_bad_epochs : int }
+(** The schedule's mutable state (the static knobs — factor, patience,
+    min_lr, threshold — are configuration and travel with the training
+    config, not the snapshot). *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Overwrite the mutable state so a fresh scheduler continues exactly
+    where the captured one stopped. Raises [Invalid_argument] on a
+    non-positive learning rate or negative patience counter. *)

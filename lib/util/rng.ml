@@ -18,6 +18,24 @@ let split_n t n =
       Random.State.make [| a; b; i; (i * 0x9e3779b9) lxor a lxor (b lsl 5) |])
 
 let copy = Random.State.copy
+
+(* State persistence. [Random.State.t] is opaque, so the byte image is
+   produced by [Marshal] (stable and deterministic for a given state:
+   the LXM state is a flat block of integers). The image is only ever
+   read back from checksummed checkpoint sections, so [of_bytes] never
+   sees corrupted input in normal operation; it still re-validates the
+   round-trip so garbage fed to it directly fails loudly instead of
+   yielding a silently wrong stream. *)
+let to_bytes t = Marshal.to_string (t : Random.State.t) []
+
+let of_bytes s =
+  let t =
+    try (Marshal.from_string s 0 : Random.State.t)
+    with _ -> invalid_arg "Rng.of_bytes: not a serialized generator state"
+  in
+  if not (String.equal (to_bytes t) s) then
+    invalid_arg "Rng.of_bytes: not a serialized generator state";
+  t
 let int t n = Random.State.int t n
 let float t x = Random.State.float t x
 let uniform t ~lo ~hi = lo +. Random.State.float t (hi -. lo)

@@ -28,6 +28,20 @@ val split_n : t -> int -> t array
 val copy : t -> t
 (** Snapshot of the generator state. *)
 
+val to_bytes : t -> string
+(** Opaque byte image of the full generator state. Deterministic: equal
+    states produce equal strings (so state equality can be tested by
+    string comparison), and {!of_bytes} restores a generator whose
+    future stream is bit-identical to the captured one's. Used by the
+    checkpoint layer to make interrupted training resumable with exact
+    stream continuity. *)
+
+val of_bytes : string -> t
+(** Inverse of {!to_bytes}. Raises [Invalid_argument] when the bytes
+    are not a serialized state. Intended for data whose integrity is
+    already guaranteed (checkpoint sections are CRC-checked before this
+    is called); the validation here is a backstop, not a parser. *)
+
 val int : t -> int -> int
 (** [int t n] is uniform on [0, n). Requires [n > 0]. *)
 

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Crash-and-resume demonstration: train a model straight through, then
+# train the same configuration with a simulated crash mid-run and
+# resume it from the checkpoint. The two final model checkpoints must
+# be byte-identical — resume is exact, not approximate.
+#
+# Usage: scripts/resume_demo.sh [OUTDIR]
+# (OUTDIR defaults to a fresh temp directory; it keeps the checkpoints
+# so CI can upload one as an artifact.)
+set -eu
+
+OUT=${1:-$(mktemp -d "${TMPDIR:-/tmp}/resume-demo-XXXXXX")}
+DATASET=${DATASET:-GPOVY}
+SCALE=${SCALE:-smoke}
+DIE_AT=${DIE_AT:-3}
+CLI="dune exec --no-print-directory bin/adapt_pnc.exe --"
+
+mkdir -p "$OUT/straight" "$OUT/crashed"
+
+echo "== resume demo: $DATASET @ $SCALE scale, crash after epoch $DIE_AT =="
+
+echo "-- straight run --"
+$CLI train -d "$DATASET" --scale "$SCALE" --checkpoint-dir "$OUT/straight"
+
+echo "-- crashed run (dies after epoch $DIE_AT) --"
+$CLI train -d "$DATASET" --scale "$SCALE" --checkpoint-dir "$OUT/crashed" \
+  --die-at-epoch "$DIE_AT"
+
+echo "-- resumed run --"
+$CLI train -d "$DATASET" --scale "$SCALE" --checkpoint-dir "$OUT/crashed" \
+  --resume
+
+echo "-- comparing final checkpoints --"
+cmp "$OUT/straight/model.ckpt" "$OUT/crashed/model.ckpt"
+cmp "$OUT/straight/train.ckpt" "$OUT/crashed/train.ckpt"
+echo "OK: crash-at-epoch-$DIE_AT + resume is byte-identical to the straight run"
+
+echo "-- checkpoint header ($OUT/straight/model.ckpt) --"
+$CLI ckpt inspect "$OUT/straight/model.ckpt"
