@@ -6,10 +6,16 @@ JOBS ?= 4
 
 # BENCH_OUT streams every bench section (plus a final metrics
 # snapshot) as JSON Lines alongside the human-readable report.
-BENCH_OUT ?= docs/bench_pr3.json
+BENCH_OUT ?= docs/bench_pr5.json
+
+# BATCH, when set, is exported as ADAPT_PNC_BATCH: the block size of
+# the batched no-grad evaluation path (see docs/BATCHING.md). Results
+# are bit-identical for every block size (the batch-parity suite
+# enforces this); only memory traffic and wall-clock change.
+BATCH ?=
 
 check:
-	dune build && POOL_SIZE=$(JOBS) dune runtest
+	dune build && POOL_SIZE=$(JOBS) ADAPT_PNC_BATCH=$(BATCH) dune runtest
 
 bench:
 	dune build bench/main.exe && \

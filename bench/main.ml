@@ -144,6 +144,92 @@ let bench_eval_throughput cfg =
   Printf.printf "  speedup                      %8.2fx\n" (t_var /. t_fast);
   emit_throughput "var" t_var;
   emit_throughput "tensor" t_fast;
+
+  (* Batched vs single-sample no-grad path. Three regimes over the same
+     protocol:
+     - single-sample: one [forward_t] call per series — the scalar
+       client loop the batched engine replaces. Evaluating one physical
+       instance sample by sample forces the caller to replay the draw
+       (copy the stream) for every series, so each call pays a full
+       realization on top of the [1 x time] kernels.
+     - chunked block=1: [predict_batch ~batch_size:1] — realize once,
+       then per-sample row blocks through the blocked kernels.
+     - batched: the whole split as one block (t_fast above).
+     All three produce bit-identical predictions (checked below); only
+     throughput changes. *)
+  let rows = Pnc_tensor.Tensor.rows x in
+  let scalar_predict ~rng_draw =
+    Array.init rows (fun i ->
+        (* Same physical instance for every series: replay the draw's
+           stream per call, as a scalar consumer must. *)
+        let draw = Pnc_core.Variation.make_draw (Pnc_util.Rng.copy rng_draw) spec in
+        (Pnc_core.Network.predict ~draw net
+           (Pnc_tensor.Tensor.rows_view x ~row:i ~len:1)).(0))
+  in
+  let eval_scalar () =
+    let r = Pnc_util.Rng.create ~seed:7 in
+    for _ = 1 to n_draws do
+      let pred = scalar_predict ~rng_draw:r in
+      (* Advance the parent stream exactly like [make_draw] + realize
+         does on the batched paths. *)
+      ignore (Pnc_core.Network.predict ~draw:(Pnc_core.Variation.make_draw r spec) net
+                (Pnc_tensor.Tensor.rows_view x ~row:0 ~len:1));
+      ignore (Pnc_util.Stats.accuracy ~pred ~truth:y)
+    done
+  in
+  let eval_chunked =
+    eval_with (fun ~draw -> Pnc_core.Network.predict_batch ~batch_size:1 ~draw net x)
+  in
+  eval_scalar ();
+  eval_chunked ();
+  let t_scalar = Pnc_util.Timer.time_mean ~repeats:3 eval_scalar in
+  let t_chunked = Pnc_util.Timer.time_mean ~repeats:3 eval_chunked in
+  let batch_parity =
+    let r1 = Pnc_util.Rng.create ~seed:7
+    and r2 = Pnc_util.Rng.create ~seed:7
+    and r3 = Pnc_util.Rng.create ~seed:7 in
+    let ok = ref true in
+    for _ = 1 to n_draws do
+      let scalar = scalar_predict ~rng_draw:r1 in
+      (* Advance r1's stream by one realization, like the other paths. *)
+      ignore
+        (Pnc_core.Network.predict ~draw:(Pnc_core.Variation.make_draw r1 spec) net
+           (Pnc_tensor.Tensor.rows_view x ~row:0 ~len:1));
+      let whole = Pnc_core.Network.predict ~draw:(Pnc_core.Variation.make_draw r2 spec) net x in
+      let chunked =
+        Pnc_core.Network.predict_batch ~batch_size:1
+          ~draw:(Pnc_core.Variation.make_draw r3 spec) net x
+      in
+      if scalar <> whole || chunked <> whole then ok := false
+    done;
+    !ok
+  in
+  let emit_batch path batch_size t =
+    if Obs.enabled () then
+      Obs.emit "bench.batch"
+        [
+          ("path", Obs.Str path);
+          ("batch_size", Obs.Int batch_size);
+          ("rows", Obs.Int rows);
+          ("draws", Obs.Int n_draws);
+          ("seconds", Obs.Float t);
+          ("draws_per_s", Obs.Float (1. /. per_draw t));
+          ("speedup_vs_single", Obs.Float (t_scalar /. t));
+          ("parity", Obs.Str (if batch_parity then "ok" else "VIOLATION"));
+        ]
+  in
+  Printf.printf "  single-sample scalar loop    %8.1f draws/s (%s per draw)\n"
+    (1. /. per_draw t_scalar)
+    (Pnc_util.Timer.fmt_seconds (per_draw t_scalar));
+  Printf.printf "  chunked (batch 1)            %8.1f draws/s (%s per draw)\n"
+    (1. /. per_draw t_chunked)
+    (Pnc_util.Timer.fmt_seconds (per_draw t_chunked));
+  Printf.printf "  batched speedup              %8.2fx over single-sample (%d rows/block)%s\n"
+    (t_scalar /. t_fast) rows
+    (if batch_parity then "" else "  PARITY VIOLATION");
+  emit_batch "single" 1 t_scalar;
+  emit_batch "chunked" 1 t_chunked;
+  emit_batch "batched" rows t_fast;
   let t_epoch =
     Pnc_core.Train.epoch_seconds cfg.Config.train_va (Pnc_core.Model.Circuit net) split
   in
@@ -217,6 +303,18 @@ let run_all () =
         ("jobs", Obs.Int jobs);
         ("cores", Obs.Int (Domain.recommended_domain_count ()));
       ];
+  (* ADAPT_PNC_BENCH_ONLY=eval runs just the eval-throughput section
+     (the batched-vs-scalar comparison CI uploads as an artifact) and
+     skips the training grid. *)
+  (match Sys.getenv_opt "ADAPT_PNC_BENCH_ONLY" with
+  | Some s when String.trim (String.lowercase_ascii s) = "eval" ->
+      Printf.printf "ADAPT-pNC benchmark harness (scale: %s, eval section only)\n\n"
+        (Config.scale_name cfg.Config.scale);
+      bench_eval_throughput cfg;
+      Obs.emit_metrics ();
+      print_endline "done.";
+      exit 0
+  | _ -> ());
   let pool = Pnc_util.Pool.create ~size:jobs () in
   Printf.printf "ADAPT-pNC benchmark harness (scale: %s, %d datasets, seeds: %d, eval workers: %d)\n\n"
     (Config.scale_name cfg.Config.scale)

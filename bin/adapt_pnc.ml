@@ -207,7 +207,16 @@ let eval_cmd =
     let doc = "Component variation level (0.1 = ±10%)." in
     Arg.(value & opt float 0.1 & info [ "level" ] ~docv:"L" ~doc)
   in
-  let run load dataset seed scale draws level jobs metrics_out trace =
+  let batch_size_arg =
+    let doc =
+      "Evaluation batch size (rows per kernel call on the batched no-grad path). 0 or \
+       negative means the whole test split as one block; results are identical for every \
+       value — this is a throughput knob only."
+    in
+    Arg.(value & opt int 0 & info [ "batch-size" ] ~docv:"N" ~doc)
+  in
+  let run load dataset seed scale draws level batch jobs metrics_out trace =
+    let batch_size = if batch > 0 then Some batch else None in
     check_dataset dataset;
     let cfg = config_of ~scale in
     let model =
@@ -225,22 +234,22 @@ let eval_cmd =
             Printf.printf "%s on %s (test set, seed %d)\n"
               (Pnc_core.Model.label model) dataset seed;
             Printf.printf "accuracy, clean:            %.3f\n"
-              (Pnc_core.Train.accuracy model test);
+              (Pnc_core.Train.accuracy ?batch_size model test);
             if Pnc_core.Model.is_circuit model then
               Printf.printf "accuracy, ±%.0f%% components: %.3f (%d draws)\n"
                 (100. *. level)
-                (Pnc_core.Train.accuracy_under_variation ?pool
+                (Pnc_core.Train.accuracy_under_variation ?batch_size ?pool
                    ~rng:(Rng.create ~seed:(seed + 4000))
                    ~spec:(Pnc_core.Variation.uniform level) ~draws model test)
                 draws))
   in
   Cmd.v
     (Cmd.info "eval"
-       ~doc:"Evaluate a checkpointed model on a dataset (no-grad fast path), clean and under \
-             variation.")
+       ~doc:"Evaluate a checkpointed model on a dataset (batched no-grad fast path), clean \
+             and under variation.")
     Term.(
       const run $ load_arg $ dataset_arg $ seed_arg $ scale_arg $ draws_arg $ level_arg
-      $ jobs_arg $ metrics_out_arg $ trace_arg)
+      $ batch_size_arg $ jobs_arg $ metrics_out_arg $ trace_arg)
 
 (* ckpt ---------------------------------------------------------------------- *)
 

@@ -1,0 +1,60 @@
+(* Batch-size resolution and telemetry for the batched no-grad
+   evaluation path (see docs/BATCHING.md).
+
+   The block size is a pure performance knob: every batched forward
+   realizes the variation draw once and then chunks the batch through
+   row views, so results are bit-identical for any block size. That is
+   why the knob deliberately stays out of Config.fingerprint — grid
+   cache entries remain valid whatever ADAPT_PNC_BATCH is set to. *)
+
+module Obs = Pnc_obs.Obs
+module Clock = Pnc_obs.Clock
+
+let samples_counter = Obs.Counter.make "eval.batch.samples"
+let blocks_counter = Obs.Counter.make "eval.batch.blocks"
+let seconds_hist = Obs.Histogram.make "eval.batch_seconds"
+
+let env_default () =
+  match Sys.getenv_opt "ADAPT_PNC_BATCH" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> Some n
+      | _ -> None)
+
+let resolve ?batch_size ~n () =
+  let requested =
+    match batch_size with Some _ -> batch_size | None -> env_default ()
+  in
+  match requested with
+  | Some b when b > 0 -> Stdlib.min b (Stdlib.max 1 n)
+  | _ -> Stdlib.max 1 n
+
+let start () = if Obs.enabled () then Clock.now () else 0.
+
+let record ~block ~rows ~blocks ~t0 =
+  Obs.Counter.add samples_counter rows;
+  Obs.Counter.add blocks_counter blocks;
+  if Obs.enabled () then begin
+    let dt = Clock.elapsed t0 in
+    Obs.Histogram.observe seconds_hist dt;
+    Obs.emit "eval.batch"
+      [
+        ("batch_size", Obs.Int block);
+        ("rows", Obs.Int rows);
+        ("blocks", Obs.Int blocks);
+        ("seconds", Obs.Float dt);
+        ("rows_per_s", Obs.Float (float_of_int rows /. Float.max dt 1e-9));
+      ]
+  end
+
+let chunked ~rows ~block f =
+  let blocks = ref 0 in
+  let r0 = ref 0 in
+  while !r0 < rows do
+    let len = Stdlib.min block (rows - !r0) in
+    f ~row:!r0 ~len;
+    incr blocks;
+    r0 := !r0 + len
+  done;
+  !blocks

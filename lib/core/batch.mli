@@ -1,0 +1,32 @@
+(** Batch-size resolution and telemetry for the batched no-grad
+    evaluation path.
+
+    Every [*_batch_t] forward takes a [?batch_size] knob resolved here:
+    an explicit argument wins, otherwise the [ADAPT_PNC_BATCH]
+    environment variable (a positive integer), otherwise the whole
+    split runs as one block. The knob only chooses how many rows each
+    kernel call carries — the variation draw is realized once per
+    forward and shared across blocks, so results are bit-identical for
+    every block size (enforced by test/test_batch.ml). It is therefore
+    deliberately excluded from {!Pnc_exp.Config.fingerprint}. *)
+
+val env_default : unit -> int option
+(** [ADAPT_PNC_BATCH] parsed as a positive block size, if set. *)
+
+val resolve : ?batch_size:int -> n:int -> unit -> int
+(** Effective block size for a batch of [n] rows: [batch_size] if given
+    and positive, else {!env_default}, else [n]; clamped to [1, max 1 n]. *)
+
+val chunked : rows:int -> block:int -> (row:int -> len:int -> unit) -> int
+(** [chunked ~rows ~block f] calls [f] once per consecutive row block
+    (the final block may be ragged) and returns the block count. *)
+
+val start : unit -> float
+(** Clock origin for {!record}; reads the clock only when the
+    observability sink is enabled. *)
+
+val record : block:int -> rows:int -> blocks:int -> t0:float -> unit
+(** Account one batched forward: bumps the [eval.batch.samples] /
+    [eval.batch.blocks] counters (always), and — with an enabled sink —
+    observes [eval.batch_seconds] and emits an [eval.batch] event with
+    the throughput. *)

@@ -90,4 +90,24 @@ let forward_t m x =
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
   forward_multi_t m steps
 
+(* Batched twin: the recurrence carries rows independently (matmuls by
+   fixed weights + row-broadcast biases), so chunking the batch through
+   zero-copy row views is bit-identical to one whole-batch forward for
+   any batch size. *)
+let forward_batch_t ?batch_size m x =
+  let rows = T.rows x in
+  let block = Batch.resolve ?batch_size ~n:rows () in
+  let steps = Array.init (T.cols x) (fun k -> T.col x k) in
+  let t0 = Batch.start () in
+  let out = T.zeros ~rows ~cols:m.n_classes in
+  let blocks =
+    Batch.chunked ~rows ~block (fun ~row ~len ->
+        let sub = Array.map (fun s -> T.rows_view s ~row ~len) steps in
+        T.blit_into ~dst:(T.rows_view out ~row ~len) (forward_multi_t m sub))
+  in
+  Batch.record ~block ~rows ~blocks ~t0;
+  out
+
 let predict m x = T.argmax_rows (forward_t m x)
+
+let predict_batch ?batch_size m x = T.argmax_rows (forward_batch_t ?batch_size m x)

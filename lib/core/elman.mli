@@ -29,5 +29,12 @@ val forward_t : t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
 
 val forward_multi_t : t -> Pnc_tensor.Tensor.t array -> Pnc_tensor.Tensor.t
 
+val forward_batch_t : ?batch_size:int -> t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+(** Batched twin of {!forward_t} ([?batch_size] resolved by
+    {!Batch.resolve}); bit-identical logits for any batch size. *)
+
 val predict : t -> Pnc_tensor.Tensor.t -> int array
 (** Runs on the tensor fast path. *)
+
+val predict_batch : ?batch_size:int -> t -> Pnc_tensor.Tensor.t -> int array
+(** {!predict} on the batched path. *)

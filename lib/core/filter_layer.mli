@@ -66,6 +66,18 @@ val step_t : realization_t -> state_t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tenso
 (** Advances the state in place and returns the last stage's voltages
     (an alias of the state, valid until the next step). *)
 
+val step_batch_t :
+  ?block:int -> realization_t -> state_t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+(** Batched twin of {!step_t}: advances the state block of rows at a
+    time (default: one block) through zero-copy row views —
+    bit-identical for any [block]. *)
+
+val kernel_t :
+  realization_t -> (Pnc_tensor.Tensor.t * Pnc_tensor.Tensor.t) array
+(** Per-stage [(a, b)] coefficient rows backing {!step_t} (the state
+    update is [s' = s ∘ a + x ∘ b]), exposed so {!Network} can fuse the
+    stage updates into its single-pass layer kernel. Read-only views. *)
+
 (** {1 Physical values} *)
 
 val r_values : t -> float array array

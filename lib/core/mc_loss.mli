@@ -30,6 +30,7 @@ val expected :
 
 val expected_value :
   ?antithetic:bool ->
+  ?batch_size:int ->
   ?pool:Pnc_util.Pool.t ->
   rng:Pnc_util.Rng.t ->
   spec:Variation.spec ->
@@ -44,4 +45,5 @@ val expected_value :
     distributed across the pool's worker domains; the result is
     bit-identical to the sequential path for every worker count (each
     draw owns a pre-split child stream and the summation order is
-    fixed). *)
+    fixed). Each draw evaluates on the batched path; like the pool
+    size, [batch_size] never changes the result. *)

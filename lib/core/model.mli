@@ -23,8 +23,20 @@ val logits_t : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Te
 (** Pure-tensor logits (no autodiff nodes); bit-identical to
     [Var.value (logits ...)] under the same draw. *)
 
+val logits_batch_t :
+  ?batch_size:int -> ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+(** Batched twin of {!logits_t}: the draw is realized once and the
+    batch runs through it block of rows at a time ([?batch_size]
+    resolved by {!Batch.resolve} — explicit argument, else
+    [ADAPT_PNC_BATCH], else one block). Bit-identical to {!logits_t}
+    for every batch size. *)
+
 val predict : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
 (** Runs on the tensor fast path. *)
+
+val predict_batch :
+  ?batch_size:int -> ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
+(** {!predict} on the batched path. *)
 
 val clamp : t -> unit
 (** Printable-window projection; no-op for the reference RNN. *)

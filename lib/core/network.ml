@@ -133,49 +133,188 @@ let forward ~draw net x =
    floating-point operation sequence as the Var path, but no autodiff
    nodes are allocated and the per-step kernels run in preallocated
    buffers. Logits are bit-identical to [forward] under the same
-   draw(s). *)
-type layer_fast = {
+   draw(s).
+
+   Realization (the RNG-consuming part) is separated from the per-block
+   workspace (state + scratch buffers): the batched forwards below
+   realize ONCE per draw and then chunk the batch through zero-copy row
+   views, which is what makes the block size a pure performance knob —
+   every block sees the same physical circuit instance, so results are
+   bit-identical for any batch size. *)
+type layer_real_t = {
   cb_t : Crossbar.realization_t;
   filt_t : Filter_layer.realization_t;
   act_t : Ptanh.realization_t;
+  n_out : int;
+}
+
+let realize_net_t ~draw_crossbar ~draw_filter ~draw_act net =
+  List.map
+    (fun (cb, fl, act) ->
+      (* Same sampling order as the Var path: filters, activation,
+         crossbar. *)
+      let filt_t = Filter_layer.realize_t ~draw:draw_filter fl in
+      let act_t = Ptanh.realize_t ~draw:draw_act act in
+      let cb_t = Crossbar.realize_t ~draw:draw_crossbar cb in
+      { cb_t; filt_t; act_t; n_out = Crossbar.outputs cb })
+    net.layers
+
+(* Raw coefficient views of one realized layer, extracted once per
+   draw so the per-time-step loop below touches plain tensors only. *)
+type layer_kernel = {
+  k_theta : T.t;
+  k_bias : T.t;
+  k_inv : T.t;
+  k_stages : (T.t * T.t) array;
+  k_e1 : T.t;
+  k_e2 : T.t;
+  k_e3 : T.t;
+  k_e4 : T.t;
+}
+
+let make_kernel real =
+  let theta, bias, inv = Crossbar.kernel_t real.cb_t in
+  let e1, e2, e3, e4 = Ptanh.kernel_t real.act_t in
+  {
+    k_theta = theta;
+    k_bias = bias;
+    k_inv = inv;
+    k_stages = Filter_layer.kernel_t real.filt_t;
+    k_e1 = e1;
+    k_e2 = e2;
+    k_e3 = e3;
+    k_e4 = e4;
+  }
+
+type layer_ws = {
+  real : layer_real_t;
+  kern : layer_kernel;
   filt_state_t : Filter_layer.state_t;
   cb_out : T.t;
   act_out : T.t;
 }
 
-let realize_layers_t ~draw_crossbar ~draw_filter ~draw_act ~batch net =
+let make_ws ~batch reals =
   List.map
-    (fun (cb, fl, act) ->
-      let filt_t = Filter_layer.realize_t ~draw:draw_filter fl in
-      let act_t = Ptanh.realize_t ~draw:draw_act act in
-      let cb_t = Crossbar.realize_t ~draw:draw_crossbar cb in
-      let n_out = Crossbar.outputs cb in
+    (fun real ->
       {
-        cb_t;
-        filt_t;
-        act_t;
-        filt_state_t = Filter_layer.init_state_t filt_t ~batch;
-        cb_out = T.zeros ~rows:batch ~cols:n_out;
-        act_out = T.zeros ~rows:batch ~cols:n_out;
+        real;
+        kern = make_kernel real;
+        filt_state_t = Filter_layer.init_state_t real.filt_t ~batch;
+        cb_out = T.zeros ~rows:batch ~cols:real.n_out;
+        act_out = T.zeros ~rows:batch ~cols:real.n_out;
       })
-    net.layers
+    reals
 
 let step_layer_t lr x =
-  Crossbar.apply_t_into ~dst:lr.cb_out lr.cb_t x;
-  let filtered = Filter_layer.step_t lr.filt_t lr.filt_state_t lr.cb_out in
-  Ptanh.apply_t_into ~dst:lr.act_out lr.act_t filtered;
+  Crossbar.apply_t_into ~dst:lr.cb_out lr.real.cb_t x;
+  let filtered = Filter_layer.step_t lr.real.filt_t lr.filt_state_t lr.cb_out in
+  Ptanh.apply_t_into ~dst:lr.act_out lr.real.act_t filtered;
   lr.act_out
 
-let forward_multi_readout_t ~readout ~draw_crossbar ~draw_filter ~draw_act net steps =
-  assert (Array.length steps > 0);
+(* Fused layer step for the no-grad path: after the crossbar matmul,
+   one elementwise pass applies bias + normalization, the RC filter
+   stage update(s) and the printable-tanh activation. Every one of
+   those kernels is elementwise over the same [batch x features] block
+   with no cross-element reduction, and the fused loop evaluates the
+   exact per-element operation sequence of [step_layer_t]
+   (apply_t_into; step_t; Ptanh.apply_t_into) — so fusing the passes
+   changes memory traffic only, never a result bit. Unchecked accesses
+   are covered by the shape asserts plus the tensor view invariant.
+   Specialized for the two printable filter orders; any other stage
+   count falls back to the unfused sequence. *)
+let fused_step_layer lr x =
+  let k = lr.kern in
+  let mm = lr.cb_out and out = lr.act_out in
+  let rows = T.rows mm and cols = T.cols mm in
+  assert (T.cols k.k_bias = cols && T.cols k.k_inv = cols && T.cols k.k_e1 = cols);
+  let md = mm.T.data and od = out.T.data in
+  let bd = k.k_bias.T.data and bo = k.k_bias.T.off in
+  let id = k.k_inv.T.data and io = k.k_inv.T.off in
+  let e1 = k.k_e1.T.data and eo1 = k.k_e1.T.off in
+  let e2 = k.k_e2.T.data and eo2 = k.k_e2.T.off in
+  let e3 = k.k_e3.T.data and eo3 = k.k_e3.T.off in
+  let e4 = k.k_e4.T.data and eo4 = k.k_e4.T.off in
+  match (lr.filt_state_t, k.k_stages) with
+  | [| s1; s2 |], [| (a1, b1); (a2, b2) |] ->
+      T.matmul_into ~dst:mm x k.k_theta;
+      assert (T.same_shape s1 mm && T.same_shape s2 mm);
+      assert (T.cols a1 = cols && T.cols b1 = cols && T.cols a2 = cols && T.cols b2 = cols);
+      let s1d = s1.T.data and s2d = s2.T.data in
+      let a1d = a1.T.data and a1o = a1.T.off in
+      let b1d = b1.T.data and b1o = b1.T.off in
+      let a2d = a2.T.data and a2o = a2.T.off in
+      let b2d = b2.T.data and b2o = b2.T.off in
+      for r = 0 to rows - 1 do
+        let mo = mm.T.off + (r * cols)
+        and oo = out.T.off + (r * cols)
+        and s1o = s1.T.off + (r * cols)
+        and s2o = s2.T.off + (r * cols) in
+        for c = 0 to cols - 1 do
+          let v =
+            (Array.unsafe_get md (mo + c) +. Array.unsafe_get bd (bo + c))
+            *. Array.unsafe_get id (io + c)
+          in
+          let s1v =
+            (Array.unsafe_get s1d (s1o + c) *. Array.unsafe_get a1d (a1o + c))
+            +. (v *. Array.unsafe_get b1d (b1o + c))
+          in
+          Array.unsafe_set s1d (s1o + c) s1v;
+          let s2v =
+            (Array.unsafe_get s2d (s2o + c) *. Array.unsafe_get a2d (a2o + c))
+            +. (s1v *. Array.unsafe_get b2d (b2o + c))
+          in
+          Array.unsafe_set s2d (s2o + c) s2v;
+          Array.unsafe_set od (oo + c)
+            ((Stdlib.tanh
+                ((s2v +. -.Array.unsafe_get e3 (eo3 + c)) *. Array.unsafe_get e4 (eo4 + c))
+             *. Array.unsafe_get e2 (eo2 + c))
+            +. Array.unsafe_get e1 (eo1 + c))
+        done
+      done;
+      out
+  | [| s1 |], [| (a1, b1) |] ->
+      T.matmul_into ~dst:mm x k.k_theta;
+      assert (T.same_shape s1 mm);
+      assert (T.cols a1 = cols && T.cols b1 = cols);
+      let s1d = s1.T.data in
+      let a1d = a1.T.data and a1o = a1.T.off in
+      let b1d = b1.T.data and b1o = b1.T.off in
+      for r = 0 to rows - 1 do
+        let mo = mm.T.off + (r * cols)
+        and oo = out.T.off + (r * cols)
+        and s1o = s1.T.off + (r * cols) in
+        for c = 0 to cols - 1 do
+          let v =
+            (Array.unsafe_get md (mo + c) +. Array.unsafe_get bd (bo + c))
+            *. Array.unsafe_get id (io + c)
+          in
+          let s1v =
+            (Array.unsafe_get s1d (s1o + c) *. Array.unsafe_get a1d (a1o + c))
+            +. (v *. Array.unsafe_get b1d (b1o + c))
+          in
+          Array.unsafe_set s1d (s1o + c) s1v;
+          Array.unsafe_set od (oo + c)
+            ((Stdlib.tanh
+                ((s1v +. -.Array.unsafe_get e3 (eo3 + c)) *. Array.unsafe_get e4 (eo4 + c))
+             *. Array.unsafe_get e2 (eo2 + c))
+            +. Array.unsafe_get e1 (eo1 + c))
+        done
+      done;
+      out
+  | _ -> step_layer_t lr x
+
+(* Run one block of rows through all time steps against an already
+   realized circuit instance. *)
+let forward_block ~readout ~classes reals steps =
   let batch = T.rows steps.(0) in
-  let reals = realize_layers_t ~draw_crossbar ~draw_filter ~draw_act ~batch net in
-  let acc = T.zeros ~rows:batch ~cols:net.n_classes in
+  let ws = make_ws ~batch reals in
+  let acc = T.zeros ~rows:batch ~cols:classes in
   let last = ref acc in
   Array.iter
     (fun x_t ->
       let signal = ref x_t in
-      List.iter (fun lr -> signal := step_layer_t lr !signal) reals;
+      List.iter (fun lr -> signal := fused_step_layer lr !signal) ws;
       (match readout with
       | Integrated -> T.add_inplace acc !signal
       | Last_step -> ());
@@ -185,15 +324,46 @@ let forward_multi_readout_t ~readout ~draw_crossbar ~draw_filter ~draw_act net s
   | Integrated -> T.scale (1. /. float_of_int (Array.length steps)) acc
   | Last_step -> T.copy !last
 
+let forward_multi_readout_t ~readout ~draw_crossbar ~draw_filter ~draw_act net steps =
+  assert (Array.length steps > 0);
+  let reals = realize_net_t ~draw_crossbar ~draw_filter ~draw_act net in
+  forward_block ~readout ~classes:net.n_classes reals steps
+
+let forward_multi_readout_batch_t ?batch_size ~readout ~draw_crossbar ~draw_filter
+    ~draw_act net steps =
+  assert (Array.length steps > 0);
+  let rows = T.rows steps.(0) in
+  let block = Batch.resolve ?batch_size ~n:rows () in
+  let reals = realize_net_t ~draw_crossbar ~draw_filter ~draw_act net in
+  let t0 = Batch.start () in
+  let out = T.zeros ~rows ~cols:net.n_classes in
+  let blocks =
+    Batch.chunked ~rows ~block (fun ~row ~len ->
+        let sub = Array.map (fun s -> T.rows_view s ~row ~len) steps in
+        let logits = forward_block ~readout ~classes:net.n_classes reals sub in
+        T.blit_into ~dst:(T.rows_view out ~row ~len) logits)
+  in
+  Batch.record ~block ~rows ~blocks ~t0;
+  out
+
 let forward_multi_selective_t ~draw_crossbar ~draw_filter ~draw_act net steps =
   forward_multi_readout_t ~readout:Integrated ~draw_crossbar ~draw_filter ~draw_act net steps
 
 let forward_multi_t ~draw net steps =
   forward_multi_selective_t ~draw_crossbar:draw ~draw_filter:draw ~draw_act:draw net steps
 
+let forward_multi_batch_t ?batch_size ~draw net steps =
+  forward_multi_readout_batch_t ?batch_size ~readout:Integrated ~draw_crossbar:draw
+    ~draw_filter:draw ~draw_act:draw net steps
+
 let forward_selective_t ~draw_crossbar ~draw_filter ~draw_act net x =
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
   forward_multi_selective_t ~draw_crossbar ~draw_filter ~draw_act net steps
+
+let forward_selective_batch_t ?batch_size ~draw_crossbar ~draw_filter ~draw_act net x =
+  let steps = Array.init (T.cols x) (fun k -> T.col x k) in
+  forward_multi_readout_batch_t ?batch_size ~readout:Integrated ~draw_crossbar
+    ~draw_filter ~draw_act net steps
 
 let forward_readout_t ~readout ~draw net x =
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
@@ -204,7 +374,14 @@ let forward_t ~draw net x =
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
   forward_multi_t ~draw net steps
 
+let forward_batch_t ?batch_size ~draw net x =
+  let steps = Array.init (T.cols x) (fun k -> T.col x k) in
+  forward_multi_batch_t ?batch_size ~draw net steps
+
 let predict ?(draw = Variation.deterministic) net x = T.argmax_rows (forward_t ~draw net x)
+
+let predict_batch ?batch_size ?(draw = Variation.deterministic) net x =
+  T.argmax_rows (forward_batch_t ?batch_size ~draw net x)
 
 let clamp net =
   List.iter

@@ -107,9 +107,42 @@ val forward_selective_t :
     under the same draws, no autodiff nodes; safe inside a
     {!Pnc_util.Pool} task. *)
 
+(** {1 Batched forwards}
+
+    Twins of the tensor forwards above with a [?batch_size] knob
+    (resolved by {!Batch.resolve}: explicit argument, else
+    [ADAPT_PNC_BATCH], else the whole batch as one block). The
+    variation draw is realized once per call and shared across all row
+    blocks, so the block size is a pure performance knob — logits are
+    bit-identical to the unbatched twin (and hence to the Var path) for
+    every batch size. *)
+
+val forward_batch_t :
+  ?batch_size:int -> draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+
+val forward_multi_batch_t :
+  ?batch_size:int ->
+  draw:Variation.draw ->
+  t ->
+  Pnc_tensor.Tensor.t array ->
+  Pnc_tensor.Tensor.t
+
+val forward_selective_batch_t :
+  ?batch_size:int ->
+  draw_crossbar:Variation.draw ->
+  draw_filter:Variation.draw ->
+  draw_act:Variation.draw ->
+  t ->
+  Pnc_tensor.Tensor.t ->
+  Pnc_tensor.Tensor.t
+
 val predict : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
 (** Argmax class per sample; deterministic unless a draw is given.
     Runs on the tensor fast path. *)
+
+val predict_batch :
+  ?batch_size:int -> ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
+(** {!predict} on the batched path. *)
 
 val clamp : t -> unit
 (** Project every component value into its printable window. *)

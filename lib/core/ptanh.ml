@@ -58,16 +58,46 @@ let apply_t_into ~dst real x =
   and e2 = real.e2_t.T.data
   and e3 = real.e3_t.T.data
   and e4 = real.e4_t.T.data in
-  let k = ref 0 in
-  for _r = 0 to T.rows x - 1 do
+  let eo1 = real.e1_t.T.off
+  and eo2 = real.e2_t.T.off
+  and eo3 = real.e3_t.T.off
+  and eo4 = real.e4_t.T.off in
+  for r = 0 to T.rows x - 1 do
+    let xo = x.T.off + (r * cols) and oo = dst.T.off + (r * cols) in
     for c = 0 to cols - 1 do
       (* Fused η₁ + η₂·tanh((x − η₃)·η₄) with the exact elementwise
          operation sequence of [apply] (sub_rv is add of the negation),
-         so results stay bit-identical to the Var path. *)
-      od.(!k) <- (Stdlib.tanh ((xd.(!k) +. -.e3.(c)) *. e4.(c)) *. e2.(c)) +. e1.(c);
-      incr k
+         so results stay bit-identical to the Var path. Unchecked
+         accesses: the shape assert above plus the view invariant make
+         every index in bounds. *)
+      Array.unsafe_set od (oo + c)
+        ((Stdlib.tanh
+            ((Array.unsafe_get xd (xo + c) +. -.Array.unsafe_get e3 (eo3 + c))
+            *. Array.unsafe_get e4 (eo4 + c))
+         *. Array.unsafe_get e2 (eo2 + c))
+        +. Array.unsafe_get e1 (eo1 + c))
     done
   done
+
+(* Batched twin: row-independent elementwise kernel applied block by
+   block through zero-copy row views — bit-identical to a single
+   [apply_t_into] over the whole batch for any [block]. *)
+let apply_batch_t ?block real x =
+  let rows = T.rows x in
+  let out = T.zeros ~rows ~cols:(T.cols x) in
+  let b = match block with Some b when b > 0 -> Stdlib.min b rows | _ -> rows in
+  let r0 = ref 0 in
+  while !r0 < rows do
+    let len = Stdlib.min b (rows - !r0) in
+    apply_t_into
+      ~dst:(T.rows_view out ~row:!r0 ~len)
+      real
+      (T.rows_view x ~row:!r0 ~len);
+    r0 := !r0 + len
+  done;
+  out
+
+let kernel_t real = (real.e1_t, real.e2_t, real.e3_t, real.e4_t)
 
 let eta_values a = Array.map (fun v -> T.copy (Var.value v)) [| a.eta1; a.eta2; a.eta3; a.eta4 |]
 

@@ -39,6 +39,19 @@ val realize_t : draw:Variation.draw -> t -> realization_t
 val apply_t_into : dst:Pnc_tensor.Tensor.t -> realization_t -> Pnc_tensor.Tensor.t -> unit
 (** Writes ptanh of [x] into [dst] elementwise ([dst] may alias [x]). *)
 
+val apply_batch_t : ?block:int -> realization_t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+(** Batched twin of {!apply_t_into}: applies the realized activation to
+    [x] block of rows by block of rows (default: one block) through
+    zero-copy row views. Bit-identical to the unblocked kernel for any
+    [block]. *)
+
+val kernel_t :
+  realization_t ->
+  Pnc_tensor.Tensor.t * Pnc_tensor.Tensor.t * Pnc_tensor.Tensor.t * Pnc_tensor.Tensor.t
+(** The realized (η₁, η₂, η₃, η₄) coefficient rows backing
+    {!apply_t_into}, exposed so {!Network} can fuse the activation into
+    its single-pass layer kernel. Read-only views. *)
+
 val eta_values : t -> Pnc_tensor.Tensor.t array
 (** Current η₁..η₄ rows, for inspection and hardware costing. *)
 

@@ -20,7 +20,7 @@ type row = { family : family; accuracy : float; drop : float }
    under the same draws): pool tasks must not touch the global gradient
    tape, and the analysis needs no gradients anyway. Draw i owns child
    stream i, so the mean is worker-count-invariant. *)
-let accuracy_with ?pool ~rng ~spec ~draws ~family net x y =
+let accuracy_with ?batch_size ?pool ~rng ~spec ~draws ~family net x y =
   let rngs = Rng.split_n rng draws in
   let instance i =
     let varied = Variation.make_draw rngs.(i) spec in
@@ -32,7 +32,10 @@ let accuracy_with ?pool ~rng ~spec ~draws ~family net x y =
       | Activation_eta -> (nominal, nominal, varied)
       | All_families -> (varied, varied, varied)
     in
-    let logits = Network.forward_selective_t ~draw_crossbar ~draw_filter ~draw_act net x in
+    let logits =
+      Network.forward_selective_batch_t ?batch_size ~draw_crossbar ~draw_filter ~draw_act
+        net x
+    in
     Stats.accuracy ~pred:(T.argmax_rows logits) ~truth:y
   in
   let accs =
@@ -42,19 +45,21 @@ let accuracy_with ?pool ~rng ~spec ~draws ~family net x y =
   in
   Array.fold_left ( +. ) 0. accs /. float_of_int draws
 
-let analyze ?pool ~rng ~level ~draws net dataset =
+let analyze ?batch_size ?pool ~rng ~level ~draws net dataset =
   assert (draws >= 1 && level >= 0.);
   Obs.Span.with_ ~attrs:[ ("level", Obs.Float level); ("draws", Obs.Int draws) ]
     "sensitivity.analyze"
   @@ fun () ->
   let x, y = Train.to_xy dataset in
   let spec = Variation.uniform level in
-  let nominal_pred = T.argmax_rows (Network.forward_t ~draw:Variation.deterministic net x) in
+  let nominal_pred =
+    T.argmax_rows (Network.forward_batch_t ?batch_size ~draw:Variation.deterministic net x)
+  in
   let nominal = Stats.accuracy ~pred:nominal_pred ~truth:y in
   List.map
     (fun family ->
       let t0 = if Obs.enabled () then Clock.now () else 0. in
-      let accuracy = accuracy_with ?pool ~rng ~spec ~draws ~family net x y in
+      let accuracy = accuracy_with ?batch_size ?pool ~rng ~spec ~draws ~family net x y in
       Obs.Counter.add draws_counter draws;
       if Obs.enabled () then begin
         let dt = Clock.elapsed t0 in

@@ -18,6 +18,7 @@ type row = {
 }
 
 val analyze :
+  ?batch_size:int ->
   ?pool:Pnc_util.Pool.t ->
   rng:Pnc_util.Rng.t ->
   level:float ->
@@ -27,8 +28,10 @@ val analyze :
   row list
 (** Rows for the three families plus [All_families], ordered as
     declared. The [All_families] row reproduces the standard
-    evaluation-under-variation number. Runs on the no-grad tensor path;
-    with [pool] the per-family Monte-Carlo draws evaluate in parallel
-    with worker-count-invariant results (pre-split child streams). *)
+    evaluation-under-variation number. Runs on the batched no-grad
+    tensor path; with [pool] the per-family Monte-Carlo draws evaluate
+    in parallel with worker-count-invariant results (pre-split child
+    streams). Like the pool size, [batch_size] never changes the
+    result. *)
 
 val report : row list -> string

@@ -28,7 +28,7 @@ let of_accuracies ~threshold accs =
     threshold;
   }
 
-let estimate ?pool ~rng ~spec ~threshold ~draws model dataset =
+let estimate ?batch_size ?pool ~rng ~spec ~threshold ~draws model dataset =
   assert (draws >= 1);
   let t0 = if Obs.enabled () then Clock.now () else 0. in
   let x, y = Train.to_xy dataset in
@@ -41,13 +41,18 @@ let estimate ?pool ~rng ~spec ~threshold ~draws model dataset =
       let rngs = Pnc_util.Rng.split_n rng draws in
       let instance i =
         let draw = Variation.make_draw rngs.(i) spec in
-        Pnc_util.Stats.accuracy ~pred:(Model.predict ~draw model x) ~truth:y
+        Pnc_util.Stats.accuracy
+          ~pred:(Model.predict_batch ?batch_size ~draw model x)
+          ~truth:y
       in
       match pool with
       | None -> Array.init draws instance
       | Some p -> Pnc_util.Pool.init p ~n:draws instance
     end
-    else [| Pnc_util.Stats.accuracy ~pred:(Model.predict model x) ~truth:y |]
+    else
+      [|
+        Pnc_util.Stats.accuracy ~pred:(Model.predict_batch ?batch_size model x) ~truth:y;
+      |]
   in
   let r = of_accuracies ~threshold accs in
   Obs.Counter.add draws_counter r.draws;
@@ -65,12 +70,12 @@ let estimate ?pool ~rng ~spec ~threshold ~draws model dataset =
   end;
   r
 
-let sweep_levels ?pool ~rng ~levels ~threshold ~draws model dataset =
+let sweep_levels ?batch_size ?pool ~rng ~levels ~threshold ~draws model dataset =
   List.map
     (fun level ->
       let spec = if level = 0. then Variation.none else Variation.uniform level in
       let draws = if level = 0. then 1 else draws in
-      (level, estimate ?pool ~rng ~spec ~threshold ~draws model dataset))
+      (level, estimate ?batch_size ?pool ~rng ~spec ~threshold ~draws model dataset))
     levels
 
 let describe r =

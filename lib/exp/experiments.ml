@@ -86,8 +86,8 @@ let build_model cfg ~variant ~classes ~seed =
       Model.Circuit
         (Network.create ~hidden:(adapt_hidden ~classes) rng Network.Adapt ~inputs:1 ~classes)
 
-let train_run ?pool ?checkpoint_every ?checkpoint_path ?resume_from ?die_at_epoch cfg ~dataset
-    ~variant ~seed =
+let train_run ?batch_size ?pool ?checkpoint_every ?checkpoint_path ?resume_from ?die_at_epoch
+    cfg ~dataset ~variant ~seed =
   let split, classes = load_split cfg ~dataset ~seed in
   let model = build_model cfg ~variant ~classes ~seed in
   let train_cfg =
@@ -122,15 +122,16 @@ let train_run ?pool ?checkpoint_every ?checkpoint_path ?resume_from ?die_at_epoc
   let pert_test = Augment.perturb_dataset prng Augment.default_policy test in
   let under_variation d =
     if Model.is_circuit model then
-      Train.accuracy_under_variation ?pool ~rng:erng ~spec ~draws:cfg.Config.eval_draws model d
-    else Train.accuracy model d
+      Train.accuracy_under_variation ?batch_size ?pool ~rng:erng ~spec
+        ~draws:cfg.Config.eval_draws model d
+    else Train.accuracy ?batch_size model d
   in
   {
     dataset;
     variant;
     seed;
     model;
-    clean_acc = Train.accuracy model test;
+    clean_acc = Train.accuracy ?batch_size model test;
     clean_var_acc = under_variation test;
     aug_var_acc = under_variation aug_test;
     pert_var_acc = under_variation pert_test;
@@ -222,7 +223,7 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
   end
 
-let run_grid ?(progress = fun _ -> ()) ?pool ?cache_dir cfg ~variants =
+let run_grid ?(progress = fun _ -> ()) ?batch_size ?pool ?cache_dir cfg ~variants =
   Obs.Span.with_ "grid" @@ fun () ->
   Option.iter mkdir_p cache_dir;
   List.concat_map
@@ -265,7 +266,7 @@ let run_grid ?(progress = fun _ -> ()) ?pool ?cache_dir cfg ~variants =
               match cached with
               | Some r -> r
               | None ->
-              let r = train_run ?pool cfg ~dataset ~variant ~seed in
+              let r = train_run ?batch_size ?pool cfg ~dataset ~variant ~seed in
               (match cache_dir with
               | Some dir -> save_cell ~path:(cell_path ~dir cfg ~dataset ~variant ~seed) cfg r
               | None -> ());
@@ -597,8 +598,8 @@ type sweep_row = {
   adapt_yield : float;
 }
 
-let variation_sweep_of_grid ?(levels = [ 0.; 0.05; 0.1; 0.2; 0.3 ]) ?(threshold = 0.6) ?pool cfg
-    runs =
+let variation_sweep_of_grid ?(levels = [ 0.; 0.05; 0.1; 0.2; 0.3 ]) ?(threshold = 0.6)
+    ?batch_size ?pool cfg runs =
   let module Yield = Pnc_core.Yield in
   let eval_variant variant level =
     let accs, yields =
@@ -609,7 +610,7 @@ let variation_sweep_of_grid ?(levels = [ 0.; 0.05; 0.1; 0.2; 0.3 ]) ?(threshold 
              | best :: _ ->
                  let split, _ = load_split cfg ~dataset ~seed:best.seed in
                  let r =
-                   Yield.estimate ?pool
+                   Yield.estimate ?batch_size ?pool
                      ~rng:(Rng.create ~seed:4242)
                      ~spec:(if level = 0. then Variation.none else Variation.uniform level)
                      ~threshold

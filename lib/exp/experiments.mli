@@ -41,6 +41,7 @@ type run = {
 }
 
 val train_run :
+  ?batch_size:int ->
   ?pool:Pnc_util.Pool.t ->
   ?checkpoint_every:int ->
   ?checkpoint_path:string ->
@@ -53,8 +54,11 @@ val train_run :
   run
 (** Training itself stays on the (sequential) autodiff path; [pool]
     parallelizes the Monte-Carlo evaluation protocols with
-    worker-count-invariant results. The checkpoint arguments are passed
-    through to {!Pnc_core.Train.train}. *)
+    worker-count-invariant results, and [batch_size] chunks each
+    evaluation on the batched no-grad path (neither changes any
+    result, which is why neither enters {!Config.fingerprint}). The
+    checkpoint arguments are passed through to
+    {!Pnc_core.Train.train}. *)
 
 val cell_path :
   dir:string -> Config.t -> dataset:string -> variant:variant -> seed:int -> string
@@ -63,6 +67,7 @@ val cell_path :
 
 val run_grid :
   ?progress:(string -> unit) ->
+  ?batch_size:int ->
   ?pool:Pnc_util.Pool.t ->
   ?cache_dir:string ->
   Config.t ->
@@ -151,6 +156,7 @@ type sweep_row = {
 val variation_sweep_of_grid :
   ?levels:float list ->
   ?threshold:float ->
+  ?batch_size:int ->
   ?pool:Pnc_util.Pool.t ->
   Config.t ->
   run list ->

@@ -1,17 +1,19 @@
-type t = { rows : int; cols : int; data : float array }
+type t = { rows : int; cols : int; off : int; data : float array }
+
+let idx t r c = t.off + (r * t.cols) + c
 
 let create ~rows ~cols v =
   assert (rows >= 0 && cols >= 0);
-  { rows; cols; data = Array.make (rows * cols) v }
+  { rows; cols; off = 0; data = Array.make (rows * cols) v }
 
 let zeros ~rows ~cols = create ~rows ~cols 0.
-let scalar v = { rows = 1; cols = 1; data = [| v |] }
+let scalar v = { rows = 1; cols = 1; off = 0; data = [| v |] }
 
 let of_array ~rows ~cols data =
   assert (Array.length data = rows * cols);
-  { rows; cols; data = Array.copy data }
+  { rows; cols; off = 0; data = Array.copy data }
 
-let of_row a = { rows = 1; cols = Array.length a; data = Array.copy a }
+let of_row a = { rows = 1; cols = Array.length a; off = 0; data = Array.copy a }
 
 let of_rows rs =
   let rows = Array.length rs in
@@ -23,7 +25,7 @@ let of_rows rs =
       assert (Array.length row = cols);
       Array.blit row 0 data (r * cols) cols)
     rs;
-  { rows; cols; data }
+  { rows; cols; off = 0; data }
 
 let init ~rows ~cols f =
   let data = Array.make (rows * cols) 0. in
@@ -34,30 +36,48 @@ let init ~rows ~cols f =
       incr k
     done
   done;
-  { rows; cols; data }
+  { rows; cols; off = 0; data }
 
 let rows t = t.rows
 let cols t = t.cols
 let numel t = t.rows * t.cols
-let get t r c = t.data.((r * t.cols) + c)
-let set t r c v = t.data.((r * t.cols) + c) <- v
-let copy t = { t with data = Array.copy t.data }
-let to_row_array t = Array.copy t.data
-let row t r = Array.sub t.data (r * t.cols) t.cols
+let get t r c = t.data.(idx t r c)
+let set t r c v = t.data.(idx t r c) <- v
+let copy t = { t with off = 0; data = Array.sub t.data t.off (numel t) }
+let to_row_array t = Array.sub t.data t.off (numel t)
+let row t r = Array.sub t.data (t.off + (r * t.cols)) t.cols
+
+let rows_view t ~row ~len =
+  if row < 0 || len < 0 || row + len > t.rows then
+    invalid_arg "Tensor.rows_view: row range out of bounds";
+  { t with rows = len; off = t.off + (row * t.cols) }
 
 let col t c =
-  { rows = t.rows; cols = 1; data = Array.init t.rows (fun r -> get t r c) }
+  {
+    rows = t.rows;
+    cols = 1;
+    off = 0;
+    data = Array.init t.rows (fun r -> get t r c);
+  }
 
 let get_scalar t =
   assert (t.rows = 1 && t.cols = 1);
-  t.data.(0)
+  t.data.(t.off)
 
 let same_shape a b = a.rows = b.rows && a.cols = b.cols
-let map f t = { t with data = Array.map f t.data }
+
+let map f t =
+  let n = numel t in
+  { t with off = 0; data = Array.init n (fun i -> f t.data.(t.off + i)) }
 
 let map2 f a b =
   assert (same_shape a b);
-  { a with data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
+  let n = numel a in
+  {
+    a with
+    off = 0;
+    data = Array.init n (fun i -> f a.data.(a.off + i) b.data.(b.off + i));
+  }
 
 let add a b = map2 ( +. ) a b
 let sub a b = map2 ( -. ) a b
@@ -66,12 +86,18 @@ let div a b = map2 ( /. ) a b
 let neg t = map (fun x -> -.x) t
 let scale k t = map (fun x -> k *. x) t
 let add_scalar k t = map (fun x -> k +. x) t
-let fill t v = Array.fill t.data 0 (Array.length t.data) v
+let fill t v = Array.fill t.data t.off (numel t) v
+
+let blit_into ~dst src =
+  assert (same_shape dst src);
+  Array.blit src.data src.off dst.data dst.off (numel src)
 
 let add_inplace acc x =
   assert (same_shape acc x);
-  for i = 0 to Array.length acc.data - 1 do
-    acc.data.(i) <- acc.data.(i) +. x.data.(i)
+  let ad = acc.data and xd = x.data and ao = acc.off and xo = x.off in
+  for i = 0 to numel acc - 1 do
+    Array.unsafe_set ad (ao + i)
+      (Array.unsafe_get ad (ao + i) +. Array.unsafe_get xd (xo + i))
   done
 
 let broadcast_rv f m rv =
@@ -79,60 +105,142 @@ let broadcast_rv f m rv =
   let cols = m.cols in
   let data = Array.make (m.rows * cols) 0. in
   let k = ref 0 in
-  for _r = 0 to m.rows - 1 do
+  for r = 0 to m.rows - 1 do
+    let moff = m.off + (r * cols) in
     for c = 0 to cols - 1 do
-      data.(!k) <- f m.data.(!k) rv.data.(c);
+      data.(!k) <- f m.data.(moff + c) rv.data.(rv.off + c);
       incr k
     done
   done;
-  { rows = m.rows; cols; data }
+  { rows = m.rows; cols; off = 0; data }
 
 let add_rv m rv = broadcast_rv ( +. ) m rv
 let mul_rv m rv = broadcast_rv ( *. ) m rv
 
-let broadcast_rv_inplace f m rv =
+(* The per-row broadcast kernels below run inside the per-time-step
+   loop of the no-grad forward, so they are hand-specialized (no
+   closure dispatch) and use unchecked accesses: the shape asserts plus
+   the view invariant [off + rows * cols <= Array.length data] make
+   every index provably in bounds. *)
+
+let add_rv_inplace m rv =
   assert (rv.rows = 1 && rv.cols = m.cols);
   let cols = m.cols in
-  let k = ref 0 in
-  for _r = 0 to m.rows - 1 do
+  let md = m.data and rd = rv.data and ro = rv.off in
+  for r = 0 to m.rows - 1 do
+    let moff = m.off + (r * cols) in
     for c = 0 to cols - 1 do
-      m.data.(!k) <- f m.data.(!k) rv.data.(c);
-      incr k
+      Array.unsafe_set md (moff + c)
+        (Array.unsafe_get md (moff + c) +. Array.unsafe_get rd (ro + c))
     done
   done
 
-let add_rv_inplace m rv = broadcast_rv_inplace ( +. ) m rv
-let mul_rv_inplace m rv = broadcast_rv_inplace ( *. ) m rv
+let mul_rv_inplace m rv =
+  assert (rv.rows = 1 && rv.cols = m.cols);
+  let cols = m.cols in
+  let md = m.data and rd = rv.data and ro = rv.off in
+  for r = 0 to m.rows - 1 do
+    let moff = m.off + (r * cols) in
+    for c = 0 to cols - 1 do
+      Array.unsafe_set md (moff + c)
+        (Array.unsafe_get md (moff + c) *. Array.unsafe_get rd (ro + c))
+    done
+  done
+
+let add_mul_rv_inplace m ~add ~mul =
+  (* Fused (m + add) * mul: element-for-element the same expression as
+     add_rv_inplace followed by mul_rv_inplace, in one memory pass. *)
+  assert (add.rows = 1 && add.cols = m.cols);
+  assert (mul.rows = 1 && mul.cols = m.cols);
+  let cols = m.cols in
+  let md = m.data and ad = add.data and ud = mul.data in
+  let ao = add.off and uo = mul.off in
+  for r = 0 to m.rows - 1 do
+    let moff = m.off + (r * cols) in
+    for c = 0 to cols - 1 do
+      Array.unsafe_set md (moff + c)
+        ((Array.unsafe_get md (moff + c) +. Array.unsafe_get ad (ao + c))
+        *. Array.unsafe_get ud (uo + c))
+    done
+  done
 
 let affine_rv_into ~dst s a x b =
   assert (same_shape s x && same_shape dst s);
   assert (a.rows = 1 && a.cols = s.cols && b.rows = 1 && b.cols = s.cols);
   let cols = s.cols in
-  let k = ref 0 in
-  for _r = 0 to s.rows - 1 do
+  let dd = dst.data and sd = s.data and xd = x.data in
+  let ad = a.data and bd = b.data in
+  let ao = a.off and bo = b.off in
+  for r = 0 to s.rows - 1 do
+    let doff = dst.off + (r * cols)
+    and soff = s.off + (r * cols)
+    and xoff = x.off + (r * cols) in
     for c = 0 to cols - 1 do
       (* dst may alias s (the filter state update overwrites in place);
          each element is read before it is written. *)
-      dst.data.(!k) <- (s.data.(!k) *. a.data.(c)) +. (x.data.(!k) *. b.data.(c));
-      incr k
+      Array.unsafe_set dd (doff + c)
+        ((Array.unsafe_get sd (soff + c) *. Array.unsafe_get ad (ao + c))
+        +. (Array.unsafe_get xd (xoff + c) *. Array.unsafe_get bd (bo + c)))
     done
   done
 
+(* Cache-blocking tile sizes for [matmul_into]. The k-tiles are visited
+   in ascending order, so every output element still accumulates its
+   products in the same k-ascending order as the naive triple loop —
+   blocking changes memory locality, never the floating-point result. *)
+let block_rows = 32
+let block_inner = 32
+
 let matmul_into ~dst a b =
+  if dst.data == a.data || dst.data == b.data then
+    invalid_arg "Tensor.matmul_into: dst must not alias an input";
   assert (a.cols = b.rows);
   assert (dst.rows = a.rows && dst.cols = b.cols);
-  Array.fill dst.data 0 (Array.length dst.data) 0.;
-  for r = 0 to a.rows - 1 do
-    for k = 0 to a.cols - 1 do
-      let av = a.data.((r * a.cols) + k) in
-      if av <> 0. then begin
-        let boff = k * b.cols and ooff = r * b.cols in
-        for c = 0 to b.cols - 1 do
-          dst.data.(ooff + c) <- dst.data.(ooff + c) +. (av *. b.data.(boff + c))
+  let m = a.rows and kk = a.cols and n = b.cols in
+  let ad = a.data and bd = b.data and dd = dst.data in
+  if kk = 1 then begin
+    (* Single-inner-dimension fast path (the first layer of every
+       circuit: [batch x 1] inputs). Writing [0. +. av *. b] directly
+       reproduces the zero-fill-then-accumulate result bit for bit
+       while skipping the separate fill pass. *)
+    let bo = b.off in
+    for r = 0 to m - 1 do
+      let av = Array.unsafe_get ad (a.off + r) in
+      let ooff = dst.off + (r * n) in
+      if av <> 0. then
+        for c = 0 to n - 1 do
+          Array.unsafe_set dd (ooff + c) (0. +. (av *. Array.unsafe_get bd (bo + c)))
         done
-      end
+      else Array.fill dd ooff n 0.
     done
-  done
+  end
+  else begin
+    Array.fill dd dst.off (m * n) 0.;
+    let r0 = ref 0 in
+    while !r0 < m do
+      let r1 = Stdlib.min m (!r0 + block_rows) in
+      let k0 = ref 0 in
+      while !k0 < kk do
+        let k1 = Stdlib.min kk (!k0 + block_inner) in
+        for r = !r0 to r1 - 1 do
+          let aoff = a.off + (r * kk) and ooff = dst.off + (r * n) in
+          for k = !k0 to k1 - 1 do
+            let av = Array.unsafe_get ad (aoff + k) in
+            if av <> 0. then begin
+              let boff = b.off + (k * n) in
+              for c = 0 to n - 1 do
+                Array.unsafe_set dd (ooff + c)
+                  (Array.unsafe_get dd (ooff + c)
+                  +. (av *. Array.unsafe_get bd (boff + c)))
+              done
+            end
+          done
+        done;
+        k0 := k1
+      done;
+      r0 := r1
+    done
+  end
 
 let matmul a b =
   assert (a.cols = b.rows);
@@ -141,7 +249,14 @@ let matmul a b =
   out
 
 let transpose t = init ~rows:t.cols ~cols:t.rows (fun r c -> get t c r)
-let sum t = Array.fold_left ( +. ) 0. t.data
+
+let sum t =
+  let acc = ref 0. in
+  for i = 0 to numel t - 1 do
+    acc := !acc +. t.data.(t.off + i)
+  done;
+  !acc
+
 let mean t = sum t /. float_of_int (Stdlib.max 1 (numel t))
 
 let sum_rows t =
@@ -164,7 +279,12 @@ let sum_cols t =
   done;
   out
 
-let max_abs t = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. t.data
+let max_abs t =
+  let m = ref 0. in
+  for i = 0 to numel t - 1 do
+    m := Float.max !m (Float.abs t.data.(t.off + i))
+  done;
+  !m
 
 let uniform rng ~rows ~cols ~lo ~hi =
   init ~rows ~cols (fun _ _ -> Pnc_util.Rng.uniform rng ~lo ~hi)
@@ -184,7 +304,17 @@ let one_hot ~n_classes labels =
 let argmax_rows t = Array.init t.rows (fun r -> Pnc_util.Vec.argmax (row t r))
 
 let equal_eps ~eps a b =
-  same_shape a b && Pnc_util.Vec.equal_eps ~eps a.data b.data
+  same_shape a b
+  &&
+  let ok = ref true in
+  let n = numel a in
+  let i = ref 0 in
+  while !ok && !i < n do
+    if not (Float.abs (a.data.(a.off + !i) -. b.data.(b.off + !i)) <= eps) then
+      ok := false;
+    incr i
+  done;
+  !ok
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>[%dx%d]" t.rows t.cols;

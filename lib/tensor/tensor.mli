@@ -6,10 +6,13 @@
     rank makes the reverse-mode engine ({!Pnc_autodiff.Var}) small and
     easy to verify. *)
 
-type t = private { rows : int; cols : int; data : float array }
-(** [data.(r * cols + c)] stores element [(r, c)]. The type is private:
-    construct through the functions below so the shape invariant
-    [Array.length data = rows * cols] always holds. *)
+type t = private { rows : int; cols : int; off : int; data : float array }
+(** [data.(off + r * cols + c)] stores element [(r, c)]. The type is
+    private: construct through the functions below so the view invariant
+    [off + rows * cols <= Array.length data] always holds. Allocating
+    constructors produce [off = 0] tensors whose buffer is exactly
+    [rows * cols]; {!rows_view} produces contiguous views ([off > 0]
+    possible) that share the buffer of the viewed tensor. *)
 
 val create : rows:int -> cols:int -> float -> t
 val zeros : rows:int -> cols:int -> t
@@ -41,7 +44,19 @@ val row : t -> int -> float array
 (** Copy of one row. *)
 
 val col : t -> int -> t
-(** Column [c] as an [rows x 1] tensor. *)
+(** Column [c] as an [rows x 1] tensor (copies). *)
+
+val rows_view : t -> row:int -> len:int -> t
+(** [rows_view t ~row ~len] is the [len x cols t] block of consecutive
+    rows starting at [row], sharing [t]'s buffer — no copy; writes
+    through the view are visible in [t] and vice versa. Raises
+    [Invalid_argument] when the row range falls outside [t]. This is
+    the batch-chunking primitive of the no-grad evaluation path (see
+    docs/BATCHING.md). *)
+
+val blit_into : dst:t -> t -> unit
+(** [blit_into ~dst src] copies the elements of [src] into [dst];
+    equal shapes. Views allowed on both sides. *)
 
 val get_scalar : t -> float
 (** The single element of a [1 x 1] tensor. *)
@@ -77,6 +92,13 @@ val mul_rv_inplace : t -> t -> unit
 (** In-place variants mutating the matrix operand — allocation-free
     kernels for the no-grad evaluation path. *)
 
+val add_mul_rv_inplace : t -> add:t -> mul:t -> unit
+(** [add_mul_rv_inplace m ~add ~mul] replaces each element [m.(r).(c)]
+    with [(m.(r).(c) +. add.(0).(c)) *. mul.(0).(c)] — the same
+    per-element expression as {!add_rv_inplace} followed by
+    {!mul_rv_inplace}, fused into one memory pass (the crossbar's
+    bias-plus-normalization step). *)
+
 val affine_rv_into : dst:t -> t -> t -> t -> t -> unit
 (** [affine_rv_into ~dst s a x b] writes [s ∘ a + x ∘ b] into [dst]
     ([s], [x], [dst] matrices of one shape; [a], [b] row vectors).
@@ -88,7 +110,13 @@ val matmul : t -> t -> t
 
 val matmul_into : dst:t -> t -> t -> unit
 (** [matmul_into ~dst a b] overwrites [dst] with [a × b] (zero-fills
-    first); [dst] must not alias [a] or [b]. *)
+    first). The kernel is cache-blocked over rows and the inner
+    dimension, with k-tiles visited in ascending order so each output
+    element accumulates in the same order as the naive triple loop —
+    bit-identical results at any shape. Raises [Invalid_argument] when
+    [dst] shares a buffer with [a] or [b] (the kernel zero-fills [dst]
+    before reading the inputs, so aliasing would silently corrupt
+    them). *)
 
 val transpose : t -> t
 

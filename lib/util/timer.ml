@@ -11,6 +11,11 @@ let time_mean ~repeats f =
   assert (repeats > 0);
   let acc = ref 0. in
   for _ = 1 to repeats do
+    (* Finish collecting garbage left over by whatever ran before the
+       measurement (e.g. an allocation-heavy autodiff section): without
+       this, the incremental major-GC slices triggered inside [f] are
+       billed to [f] even though the garbage is not its own. *)
+    Gc.full_major ();
     let _, dt = time f in
     acc := !acc +. dt
   done;

@@ -1,0 +1,149 @@
+(* Tiny property-based testing framework over the repo's own
+   deterministic [Pnc_util.Rng].
+
+   Why not QCheck alone: the existing ad-hoc loops ("run 50 random
+   models") and the QCheck-backed gradient properties both funnel a
+   single random integer into a seed and rebuild the case from it,
+   which makes generators second-class (no sized shapes, no shrinking
+   of the actual structure) and scatters the replay story across
+   hand-rolled [Printf]s. Qgen keeps the repo's explicit-seed
+   discipline — every case draws from an indexed child stream
+   ([Rng.split_n]) of one root seed — and adds the two things the
+   ad-hoc loops lacked:
+
+   - failures report the root seed and case index, and setting
+     [QGEN_SEED=<seed>] replays the exact failing run;
+   - optional shrinking (integer halving, list bisection) minimizes
+     the counterexample before it is printed.
+
+   The module lives in the test directory and is linked into every
+   test executable of the [(tests ...)] stanza. *)
+
+module Rng = Pnc_util.Rng
+
+type 'a gen = Rng.t -> 'a
+
+(* {1 Generators} *)
+
+let return x : 'a gen = fun _ -> x
+let map f (g : 'a gen) : 'b gen = fun rng -> f (g rng)
+let bind (g : 'a gen) (f : 'a -> 'b gen) : 'b gen = fun rng -> f (g rng) rng
+
+let int_range lo hi : int gen =
+ fun rng ->
+  assert (hi >= lo);
+  lo + Rng.int rng (hi - lo + 1)
+
+let float_range lo hi : float gen = fun rng -> Rng.uniform rng ~lo ~hi
+let bool : bool gen = fun rng -> Rng.bool rng
+let oneof (xs : 'a list) : 'a gen = fun rng -> List.nth xs (Rng.int rng (List.length xs))
+
+let pair (ga : 'a gen) (gb : 'b gen) : ('a * 'b) gen =
+ fun rng ->
+  (* Force left-to-right stream consumption: OCaml tuple component
+     evaluation order is right-to-left and would flip the streams. *)
+  let a = ga rng in
+  let b = gb rng in
+  (a, b)
+
+let triple ga gb gc : ('a * 'b * 'c) gen =
+ fun rng ->
+  let a = ga rng in
+  let b = gb rng in
+  let c = gc rng in
+  (a, b, c)
+
+let list_of ~(len : int gen) (g : 'a gen) : 'a list gen =
+ fun rng ->
+  let n = len rng in
+  let acc = ref [] in
+  for _ = 1 to n do
+    acc := g rng :: !acc
+  done;
+  List.rev !acc
+
+let array_of ~(len : int gen) (g : 'a gen) : 'a array gen =
+ fun rng ->
+  let n = len rng in
+  let a = Array.make n None in
+  for i = 0 to n - 1 do
+    a.(i) <- Some (g rng)
+  done;
+  Array.map Option.get a
+
+(* {1 Shrinking}
+
+   A shrinker maps a failing value to strictly-smaller candidates; the
+   runner greedily re-tests them and recurses on the first candidate
+   that still fails, so the reported counterexample is locally minimal. *)
+
+let shrink_int n =
+  if n = 0 then []
+  else
+    let cands = [ 0; n / 2; n - (if n > 0 then 1 else -1) ] in
+    List.sort_uniq compare (List.filter (fun c -> abs c < abs n) cands)
+
+let shrink_list xs =
+  match xs with
+  | [] -> []
+  | [ _ ] -> [ [] ]
+  | _ ->
+      let n = List.length xs in
+      let half = List.filteri (fun i _ -> i < n / 2) xs in
+      let other = List.filteri (fun i _ -> i >= n / 2) xs in
+      let drop_one = List.init n (fun i -> List.filteri (fun j _ -> j <> i) xs) in
+      (half :: other :: drop_one) |> List.filter (fun c -> List.length c < n)
+
+(* {1 Runner} *)
+
+let default_seed = 20260807
+
+let root_seed () =
+  match Sys.getenv_opt "QGEN_SEED" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n -> n | None -> default_seed)
+  | None -> default_seed
+
+(* Bounded greedy minimization: recursing on the first still-failing
+   candidate terminates because every candidate is strictly smaller,
+   but the fuel caps pathological custom shrinkers. *)
+let minimize ~holds ~shrink x0 =
+  let rec go fuel x =
+    if fuel = 0 then x
+    else
+      match List.find_opt (fun c -> not (holds c)) (shrink x) with
+      | Some c -> go (fuel - 1) c
+      | None -> x
+  in
+  go 1000 x0
+
+let check ?(count = 100) ?(pp : ('a -> string) option) ?(shrink : ('a -> 'a list) option)
+    ~name (gen : 'a gen) (prop : 'a -> bool) =
+  let seed = root_seed () in
+  (* One indexed child stream per case: case [i] is a pure function of
+     (seed, i), so a failure replays without re-running earlier cases. *)
+  let streams = Rng.split_n (Rng.create ~seed) count in
+  (* An exception inside the property (e.g. a ported Alcotest check)
+     counts as falsification, so its counterexample still gets seed
+     reporting and shrinking. *)
+  let run x = match prop x with b -> (b, None) | exception e -> (false, Some e) in
+  let holds x = fst (run x) in
+  for i = 0 to count - 1 do
+    let x = gen streams.(i) in
+    let ok, exn = run x in
+    if not ok then begin
+      let x_min = match shrink with Some s -> minimize ~holds ~shrink:s x | None -> x in
+      let show v = match pp with Some f -> f v | None -> "<no printer>" in
+      let exn_note =
+        match (if x_min == x then exn else snd (run x_min)) with
+        | Some e -> Printf.sprintf " raising %s" (Printexc.to_string e)
+        | None -> ""
+      in
+      let shrunk_note = if x_min == x then "" else Printf.sprintf " (shrunk from %s)" (show x) in
+      Alcotest.failf "%s: case %d/%d falsified with %s%s%s [replay: QGEN_SEED=%d]" name i count
+        (show x_min) shrunk_note exn_note seed
+    end
+  done
+
+(* Alcotest adapter: a qgen property as a quick test case. *)
+let test_case ?count ?pp ?shrink name gen prop =
+  Alcotest.test_case name `Quick (fun () -> check ?count ?pp ?shrink ~name gen prop)

@@ -469,8 +469,9 @@ let check_network_end_to_end seed =
     ()
 
 let prop_network_gradients =
-  QCheck.Test.make ~count:50 ~name:"SO-LF network gradients match central differences"
-    QCheck.(int_range 0 100_000)
+  Qgen.test_case ~count:50 ~pp:string_of_int ~shrink:Qgen.shrink_int
+    "SO-LF network gradients match central differences"
+    (Qgen.int_range 0 100_000)
     (fun seed ->
       check_network_end_to_end seed;
       true)
@@ -527,8 +528,8 @@ let check_ptanh_grads seed =
     ~params:(Ptanh.params pt) ~loss_var ~loss_val:(layer_loss_val loss_var) ()
 
 let prop_layer name check =
-  QCheck.Test.make ~count:20 ~name
-    QCheck.(int_range 0 100_000)
+  Qgen.test_case ~count:20 ~pp:string_of_int ~shrink:Qgen.shrink_int name
+    (Qgen.int_range 0 100_000)
     (fun seed ->
       check seed;
       true)
@@ -540,8 +541,9 @@ let prop_ptanh_gradients = prop_layer "ptanh gradients match FD" check_ptanh_gra
 (* Property: gradient of random polynomial DAGs matches FD ---------------- *)
 
 let prop_random_dag =
-  QCheck.Test.make ~count:30 ~name:"random DAG gradients match finite differences"
-    QCheck.(int_range 0 10_000)
+  Qgen.test_case ~count:30 ~pp:string_of_int ~shrink:Qgen.shrink_int
+    "random DAG gradients match finite differences"
+    (Qgen.int_range 0 10_000)
     (fun seed ->
       let rng = Rng.create ~seed in
       let a = rand_t rng ~rows:2 ~cols:2 and b = rand_pos rng ~rows:2 ~cols:2 in
@@ -606,12 +608,12 @@ let () =
           Alcotest.test_case "softmax rows" `Quick test_softmax_rows;
           Alcotest.test_case "mse" `Quick test_mse;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_random_dag ]);
+      ("properties", [ prop_random_dag ]);
       ( "model gradients",
         [
-          QCheck_alcotest.to_alcotest prop_network_gradients;
-          QCheck_alcotest.to_alcotest prop_crossbar_gradients;
-          QCheck_alcotest.to_alcotest prop_filter_gradients;
-          QCheck_alcotest.to_alcotest prop_ptanh_gradients;
+          prop_network_gradients;
+          prop_crossbar_gradients;
+          prop_filter_gradients;
+          prop_ptanh_gradients;
         ] );
     ]

@@ -97,9 +97,11 @@ let test_nested_submit_rejected () =
 
 (* Parallel parity properties ------------------------------------------- *)
 
-(* Random small eval configurations, deterministic per index. *)
-let config k =
-  let rng = Rng.create ~seed:(1000 + (17 * k)) in
+(* Random small eval configurations — a qgen generator: each case
+   draws its model, input and Monte-Carlo settings from its own indexed
+   child stream (the MC seed is drawn too, so a failing case replays
+   its exact estimator run from the reported QGEN_SEED). *)
+let config_gen rng =
   let arch = if Rng.bool rng then Network.Adapt else Network.Ptpnc in
   let classes = 2 + Rng.int rng 2 in
   let hidden = 2 + Rng.int rng 3 in
@@ -108,48 +110,55 @@ let config k =
   let n_draws = 1 + Rng.int rng 6 in
   let level = [| 0.05; 0.1; 0.2 |].(Rng.int rng 3) in
   let antithetic = Rng.bool rng in
+  let mc_seed = Rng.int rng 10_000 in
   let net = Network.create ~hidden rng arch ~inputs:1 ~classes in
   let x = T.uniform rng ~rows:batch ~cols:time ~lo:(-1.) ~hi:1. in
   let labels = Array.init batch (fun i -> i mod classes) in
-  (Model.Circuit net, x, labels, n_draws, Variation.uniform level, antithetic)
+  (Model.Circuit net, x, labels, n_draws, Variation.uniform level, antithetic, mc_seed)
+
+let pp_config (model, x, _, n, _, antithetic, mc_seed) =
+  let arch =
+    match model with
+    | Model.Circuit net -> Network.arch_name (Network.arch net)
+    | Model.Reference _ -> "Reference"
+  in
+  Printf.sprintf "%s batch=%d time=%d draws=%d antithetic=%b mc_seed=%d" arch (T.rows x)
+    (T.cols x) n antithetic mc_seed
 
 let test_mc_parity_across_worker_counts () =
-  for k = 0 to 7 do
-    let model, x, labels, n, spec, antithetic = config k in
-    let seq =
-      Mc_loss.expected_value ~antithetic ~rng:(Rng.create ~seed:k) ~spec ~n model ~x ~labels
-    in
-    List.iter
-      (fun size ->
-        Pool.with_pool ~size (fun pool ->
-            let par =
-              Mc_loss.expected_value ~antithetic ~pool ~rng:(Rng.create ~seed:k) ~spec ~n model
-                ~x ~labels
-            in
-            Alcotest.(check bool)
-              (Printf.sprintf "config %d: %d workers bit-identical (%.17g vs %.17g)" k size seq
-                 par)
-              true (seq = par)))
-      [ 1; 2; 4 ]
-  done
+  Qgen.check ~count:8 ~name:"mc parity across worker counts" ~pp:pp_config config_gen
+    (fun (model, x, labels, n, spec, antithetic, mc_seed) ->
+      let seq =
+        Mc_loss.expected_value ~antithetic ~rng:(Rng.create ~seed:mc_seed) ~spec ~n model ~x
+          ~labels
+      in
+      List.for_all
+        (fun size ->
+          Pool.with_pool ~size (fun pool ->
+              let par =
+                Mc_loss.expected_value ~antithetic ~pool ~rng:(Rng.create ~seed:mc_seed) ~spec
+                  ~n model ~x ~labels
+              in
+              seq = par))
+        [ 1; 2; 4 ])
 
 let test_mc_parity_at_env_pool_size () =
   (* The POOL_SIZE-driven run: dune executes this binary under both
      POOL_SIZE=1 and POOL_SIZE=4. *)
   Pool.with_pool ~size:env_pool_size (fun pool ->
-      for k = 0 to 3 do
-        let model, x, labels, n, spec, antithetic = config (100 + k) in
-        let seq =
-          Mc_loss.expected_value ~antithetic ~rng:(Rng.create ~seed:k) ~spec ~n model ~x ~labels
-        in
-        let par =
-          Mc_loss.expected_value ~antithetic ~pool ~rng:(Rng.create ~seed:k) ~spec ~n model ~x
-            ~labels
-        in
-        Alcotest.(check bool)
-          (Printf.sprintf "POOL_SIZE=%d bit-identical" env_pool_size)
-          true (seq = par)
-      done)
+      Qgen.check ~count:4
+        ~name:(Printf.sprintf "mc parity at POOL_SIZE=%d" env_pool_size)
+        ~pp:pp_config config_gen
+        (fun (model, x, labels, n, spec, antithetic, mc_seed) ->
+          let seq =
+            Mc_loss.expected_value ~antithetic ~rng:(Rng.create ~seed:mc_seed) ~spec ~n model
+              ~x ~labels
+          in
+          let par =
+            Mc_loss.expected_value ~antithetic ~pool ~rng:(Rng.create ~seed:mc_seed) ~spec ~n
+              model ~x ~labels
+          in
+          seq = par))
 
 let small_dataset ~classes ~batch ~time k =
   let rng = Rng.create ~seed:(3000 + k) in
@@ -318,7 +327,7 @@ let test_reseeded_run_reproduces_draw_sequence () =
         true
         (T.equal_eps ~eps:0. e1 e2 && T.equal_eps ~eps:0. m1 m2 && T.equal_eps ~eps:0. v1 v2))
     s1;
-  let model, x, labels, n, spec, _ = config 42 in
+  let model, x, labels, n, spec, _, _ = config_gen (Rng.create ~seed:1714) in
   let v1 = Mc_loss.expected_value ~rng:(Rng.create ~seed:13) ~spec ~n model ~x ~labels in
   let v2 = Mc_loss.expected_value ~rng:(Rng.create ~seed:13) ~spec ~n model ~x ~labels in
   Alcotest.(check bool) "re-seeded MC estimate identical" true (v1 = v2)

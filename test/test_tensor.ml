@@ -168,6 +168,47 @@ let test_affine_rv_into () =
   T.affine_rv_into ~dst:s' s' a x b;
   Alcotest.(check bool) "dst may alias s" true (T.equal_eps ~eps:0. expected s')
 
+let test_add_mul_rv_inplace () =
+  let m = T.of_rows [| [| 1.; -2.; 3. |]; [| 0.5; 4.; -1. |] |] in
+  let add = T.of_row [| 0.25; -1.5; 2. |] in
+  let mul = T.of_row [| 2.; -0.5; 3. |] in
+  let expected = T.copy m in
+  T.add_rv_inplace expected add;
+  T.mul_rv_inplace expected mul;
+  let fused = T.copy m in
+  T.add_mul_rv_inplace fused ~add ~mul;
+  Alcotest.(check bool) "fused = add;mul" true (T.equal_eps ~eps:0. expected fused)
+
+let test_matmul_into_rejects_aliasing () =
+  (* Regression: matmul_into reads its operands while writing dst, so a
+     dst that shares the operand buffer (even through a row view) must
+     be rejected instead of silently corrupting the product. *)
+  let a = T.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = T.of_rows [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  let raises f =
+    match f () with () -> false | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "dst == a" true (raises (fun () -> T.matmul_into ~dst:a a b));
+  Alcotest.(check bool) "dst == b" true (raises (fun () -> T.matmul_into ~dst:b a b));
+  Alcotest.(check bool) "dst shares a's buffer via a view" true
+    (raises (fun () -> T.matmul_into ~dst:(T.rows_view a ~row:0 ~len:2) a b))
+
+let test_rows_view_semantics () =
+  let m = T.of_rows [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |] |] in
+  let v = T.rows_view m ~row:1 ~len:2 in
+  Alcotest.(check bool) "view contents" true
+    (T.equal_eps ~eps:0. (T.of_rows [| [| 3.; 4. |]; [| 5.; 6. |] |]) v);
+  (* The view shares the parent's buffer in both directions. *)
+  T.set v 0 0 30.;
+  Alcotest.(check (float 0.)) "write-through to parent" 30. (T.get m 1 0);
+  T.set m 2 1 60.;
+  Alcotest.(check (float 0.)) "parent write visible in view" 60. (T.get v 1 1);
+  let oob f = match f () with _ -> false | exception _ -> true in
+  Alcotest.(check bool) "len past end rejected" true
+    (oob (fun () -> T.rows_view m ~row:2 ~len:2));
+  Alcotest.(check bool) "negative row rejected" true
+    (oob (fun () -> T.rows_view m ~row:(-1) ~len:1))
+
 (* Properties ------------------------------------------------------------ *)
 
 let tensor_gen =
@@ -234,6 +275,10 @@ let () =
           Alcotest.test_case "in-place rv kernels" `Quick test_inplace_kernels_match_allocating;
           Alcotest.test_case "matmul_into" `Quick test_matmul_into_matches_matmul;
           Alcotest.test_case "affine_rv_into" `Quick test_affine_rv_into;
+          Alcotest.test_case "add_mul_rv_inplace" `Quick test_add_mul_rv_inplace;
+          Alcotest.test_case "matmul_into rejects aliasing" `Quick
+            test_matmul_into_rejects_aliasing;
+          Alcotest.test_case "rows_view semantics" `Quick test_rows_view_semantics;
         ] );
       ("properties", qc);
     ]
