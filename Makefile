@@ -39,4 +39,22 @@ resume-demo:
 	dune build bin/adapt_pnc.exe && \
 	  ./scripts/resume_demo.sh $(RESUME_DEMO_OUT)
 
-.PHONY: check bench golden fmt-check resume-demo
+# Load generator for the serving daemon (docs/SERVING.md): hundreds of
+# concurrent connections against an in-process daemon, every response
+# parity-checked bit-for-bit against the offline engine, with a
+# checkpoint hot-swap mid-run. SERVE_BENCH_OUT streams the summary
+# (and metrics snapshot) as JSON Lines.
+SERVE_BENCH_OUT ?= docs/bench_serve.json
+serve-bench:
+	dune build bench/serve_bench.exe && \
+	  ADAPT_PNC_JOBS=$(JOBS) BENCH_OUT=$(SERVE_BENCH_OUT) \
+	  dune exec bench/serve_bench.exe
+
+# End-to-end smoke of the real `adapt_pnc serve` daemon over HTTP:
+# train a smoke checkpoint, boot the daemon, drive health/inference/
+# malformed-body requests with curl, SIGTERM, require a clean drain.
+serve-smoke:
+	dune build bin/adapt_pnc.exe && \
+	  ./scripts/serve_smoke.sh $(SERVE_SMOKE_OUT)
+
+.PHONY: check bench golden fmt-check resume-demo serve-bench serve-smoke

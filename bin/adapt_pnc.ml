@@ -142,15 +142,36 @@ let train_cmd =
     let cfg = config_of ~scale in
     let variant = variant_of_string model in
     let train_ckpt = Option.map (fun d -> Filename.concat d "train.ckpt") ckpt_dir in
-    Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755) ckpt_dir;
+    (* Resolve --resume before creating the checkpoint directory: a
+       missing train.ckpt used to fall through to [None] here, silently
+       training from scratch and then overwriting the directory the
+       user asked to resume from. That is never what --resume means. *)
     let resume_from =
       match (resume, train_ckpt) with
-      | true, Some p when Sys.file_exists p -> Some p
+      | false, _ -> None
       | true, None ->
           prerr_endline "--resume requires --checkpoint-dir";
           exit 2
-      | _ -> None
+      | true, Some p ->
+          if Sys.file_exists p then Some p
+          else begin
+            Printf.eprintf
+              "--resume: no checkpoint at %s (nothing to resume; run without --resume to \
+               start a fresh run)\n"
+              p;
+            exit 2
+          end
     in
+    Option.iter
+      (fun d ->
+        if not (Sys.file_exists d) then
+          try Sys.mkdir d 0o755
+          with Sys_error msg ->
+            Printf.eprintf
+              "cannot create checkpoint directory: %s (does the parent directory exist?)\n"
+              msg;
+            exit 2)
+      ckpt_dir;
     Printf.printf "training %s on %s (seed %d, scale %s)...\n%!"
       (Experiments.variant_name variant)
       dataset seed scale;
@@ -250,6 +271,85 @@ let eval_cmd =
     Term.(
       const run $ load_arg $ dataset_arg $ seed_arg $ scale_arg $ draws_arg $ level_arg
       $ batch_size_arg $ jobs_arg $ metrics_out_arg $ trace_arg)
+
+(* serve --------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let load_arg =
+    let doc =
+      "Model or train checkpoint to serve (written by `train --checkpoint-dir`). The file \
+       is polled for changes and hot-reloaded atomically (see --reload-every-ms)."
+    in
+    Arg.(required & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port_arg =
+    let doc = "TCP port (0 picks an ephemeral port, printed at startup)." in
+    Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let max_batch_arg =
+    let doc = "Flush the admission queue once this many rows have coalesced." in
+    Arg.(value & opt int 64 & info [ "max-batch" ] ~docv:"ROWS" ~doc)
+  in
+  let max_delay_arg =
+    let doc =
+      "Flush when the oldest queued request has waited this long (milliseconds), even if \
+       the batch is not full — the latency bound under light load."
+    in
+    Arg.(value & opt float 2.0 & info [ "max-delay-ms" ] ~docv:"MS" ~doc)
+  in
+  let batch_size_arg =
+    let doc =
+      "Kernel block size for the batched forward (rows per kernel call); 0 or negative \
+       runs each coalesced batch as one block. A throughput knob only — served logits are \
+       identical for every value."
+    in
+    Arg.(value & opt int 0 & info [ "batch-size" ] ~docv:"N" ~doc)
+  in
+  let reload_arg =
+    let doc = "Checkpoint poll period for hot reload, in milliseconds (0 disables)." in
+    Arg.(value & opt float 500.0 & info [ "reload-every-ms" ] ~docv:"MS" ~doc)
+  in
+  let run load host port max_batch max_delay_ms batch reload_ms jobs metrics_out trace =
+    let config =
+      {
+        Pnc_serve.Serve.default_config with
+        host;
+        port;
+        max_batch;
+        max_delay_s = max_delay_ms /. 1000.;
+        batch_size = (if batch > 0 then Some batch else None);
+        pool_size = jobs;
+        reload_every_s = reload_ms /. 1000.;
+      }
+    in
+    with_obs ~metrics_out ~trace (fun () ->
+        match Pnc_serve.Serve.create ~config ~checkpoint:load () with
+        | Error msg ->
+            Printf.eprintf "serve: %s\n" msg;
+            exit 1
+        | Ok srv ->
+            Printf.printf "serving %s (model version %d) on http://%s:%d\n%!"
+              (Pnc_serve.Serve.model_label srv)
+              (Pnc_serve.Serve.model_version srv)
+              host (Pnc_serve.Serve.port srv);
+            Printf.printf
+              "micro-batching: flush at %d rows or %.1f ms; hot reload: %s; SIGINT/SIGTERM \
+               drain and exit\n%!"
+              max_batch max_delay_ms
+              (if reload_ms > 0. then Printf.sprintf "every %.0f ms" reload_ms else "off");
+            Pnc_serve.Serve.run srv;
+            print_endline "serve: drained and stopped.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a checkpointed model over HTTP/1.1 with dynamic micro-batching (see \
+             docs/SERVING.md).")
+    Term.(
+      const run $ load_arg $ host_arg $ port_arg $ max_batch_arg $ max_delay_arg
+      $ batch_size_arg $ reload_arg $ jobs_arg $ metrics_out_arg $ trace_arg)
 
 (* ckpt ---------------------------------------------------------------------- *)
 
@@ -545,6 +645,7 @@ let () =
             datasets_cmd;
             train_cmd;
             eval_cmd;
+            serve_cmd;
             ckpt_cmd;
             ablate_cmd;
             hwcost_cmd;

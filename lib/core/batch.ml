@@ -14,21 +14,38 @@ let samples_counter = Obs.Counter.make "eval.batch.samples"
 let blocks_counter = Obs.Counter.make "eval.batch.blocks"
 let seconds_hist = Obs.Histogram.make "eval.batch_seconds"
 
+(* A malformed ADAPT_PNC_BATCH used to be ignored silently, which made
+   typos indistinguishable from the default whole-split resolution.
+   Warn once per process; the knob still falls back to the default. *)
+let env_warned = ref false
+
 let env_default () =
   match Sys.getenv_opt "ADAPT_PNC_BATCH" with
   | None -> None
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some n when n > 0 -> Some n
-      | _ -> None)
+      | _ ->
+          if not !env_warned then begin
+            env_warned := true;
+            Printf.eprintf
+              "adapt-pnc: ignoring malformed ADAPT_PNC_BATCH=%S (want a positive integer)\n%!"
+              s
+          end;
+          None)
 
 let resolve ?batch_size ~n () =
-  let requested =
-    match batch_size with Some _ -> batch_size | None -> env_default ()
-  in
-  match requested with
-  | Some b when b > 0 -> Stdlib.min b (Stdlib.max 1 n)
-  | _ -> Stdlib.max 1 n
+  match batch_size with
+  | Some b when b <= 0 ->
+      (* An explicit argument is a caller decision, not an environment
+         default: reject it instead of silently running whole-split. *)
+      invalid_arg
+        (Printf.sprintf "Batch.resolve: batch_size must be positive (got %d)" b)
+  | Some b -> Stdlib.min b (Stdlib.max 1 n)
+  | None -> (
+      match env_default () with
+      | Some b -> Stdlib.min b (Stdlib.max 1 n)
+      | None -> Stdlib.max 1 n)
 
 let start () = if Obs.enabled () then Clock.now () else 0.
 

@@ -11,11 +11,17 @@
     deliberately excluded from {!Pnc_exp.Config.fingerprint}. *)
 
 val env_default : unit -> int option
-(** [ADAPT_PNC_BATCH] parsed as a positive block size, if set. *)
+(** [ADAPT_PNC_BATCH] parsed as a positive block size, if set. A set
+    but malformed value (not a positive integer) resolves to [None] and
+    prints one warning per process to [stderr] instead of being
+    silently indistinguishable from "unset". *)
 
 val resolve : ?batch_size:int -> n:int -> unit -> int
-(** Effective block size for a batch of [n] rows: [batch_size] if given
-    and positive, else {!env_default}, else [n]; clamped to [1, max 1 n]. *)
+(** Effective block size for a batch of [n] rows: [batch_size] if
+    given, else {!env_default}, else [n]; clamped to [1, max 1 n].
+    An explicit non-positive [batch_size] is a caller error and raises
+    [Invalid_argument] (the environment fallback still degrades
+    silently — only the explicit argument is rejected). *)
 
 val chunked : rows:int -> block:int -> (row:int -> len:int -> unit) -> int
 (** [chunked ~rows ~block f] calls [f] once per consecutive row block

@@ -323,9 +323,29 @@ module Json = struct
             | Some 'u' ->
                 advance ();
                 if !pos + 4 > n then fail "truncated \\u escape";
-                let hex = String.sub s !pos 4 in
-                pos := !pos + 4;
-                let code = int_of_string ("0x" ^ hex) in
+                (* Strict 4-hex-digit validation through the parser's
+                   typed [fail]: [int_of_string "0x…"] would raise an
+                   untyped [Failure] on junk like \uZZZZ and silently
+                   accept '_' separators inside the four digits. *)
+                let hex_digit c =
+                  match c with
+                  | '0' .. '9' -> Char.code c - Char.code '0'
+                  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                  | _ -> fail "invalid \\u escape (want exactly 4 hex digits)"
+                in
+                let code = ref 0 in
+                for _ = 1 to 4 do
+                  code := (!code lsl 4) lor hex_digit s.[!pos];
+                  advance ()
+                done;
+                let code = !code in
+                (* Surrogate halves are not code points. The telemetry
+                   contract is ASCII (docs/OBSERVABILITY.md); this
+                   parser never emits them, so decide deterministically:
+                   reject rather than decode garbage pairs. *)
+                if code >= 0xD800 && code <= 0xDFFF then
+                  fail "surrogate code point in \\u escape";
                 (* Telemetry strings are ASCII; encode BMP code points
                    as UTF-8 without surrogate-pair handling. *)
                 if code < 0x80 then Buffer.add_char b (Char.chr code)

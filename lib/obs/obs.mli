@@ -151,8 +151,13 @@ module Json : sig
     | Obj of (string * t) list
 
   val parse : string -> t
-  (** Parse one complete JSON value. Raises [Failure] on malformed
-      input or trailing garbage. *)
+  (** Parse one complete JSON value. Raises [Failure] with a
+      ["Json.parse: … at offset …"] message on malformed input or
+      trailing garbage — every rejection goes through the parser's own
+      [fail], so callers can rely on catching [Failure] alone.
+      [\u] escapes must be exactly four hex digits ([0-9a-fA-F]);
+      surrogate-range code points (U+D800–U+DFFF) are rejected, per the
+      ASCII-telemetry contract (docs/OBSERVABILITY.md). *)
 
   val member : string -> t -> t option
   (** Field lookup in an [Obj]; [None] for other constructors. *)

@@ -1,0 +1,73 @@
+#!/bin/sh
+# End-to-end smoke of the real serving daemon: train a smoke-scale
+# checkpoint, boot `adapt_pnc serve` on it, drive the HTTP API
+# (health, single + batch inference, malformed bodies), then SIGTERM
+# it and require a clean graceful drain.
+#
+# Usage: scripts/serve_smoke.sh [OUTDIR]
+# Needs curl. OUTDIR keeps the checkpoint and daemon log so CI can
+# upload them as artifacts.
+set -eu
+
+OUT=${1:-$(mktemp -d "${TMPDIR:-/tmp}/serve-smoke-XXXXXX")}
+DATASET=${DATASET:-GPOVY}
+SCALE=${SCALE:-smoke}
+PORT=${PORT:-18473}
+CLI="dune exec --no-print-directory bin/adapt_pnc.exe --"
+
+command -v curl >/dev/null 2>&1 || { echo "serve_smoke: curl not found" >&2; exit 1; }
+
+mkdir -p "$OUT/ckpt"
+
+echo "== serve smoke: $DATASET @ $SCALE scale on port $PORT =="
+
+echo "-- training the checkpoint --"
+$CLI train -d "$DATASET" --scale "$SCALE" --checkpoint-dir "$OUT/ckpt"
+
+echo "-- starting the daemon --"
+$CLI serve --load "$OUT/ckpt/model.ckpt" -p "$PORT" --max-batch 8 \
+  --max-delay-ms 2 >"$OUT/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+# Wait for the daemon to answer (the CLI builds first, so be patient).
+i=0
+until curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -le 120 ] || { echo "daemon never came up"; cat "$OUT/serve.log"; exit 1; }
+  kill -0 "$SERVE_PID" 2>/dev/null || { echo "daemon died"; cat "$OUT/serve.log"; exit 1; }
+  sleep 0.5
+done
+
+echo "-- health --"
+curl -sf "http://127.0.0.1:$PORT/healthz"; echo
+
+echo "-- single-series inference --"
+curl -sf -X POST --data '{"series":[0.1,-0.2,0.3,0.05]}' \
+  "http://127.0.0.1:$PORT/v1/logits" | grep -q '"model_version"'
+curl -sf -X POST --data '{"series":[0.1,-0.2,0.3,0.05]}' \
+  "http://127.0.0.1:$PORT/v1/predict"; echo
+
+echo "-- batch inference --"
+curl -sf -X POST --data '{"batch":[[0.1,0.2,0.3,0.4],[1,2,3,4]]}' \
+  "http://127.0.0.1:$PORT/v1/logits" | grep -q '"logits"'
+
+echo "-- malformed bodies get 400s, daemon stays up --"
+for body in '{"series":[1,' '{"series":[1],"t":"\uZZZZ"}' '{"batch":[[1,2],[1]]}'; do
+  code=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data "$body" \
+    "http://127.0.0.1:$PORT/v1/logits")
+  [ "$code" = 400 ] || { echo "expected 400 for $body, got $code"; exit 1; }
+done
+curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null
+
+echo "-- metrics --"
+curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q 'serve.requests'
+
+echo "-- graceful shutdown --"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+trap - EXIT
+grep -q "drained and stopped" "$OUT/serve.log" || {
+  echo "daemon did not report a clean drain"; cat "$OUT/serve.log"; exit 1;
+}
+echo "OK: daemon served, survived malformed input, and drained cleanly"

@@ -177,8 +177,14 @@ let test_resolve_precedence () =
   let env = Batch.env_default () in
   Alcotest.(check int) "explicit wins" 4 (Batch.resolve ~batch_size:4 ~n:10 ());
   Alcotest.(check int) "clamped to n" 10 (Batch.resolve ~batch_size:64 ~n:10 ());
-  Alcotest.(check int) "non-positive arg -> whole split" 10
-    (Batch.resolve ~batch_size:(-3) ~n:10 ());
+  (* An explicit non-positive block size is a caller bug, not a request
+     for the default: it must be rejected, not silently whole-split. *)
+  Alcotest.check_raises "non-positive arg rejected"
+    (Invalid_argument "Batch.resolve: batch_size must be positive (got -3)") (fun () ->
+      ignore (Batch.resolve ~batch_size:(-3) ~n:10 ()));
+  Alcotest.check_raises "zero arg rejected"
+    (Invalid_argument "Batch.resolve: batch_size must be positive (got 0)") (fun () ->
+      ignore (Batch.resolve ~batch_size:0 ~n:10 ()));
   (match env with
   | Some b -> Alcotest.(check int) "env wins over default" (min b 10) (Batch.resolve ~n:10 ())
   | None -> Alcotest.(check int) "default = whole split" 10 (Batch.resolve ~n:10 ()));

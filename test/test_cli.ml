@@ -1,0 +1,105 @@
+(* CLI contract tests for failure modes that must not train.
+
+   These run the real binary ([../bin/adapt_pnc.exe] relative to the
+   test's build directory) and pin the exit codes and messages of the
+   --resume / --checkpoint-dir error paths. Both bugs being pinned here
+   were silent: --resume with a missing train.ckpt used to fall through
+   to a fresh training run (overwriting the directory the user asked to
+   resume from), and a checkpoint dir with a missing parent surfaced as
+   an uncaught Sys_error backtrace. *)
+
+let exe = Filename.concat (Filename.dirname Sys.executable_name) "../bin/adapt_pnc.exe"
+
+type outcome = { code : int; stdout : string; stderr : string }
+
+let slurp path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_cli (args : string list) : outcome =
+  let out = Filename.temp_file "cli_out" ".txt" in
+  let err = Filename.temp_file "cli_err" ".txt" in
+  let argv = Array.of_list (exe :: args) in
+  let fd_out = Unix.openfile out [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let fd_err = Unix.openfile err [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let pid = Unix.create_process exe argv Unix.stdin fd_out fd_err in
+  Unix.close fd_out;
+  Unix.close fd_err;
+  let _, status = Unix.waitpid [] pid in
+  let code =
+    match status with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED s -> 128 + s
+    | Unix.WSTOPPED s -> 128 + s
+  in
+  let r = { code; stdout = slurp out; stderr = slurp err } in
+  Sys.remove out;
+  Sys.remove err;
+  r
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let fresh_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "adapt_pnc_cli_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Sys.mkdir d 0o755;
+  d
+
+(* --resume with an existing checkpoint dir but no train.ckpt must exit
+   2 with a pointer at the missing file — never train from scratch. *)
+let test_resume_missing_checkpoint () =
+  let dir = fresh_dir () in
+  let r =
+    run_cli [ "train"; "-d"; "PowerCons"; "--scale"; "smoke"; "--checkpoint-dir"; dir; "--resume" ]
+  in
+  Alcotest.(check int) "exit code" 2 r.code;
+  Alcotest.(check bool)
+    "names the missing checkpoint" true
+    (contains ~needle:(Filename.concat dir "train.ckpt") r.stderr);
+  Alcotest.(check bool) "says nothing to resume" true (contains ~needle:"nothing to resume" r.stderr);
+  Alcotest.(check bool) "did not start training" false (contains ~needle:"training" r.stdout);
+  Sys.rmdir dir
+
+(* --resume is meaningless without --checkpoint-dir: exit 2, say so. *)
+let test_resume_requires_dir () =
+  let r = run_cli [ "train"; "-d"; "PowerCons"; "--scale"; "smoke"; "--resume" ] in
+  Alcotest.(check int) "exit code" 2 r.code;
+  Alcotest.(check bool)
+    "explains the pairing" true
+    (contains ~needle:"--resume requires --checkpoint-dir" r.stderr)
+
+(* A checkpoint dir whose parent does not exist must fail with a usable
+   message, not an uncaught Sys_error backtrace. *)
+let test_mkdir_missing_parent () =
+  let missing =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "no_such_parent_%d/ckpt" (Random.bits ()))
+  in
+  let r =
+    run_cli [ "train"; "-d"; "PowerCons"; "--scale"; "smoke"; "--checkpoint-dir"; missing ]
+  in
+  Alcotest.(check int) "exit code" 2 r.code;
+  Alcotest.(check bool)
+    "clean diagnostic" true
+    (contains ~needle:"cannot create checkpoint directory" r.stderr);
+  Alcotest.(check bool) "no uncaught exception" false (contains ~needle:"Fatal error" r.stderr)
+
+let () =
+  Random.self_init ();
+  Alcotest.run "cli"
+    [
+      ( "train-errors",
+        [
+          Alcotest.test_case "--resume w/o train.ckpt exits 2" `Quick test_resume_missing_checkpoint;
+          Alcotest.test_case "--resume w/o --checkpoint-dir exits 2" `Quick test_resume_requires_dir;
+          Alcotest.test_case "mkdir missing parent is clean" `Quick test_mkdir_missing_parent;
+        ] );
+    ]

@@ -146,6 +146,109 @@ let test_json_rejects_garbage () =
   Alcotest.(check bool) "unterminated" true (bad {|{"a|});
   Alcotest.(check bool) "bare word" true (bad "frob")
 
+(* \u escape decoding, fuzzed against a reference decoder ------------------
+
+   The parser used to feed the four escape characters to
+   [int_of_string ("0x" ^ hex)], which (a) raised an untyped [Failure
+   "int_of_string"] without the parser's offset context on any non-hex
+   input like \uZZZZ, and (b) silently accepted OCaml integer-literal
+   underscores inside the digits (\u00_9 decoded as \u0009). The
+   reference decoder below defines the contract: exactly four hex
+   digits, surrogate range rejected, everything else decoded as
+   minimal UTF-8. *)
+
+let reference_decode_u (quad : string) : string option =
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec code i acc =
+    if i = 4 then Some acc
+    else match hex quad.[i] with None -> None | Some d -> code (i + 1) ((acc * 16) + d)
+  in
+  match code 0 0 with
+  | None -> None
+  | Some c when c >= 0xD800 && c <= 0xDFFF -> None
+  | Some c when c < 0x80 -> Some (String.make 1 (Char.chr c))
+  | Some c when c < 0x800 ->
+      Some
+        (Printf.sprintf "%c%c"
+           (Char.chr (0xC0 lor (c lsr 6)))
+           (Char.chr (0x80 lor (c land 0x3F))))
+  | Some c ->
+      Some
+        (Printf.sprintf "%c%c%c"
+           (Char.chr (0xE0 lor (c lsr 12)))
+           (Char.chr (0x80 lor ((c lsr 6) land 0x3F)))
+           (Char.chr (0x80 lor (c land 0x3F))))
+
+let escape_quad_gen : string Qgen.gen =
+  (* Mix of clean hex quads (most draws) and quads salted with the
+     characters that historically slipped through or crashed the
+     parser: '_' separators, letters past 'f', punctuation. *)
+  let open Qgen in
+  let hex_char = oneof [ '0'; '5'; '9'; 'a'; 'c'; 'f'; 'A'; 'D'; 'F' ] in
+  let salt_char = oneof [ '_'; 'g'; 'z'; 'Z'; 'x'; '+'; '-'; ' '; 'o' ] in
+  let ch = bind bool (fun clean -> if clean then hex_char else salt_char) in
+  bind (int_range 0 3) (fun salted ->
+      map
+        (fun cs -> String.init 4 (fun i -> List.nth cs i))
+        (list_of ~len:(return 4) (if salted = 0 then ch else hex_char)))
+
+let test_json_u_escape_fuzz () =
+  Qgen.check ~count:300 ~name:"\\u escapes vs reference decoder"
+    ~pp:(fun q -> Printf.sprintf "\\u%s" q)
+    escape_quad_gen
+    (fun quad ->
+      let input = Printf.sprintf "\"\\u%s\"" quad in
+      match (Json.parse input, reference_decode_u quad) with
+      | Json.String s, Some expect -> s = expect
+      | _, Some _ -> false (* decoded to a non-string?! *)
+      | exception Failure msg ->
+          (* Rejection must be the parser's typed fail (offset-stamped
+             message), never a bare int_of_string Failure. *)
+          reference_decode_u quad = None
+          && String.length msg >= 11
+          && String.sub msg 0 11 = "Json.parse:"
+      | _, None -> false)
+
+let test_json_u_escape_cases () =
+  let decodes input expect =
+    match Json.parse input with
+    | Json.String s -> Alcotest.(check string) input expect s
+    | _ -> Alcotest.failf "%s: not a string" input
+  in
+  let rejected input =
+    match Json.parse input with
+    | exception Failure msg ->
+        Alcotest.(check bool)
+          (input ^ " rejected via parser fail")
+          true
+          (String.length msg >= 11 && String.sub msg 0 11 = "Json.parse:")
+    | _ -> Alcotest.failf "%s: accepted" input
+  in
+  decodes {|"\u0041"|} "A";
+  decodes {|"\u007f"|} "\x7f";
+  decodes {|"\u0080"|} "\xc2\x80";
+  decodes {|"\u07ff"|} "\xdf\xbf";
+  decodes {|"\u0800"|} "\xe0\xa0\x80";
+  decodes {|"\uFFFF"|} "\xef\xbf\xbf";
+  decodes {|"\ud7FF"|} "\xed\x9f\xbf";
+  decodes {|"\ue000"|} "\xee\x80\x80";
+  rejected {|"\uZZZZ"|};
+  rejected {|"\u00_9"|};
+  (* '_' was silently accepted by int_of_string *)
+  rejected {|"\u 041"|};
+  rejected {|"\u0x41"|};
+  rejected {|"\ud800"|};
+  (* surrogate range: deterministic rejection *)
+  rejected {|"\udfff"|};
+  rejected {|"\u00"|}
+  (* truncated *)
+
 (* JSONL round-trip --------------------------------------------------------- *)
 
 let read_jsonl path =
@@ -384,6 +487,8 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_json_parse;
           Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "\\u escape fuzz" `Quick test_json_u_escape_fuzz;
+          Alcotest.test_case "\\u escape cases" `Quick test_json_u_escape_cases;
           Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
         ] );
       ( "pipeline",
