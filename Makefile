@@ -6,7 +6,7 @@ JOBS ?= 4
 
 # BENCH_OUT streams every bench section (plus a final metrics
 # snapshot) as JSON Lines alongside the human-readable report.
-BENCH_OUT ?= docs/bench_pr5.json
+BENCH_OUT ?= docs/bench_pr7.json
 
 # BATCH, when set, is exported as ADAPT_PNC_BATCH: the block size of
 # the batched no-grad evaluation path (see docs/BATCHING.md). Results
@@ -14,8 +14,15 @@ BENCH_OUT ?= docs/bench_pr5.json
 # enforces this); only memory traffic and wall-clock change.
 BATCH ?=
 
+# PRECISION, when set, is exported as ADAPT_PNC_PRECISION: the
+# activation tier (exact|fast) resolved by entry points. Library
+# defaults never read it, so the `Exact bit-parity suites must stay
+# green under either setting (the CI matrix runs both).
+PRECISION ?=
+
 check:
-	dune build && POOL_SIZE=$(JOBS) ADAPT_PNC_BATCH=$(BATCH) dune runtest
+	dune build && POOL_SIZE=$(JOBS) ADAPT_PNC_BATCH=$(BATCH) \
+	  ADAPT_PNC_PRECISION=$(PRECISION) dune runtest
 
 bench:
 	dune build bench/main.exe && \

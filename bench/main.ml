@@ -204,19 +204,20 @@ let bench_eval_throughput cfg =
     done;
     !ok
   in
-  let emit_batch path batch_size t =
+  let emit_batch ?(precision = `Exact) ?extra path batch_size t =
     if Obs.enabled () then
       Obs.emit "bench.batch"
-        [
-          ("path", Obs.Str path);
-          ("batch_size", Obs.Int batch_size);
-          ("rows", Obs.Int rows);
-          ("draws", Obs.Int n_draws);
-          ("seconds", Obs.Float t);
-          ("draws_per_s", Obs.Float (1. /. per_draw t));
-          ("speedup_vs_single", Obs.Float (t_scalar /. t));
-          ("parity", Obs.Str (if batch_parity then "ok" else "VIOLATION"));
-        ]
+        ([
+           ("path", Obs.Str path);
+           ("precision", Obs.Str (Pnc_core.Batch.precision_name precision));
+           ("batch_size", Obs.Int batch_size);
+           ("rows", Obs.Int rows);
+           ("draws", Obs.Int n_draws);
+           ("seconds", Obs.Float t);
+           ("draws_per_s", Obs.Float (1. /. per_draw t));
+           ("speedup_vs_single", Obs.Float (t_scalar /. t));
+         ]
+        @ Option.value extra ~default:[ ("parity", Obs.Str (if batch_parity then "ok" else "VIOLATION")) ])
   in
   Printf.printf "  single-sample scalar loop    %8.1f draws/s (%s per draw)\n"
     (1. /. per_draw t_scalar)
@@ -230,6 +231,59 @@ let bench_eval_throughput cfg =
   emit_batch "single" 1 t_scalar;
   emit_batch "chunked" 1 t_chunked;
   emit_batch "batched" rows t_fast;
+
+  (* Precision tier: the same whole-split batched evaluation with the
+     `Fast rational-tanh kernel (<=1e-7 absolute error per activation,
+     see lib/tensor/fast_math.mli). Its parity contract is a bounded
+     drift, not bit-identity: max |logit delta| against `Exact under
+     the same draw, plus the prediction agreement rate. *)
+  let eval_tier precision =
+    eval_with (fun ~draw -> Pnc_core.Network.predict_batch ~precision ~draw net x)
+  in
+  let eval_exact_tier = eval_tier `Exact and eval_fast_tier = eval_tier `Fast in
+  eval_exact_tier ();
+  eval_fast_tier ();
+  let t_exact_tier = Pnc_util.Timer.time_mean ~repeats:3 eval_exact_tier in
+  let t_fast_tier = Pnc_util.Timer.time_mean ~repeats:3 eval_fast_tier in
+  let drift, agree =
+    let mk () = Pnc_core.Variation.make_draw (Pnc_util.Rng.create ~seed:7) spec in
+    let le = Pnc_core.Network.forward_batch_t ~precision:`Exact ~draw:(mk ()) net x in
+    let lf = Pnc_core.Network.forward_batch_t ~precision:`Fast ~draw:(mk ()) net x in
+    let d = ref 0. in
+    for r = 0 to rows - 1 do
+      for c = 0 to Pnc_tensor.Tensor.cols le - 1 do
+        d :=
+          Float.max !d
+            (Float.abs (Pnc_tensor.Tensor.get le r c -. Pnc_tensor.Tensor.get lf r c))
+      done
+    done;
+    let pe = Pnc_tensor.Tensor.argmax_rows le and pf = Pnc_tensor.Tensor.argmax_rows lf in
+    let same = ref 0 in
+    Array.iteri (fun i p -> if p = pf.(i) then incr same) pe;
+    (!d, float_of_int !same /. float_of_int rows)
+  in
+  let drift_ok = drift <= 1e-5 in
+  Printf.printf "  batched fast tier            %8.1f draws/s (%s per draw)\n"
+    (1. /. per_draw t_fast_tier)
+    (Pnc_util.Timer.fmt_seconds (per_draw t_fast_tier));
+  Printf.printf
+    "  fast-tier speedup            %8.2fx over exact batched (max |dlogit| %.2e, %.1f%% agree)%s\n"
+    (t_exact_tier /. t_fast_tier) drift (100. *. agree)
+    (if drift_ok then "" else "  DRIFT VIOLATION");
+  let tier_extra parity =
+    [
+      ("max_logit_delta", Obs.Float drift);
+      ("agreement", Obs.Float agree);
+      ("speedup_vs_exact", Obs.Float (t_exact_tier /. t_fast_tier));
+      ("parity", Obs.Str parity);
+    ]
+  in
+  emit_batch ~precision:`Exact
+    ~extra:(tier_extra (if batch_parity then "ok" else "VIOLATION"))
+    "batched-tier" rows t_exact_tier;
+  emit_batch ~precision:`Fast
+    ~extra:(tier_extra (if drift_ok then "ok" else "VIOLATION"))
+    "batched-tier" rows t_fast_tier;
   let t_epoch =
     Pnc_core.Train.epoch_seconds cfg.Config.train_va (Pnc_core.Model.Circuit net) split
   in

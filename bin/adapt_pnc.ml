@@ -215,6 +215,20 @@ let train_cmd =
 
 (* eval ---------------------------------------------------------------------- *)
 
+(* Shared by eval and serve. Resolution happens at this entry point
+   (explicit flag, else ADAPT_PNC_PRECISION, else exact) — library
+   defaults never read the environment. *)
+let precision_arg =
+  let doc =
+    "Activation tier for the no-grad evaluation kernels: $(b,exact) is bit-identical to \
+     training; $(b,fast) swaps in a bounded fast tanh (absolute tanh error at most 1e-7) \
+     for throughput. Defaults to \\$ADAPT_PNC_PRECISION, else exact."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("exact", `Exact); ("fast", `Fast) ])) None
+    & info [ "precision" ] ~docv:"TIER" ~doc)
+
 let eval_cmd =
   let load_arg =
     let doc = "Model or train checkpoint to evaluate (written by `train --checkpoint-dir`)." in
@@ -236,8 +250,9 @@ let eval_cmd =
     in
     Arg.(value & opt int 0 & info [ "batch-size" ] ~docv:"N" ~doc)
   in
-  let run load dataset seed scale draws level batch jobs metrics_out trace =
+  let run load dataset seed scale draws level batch precision jobs metrics_out trace =
     let batch_size = if batch > 0 then Some batch else None in
+    let precision = Pnc_core.Batch.resolve_precision ?precision () in
     check_dataset dataset;
     let cfg = config_of ~scale in
     let model =
@@ -252,14 +267,15 @@ let eval_cmd =
     let test = split.Dataset.test in
     with_obs ~metrics_out ~trace (fun () ->
         with_jobs jobs (fun pool ->
-            Printf.printf "%s on %s (test set, seed %d)\n"
-              (Pnc_core.Model.label model) dataset seed;
+            Printf.printf "%s on %s (test set, seed %d, %s precision)\n"
+              (Pnc_core.Model.label model) dataset seed
+              (Pnc_core.Batch.precision_name precision);
             Printf.printf "accuracy, clean:            %.3f\n"
-              (Pnc_core.Train.accuracy ?batch_size model test);
+              (Pnc_core.Train.accuracy ?batch_size ~precision model test);
             if Pnc_core.Model.is_circuit model then
               Printf.printf "accuracy, ±%.0f%% components: %.3f (%d draws)\n"
                 (100. *. level)
-                (Pnc_core.Train.accuracy_under_variation ?batch_size ?pool
+                (Pnc_core.Train.accuracy_under_variation ?batch_size ~precision ?pool
                    ~rng:(Rng.create ~seed:(seed + 4000))
                    ~spec:(Pnc_core.Variation.uniform level) ~draws model test)
                 draws))
@@ -270,7 +286,7 @@ let eval_cmd =
              and under variation.")
     Term.(
       const run $ load_arg $ dataset_arg $ seed_arg $ scale_arg $ draws_arg $ level_arg
-      $ batch_size_arg $ jobs_arg $ metrics_out_arg $ trace_arg)
+      $ batch_size_arg $ precision_arg $ jobs_arg $ metrics_out_arg $ trace_arg)
 
 (* serve --------------------------------------------------------------------- *)
 
@@ -312,7 +328,9 @@ let serve_cmd =
     let doc = "Checkpoint poll period for hot reload, in milliseconds (0 disables)." in
     Arg.(value & opt float 500.0 & info [ "reload-every-ms" ] ~docv:"MS" ~doc)
   in
-  let run load host port max_batch max_delay_ms batch reload_ms jobs metrics_out trace =
+  let run load host port max_batch max_delay_ms batch precision reload_ms jobs metrics_out
+      trace =
+    let precision = Pnc_core.Batch.resolve_precision ?precision () in
     let config =
       {
         Pnc_serve.Serve.default_config with
@@ -321,6 +339,7 @@ let serve_cmd =
         max_batch;
         max_delay_s = max_delay_ms /. 1000.;
         batch_size = (if batch > 0 then Some batch else None);
+        precision;
         pool_size = jobs;
         reload_every_s = reload_ms /. 1000.;
       }
@@ -331,9 +350,10 @@ let serve_cmd =
             Printf.eprintf "serve: %s\n" msg;
             exit 1
         | Ok srv ->
-            Printf.printf "serving %s (model version %d) on http://%s:%d\n%!"
+            Printf.printf "serving %s (model version %d, %s precision) on http://%s:%d\n%!"
               (Pnc_serve.Serve.model_label srv)
               (Pnc_serve.Serve.model_version srv)
+              (Pnc_core.Batch.precision_name precision)
               host (Pnc_serve.Serve.port srv);
             Printf.printf
               "micro-batching: flush at %d rows or %.1f ms; hot reload: %s; SIGINT/SIGTERM \
@@ -349,7 +369,8 @@ let serve_cmd =
              docs/SERVING.md).")
     Term.(
       const run $ load_arg $ host_arg $ port_arg $ max_batch_arg $ max_delay_arg
-      $ batch_size_arg $ reload_arg $ jobs_arg $ metrics_out_arg $ trace_arg)
+      $ batch_size_arg $ precision_arg $ reload_arg $ jobs_arg $ metrics_out_arg
+      $ trace_arg)
 
 (* ckpt ---------------------------------------------------------------------- *)
 

@@ -65,6 +65,48 @@ let record ~block ~rows ~blocks ~t0 =
       ]
   end
 
+(* Precision-tier resolution for entry points (CLI, serve, bench,
+   Config.from_env). Unlike the batch-size knob, precision CAN change
+   results (`Fast deviates by up to 1e-7 per tanh), so the environment
+   variable is read only here at the boundary — library functions
+   default to `Exact plainly, never to the environment. That keeps the
+   eps-0 parity tests honest under a CI run with
+   ADAPT_PNC_PRECISION=fast exported, and it forces every Fast run to
+   flow through a Config/flag that records the tier in the
+   fingerprint. *)
+
+type precision = [ `Exact | `Fast ]
+
+let precision_name = function `Exact -> "exact" | `Fast -> "fast"
+
+let precision_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "exact" -> Some `Exact
+  | "fast" -> Some `Fast
+  | _ -> None
+
+let precision_env_warned = ref false
+
+let precision_env_default () =
+  match Sys.getenv_opt "ADAPT_PNC_PRECISION" with
+  | None -> None
+  | Some s -> (
+      match precision_of_string s with
+      | Some p -> Some p
+      | None ->
+          if not !precision_env_warned then begin
+            precision_env_warned := true;
+            Printf.eprintf
+              "adapt-pnc: ignoring malformed ADAPT_PNC_PRECISION=%S (want exact|fast)\n%!"
+              s
+          end;
+          None)
+
+let resolve_precision ?precision () =
+  match precision with
+  | Some p -> p
+  | None -> ( match precision_env_default () with Some p -> p | None -> `Exact)
+
 let chunked ~rows ~block f =
   let blocks = ref 0 in
   let r0 = ref 0 in

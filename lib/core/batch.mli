@@ -23,6 +23,30 @@ val resolve : ?batch_size:int -> n:int -> unit -> int
     [Invalid_argument] (the environment fallback still degrades
     silently — only the explicit argument is rejected). *)
 
+type precision = [ `Exact | `Fast ]
+(** Activation tier for the batched no-grad kernels. [`Exact] is
+    [Stdlib.tanh] — bit-identical to the autodiff path. [`Fast] is
+    {!Pnc_tensor.Fast_math.tanh} (≤1e-7 absolute tanh error). *)
+
+val precision_name : precision -> string
+(** ["exact"] / ["fast"] — the wire/CLI spelling. *)
+
+val precision_of_string : string -> precision option
+(** Case-insensitive inverse of {!precision_name}. *)
+
+val precision_env_default : unit -> precision option
+(** [ADAPT_PNC_PRECISION] parsed as a tier, if set. A set but malformed
+    value resolves to [None] with one warning per process on
+    [stderr]. *)
+
+val resolve_precision : ?precision:precision -> unit -> precision
+(** Entry-point resolution: explicit argument, else
+    {!precision_env_default}, else [`Exact]. Unlike the batch-size
+    knob, precision can change results, so ONLY entry points (CLI,
+    serve, bench, [Config.from_env]) may consult the environment —
+    library functions default to [`Exact] unconditionally, and every
+    Fast run is recorded in {!Pnc_exp.Config.fingerprint}. *)
+
 val chunked : rows:int -> block:int -> (row:int -> len:int -> unit) -> int
 (** [chunked ~rows ~block f] calls [f] once per consecutive row block
     (the final block may be ragged) and returns the block count. *)

@@ -69,20 +69,30 @@ let forward m x =
   forward_multi m steps
 
 (* Pure-tensor forward for evaluation — same floating-point operation
-   sequence as the Var path, no autodiff nodes. *)
-let cell_step_t c h x =
-  T.map Stdlib.tanh
-    (T.add_rv (T.add (T.matmul x (Var.value c.w)) (T.matmul h (Var.value c.u))) (Var.value c.b))
+   sequence as the Var path, no autodiff nodes. [`Fast] swaps the
+   per-element transcendental only. *)
+let cell_step_t ?(precision = `Exact) c h x =
+  let pre =
+    T.add_rv (T.add (T.matmul x (Var.value c.w)) (T.matmul h (Var.value c.u))) (Var.value c.b)
+  in
+  match precision with
+  | `Exact -> T.map Stdlib.tanh pre
+  | `Fast ->
+      (* In-place over the freshly allocated pre-activation (off = 0):
+         one unboxed in-module loop instead of a boxing per-element
+         cross-module call. *)
+      Pnc_tensor.Fast_math.apply_range pre.T.data ~off:pre.T.off ~len:(T.numel pre);
+      pre
 
-let forward_multi_t m steps =
+let forward_multi_t ?precision m steps =
   assert (Array.length steps > 0);
   let batch = T.rows steps.(0) in
   let h1 = ref (T.zeros ~rows:batch ~cols:m.n_hidden) in
   let h2 = ref (T.zeros ~rows:batch ~cols:m.n_hidden) in
   Array.iter
     (fun x_t ->
-      h1 := cell_step_t m.l1 !h1 x_t;
-      h2 := cell_step_t m.l2 !h2 !h1)
+      h1 := cell_step_t ?precision m.l1 !h1 x_t;
+      h2 := cell_step_t ?precision m.l2 !h2 !h1)
     steps;
   T.add_rv (T.matmul !h2 (Var.value m.w_out)) (Var.value m.b_out)
 
@@ -94,7 +104,7 @@ let forward_t m x =
    fixed weights + row-broadcast biases), so chunking the batch through
    zero-copy row views is bit-identical to one whole-batch forward for
    any batch size. *)
-let forward_batch_t ?batch_size m x =
+let forward_batch_t ?batch_size ?precision m x =
   let rows = T.rows x in
   let block = Batch.resolve ?batch_size ~n:rows () in
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
@@ -103,11 +113,12 @@ let forward_batch_t ?batch_size m x =
   let blocks =
     Batch.chunked ~rows ~block (fun ~row ~len ->
         let sub = Array.map (fun s -> T.rows_view s ~row ~len) steps in
-        T.blit_into ~dst:(T.rows_view out ~row ~len) (forward_multi_t m sub))
+        T.blit_into ~dst:(T.rows_view out ~row ~len) (forward_multi_t ?precision m sub))
   in
   Batch.record ~block ~rows ~blocks ~t0;
   out
 
 let predict m x = T.argmax_rows (forward_t m x)
 
-let predict_batch ?batch_size m x = T.argmax_rows (forward_batch_t ?batch_size m x)
+let predict_batch ?batch_size ?precision m x =
+  T.argmax_rows (forward_batch_t ?batch_size ?precision m x)

@@ -27,14 +27,30 @@ val forward_multi : t -> Pnc_tensor.Tensor.t array -> Pnc_autodiff.Var.t
 val forward_t : t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
 (** Pure-tensor forward (no autodiff nodes); bit-identical logits. *)
 
-val forward_multi_t : t -> Pnc_tensor.Tensor.t array -> Pnc_tensor.Tensor.t
+val forward_multi_t :
+  ?precision:[ `Exact | `Fast ] ->
+  t ->
+  Pnc_tensor.Tensor.t array ->
+  Pnc_tensor.Tensor.t
 
-val forward_batch_t : ?batch_size:int -> t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+val forward_batch_t :
+  ?batch_size:int ->
+  ?precision:[ `Exact | `Fast ] ->
+  t ->
+  Pnc_tensor.Tensor.t ->
+  Pnc_tensor.Tensor.t
 (** Batched twin of {!forward_t} ([?batch_size] resolved by
-    {!Batch.resolve}); bit-identical logits for any batch size. *)
+    {!Batch.resolve}); bit-identical logits for any batch size under
+    [`Exact] (the default). [`Fast] substitutes
+    {!Pnc_tensor.Fast_math.tanh} for the cell activations. *)
 
 val predict : t -> Pnc_tensor.Tensor.t -> int array
 (** Runs on the tensor fast path. *)
 
-val predict_batch : ?batch_size:int -> t -> Pnc_tensor.Tensor.t -> int array
+val predict_batch :
+  ?batch_size:int ->
+  ?precision:[ `Exact | `Fast ] ->
+  t ->
+  Pnc_tensor.Tensor.t ->
+  int array
 (** {!predict} on the batched path. *)

@@ -83,16 +83,19 @@ let expected ?(antithetic = false) ~rng ~spec ~n model ~x ~labels =
    stream exactly like [expected] (same pre-split children, same draw
    construction, same accumulation order) but never allocates autodiff
    nodes — which also makes it safe to distribute over a domain pool. *)
-let value_of_draw ?batch_size ~draw model ~x ~labels =
-  Loss.cross_entropy_value ~logits:(Model.logits_batch_t ?batch_size ~draw model x) ~labels
+let value_of_draw ?batch_size ?precision ~draw model ~x ~labels =
+  Loss.cross_entropy_value
+    ~logits:(Model.logits_batch_t ?batch_size ?precision ~draw model x)
+    ~labels
 
-let one_sample_value ?batch_size ~rng ~spec model ~x ~labels =
+let one_sample_value ?batch_size ?precision ~rng ~spec model ~x ~labels =
   let draw =
     if Model.is_circuit model then Variation.make_draw rng spec else Variation.deterministic
   in
-  value_of_draw ?batch_size ~draw model ~x ~labels
+  value_of_draw ?batch_size ?precision ~draw model ~x ~labels
 
-let expected_value ?(antithetic = false) ?batch_size ?pool ~rng ~spec ~n model ~x ~labels =
+let expected_value ?(antithetic = false) ?batch_size ?precision ?pool ~rng ~spec ~n model
+    ~x ~labels =
   assert (n >= 1);
   let t0 = if Obs.enabled () then Clock.now () else 0. in
   let n, antithetic = normalize ~antithetic ~n model in
@@ -101,11 +104,11 @@ let expected_value ?(antithetic = false) ?batch_size ?pool ~rng ~spec ~n model ~
     if antithetic then
       if j < n / 2 then begin
         let d1, d2 = Variation.antithetic_pair rngs.(j) spec in
-        value_of_draw ?batch_size ~draw:d1 model ~x ~labels
-        +. value_of_draw ?batch_size ~draw:d2 model ~x ~labels
+        value_of_draw ?batch_size ?precision ~draw:d1 model ~x ~labels
+        +. value_of_draw ?batch_size ?precision ~draw:d2 model ~x ~labels
       end
-      else one_sample_value ?batch_size ~rng:rngs.(j) ~spec model ~x ~labels
-    else one_sample_value ?batch_size ~rng:rngs.(j) ~spec model ~x ~labels
+      else one_sample_value ?batch_size ?precision ~rng:rngs.(j) ~spec model ~x ~labels
+    else one_sample_value ?batch_size ?precision ~rng:rngs.(j) ~spec model ~x ~labels
   in
   let n_tasks = Array.length rngs in
   let values =

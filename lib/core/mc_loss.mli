@@ -31,6 +31,7 @@ val expected :
 val expected_value :
   ?antithetic:bool ->
   ?batch_size:int ->
+  ?precision:[ `Exact | `Fast ] ->
   ?pool:Pnc_util.Pool.t ->
   rng:Pnc_util.Rng.t ->
   spec:Variation.spec ->
@@ -46,4 +47,5 @@ val expected_value :
     bit-identical to the sequential path for every worker count (each
     draw owns a pre-split child stream and the summation order is
     fixed). Each draw evaluates on the batched path; like the pool
-    size, [batch_size] never changes the result. *)
+    size, [batch_size] never changes the result. [precision] does:
+    [`Fast] swaps in the bounded fast tanh (default [`Exact]). *)

@@ -24,18 +24,30 @@ val logits_t : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Te
     [Var.value (logits ...)] under the same draw. *)
 
 val logits_batch_t :
-  ?batch_size:int -> ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+  ?batch_size:int ->
+  ?precision:[ `Exact | `Fast ] ->
+  ?draw:Variation.draw ->
+  t ->
+  Pnc_tensor.Tensor.t ->
+  Pnc_tensor.Tensor.t
 (** Batched twin of {!logits_t}: the draw is realized once and the
     batch runs through it block of rows at a time ([?batch_size]
     resolved by {!Batch.resolve} — explicit argument, else
     [ADAPT_PNC_BATCH], else one block). Bit-identical to {!logits_t}
-    for every batch size. *)
+    for every batch size under [`Exact] (the default); [`Fast]
+    substitutes {!Pnc_tensor.Fast_math.tanh} (≤1e-7 absolute tanh
+    error) for the activation transcendentals. *)
 
 val predict : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
 (** Runs on the tensor fast path. *)
 
 val predict_batch :
-  ?batch_size:int -> ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
+  ?batch_size:int ->
+  ?precision:[ `Exact | `Fast ] ->
+  ?draw:Variation.draw ->
+  t ->
+  Pnc_tensor.Tensor.t ->
+  int array
 (** {!predict} on the batched path. *)
 
 val clamp : t -> unit

@@ -206,10 +206,10 @@ let make_ws ~batch reals =
       })
     reals
 
-let step_layer_t lr x =
+let step_layer_t ?precision lr x =
   Crossbar.apply_t_into ~dst:lr.cb_out lr.real.cb_t x;
   let filtered = Filter_layer.step_t lr.real.filt_t lr.filt_state_t lr.cb_out in
-  Ptanh.apply_t_into ~dst:lr.act_out lr.real.act_t filtered;
+  Ptanh.apply_t_into ?precision ~dst:lr.act_out lr.real.act_t filtered;
   lr.act_out
 
 (* Fused layer step for the no-grad path: after the crossbar matmul,
@@ -222,8 +222,35 @@ let step_layer_t lr x =
    changes memory traffic only, never a result bit. Unchecked accesses
    are covered by the shape asserts plus the tensor view invariant.
    Specialized for the two printable filter orders; any other stage
-   count falls back to the unfused sequence. *)
-let fused_step_layer lr x =
+   count falls back to the unfused sequence.
+
+   [~fast] selects the activation implementation: [false] is
+   [Stdlib.tanh] (bit-identical to the Var path), [true] is
+   [Fast_math.tanh] (≤1e-7 absolute tanh error; see docs/BATCHING.md).
+   Nothing else in the element sequence changes between the tiers. *)
+(* Activation pass over one row whose elements already hold the scaled
+   pre-activations: tanh in place, then the eta2/eta1 affine. Two entry
+   points for the transcendental — `Fast runs [Fast_math.apply_range]
+   (one unboxed in-module loop; a per-element cross-module call would
+   box both floats without flambda and cost more than the polynomial
+   saves), `Exact the direct unboxed [Stdlib.tanh] extern. The
+   per-element expression tree is identical to the former single-pass
+   form, so `Exact results stay bit-for-bit unchanged. *)
+let activation_rows ~fast od ~off ~cols e2 eo2 e1 eo1 =
+  let module BA = Bigarray.Array1 in
+  if fast then Pnc_tensor.Fast_math.apply_range od ~off ~len:cols
+  else
+    for c = 0 to cols - 1 do
+      BA.unsafe_set od (off + c) (Stdlib.tanh (BA.unsafe_get od (off + c)))
+    done;
+  for c = 0 to cols - 1 do
+    BA.unsafe_set od (off + c)
+      ((BA.unsafe_get od (off + c) *. BA.unsafe_get e2 (eo2 + c))
+      +. BA.unsafe_get e1 (eo1 + c))
+  done
+
+let fused_step_layer ~fast lr x =
+  let module BA = Bigarray.Array1 in
   let k = lr.kern in
   let mm = lr.cb_out and out = lr.act_out in
   let rows = T.rows mm and cols = T.cols mm in
@@ -252,25 +279,23 @@ let fused_step_layer lr x =
         and s2o = s2.T.off + (r * cols) in
         for c = 0 to cols - 1 do
           let v =
-            (Array.unsafe_get md (mo + c) +. Array.unsafe_get bd (bo + c))
-            *. Array.unsafe_get id (io + c)
+            (BA.unsafe_get md (mo + c) +. BA.unsafe_get bd (bo + c))
+            *. BA.unsafe_get id (io + c)
           in
           let s1v =
-            (Array.unsafe_get s1d (s1o + c) *. Array.unsafe_get a1d (a1o + c))
-            +. (v *. Array.unsafe_get b1d (b1o + c))
+            (BA.unsafe_get s1d (s1o + c) *. BA.unsafe_get a1d (a1o + c))
+            +. (v *. BA.unsafe_get b1d (b1o + c))
           in
-          Array.unsafe_set s1d (s1o + c) s1v;
+          BA.unsafe_set s1d (s1o + c) s1v;
           let s2v =
-            (Array.unsafe_get s2d (s2o + c) *. Array.unsafe_get a2d (a2o + c))
-            +. (s1v *. Array.unsafe_get b2d (b2o + c))
+            (BA.unsafe_get s2d (s2o + c) *. BA.unsafe_get a2d (a2o + c))
+            +. (s1v *. BA.unsafe_get b2d (b2o + c))
           in
-          Array.unsafe_set s2d (s2o + c) s2v;
-          Array.unsafe_set od (oo + c)
-            ((Stdlib.tanh
-                ((s2v +. -.Array.unsafe_get e3 (eo3 + c)) *. Array.unsafe_get e4 (eo4 + c))
-             *. Array.unsafe_get e2 (eo2 + c))
-            +. Array.unsafe_get e1 (eo1 + c))
-        done
+          BA.unsafe_set s2d (s2o + c) s2v;
+          BA.unsafe_set od (oo + c)
+            ((s2v +. -.BA.unsafe_get e3 (eo3 + c)) *. BA.unsafe_get e4 (eo4 + c))
+        done;
+        activation_rows ~fast od ~off:oo ~cols e2 eo2 e1 eo1
       done;
       out
   | [| s1 |], [| (a1, b1) |] ->
@@ -286,27 +311,26 @@ let fused_step_layer lr x =
         and s1o = s1.T.off + (r * cols) in
         for c = 0 to cols - 1 do
           let v =
-            (Array.unsafe_get md (mo + c) +. Array.unsafe_get bd (bo + c))
-            *. Array.unsafe_get id (io + c)
+            (BA.unsafe_get md (mo + c) +. BA.unsafe_get bd (bo + c))
+            *. BA.unsafe_get id (io + c)
           in
           let s1v =
-            (Array.unsafe_get s1d (s1o + c) *. Array.unsafe_get a1d (a1o + c))
-            +. (v *. Array.unsafe_get b1d (b1o + c))
+            (BA.unsafe_get s1d (s1o + c) *. BA.unsafe_get a1d (a1o + c))
+            +. (v *. BA.unsafe_get b1d (b1o + c))
           in
-          Array.unsafe_set s1d (s1o + c) s1v;
-          Array.unsafe_set od (oo + c)
-            ((Stdlib.tanh
-                ((s1v +. -.Array.unsafe_get e3 (eo3 + c)) *. Array.unsafe_get e4 (eo4 + c))
-             *. Array.unsafe_get e2 (eo2 + c))
-            +. Array.unsafe_get e1 (eo1 + c))
-        done
+          BA.unsafe_set s1d (s1o + c) s1v;
+          BA.unsafe_set od (oo + c)
+            ((s1v +. -.BA.unsafe_get e3 (eo3 + c)) *. BA.unsafe_get e4 (eo4 + c))
+        done;
+        activation_rows ~fast od ~off:oo ~cols e2 eo2 e1 eo1
       done;
       out
-  | _ -> step_layer_t lr x
+  | _ -> step_layer_t ~precision:(if fast then `Fast else `Exact) lr x
 
 (* Run one block of rows through all time steps against an already
    realized circuit instance. *)
-let forward_block ~readout ~classes reals steps =
+let forward_block ?(precision = `Exact) ~readout ~classes reals steps =
+  let fast = match precision with `Fast -> true | `Exact -> false in
   let batch = T.rows steps.(0) in
   let ws = make_ws ~batch reals in
   let acc = T.zeros ~rows:batch ~cols:classes in
@@ -314,7 +338,7 @@ let forward_block ~readout ~classes reals steps =
   Array.iter
     (fun x_t ->
       let signal = ref x_t in
-      List.iter (fun lr -> signal := fused_step_layer lr !signal) ws;
+      List.iter (fun lr -> signal := fused_step_layer ~fast lr !signal) ws;
       (match readout with
       | Integrated -> T.add_inplace acc !signal
       | Last_step -> ());
@@ -329,8 +353,8 @@ let forward_multi_readout_t ~readout ~draw_crossbar ~draw_filter ~draw_act net s
   let reals = realize_net_t ~draw_crossbar ~draw_filter ~draw_act net in
   forward_block ~readout ~classes:net.n_classes reals steps
 
-let forward_multi_readout_batch_t ?batch_size ~readout ~draw_crossbar ~draw_filter
-    ~draw_act net steps =
+let forward_multi_readout_batch_t ?batch_size ?precision ~readout ~draw_crossbar
+    ~draw_filter ~draw_act net steps =
   assert (Array.length steps > 0);
   let rows = T.rows steps.(0) in
   let block = Batch.resolve ?batch_size ~n:rows () in
@@ -340,7 +364,7 @@ let forward_multi_readout_batch_t ?batch_size ~readout ~draw_crossbar ~draw_filt
   let blocks =
     Batch.chunked ~rows ~block (fun ~row ~len ->
         let sub = Array.map (fun s -> T.rows_view s ~row ~len) steps in
-        let logits = forward_block ~readout ~classes:net.n_classes reals sub in
+        let logits = forward_block ?precision ~readout ~classes:net.n_classes reals sub in
         T.blit_into ~dst:(T.rows_view out ~row ~len) logits)
   in
   Batch.record ~block ~rows ~blocks ~t0;
@@ -352,17 +376,18 @@ let forward_multi_selective_t ~draw_crossbar ~draw_filter ~draw_act net steps =
 let forward_multi_t ~draw net steps =
   forward_multi_selective_t ~draw_crossbar:draw ~draw_filter:draw ~draw_act:draw net steps
 
-let forward_multi_batch_t ?batch_size ~draw net steps =
-  forward_multi_readout_batch_t ?batch_size ~readout:Integrated ~draw_crossbar:draw
-    ~draw_filter:draw ~draw_act:draw net steps
+let forward_multi_batch_t ?batch_size ?precision ~draw net steps =
+  forward_multi_readout_batch_t ?batch_size ?precision ~readout:Integrated
+    ~draw_crossbar:draw ~draw_filter:draw ~draw_act:draw net steps
 
 let forward_selective_t ~draw_crossbar ~draw_filter ~draw_act net x =
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
   forward_multi_selective_t ~draw_crossbar ~draw_filter ~draw_act net steps
 
-let forward_selective_batch_t ?batch_size ~draw_crossbar ~draw_filter ~draw_act net x =
+let forward_selective_batch_t ?batch_size ?precision ~draw_crossbar ~draw_filter ~draw_act
+    net x =
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
-  forward_multi_readout_batch_t ?batch_size ~readout:Integrated ~draw_crossbar
+  forward_multi_readout_batch_t ?batch_size ?precision ~readout:Integrated ~draw_crossbar
     ~draw_filter ~draw_act net steps
 
 let forward_readout_t ~readout ~draw net x =
@@ -374,14 +399,14 @@ let forward_t ~draw net x =
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
   forward_multi_t ~draw net steps
 
-let forward_batch_t ?batch_size ~draw net x =
+let forward_batch_t ?batch_size ?precision ~draw net x =
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
-  forward_multi_batch_t ?batch_size ~draw net steps
+  forward_multi_batch_t ?batch_size ?precision ~draw net steps
 
 let predict ?(draw = Variation.deterministic) net x = T.argmax_rows (forward_t ~draw net x)
 
-let predict_batch ?batch_size ?(draw = Variation.deterministic) net x =
-  T.argmax_rows (forward_batch_t ?batch_size ~draw net x)
+let predict_batch ?batch_size ?precision ?(draw = Variation.deterministic) net x =
+  T.argmax_rows (forward_batch_t ?batch_size ?precision ~draw net x)
 
 let clamp net =
   List.iter

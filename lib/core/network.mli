@@ -115,13 +115,26 @@ val forward_selective_t :
     variation draw is realized once per call and shared across all row
     blocks, so the block size is a pure performance knob — logits are
     bit-identical to the unbatched twin (and hence to the Var path) for
-    every batch size. *)
+    every batch size.
+
+    [?precision] selects the activation tier for the fused kernels:
+    [`Exact] (the default) keeps every result bit-identical to the Var
+    path; [`Fast] substitutes {!Pnc_tensor.Fast_math.tanh} (≤1e-7
+    absolute tanh error) for the per-element transcendental. The knob
+    affects arithmetic only — realization order, batching and shapes are
+    unchanged. *)
 
 val forward_batch_t :
-  ?batch_size:int -> draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
+  ?batch_size:int ->
+  ?precision:[ `Exact | `Fast ] ->
+  draw:Variation.draw ->
+  t ->
+  Pnc_tensor.Tensor.t ->
+  Pnc_tensor.Tensor.t
 
 val forward_multi_batch_t :
   ?batch_size:int ->
+  ?precision:[ `Exact | `Fast ] ->
   draw:Variation.draw ->
   t ->
   Pnc_tensor.Tensor.t array ->
@@ -129,6 +142,7 @@ val forward_multi_batch_t :
 
 val forward_selective_batch_t :
   ?batch_size:int ->
+  ?precision:[ `Exact | `Fast ] ->
   draw_crossbar:Variation.draw ->
   draw_filter:Variation.draw ->
   draw_act:Variation.draw ->
@@ -141,7 +155,12 @@ val predict : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
     Runs on the tensor fast path. *)
 
 val predict_batch :
-  ?batch_size:int -> ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
+  ?batch_size:int ->
+  ?precision:[ `Exact | `Fast ] ->
+  ?draw:Variation.draw ->
+  t ->
+  Pnc_tensor.Tensor.t ->
+  int array
 (** {!predict} on the batched path. *)
 
 val clamp : t -> unit

@@ -50,9 +50,11 @@ let realize_t ~draw a =
   let e i v = T.mul (Var.value v) eps.(i) in
   { e1_t = e 0 a.eta1; e2_t = e 1 a.eta2; e3_t = e 2 a.eta3; e4_t = e 3 a.eta4 }
 
-let apply_t_into ~dst real x =
+let apply_t_into ?(precision = `Exact) ~dst real x =
   assert (T.same_shape dst x && T.cols x = T.cols real.e1_t);
+  let fast = match precision with `Fast -> true | `Exact -> false in
   let cols = T.cols x in
+  let module BA = Bigarray.Array1 in
   let xd = x.T.data and od = dst.T.data in
   let e1 = real.e1_t.T.data
   and e2 = real.e2_t.T.data
@@ -67,29 +69,45 @@ let apply_t_into ~dst real x =
     for c = 0 to cols - 1 do
       (* Fused η₁ + η₂·tanh((x − η₃)·η₄) with the exact elementwise
          operation sequence of [apply] (sub_rv is add of the negation),
-         so results stay bit-identical to the Var path. Unchecked
-         accesses: the shape assert above plus the view invariant make
-         every index in bounds. *)
-      Array.unsafe_set od (oo + c)
-        ((Stdlib.tanh
-            ((Array.unsafe_get xd (xo + c) +. -.Array.unsafe_get e3 (eo3 + c))
-            *. Array.unsafe_get e4 (eo4 + c))
-         *. Array.unsafe_get e2 (eo2 + c))
-        +. Array.unsafe_get e1 (eo1 + c))
+         so results stay bit-identical to the Var path under [`Exact].
+         [`Fast] substitutes the bounded approximation for the single
+         transcendental — everything around it is unchanged, so the
+         logit deviation is |η₂|·(tanh error) ≤ 1e-7 per element.
+         Unchecked accesses: the shape assert above plus the view
+         invariant make every index in bounds. *)
+      BA.unsafe_set od (oo + c)
+        ((BA.unsafe_get xd (xo + c) +. -.BA.unsafe_get e3 (eo3 + c))
+        *. BA.unsafe_get e4 (eo4 + c))
+    done;
+    (* Activation pass over the row ([dst] holds the scaled
+       pre-activations): `Fast runs one unboxed in-module loop, `Exact
+       the direct unboxed extern — a per-element cross-module call
+       would box both floats without flambda. The per-element
+       expression tree matches the former single-pass form, so `Exact
+       stays bit-identical. *)
+    if fast then Pnc_tensor.Fast_math.apply_range od ~off:oo ~len:cols
+    else
+      for c = 0 to cols - 1 do
+        BA.unsafe_set od (oo + c) (Stdlib.tanh (BA.unsafe_get od (oo + c)))
+      done;
+    for c = 0 to cols - 1 do
+      BA.unsafe_set od (oo + c)
+        ((BA.unsafe_get od (oo + c) *. BA.unsafe_get e2 (eo2 + c))
+        +. BA.unsafe_get e1 (eo1 + c))
     done
   done
 
 (* Batched twin: row-independent elementwise kernel applied block by
    block through zero-copy row views — bit-identical to a single
    [apply_t_into] over the whole batch for any [block]. *)
-let apply_batch_t ?block real x =
+let apply_batch_t ?(precision = `Exact) ?block real x =
   let rows = T.rows x in
   let out = T.zeros ~rows ~cols:(T.cols x) in
   let b = match block with Some b when b > 0 -> Stdlib.min b rows | _ -> rows in
   let r0 = ref 0 in
   while !r0 < rows do
     let len = Stdlib.min b (rows - !r0) in
-    apply_t_into
+    apply_t_into ~precision
       ~dst:(T.rows_view out ~row:!r0 ~len)
       real
       (T.rows_view x ~row:!r0 ~len);

@@ -179,12 +179,12 @@ let train ?(rng = Rng.create ~seed:0) ?checkpoint_every ?checkpoint_path ?resume
     val_loss_curve = Array.of_list (List.rev !val_curve);
   }
 
-let accuracy ?batch_size ?draw model d =
+let accuracy ?batch_size ?precision ?draw model d =
   let x, y = to_xy d in
-  let pred = Model.predict_batch ?batch_size ?draw model x in
+  let pred = Model.predict_batch ?batch_size ?precision ?draw model x in
   Pnc_util.Stats.accuracy ~pred ~truth:y
 
-let accuracy_under_variation ?batch_size ?pool ~rng ~spec ~draws model d =
+let accuracy_under_variation ?batch_size ?precision ?pool ~rng ~spec ~draws model d =
   assert (draws >= 1);
   let t0 = if Obs.enabled () then Clock.now () else 0. in
   let x, y = to_xy d in
@@ -193,7 +193,9 @@ let accuracy_under_variation ?batch_size ?pool ~rng ~spec ~draws model d =
   let rngs = Rng.split_n rng draws in
   let instance i =
     let draw = Variation.make_draw rngs.(i) spec in
-    Pnc_util.Stats.accuracy ~pred:(Model.predict_batch ?batch_size ~draw model x) ~truth:y
+    Pnc_util.Stats.accuracy
+      ~pred:(Model.predict_batch ?batch_size ?precision ~draw model x)
+      ~truth:y
   in
   let accs =
     match pool with

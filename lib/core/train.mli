@@ -70,14 +70,22 @@ val train :
     written for a different model. [die_at_epoch] raises {!Killed}
     after that epoch's checkpoint is written. *)
 
-val accuracy : ?batch_size:int -> ?draw:Variation.draw -> Model.t -> Pnc_data.Dataset.t -> float
+val accuracy :
+  ?batch_size:int ->
+  ?precision:[ `Exact | `Fast ] ->
+  ?draw:Variation.draw ->
+  Model.t ->
+  Pnc_data.Dataset.t ->
+  float
 (** Deterministic accuracy unless a draw is supplied. Runs on the
     batched no-grad path; [batch_size] (default: whole split, or
     [ADAPT_PNC_BATCH]) only chunks the evaluation — the result is
-    identical for every value. *)
+    identical for every value. [precision] selects the activation tier
+    (default [`Exact]). *)
 
 val accuracy_under_variation :
   ?batch_size:int ->
+  ?precision:[ `Exact | `Fast ] ->
   ?pool:Pnc_util.Pool.t ->
   rng:Pnc_util.Rng.t ->
   spec:Variation.spec ->
@@ -90,7 +98,8 @@ val accuracy_under_variation :
     a pre-split child stream; with [pool] the instances evaluate in
     parallel with a result identical to the sequential one. Each
     instance evaluates on the batched path; like the pool size,
-    [batch_size] never changes the result. *)
+    [batch_size] never changes the result ([precision] can — [`Fast]
+    uses the bounded fast tanh). *)
 
 val epoch_seconds : ?rng:Pnc_util.Rng.t -> config -> Model.t -> Pnc_data.Dataset.split -> float
 (** Wall-clock seconds of one training epoch (forward + backward +

@@ -14,6 +14,7 @@ type t = {
   eval_level : float;
   dataset_n : int option;
   datasets : string list;
+  precision : Pnc_core.Batch.precision;
 }
 
 let all_datasets = Pnc_data.Registry.names
@@ -32,6 +33,7 @@ let of_scale scale =
         eval_level = 0.1;
         dataset_n = Some 60;
         datasets = [ "GPOVY"; "PowerCons" ];
+        precision = `Exact;
       }
   | Fast ->
       {
@@ -52,6 +54,7 @@ let of_scale scale =
         eval_level = 0.1;
         dataset_n = Some 200;
         datasets = all_datasets;
+        precision = `Exact;
       }
   | Paper ->
       {
@@ -65,6 +68,7 @@ let of_scale scale =
         eval_level = 0.1;
         dataset_n = None;
         datasets = all_datasets;
+        precision = `Exact;
       }
 
 (* Canonical text over every field that affects the computation of one
@@ -93,10 +97,18 @@ let train_fingerprint (c : Train.config) =
     c.Train.weight_decay
 
 let fingerprint t =
-  Printf.sprintf "cell-v1|base{%s}|va{%s}|aug_copies=%d;eval_draws=%d;eval_level=%.17g;dataset_n=%s"
-    (train_fingerprint t.train_base) (train_fingerprint t.train_va) t.aug_copies t.eval_draws
-    t.eval_level
-    (match t.dataset_n with None -> "default" | Some n -> string_of_int n)
+  let base =
+    Printf.sprintf
+      "cell-v1|base{%s}|va{%s}|aug_copies=%d;eval_draws=%d;eval_level=%.17g;dataset_n=%s"
+      (train_fingerprint t.train_base) (train_fingerprint t.train_va) t.aug_copies
+      t.eval_draws t.eval_level
+      (match t.dataset_n with None -> "default" | Some n -> string_of_int n)
+  in
+  (* Appended only under `Fast so every fingerprint ever produced before
+     the precision tier existed — all `Exact by construction — keeps its
+     exact byte string, and cached grid cells stay valid. `Fast results
+     can differ (≤1e-7 per tanh), so they must key separately. *)
+  match t.precision with `Exact -> base | `Fast -> base ^ "|precision=fast"
 
 let scale_of_string = function
   | "smoke" -> Smoke
@@ -107,6 +119,12 @@ let scale_of_string = function
 let scale_name = function Smoke -> "smoke" | Fast -> "fast" | Paper -> "paper"
 
 let from_env () =
-  match Sys.getenv_opt "ADAPT_PNC_SCALE" with
-  | Some s -> of_scale (scale_of_string s)
-  | None -> of_scale Fast
+  let cfg =
+    match Sys.getenv_opt "ADAPT_PNC_SCALE" with
+    | Some s -> of_scale (scale_of_string s)
+    | None -> of_scale Fast
+  in
+  (* Entry-point resolution of the precision tier (see Batch): the
+     environment is consulted here, never inside library defaults, so a
+     Fast run always flows through a Config that fingerprints it. *)
+  { cfg with precision = Pnc_core.Batch.resolve_precision () }

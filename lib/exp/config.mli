@@ -18,6 +18,9 @@ type t = {
   eval_level : float;  (** component variation at test time (0.1) *)
   dataset_n : int option;  (** override generated sample count *)
   datasets : string list;
+  precision : Pnc_core.Batch.precision;
+      (** activation tier for no-grad evaluation ([`Exact] default;
+          [`Fast] is recorded in {!fingerprint}) *)
 }
 
 val of_scale : scale -> t
@@ -32,7 +35,13 @@ val fingerprint : t -> string
     augmentation copies, evaluation draws/level, dataset sizing).
     Fields that only select or aggregate cells — seeds, dataset and
     variant lists, [top_k] — are excluded, so reshaping the grid reuses
-    cached cells. The cell cache keys on the digest of this string. *)
+    cached cells. The cell cache keys on the digest of this string.
+
+    The precision tier appends ["|precision=fast"] only under [`Fast]:
+    [`Exact] fingerprints are byte-identical to those produced before
+    the tier existed, so old cached cells stay valid. *)
 
 val from_env : unit -> t
-(** Reads the ADAPT_PNC_SCALE environment variable (default fast). *)
+(** Reads the ADAPT_PNC_SCALE environment variable (default fast) and
+    the ADAPT_PNC_PRECISION tier (via
+    {!Pnc_core.Batch.resolve_precision}; default exact). *)

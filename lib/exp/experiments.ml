@@ -120,18 +120,21 @@ let train_run ?batch_size ?pool ?checkpoint_every ?checkpoint_path ?resume_from 
     Dataset.concat test (Augment.perturb_dataset prng Augment.default_policy test)
   in
   let pert_test = Augment.perturb_dataset prng Augment.default_policy test in
+  (* The configured tier flows into every no-grad evaluation below; a
+     `Fast run keys its cells separately via the fingerprint. *)
+  let precision = cfg.Config.precision in
   let under_variation d =
     if Model.is_circuit model then
-      Train.accuracy_under_variation ?batch_size ?pool ~rng:erng ~spec
+      Train.accuracy_under_variation ?batch_size ~precision ?pool ~rng:erng ~spec
         ~draws:cfg.Config.eval_draws model d
-    else Train.accuracy ?batch_size model d
+    else Train.accuracy ?batch_size ~precision model d
   in
   {
     dataset;
     variant;
     seed;
     model;
-    clean_acc = Train.accuracy ?batch_size model test;
+    clean_acc = Train.accuracy ?batch_size ~precision model test;
     clean_var_acc = under_variation test;
     aug_var_acc = under_variation aug_test;
     pert_var_acc = under_variation pert_test;

@@ -44,6 +44,12 @@ let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~params () =
 let adamw ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ?(weight_decay = 0.01) ~params () =
   make_adam ~beta1 ~beta2 ~eps ~weight_decay params
 
+module BA = Bigarray.Array1
+
+(* Parameter and gradient tensors are always full-buffer (off = 0):
+   params are created by the constructors and grads by the autodiff
+   tape, never through a view. The update loops index the flat Bigarray
+   buffer directly over [0, numel). *)
 let data p = (Var.value p : T.t).data
 
 (* Non-allocating gradient access: [Var.grad] manufactures a fresh
@@ -60,10 +66,10 @@ let step t ~lr =
       Array.iteri
         (fun i p ->
           let x = data p and g = grad_data p and v = velocity.(i) in
-          for j = 0 to Array.length x - 1 do
-            let gj = match g with Some ga -> ga.(j) | None -> 0. in
+          for j = 0 to BA.dim x - 1 do
+            let gj = match g with Some ga -> BA.unsafe_get ga j | None -> 0. in
             v.(j) <- (momentum *. v.(j)) -. (lr *. gj);
-            x.(j) <- x.(j) +. v.(j)
+            BA.unsafe_set x j (BA.unsafe_get x j +. v.(j))
           done)
         t.params
   | Adam a ->
@@ -74,14 +80,16 @@ let step t ~lr =
         (fun i p ->
           let x = data p and g = grad_data p in
           let m = a.m.(i) and v = a.v.(i) in
-          for j = 0 to Array.length x - 1 do
-            let gj = match g with Some ga -> ga.(j) | None -> 0. in
+          for j = 0 to BA.dim x - 1 do
+            let gj = match g with Some ga -> BA.unsafe_get ga j | None -> 0. in
             m.(j) <- (a.beta1 *. m.(j)) +. ((1. -. a.beta1) *. gj);
             v.(j) <- (a.beta2 *. v.(j)) +. ((1. -. a.beta2) *. gj *. gj);
             let mh = m.(j) /. bc1 and vh = v.(j) /. bc2 in
             (* Decoupled weight decay: applied directly to the weights,
                not folded into the gradient. *)
-            x.(j) <- x.(j) -. (lr *. ((mh /. (sqrt vh +. a.eps)) +. (a.weight_decay *. x.(j))))
+            let xj = BA.unsafe_get x j in
+            BA.unsafe_set x j
+              (xj -. (lr *. ((mh /. (sqrt vh +. a.eps)) +. (a.weight_decay *. xj))))
           done)
         t.params
 
@@ -133,7 +141,11 @@ let grad_norm t =
     (fun p ->
       match grad_data p with
       | None -> ()
-      | Some g -> Array.iter (fun x -> acc := !acc +. (x *. x)) g)
+      | Some g ->
+          for j = 0 to BA.dim g - 1 do
+            let x = BA.unsafe_get g j in
+            acc := !acc +. (x *. x)
+          done)
     t.params;
   sqrt !acc
 
@@ -146,8 +158,8 @@ let clip_grad_norm t ~max_norm =
         match grad_data p with
         | None -> ()
         | Some g ->
-            for j = 0 to Array.length g - 1 do
-              g.(j) <- g.(j) *. k
+            for j = 0 to BA.dim g - 1 do
+              BA.unsafe_set g j (BA.unsafe_get g j *. k)
             done)
       t.params
   end

@@ -40,6 +40,7 @@ type config = {
   max_batch : int;
   max_delay_s : float;
   batch_size : int option;
+  precision : Pnc_core.Batch.precision;
   pool_size : int;
   reload_every_s : float;
   max_body : int;
@@ -53,6 +54,7 @@ let default_config =
     max_batch = 64;
     max_delay_s = 2e-3;
     batch_size = None;
+    precision = `Exact;
     pool_size = 0;
     reload_every_s = 0.5;
     max_body = 4 * 1024 * 1024;
@@ -423,7 +425,8 @@ let compute_logits t model x =
       let parts =
         Pool.init pool ~n:(Array.length bounds) (fun i ->
             let start, len = bounds.(i) in
-            Model.logits_batch_t ?batch_size:t.cfg.batch_size model
+            Model.logits_batch_t ?batch_size:t.cfg.batch_size
+              ~precision:t.cfg.precision model
               (Tensor.rows_view x ~row:start ~len))
       in
       Array.concat
@@ -432,7 +435,10 @@ let compute_logits t model x =
               (fun part -> Array.init (Tensor.rows part) (fun i -> Tensor.row part i))
               parts))
   | _ ->
-      let l = Model.logits_batch_t ?batch_size:t.cfg.batch_size model x in
+      let l =
+        Model.logits_batch_t ?batch_size:t.cfg.batch_size ~precision:t.cfg.precision
+          model x
+      in
       Array.init (Tensor.rows l) (fun i -> Tensor.row l i)
 
 let flush t group =
@@ -554,6 +560,7 @@ let healthz_body t =
          ("status", Json.String "ok");
          ("model", Json.String label);
          ("model_version", Json.Num (float_of_int v));
+         ("precision", Json.String (Pnc_core.Batch.precision_name t.cfg.precision));
          ("uptime_s", Json.Num (Clock.now () -. t.started));
        ])
 
@@ -594,13 +601,18 @@ let route t req =
       | R_shutdown -> (503, error_body "shutting down", 0)
       | R_ok { version; logits } ->
           let version_field = ("model_version", Json.Num (float_of_int version)) in
+          (* Echo the tier so clients of a `Fast deployment can tell
+             their logits carry the ≤1e-7 approximation. *)
+          let precision_field =
+            ("precision", Json.String (Pnc_core.Batch.precision_name t.cfg.precision))
+          in
           let body =
             if req.path = "/v1/logits" then
               let payload =
                 if single then json_of_row logits.(0)
                 else Json.List (Array.to_list (Array.map json_of_row logits))
               in
-              Json.render (Json.Obj [ version_field; ("logits", payload) ])
+              Json.render (Json.Obj [ version_field; precision_field; ("logits", payload) ])
             else
               let classes =
                 Array.map
@@ -613,7 +625,7 @@ let route t req =
               let payload =
                 if single then classes.(0) else Json.List (Array.to_list classes)
               in
-              Json.render (Json.Obj [ version_field; ("classes", payload) ])
+              Json.render (Json.Obj [ version_field; precision_field; ("classes", payload) ])
           in
           (200, body, Array.length rows))
   | _, ("/healthz" | "/metrics" | "/v1/logits" | "/v1/predict") ->

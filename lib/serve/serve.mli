@@ -54,6 +54,11 @@ type config = {
   batch_size : int option;
       (** kernel block size forwarded to [Model.logits_batch_t]
           ([None] = whole coalesced block; a pure throughput knob) *)
+  precision : Pnc_core.Batch.precision;
+      (** activation tier for batch compute (default [`Exact]); the
+          tier is echoed as a ["precision"] field in every /v1 response
+          and in /healthz so clients can tell a [`Fast] deployment's
+          logits carry the ≤1e-7 approximation *)
   pool_size : int;
       (** worker domains for batch compute ([<= 1] computes inline on
           the batcher thread) *)
@@ -65,8 +70,8 @@ type config = {
 
 val default_config : config
 (** [127.0.0.1:8080], [max_batch = 64], [max_delay_s = 2e-3],
-    [batch_size = None], [pool_size = 0], [reload_every_s = 0.5],
-    [max_body = 4 MiB], [max_rows = 1024]. *)
+    [batch_size = None], [precision = `Exact], [pool_size = 0],
+    [reload_every_s = 0.5], [max_body = 4 MiB], [max_rows = 1024]. *)
 
 type t
 

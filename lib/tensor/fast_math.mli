@@ -1,0 +1,41 @@
+(** Bounded fast math for the opt-in [`Fast] precision tier.
+
+    {!tanh} is a vectorizable rational approximation with a proven
+    absolute error bound, used by the batched no-grad kernels when the
+    caller explicitly selects [~precision:`Fast] (see docs/BATCHING.md).
+    The default everywhere remains [Stdlib.tanh] — results under
+    [`Exact] are bit-identical to the autodiff path. *)
+
+val tanh : float -> float
+(** [tanh x] with [|tanh x - Stdlib.tanh x| <= 1e-7] for every finite
+    [x] (fuzzed by test/test_fasttanh.ml). Structural guarantees beyond
+    the bound: odd bit-for-bit ([tanh (-x) = -. tanh x]), monotone
+    non-decreasing, signed zeros preserved, exactly [+-1.0] for
+    [|x| >= cutoff] (including infinities), NaN propagates.
+
+    Construction: [s = x * P(x*x)] with [P] the degree-7 truncated
+    Taylor series of [sinh (sqrt u) / sqrt u] (all coefficients
+    positive, hence monotone by construction), then the exact identity
+    [tanh = sinh / sqrt (1 + sinh^2)]; the tail is clamped where
+    [1 - tanh x] drops below the bound. Marked [@inline always] so
+    same-unit callers get an unboxed body; cross-module scalar calls
+    box their floats — hot loops should use {!apply_range}. *)
+
+val cutoff : float
+(** Saturation threshold (8.5): [|x| >= cutoff] returns exactly
+    [copysign 1. x]. At the cutoff [1 - Stdlib.tanh cutoff ~ 8.28e-8],
+    which is the binding term of the error bound. *)
+
+val max_abs_error : float
+(** The proven bound, [1e-7]. *)
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Same flat storage type as {!Tensor.buffer}. *)
+
+val apply_range : buffer -> off:int -> len:int -> unit
+(** [apply_range d ~off ~len] replaces [d.{i}] with [tanh d.{i}] for
+    [i] in [off .. off+len-1], bit-identical to the scalar {!tanh}
+    (fuzzed by the battery). The loop lives inside this module, so the
+    elements stay unboxed whatever the caller's compilation mode — this
+    is the entry point the fused no-grad kernels use, one call per row
+    block. *)

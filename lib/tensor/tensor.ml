@@ -1,38 +1,69 @@
-type t = { rows : int; cols : int; off : int; data : float array }
+(* Storage is a flat Bigarray (float64, C layout) rather than an OCaml
+   [float array]: kernels address elements through unsafe flat access
+   exactly as before (IEEE doubles either way, so results are
+   bit-identical), and the buffer is shareable with C stubs later
+   without copying. Views ([rows_view]) keep sharing the *same* buffer
+   value — never an [Array1.sub] proxy — so physical equality on
+   [data] remains a sound aliasing test. *)
+
+module A = Bigarray.Array1
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) A.t
+
+type t = { rows : int; cols : int; off : int; data : buffer }
+
+let alloc n : buffer = A.create Bigarray.float64 Bigarray.c_layout n
+
+(* Partial fill of a flat range. [A.fill] only covers whole arrays, and
+   an [A.sub] proxy per call would allocate on the hot path. *)
+let fill_range (d : buffer) off len v =
+  for i = off to off + len - 1 do
+    A.unsafe_set d i v
+  done
 
 let idx t r c = t.off + (r * t.cols) + c
 
 let create ~rows ~cols v =
   assert (rows >= 0 && cols >= 0);
-  { rows; cols; off = 0; data = Array.make (rows * cols) v }
+  let data = alloc (rows * cols) in
+  fill_range data 0 (rows * cols) v;
+  { rows; cols; off = 0; data }
 
 let zeros ~rows ~cols = create ~rows ~cols 0.
-let scalar v = { rows = 1; cols = 1; off = 0; data = [| v |] }
 
-let of_array ~rows ~cols data =
-  assert (Array.length data = rows * cols);
-  { rows; cols; off = 0; data = Array.copy data }
+let scalar v =
+  let data = alloc 1 in
+  A.unsafe_set data 0 v;
+  { rows = 1; cols = 1; off = 0; data }
 
-let of_row a = { rows = 1; cols = Array.length a; off = 0; data = Array.copy a }
+let of_array ~rows ~cols src =
+  assert (Array.length src = rows * cols);
+  let data = alloc (rows * cols) in
+  Array.iteri (fun i x -> A.unsafe_set data i x) src;
+  { rows; cols; off = 0; data }
+
+let of_row a = of_array ~rows:1 ~cols:(Array.length a) a
 
 let of_rows rs =
   let rows = Array.length rs in
   assert (rows > 0);
   let cols = Array.length rs.(0) in
-  let data = Array.make (rows * cols) 0. in
+  let data = alloc (rows * cols) in
   Array.iteri
     (fun r row ->
       assert (Array.length row = cols);
-      Array.blit row 0 data (r * cols) cols)
+      for c = 0 to cols - 1 do
+        A.unsafe_set data ((r * cols) + c) (Array.unsafe_get row c)
+      done)
     rs;
   { rows; cols; off = 0; data }
 
 let init ~rows ~cols f =
-  let data = Array.make (rows * cols) 0. in
+  let data = alloc (rows * cols) in
   let k = ref 0 in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
-      data.(!k) <- f r c;
+      A.unsafe_set data !k (f r c);
       incr k
     done
   done;
@@ -41,11 +72,19 @@ let init ~rows ~cols f =
 let rows t = t.rows
 let cols t = t.cols
 let numel t = t.rows * t.cols
-let get t r c = t.data.(idx t r c)
-let set t r c v = t.data.(idx t r c) <- v
-let copy t = { t with off = 0; data = Array.sub t.data t.off (numel t) }
-let to_row_array t = Array.sub t.data t.off (numel t)
-let row t r = Array.sub t.data (t.off + (r * t.cols)) t.cols
+let get t r c = A.get t.data (idx t r c)
+let set t r c v = A.set t.data (idx t r c) v
+
+let copy t =
+  let n = numel t in
+  let data = alloc n in
+  for i = 0 to n - 1 do
+    A.unsafe_set data i (A.unsafe_get t.data (t.off + i))
+  done;
+  { t with off = 0; data }
+
+let to_row_array t = Array.init (numel t) (fun i -> A.unsafe_get t.data (t.off + i))
+let row t r = Array.init t.cols (fun c -> A.unsafe_get t.data (t.off + (r * t.cols) + c))
 
 let rows_view t ~row ~len =
   if row < 0 || len < 0 || row + len > t.rows then
@@ -53,31 +92,31 @@ let rows_view t ~row ~len =
   { t with rows = len; off = t.off + (row * t.cols) }
 
 let col t c =
-  {
-    rows = t.rows;
-    cols = 1;
-    off = 0;
-    data = Array.init t.rows (fun r -> get t r c);
-  }
+  init ~rows:t.rows ~cols:1 (fun r _ -> get t r c)
 
 let get_scalar t =
   assert (t.rows = 1 && t.cols = 1);
-  t.data.(t.off)
+  A.get t.data t.off
 
 let same_shape a b = a.rows = b.rows && a.cols = b.cols
 
 let map f t =
   let n = numel t in
-  { t with off = 0; data = Array.init n (fun i -> f t.data.(t.off + i)) }
+  let data = alloc n in
+  for i = 0 to n - 1 do
+    A.unsafe_set data i (f (A.unsafe_get t.data (t.off + i)))
+  done;
+  { t with off = 0; data }
 
 let map2 f a b =
   assert (same_shape a b);
   let n = numel a in
-  {
-    a with
-    off = 0;
-    data = Array.init n (fun i -> f a.data.(a.off + i) b.data.(b.off + i));
-  }
+  let data = alloc n in
+  for i = 0 to n - 1 do
+    A.unsafe_set data i
+      (f (A.unsafe_get a.data (a.off + i)) (A.unsafe_get b.data (b.off + i)))
+  done;
+  { a with off = 0; data }
 
 let add a b = map2 ( +. ) a b
 let sub a b = map2 ( -. ) a b
@@ -86,29 +125,40 @@ let div a b = map2 ( /. ) a b
 let neg t = map (fun x -> -.x) t
 let scale k t = map (fun x -> k *. x) t
 let add_scalar k t = map (fun x -> k +. x) t
-let fill t v = Array.fill t.data t.off (numel t) v
+let fill t v = fill_range t.data t.off (numel t) v
 
 let blit_into ~dst src =
   assert (same_shape dst src);
-  Array.blit src.data src.off dst.data dst.off (numel src)
+  let n = numel src in
+  (* [src] and [dst] may be views of one buffer; the batched engine only
+     ever blits between disjoint row ranges, and for the identical-range
+     case the element copy below is trivially correct too. *)
+  if dst.data == src.data && dst.off > src.off then
+    for i = n - 1 downto 0 do
+      A.unsafe_set dst.data (dst.off + i) (A.unsafe_get src.data (src.off + i))
+    done
+  else
+    for i = 0 to n - 1 do
+      A.unsafe_set dst.data (dst.off + i) (A.unsafe_get src.data (src.off + i))
+    done
 
 let add_inplace acc x =
   assert (same_shape acc x);
   let ad = acc.data and xd = x.data and ao = acc.off and xo = x.off in
   for i = 0 to numel acc - 1 do
-    Array.unsafe_set ad (ao + i)
-      (Array.unsafe_get ad (ao + i) +. Array.unsafe_get xd (xo + i))
+    A.unsafe_set ad (ao + i) (A.unsafe_get ad (ao + i) +. A.unsafe_get xd (xo + i))
   done
 
 let broadcast_rv f m rv =
   assert (rv.rows = 1 && rv.cols = m.cols);
   let cols = m.cols in
-  let data = Array.make (m.rows * cols) 0. in
+  let data = alloc (m.rows * cols) in
   let k = ref 0 in
   for r = 0 to m.rows - 1 do
     let moff = m.off + (r * cols) in
     for c = 0 to cols - 1 do
-      data.(!k) <- f m.data.(moff + c) rv.data.(rv.off + c);
+      A.unsafe_set data !k
+        (f (A.unsafe_get m.data (moff + c)) (A.unsafe_get rv.data (rv.off + c)));
       incr k
     done
   done;
@@ -120,8 +170,8 @@ let mul_rv m rv = broadcast_rv ( *. ) m rv
 (* The per-row broadcast kernels below run inside the per-time-step
    loop of the no-grad forward, so they are hand-specialized (no
    closure dispatch) and use unchecked accesses: the shape asserts plus
-   the view invariant [off + rows * cols <= Array.length data] make
-   every index provably in bounds. *)
+   the view invariant [off + rows * cols <= A.dim data] make every
+   index provably in bounds. *)
 
 let add_rv_inplace m rv =
   assert (rv.rows = 1 && rv.cols = m.cols);
@@ -130,8 +180,8 @@ let add_rv_inplace m rv =
   for r = 0 to m.rows - 1 do
     let moff = m.off + (r * cols) in
     for c = 0 to cols - 1 do
-      Array.unsafe_set md (moff + c)
-        (Array.unsafe_get md (moff + c) +. Array.unsafe_get rd (ro + c))
+      A.unsafe_set md (moff + c)
+        (A.unsafe_get md (moff + c) +. A.unsafe_get rd (ro + c))
     done
   done
 
@@ -142,8 +192,8 @@ let mul_rv_inplace m rv =
   for r = 0 to m.rows - 1 do
     let moff = m.off + (r * cols) in
     for c = 0 to cols - 1 do
-      Array.unsafe_set md (moff + c)
-        (Array.unsafe_get md (moff + c) *. Array.unsafe_get rd (ro + c))
+      A.unsafe_set md (moff + c)
+        (A.unsafe_get md (moff + c) *. A.unsafe_get rd (ro + c))
     done
   done
 
@@ -158,9 +208,9 @@ let add_mul_rv_inplace m ~add ~mul =
   for r = 0 to m.rows - 1 do
     let moff = m.off + (r * cols) in
     for c = 0 to cols - 1 do
-      Array.unsafe_set md (moff + c)
-        ((Array.unsafe_get md (moff + c) +. Array.unsafe_get ad (ao + c))
-        *. Array.unsafe_get ud (uo + c))
+      A.unsafe_set md (moff + c)
+        ((A.unsafe_get md (moff + c) +. A.unsafe_get ad (ao + c))
+        *. A.unsafe_get ud (uo + c))
     done
   done
 
@@ -178,9 +228,9 @@ let affine_rv_into ~dst s a x b =
     for c = 0 to cols - 1 do
       (* dst may alias s (the filter state update overwrites in place);
          each element is read before it is written. *)
-      Array.unsafe_set dd (doff + c)
-        ((Array.unsafe_get sd (soff + c) *. Array.unsafe_get ad (ao + c))
-        +. (Array.unsafe_get xd (xoff + c) *. Array.unsafe_get bd (bo + c)))
+      A.unsafe_set dd (doff + c)
+        ((A.unsafe_get sd (soff + c) *. A.unsafe_get ad (ao + c))
+        +. (A.unsafe_get xd (xoff + c) *. A.unsafe_get bd (bo + c)))
     done
   done
 
@@ -205,17 +255,17 @@ let matmul_into ~dst a b =
        while skipping the separate fill pass. *)
     let bo = b.off in
     for r = 0 to m - 1 do
-      let av = Array.unsafe_get ad (a.off + r) in
+      let av = A.unsafe_get ad (a.off + r) in
       let ooff = dst.off + (r * n) in
       if av <> 0. then
         for c = 0 to n - 1 do
-          Array.unsafe_set dd (ooff + c) (0. +. (av *. Array.unsafe_get bd (bo + c)))
+          A.unsafe_set dd (ooff + c) (0. +. (av *. A.unsafe_get bd (bo + c)))
         done
-      else Array.fill dd ooff n 0.
+      else fill_range dd ooff n 0.
     done
   end
   else begin
-    Array.fill dd dst.off (m * n) 0.;
+    fill_range dd dst.off (m * n) 0.;
     let r0 = ref 0 in
     while !r0 < m do
       let r1 = Stdlib.min m (!r0 + block_rows) in
@@ -225,13 +275,12 @@ let matmul_into ~dst a b =
         for r = !r0 to r1 - 1 do
           let aoff = a.off + (r * kk) and ooff = dst.off + (r * n) in
           for k = !k0 to k1 - 1 do
-            let av = Array.unsafe_get ad (aoff + k) in
+            let av = A.unsafe_get ad (aoff + k) in
             if av <> 0. then begin
               let boff = b.off + (k * n) in
               for c = 0 to n - 1 do
-                Array.unsafe_set dd (ooff + c)
-                  (Array.unsafe_get dd (ooff + c)
-                  +. (av *. Array.unsafe_get bd (boff + c)))
+                A.unsafe_set dd (ooff + c)
+                  (A.unsafe_get dd (ooff + c) +. (av *. A.unsafe_get bd (boff + c)))
               done
             end
           done
@@ -253,7 +302,7 @@ let transpose t = init ~rows:t.cols ~cols:t.rows (fun r c -> get t c r)
 let sum t =
   let acc = ref 0. in
   for i = 0 to numel t - 1 do
-    acc := !acc +. t.data.(t.off + i)
+    acc := !acc +. A.unsafe_get t.data (t.off + i)
   done;
   !acc
 
@@ -263,7 +312,7 @@ let sum_rows t =
   let out = zeros ~rows:1 ~cols:t.cols in
   for r = 0 to t.rows - 1 do
     for c = 0 to t.cols - 1 do
-      out.data.(c) <- out.data.(c) +. get t r c
+      A.unsafe_set out.data c (A.unsafe_get out.data c +. get t r c)
     done
   done;
   out
@@ -275,14 +324,14 @@ let sum_cols t =
     for c = 0 to t.cols - 1 do
       acc := !acc +. get t r c
     done;
-    out.data.(r) <- !acc
+    A.unsafe_set out.data r !acc
   done;
   out
 
 let max_abs t =
   let m = ref 0. in
   for i = 0 to numel t - 1 do
-    m := Float.max !m (Float.abs t.data.(t.off + i))
+    m := Float.max !m (Float.abs (A.unsafe_get t.data (t.off + i)))
   done;
   !m
 
@@ -310,8 +359,11 @@ let equal_eps ~eps a b =
   let n = numel a in
   let i = ref 0 in
   while !ok && !i < n do
-    if not (Float.abs (a.data.(a.off + !i) -. b.data.(b.off + !i)) <= eps) then
-      ok := false;
+    if
+      not
+        (Float.abs (A.unsafe_get a.data (a.off + !i) -. A.unsafe_get b.data (b.off + !i))
+        <= eps)
+    then ok := false;
     incr i
   done;
   !ok

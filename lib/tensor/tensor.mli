@@ -6,13 +6,21 @@
     rank makes the reverse-mode engine ({!Pnc_autodiff.Var}) small and
     easy to verify. *)
 
-type t = private { rows : int; cols : int; off : int; data : float array }
-(** [data.(off + r * cols + c)] stores element [(r, c)]. The type is
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Flat element storage: a C-layout float64 Bigarray. Same IEEE-754
+    doubles as the previous [float array] backing (results are
+    bit-identical), but addressable from C stubs without copying and
+    outside the OCaml heap (no GC scanning of element data). *)
+
+type t = private { rows : int; cols : int; off : int; data : buffer }
+(** [data.{off + r * cols + c}] stores element [(r, c)]. The type is
     private: construct through the functions below so the view invariant
-    [off + rows * cols <= Array.length data] always holds. Allocating
-    constructors produce [off = 0] tensors whose buffer is exactly
-    [rows * cols]; {!rows_view} produces contiguous views ([off > 0]
-    possible) that share the buffer of the viewed tensor. *)
+    [off + rows * cols <= Bigarray.Array1.dim data] always holds.
+    Allocating constructors produce [off = 0] tensors whose buffer is
+    exactly [rows * cols]; {!rows_view} produces contiguous views
+    ([off > 0] possible) that share the buffer {e value} of the viewed
+    tensor — never an [Array1.sub] proxy — so physical equality on
+    [data] remains a sound aliasing test for the kernels. *)
 
 val create : rows:int -> cols:int -> float -> t
 val zeros : rows:int -> cols:int -> t

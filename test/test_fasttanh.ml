@@ -1,0 +1,253 @@
+(* Fuzzed approximation battery for Fast_math.tanh (the `Fast tier).
+
+   The battery checks the proven contract of lib/tensor/fast_math.mli
+   against Stdlib.tanh as the oracle:
+
+   - |Fast_math.tanh x - Stdlib.tanh x| <= 1e-7 for every finite x,
+     fuzzed on uniform AND log-scale inputs (magnitudes 1e-320..1e308)
+     plus a hand-picked adversarial list (signed zeros, denormals,
+     overflow-scale values, infinities, NaN, the saturation knee);
+   - odd symmetry, bit-for-bit: tanh (-x) = -. tanh x;
+   - monotone non-decreasing (on pairs separated by >= 1e-6 — below
+     that the true tanh difference can be under one ulp of the output
+     and double rounding may legally invert adjacent values);
+   - exactly +-1.0 for |x| >= cutoff, including infinities;
+   - signed zeros preserved and NaN propagated.
+
+   Teeth check: the battery must actually be able to fail. A local
+   bit-faithful copy of the polynomial (verified bit-identical against
+   the library on fuzzed inputs) is re-run with one coefficient
+   perturbed by 1e-6, and the suite asserts the 1e-7 bound check
+   REJECTS the perturbed kernel — i.e. the tolerance has no slack to
+   absorb a real coefficient bug. *)
+
+module FM = Pnc_tensor.Fast_math
+
+let bound = FM.max_abs_error
+let err x = Float.abs (FM.tanh x -. Stdlib.tanh x)
+
+(* Generators ----------------------------------------------------------- *)
+
+(* Uniform over the active region (everything past ~+-9 is tail). *)
+let gen_uniform = Qgen.float_range (-20.) 20.
+
+(* Log-scale magnitudes: sign * 10^e with e uniform in [-320, 308]
+   covers denormals through overflow-scale doubles. *)
+let gen_log =
+  Qgen.map
+    (fun (neg, e) ->
+      let m = Float.exp (e *. Float.log 10.) in
+      if neg then -.m else m)
+    (Qgen.pair Qgen.bool (Qgen.float_range (-320.) 308.))
+
+let gen_any = Qgen.bind Qgen.bool (fun b -> if b then gen_uniform else gen_log)
+let pp_float = Printf.sprintf "%.17g"
+
+(* Properties ------------------------------------------------------------ *)
+
+let test_bound_uniform () =
+  Qgen.check ~count:2000 ~pp:pp_float ~name:"bound (uniform)" gen_uniform (fun x ->
+      err x <= bound)
+
+let test_bound_log () =
+  Qgen.check ~count:2000 ~pp:pp_float ~name:"bound (log-scale)" gen_log (fun x ->
+      err x <= bound)
+
+let adversarial =
+  [
+    0.0;
+    -0.0;
+    4.94e-324 (* smallest denormal *);
+    -4.94e-324;
+    1e-308 (* denormal boundary *);
+    -1e-308;
+    1e308;
+    -1e308;
+    Float.max_float;
+    -.Float.max_float;
+    infinity;
+    neg_infinity;
+    FM.cutoff;
+    -.FM.cutoff;
+    Float.pred FM.cutoff (* last polynomial-path input *);
+    -.Float.pred FM.cutoff;
+    Float.succ FM.cutoff;
+    8.4;
+    8.49999;
+    8.5000001;
+    8.6;
+    1.0;
+    -1.0;
+    0.5;
+    1e-9;
+  ]
+
+let test_adversarial () =
+  List.iter
+    (fun x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bound at %s" (pp_float x))
+        true (err x <= bound))
+    adversarial
+
+let test_nan_and_zeros () =
+  Alcotest.(check bool) "nan propagates" true (Float.is_nan (FM.tanh Float.nan));
+  let bits = Int64.bits_of_float in
+  Alcotest.(check int64) "+0 preserved" (bits 0.0) (bits (FM.tanh 0.0));
+  Alcotest.(check int64) "-0 preserved" (bits (-0.0)) (bits (FM.tanh (-0.0)))
+
+let test_exact_tails () =
+  (* |x| >= cutoff is exactly copysign 1 x — including infinities. *)
+  let gen =
+    Qgen.map
+      (fun (neg, e) ->
+        let m = FM.cutoff *. Float.exp (e *. Float.log 10.) in
+        if neg then -.m else m)
+      (Qgen.pair Qgen.bool (Qgen.float_range 0. 300.))
+  in
+  Qgen.check ~count:500 ~pp:pp_float ~name:"exact +-1 tails" gen (fun x ->
+      FM.tanh x = Float.copy_sign 1. x);
+  Alcotest.(check (float 0.)) "tanh inf" 1. (FM.tanh infinity);
+  Alcotest.(check (float 0.)) "tanh -inf" (-1.) (FM.tanh neg_infinity)
+
+let test_odd_bit_exact () =
+  Qgen.check ~count:2000 ~pp:pp_float ~name:"odd symmetry (bit exact)" gen_any (fun x ->
+      Int64.bits_of_float (FM.tanh (-.x)) = Int64.bits_of_float (-.FM.tanh x))
+
+let test_monotone () =
+  (* Pairs separated by >= 1e-6: below that, the true tanh difference
+     can be smaller than one output ulp and rounding may legally invert
+     adjacent values near the knee. *)
+  let gen =
+    Qgen.map
+      (fun (x, d) -> (x, x +. 1e-6 +. d))
+      (Qgen.pair (Qgen.float_range (-12.) 12.) (Qgen.float_range 0. 3.))
+  in
+  Qgen.check ~count:2000
+    ~pp:(fun (x, y) -> Printf.sprintf "(%s, %s)" (pp_float x) (pp_float y))
+    ~name:"monotone" gen
+    (fun (x, y) -> FM.tanh x <= FM.tanh y)
+
+let test_knee_scan () =
+  (* Dense deterministic sweep across the polynomial/clamp boundary:
+     the bound must hold and the curve must stay monotone as the
+     implementation switches formulas. *)
+  let n = 4000 in
+  let xs = Array.init (n + 1) (fun i -> 8.3 +. (0.4 *. float_of_int i /. float_of_int n)) in
+  Array.iter
+    (fun x ->
+      if err x > bound then
+        Alcotest.failf "knee bound violated at %s: err %.3g" (pp_float x) (err x))
+    xs;
+  for i = 0 to n - 1 do
+    (* Grid spacing 1e-4 >= the 1e-6 monotonicity guard. *)
+    if FM.tanh xs.(i) > FM.tanh xs.(i + 1) then
+      Alcotest.failf "knee monotonicity violated at %s" (pp_float xs.(i))
+  done
+
+(* Teeth: a perturbed kernel must be rejected ---------------------------- *)
+
+(* Bit-faithful copy of the library kernel with an injectable bump on
+   the leading Taylor coefficient 1/3!. [bump = 0.] must be
+   bit-identical to [FM.tanh] (verified below), so a failure of the
+   perturbed variant is evidence about the real kernel's tolerance, not
+   about a drifted copy. *)
+let local_tanh ~bump x =
+  if Float.abs x >= FM.cutoff then Float.copy_sign 1. x
+  else begin
+    let u = x *. x in
+    let p = 1. /. 1307674368000. in
+    let p = (1. /. 6227020800.) +. (u *. p) in
+    let p = (1. /. 39916800.) +. (u *. p) in
+    let p = (1. /. 362880.) +. (u *. p) in
+    let p = (1. /. 5040.) +. (u *. p) in
+    let p = (1. /. 120.) +. (u *. p) in
+    let p = (1. /. 6.) +. bump +. (u *. p) in
+    let p = 1. +. (u *. p) in
+    let s = x *. p in
+    s /. Stdlib.sqrt (1. +. (s *. s))
+  end
+
+let test_copy_faithful () =
+  Qgen.check ~count:2000 ~pp:pp_float ~name:"local copy bit-identical" gen_any (fun x ->
+      Int64.bits_of_float (local_tanh ~bump:0. x) = Int64.bits_of_float (FM.tanh x))
+
+let test_perturbed_coefficient_caught () =
+  (* A 1e-6 bump on the 1/3! coefficient shifts s by ~1e-6*x^3, i.e.
+     ~1e-6 absolute tanh error near x = 1 — ten times the bound. If the
+     sweep below finds no violation, the battery has no teeth and this
+     test fails. *)
+  let violated = ref false in
+  for i = 0 to 400 do
+    let x = 0.25 +. (2.0 *. float_of_int i /. 400.) in
+    if Float.abs (local_tanh ~bump:1e-6 x -. Stdlib.tanh x) > bound then violated := true
+  done;
+  Alcotest.(check bool) "perturbed kernel violates the 1e-7 bound" true !violated;
+  (* And the unperturbed kernel passes the same sweep — the rejection
+     above is caused by the bump alone. *)
+  let clean_ok = ref true in
+  for i = 0 to 400 do
+    let x = 0.25 +. (2.0 *. float_of_int i /. 400.) in
+    if Float.abs (local_tanh ~bump:0. x -. Stdlib.tanh x) > bound then clean_ok := false
+  done;
+  Alcotest.(check bool) "clean kernel passes the same sweep" true !clean_ok
+
+let test_apply_range_parity () =
+  (* The in-module loop entry point (what the fused kernels call) must
+     be bit-identical to the scalar function, over an arbitrary
+     sub-range with untouched elements outside it. *)
+  let gen =
+    Qgen.pair
+      (Qgen.array_of ~len:(Qgen.int_range 1 64) gen_any)
+      (Qgen.pair (Qgen.int_range 0 8) (Qgen.int_range 0 8))
+  in
+  Qgen.check ~count:300
+    ~pp:(fun (a, (lo, hi)) -> Printf.sprintf "(%d elems, margins %d+%d)" (Array.length a) lo hi)
+    ~name:"apply_range = scalar" gen
+    (fun (a, (lo, hi)) ->
+      let n = Array.length a in
+      let lo = min lo (n - 1) in
+      let hi = min hi (n - 1 - lo) in
+      let d = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+      Array.iteri (fun i v -> d.{i} <- v) a;
+      FM.apply_range d ~off:lo ~len:(n - lo - hi);
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let expect = if i >= lo && i < n - hi then FM.tanh a.(i) else a.(i) in
+        if Int64.bits_of_float d.{i} <> Int64.bits_of_float expect then ok := false
+      done;
+      !ok)
+
+let test_published_constants () =
+  Alcotest.(check (float 0.)) "cutoff" 8.5 FM.cutoff;
+  Alcotest.(check (float 0.)) "max_abs_error" 1e-7 FM.max_abs_error;
+  (* The binding term of the proof: the tail clamp at the cutoff. *)
+  let knee_err = 1. -. Stdlib.tanh FM.cutoff in
+  Alcotest.(check bool) "tail clamp below bound" true (knee_err < FM.max_abs_error)
+
+let () =
+  Alcotest.run "pnc_fasttanh"
+    [
+      ( "bound",
+        [
+          Alcotest.test_case "uniform fuzz" `Quick test_bound_uniform;
+          Alcotest.test_case "log-scale fuzz" `Quick test_bound_log;
+          Alcotest.test_case "adversarial list" `Quick test_adversarial;
+          Alcotest.test_case "knee scan" `Quick test_knee_scan;
+          Alcotest.test_case "published constants" `Quick test_published_constants;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "nan and signed zeros" `Quick test_nan_and_zeros;
+          Alcotest.test_case "exact tails" `Quick test_exact_tails;
+          Alcotest.test_case "odd bit-exact" `Quick test_odd_bit_exact;
+          Alcotest.test_case "monotone" `Quick test_monotone;
+          Alcotest.test_case "apply_range parity" `Quick test_apply_range_parity;
+        ] );
+      ( "teeth",
+        [
+          Alcotest.test_case "local copy faithful" `Quick test_copy_faithful;
+          Alcotest.test_case "perturbed coefficient caught" `Quick
+            test_perturbed_coefficient_caught;
+        ] );
+    ]

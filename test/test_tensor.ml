@@ -209,6 +209,307 @@ let test_rows_view_semantics () =
   Alcotest.(check bool) "negative row rejected" true
     (oob (fun () -> T.rows_view m ~row:(-1) ~len:1))
 
+(* Differential oracle --------------------------------------------------- *)
+
+(* The pre-Bigarray [float array] kernels, retained verbatim as an
+   oracle: naive row-major loops, matmul zero-fill then k-ascending
+   accumulation. The Bigarray kernels — including the 32x32 blocked
+   matmul, its kk=1 fast path, and the unsafe flat-offset addressing
+   used under views — must match them at eps 0: blocking and storage
+   change locality, never the floating-point result. *)
+module Oracle = struct
+  type m = { rows : int; cols : int; d : float array }
+
+  let of_tensor t = { rows = T.rows t; cols = T.cols t; d = T.to_row_array t }
+  let to_tensor m = T.of_array ~rows:m.rows ~cols:m.cols m.d
+  let get m r c = m.d.((r * m.cols) + c)
+
+  let matmul a b =
+    assert (a.cols = b.rows);
+    let out = Array.make (a.rows * b.cols) 0. in
+    for r = 0 to a.rows - 1 do
+      for k = 0 to a.cols - 1 do
+        let av = get a r k in
+        for c = 0 to b.cols - 1 do
+          out.((r * b.cols) + c) <- out.((r * b.cols) + c) +. (av *. get b k c)
+        done
+      done
+    done;
+    { rows = a.rows; cols = b.cols; d = out }
+
+  let broadcast f m rv =
+    assert (rv.rows = 1 && rv.cols = m.cols);
+    {
+      m with
+      d = Array.init (m.rows * m.cols) (fun i -> f m.d.(i) rv.d.(i mod m.cols));
+    }
+
+  let add_rv m rv = broadcast ( +. ) m rv
+  let mul_rv m rv = broadcast ( *. ) m rv
+
+  let add_mul_rv m ~add ~mul =
+    broadcast ( *. ) (broadcast ( +. ) m add) mul
+
+  let affine_rv s a x b =
+    assert (s.rows = x.rows && s.cols = x.cols);
+    assert (a.rows = 1 && a.cols = s.cols && b.rows = 1 && b.cols = s.cols);
+    {
+      s with
+      d =
+        Array.init (s.rows * s.cols) (fun i ->
+            (s.d.(i) *. a.d.(i mod s.cols)) +. (x.d.(i) *. b.d.(i mod s.cols)));
+    }
+end
+
+(* Element values: mostly moderate uniforms, salted with exact and
+   extreme doubles (signed zeros, huge/tiny magnitudes) that would
+   expose any kernel taking a different rounding path than the oracle. *)
+let gen_val =
+  Qgen.bind (Qgen.int_range 0 7) (fun k ->
+      if k = 0 then
+        Qgen.oneof [ 0.; -0.; 1.; -1.; 0.5; 1e-160; -1e-160; 1e150; -1e150 ]
+      else Qgen.float_range (-3.) 3.)
+
+(* Dimensions straddle the 32x32 blocking tiles: below, at, and past
+   the boundary, including ragged sizes that leave partial tiles. *)
+let gen_dim = Qgen.oneof [ 1; 2; 3; 5; 7; 16; 31; 32; 33; 37; 41; 45; 64; 65 ]
+
+let gen_mat rows cols =
+  Qgen.map (fun d -> T.of_array ~rows ~cols d)
+    (Qgen.array_of ~len:(Qgen.return (rows * cols)) gen_val)
+
+(* A tensor with off <> 0: embed the payload mid-buffer in a larger
+   parent (padding rows filled with a sentinel) and view it out. *)
+let gen_viewed rows cols =
+  Qgen.map
+    (fun d ->
+      let parent = T.create ~rows:(rows + 2) ~cols 42.25 in
+      Array.iteri (fun i v -> T.set parent (1 + (i / cols)) (i mod cols) v) d;
+      T.rows_view parent ~row:1 ~len:rows)
+    (Qgen.array_of ~len:(Qgen.return (rows * cols)) gen_val)
+
+let pp_t t = Format.asprintf "%a" T.pp t
+let pp_pair (a, b) = Printf.sprintf "(%s, %s)" (pp_t a) (pp_t b)
+
+let test_diff_matmul () =
+  let gen =
+    Qgen.bind (Qgen.triple gen_dim gen_dim gen_dim) (fun (m, k, n) ->
+        Qgen.pair (gen_mat m k) (gen_mat k n))
+  in
+  Qgen.check ~count:60 ~pp:pp_pair ~name:"matmul = oracle" gen (fun (a, b) ->
+      let expect = Oracle.(to_tensor (matmul (of_tensor a) (of_tensor b))) in
+      (* Allocating entry point, and matmul_into over a dirty dst (the
+         zero-fill must erase previous contents, not accumulate). *)
+      T.equal_eps ~eps:0. expect (T.matmul a b)
+      &&
+      let dst = T.create ~rows:(T.rows a) ~cols:(T.cols b) nan in
+      T.matmul_into ~dst a b;
+      T.equal_eps ~eps:0. expect dst)
+
+let test_diff_matmul_viewed () =
+  (* Same parity with every operand and the destination at off <> 0:
+     the flat-offset addressing of the blocked kernel under views. *)
+  let gen =
+    Qgen.bind (Qgen.triple gen_dim gen_dim gen_dim) (fun (m, k, n) ->
+        Qgen.pair (gen_viewed m k) (gen_viewed k n))
+  in
+  Qgen.check ~count:40 ~pp:pp_pair ~name:"matmul (views) = oracle" gen (fun (a, b) ->
+      let expect = Oracle.(to_tensor (matmul (of_tensor a) (of_tensor b))) in
+      let parent = T.create ~rows:(T.rows a + 2) ~cols:(T.cols b) nan in
+      let dst = T.rows_view parent ~row:1 ~len:(T.rows a) in
+      T.matmul_into ~dst a b;
+      T.equal_eps ~eps:0. expect dst
+      (* The kernel must write inside the view only. *)
+      && T.get parent 0 0 <> T.get parent 0 0
+      && T.get parent (T.rows parent - 1) 0 <> T.get parent (T.rows parent - 1) 0)
+
+let test_diff_kk1_fast_path () =
+  (* The [batch x 1] @ [1 x n] fast path (first layer of every circuit)
+     skips the fill pass; it must still be bit-equal to the oracle's
+     fill-then-accumulate — including rows where the single [a] element
+     is an exact (possibly negative) zero. *)
+  let gen =
+    Qgen.bind (Qgen.pair gen_dim gen_dim) (fun (m, n) ->
+        Qgen.pair (gen_mat m 1) (gen_mat 1 n))
+  in
+  Qgen.check ~count:60 ~pp:pp_pair ~name:"kk=1 matmul = oracle" gen (fun (a, b) ->
+      let expect = Oracle.(to_tensor (matmul (of_tensor a) (of_tensor b))) in
+      let got = T.matmul a b in
+      T.equal_eps ~eps:0. expect got
+      &&
+      (* eps-0 comparison cannot distinguish -0. from +0.; pin the fill
+         semantics bit-for-bit. *)
+      let ok = ref true in
+      for r = 0 to T.rows got - 1 do
+        for c = 0 to T.cols got - 1 do
+          if
+            Int64.bits_of_float (T.get got r c)
+            <> Int64.bits_of_float (Oracle.get (Oracle.of_tensor expect) r c)
+          then ok := false
+        done
+      done;
+      !ok)
+
+let test_diff_broadcast_kernels () =
+  let gen =
+    Qgen.bind (Qgen.pair gen_dim gen_dim) (fun (m, n) ->
+        Qgen.triple (gen_viewed m n) (gen_mat 1 n) (gen_mat 1 n))
+  in
+  Qgen.check ~count:60
+    ~pp:(fun (m, a, b) ->
+      Printf.sprintf "(%s, %s, %s)" (pp_t m) (pp_t a) (pp_t b))
+    ~name:"broadcast kernels = oracle" gen
+    (fun (m, rva, rvb) ->
+      let om = Oracle.of_tensor m in
+      let oa = Oracle.of_tensor rva and ob = Oracle.of_tensor rvb in
+      let check_inplace expect kernel =
+        let w = T.copy m in
+        kernel w;
+        T.equal_eps ~eps:0. (Oracle.to_tensor expect) w
+      in
+      T.equal_eps ~eps:0. (Oracle.to_tensor (Oracle.add_rv om oa)) (T.add_rv m rva)
+      && T.equal_eps ~eps:0. (Oracle.to_tensor (Oracle.mul_rv om oa)) (T.mul_rv m rva)
+      && check_inplace (Oracle.add_rv om oa) (fun w -> T.add_rv_inplace w rva)
+      && check_inplace (Oracle.mul_rv om oa) (fun w -> T.mul_rv_inplace w rva)
+      && check_inplace
+           (Oracle.add_mul_rv om ~add:oa ~mul:ob)
+           (fun w -> T.add_mul_rv_inplace w ~add:rva ~mul:rvb))
+
+let test_diff_affine_rv_into () =
+  let gen =
+    Qgen.bind (Qgen.pair gen_dim gen_dim) (fun (m, n) ->
+        Qgen.pair
+          (Qgen.pair (gen_viewed m n) (gen_viewed m n))
+          (Qgen.pair (gen_mat 1 n) (gen_mat 1 n)))
+  in
+  Qgen.check ~count:60
+    ~pp:(fun ((s, x), (a, b)) ->
+      Printf.sprintf "(%s, %s, %s, %s)" (pp_t s) (pp_t x) (pp_t a) (pp_t b))
+    ~name:"affine_rv_into = oracle" gen
+    (fun ((s, x), (a, b)) ->
+      let expect =
+        Oracle.(
+          to_tensor
+            (affine_rv (of_tensor s) (of_tensor a) (of_tensor x) (of_tensor b)))
+      in
+      let dst = T.zeros ~rows:(T.rows s) ~cols:(T.cols s) in
+      T.affine_rv_into ~dst s a x b;
+      T.equal_eps ~eps:0. expect dst
+      &&
+      (* In-place form: dst aliasing s (the filter state update). *)
+      let s' = T.copy s in
+      T.affine_rv_into ~dst:s' s' a x b;
+      T.equal_eps ~eps:0. expect s')
+
+let test_diff_view_ops () =
+  (* Every allocating op reading through off <> 0 must agree with the
+     same op on the materialized (off = 0) copy. *)
+  let gen = Qgen.bind (Qgen.pair gen_dim gen_dim) (fun (m, n) -> gen_viewed m n) in
+  Qgen.check ~count:60 ~pp:pp_t ~name:"ops on views = ops on copies" gen (fun v ->
+      let c = T.copy v in
+      T.equal_eps ~eps:0. (T.map (fun x -> (2. *. x) -. 1.) c)
+        (T.map (fun x -> (2. *. x) -. 1.) v)
+      && T.equal_eps ~eps:0. (T.transpose c) (T.transpose v)
+      && T.equal_eps ~eps:0. (T.sum_rows c) (T.sum_rows v)
+      && T.equal_eps ~eps:0. (T.sum_cols c) (T.sum_cols v)
+      && Int64.bits_of_float (T.sum c) = Int64.bits_of_float (T.sum v)
+      && T.max_abs c = T.max_abs v
+      && T.to_row_array c = T.to_row_array v)
+
+let test_diff_rows_view_bounds () =
+  (* Fuzzed bounds: every (row, len) pair either yields a view whose
+     contents match the oracle slice, or raises Invalid_argument —
+     exactly when the range leaves the parent. *)
+  let gen =
+    Qgen.bind (Qgen.pair gen_dim gen_dim) (fun (m, n) ->
+        Qgen.pair (gen_mat m n)
+          (Qgen.pair (Qgen.int_range (-2) (m + 2)) (Qgen.int_range (-2) (m + 2))))
+  in
+  Qgen.check ~count:100
+    ~pp:(fun (t, (row, len)) ->
+      Printf.sprintf "(%s, row=%d, len=%d)" (pp_t t) row len)
+    ~name:"rows_view bounds" gen
+    (fun (t, (row, len)) ->
+      let legal = row >= 0 && len >= 0 && row + len <= T.rows t in
+      match T.rows_view t ~row ~len with
+      | exception Invalid_argument _ -> not legal
+      | v ->
+          legal
+          && T.rows v = len
+          && T.to_row_array v
+             = Array.init (len * T.cols t) (fun i ->
+                   T.get t (row + (i / T.cols t)) (i mod T.cols t)))
+
+let test_diff_blit_overlap () =
+  (* blit_into between overlapping row ranges of one buffer, both
+     directions; the oracle snapshots the source before any write. *)
+  let gen =
+    Qgen.bind (Qgen.pair (Qgen.oneof [ 3; 5; 8; 33; 40 ]) gen_dim) (fun (m, n) ->
+        Qgen.pair (gen_mat m n) Qgen.bool)
+  in
+  Qgen.check ~count:60
+    ~pp:(fun (t, fwd) -> Printf.sprintf "(%s, fwd=%b)" (pp_t t) fwd)
+    ~name:"blit_into overlap" gen
+    (fun (t, fwd) ->
+      let m = T.rows t and n = T.cols t in
+      let len = m - 1 in
+      let src_row = if fwd then 0 else 1 in
+      let dst_row = if fwd then 1 else 0 in
+      let snapshot = T.to_row_array (T.rows_view t ~row:src_row ~len) in
+      T.blit_into ~dst:(T.rows_view t ~row:dst_row ~len) (T.rows_view t ~row:src_row ~len);
+      T.to_row_array (T.rows_view t ~row:dst_row ~len) = snapshot
+      &&
+      (* The row outside the destination range is untouched. *)
+      let outside = if fwd then 0 else m - 1 in
+      let src_outside = if fwd then 0 else len - 1 in
+      T.row t outside
+      = Array.init n (fun c -> snapshot.((src_outside * n) + c)))
+
+let test_diff_alias_guard_fuzzed () =
+  (* The aliasing guard must fire for any dst sharing an operand
+     buffer, whatever the view offset. *)
+  let gen =
+    Qgen.bind gen_dim (fun n ->
+        Qgen.pair (gen_mat (n + 1) n) (Qgen.pair (gen_mat n n) (Qgen.int_range 0 1)))
+  in
+  Qgen.check ~count:40
+    ~pp:(fun (a, (b, w)) -> Printf.sprintf "(%s, %s, which=%d)" (pp_t a) (pp_t b) w)
+    ~name:"alias guard" gen
+    (fun (a, (b, which)) ->
+      let a_view = T.rows_view a ~row:1 ~len:(T.rows a - 1) in
+      let dst = if which = 0 then a_view else b in
+      match T.matmul_into ~dst a_view b with
+      | exception Invalid_argument _ -> true
+      | () -> false)
+
+let test_signed_zero_semantics () =
+  (* fill / create preserve the sign bit of a negative-zero fill value,
+     and the matmul zero-fill (skipped accumulation for an all-zero
+     row) produces +0 exactly like the oracle's 0 + 0*b. *)
+  let bits = Int64.bits_of_float in
+  let t = T.create ~rows:2 ~cols:3 (-0.0) in
+  for r = 0 to 1 do
+    for c = 0 to 2 do
+      Alcotest.(check int64)
+        (Printf.sprintf "create -0. at (%d,%d)" r c)
+        (bits (-0.0)) (bits (T.get t r c))
+    done
+  done;
+  T.fill t 0.0;
+  Alcotest.(check int64) "fill +0. overwrites" (bits 0.0) (bits (T.get t 1 2));
+  (* An all-zero row of [a]: both the blocked path (kk > 1, every av
+     skipped) and the kk=1 fast path (fill branch) leave +0. *)
+  let a = T.of_rows [| [| 0.; -0. |]; [| 1.; 2. |] |] in
+  let b = T.of_rows [| [| -1.; 3. |]; [| 2.; -5. |] |] in
+  let p = T.matmul a b in
+  Alcotest.(check int64) "zero row gives +0" (bits 0.0) (bits (T.get p 0 0));
+  Alcotest.(check int64) "zero row gives +0 (col 1)" (bits 0.0) (bits (T.get p 0 1));
+  let a1 = T.of_array ~rows:2 ~cols:1 [| -0.; 3. |] in
+  let b1 = T.of_row [| -2.; 7. |] in
+  let p1 = T.matmul a1 b1 in
+  Alcotest.(check int64) "kk=1 zero row gives +0" (bits 0.0) (bits (T.get p1 0 0));
+  Alcotest.(check int64) "kk=1 zero row gives +0 (col 1)" (bits 0.0) (bits (T.get p1 0 1))
+
 (* Properties ------------------------------------------------------------ *)
 
 let tensor_gen =
@@ -279,6 +580,20 @@ let () =
           Alcotest.test_case "matmul_into rejects aliasing" `Quick
             test_matmul_into_rejects_aliasing;
           Alcotest.test_case "rows_view semantics" `Quick test_rows_view_semantics;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "matmul = oracle" `Quick test_diff_matmul;
+          Alcotest.test_case "matmul (views) = oracle" `Quick test_diff_matmul_viewed;
+          Alcotest.test_case "kk=1 fast path = oracle" `Quick test_diff_kk1_fast_path;
+          Alcotest.test_case "broadcast kernels = oracle" `Quick
+            test_diff_broadcast_kernels;
+          Alcotest.test_case "affine_rv_into = oracle" `Quick test_diff_affine_rv_into;
+          Alcotest.test_case "ops on views = ops on copies" `Quick test_diff_view_ops;
+          Alcotest.test_case "rows_view bounds (fuzzed)" `Quick test_diff_rows_view_bounds;
+          Alcotest.test_case "blit_into overlap" `Quick test_diff_blit_overlap;
+          Alcotest.test_case "alias guard (fuzzed)" `Quick test_diff_alias_guard_fuzzed;
+          Alcotest.test_case "signed zeros" `Quick test_signed_zero_semantics;
         ] );
       ("properties", qc);
     ]

@@ -28,7 +28,10 @@ let test_adapt_learns_separable () =
   let model = Model.Circuit net in
   let cfg = { smoke with Train.max_epochs = 120; patience = 15; mc_samples = 2 } in
   let _ = Train.train ~rng cfg model split in
-  let acc = Train.accuracy model split.Dataset.test in
+  (* A ragged explicit batch size: the accuracy must be identical to
+     the whole-split evaluation (batch parity), so this end-to-end
+     assert also exercises the chunked path. *)
+  let acc = Train.accuracy ~batch_size:7 model split.Dataset.test in
   Alcotest.(check bool) (Printf.sprintf "adapt beats chance strongly (%.3f)" acc) true (acc >= 0.8)
 
 let test_baseline_learns_separable () =
@@ -40,7 +43,7 @@ let test_baseline_learns_separable () =
     { smoke with Train.max_epochs = 120; patience = 15; mc_samples = 1; variation = Variation.none }
   in
   let _ = Train.train ~rng cfg model split in
-  let acc = Train.accuracy model split.Dataset.test in
+  let acc = Train.accuracy ~batch_size:7 model split.Dataset.test in
   Alcotest.(check bool) (Printf.sprintf "baseline beats chance (%.3f)" acc) true (acc >= 0.7)
 
 let test_elman_learns_separable () =
