@@ -57,6 +57,17 @@ serve-bench:
 	  ADAPT_PNC_JOBS=$(JOBS) BENCH_OUT=$(SERVE_BENCH_OUT) \
 	  dune exec bench/serve_bench.exe
 
+# Sharded-grid crash demo: a 1-shard reference run vs SHARDS worker
+# processes with one SIGKILLed mid-grid and resumed; the merged tables
+# must be byte-identical (scripts/grid_demo.sh cmp's them, docs/GRID.md
+# has the claim protocol). GRID_DEMO_OUT keeps the merged tables and
+# the status JSONL (CI uploads them as artifacts).
+SHARDS ?= 2
+grid-smoke:
+	dune build bin/adapt_pnc.exe && \
+	  SHARDS=$(SHARDS) DATASETS="GPOVY PowerCons" \
+	  ./scripts/grid_demo.sh $(GRID_DEMO_OUT)
+
 # End-to-end smoke of the real `adapt_pnc serve` daemon over HTTP:
 # train a smoke checkpoint, boot the daemon, drive health/inference/
 # malformed-body requests with curl, SIGTERM, require a clean drain.
@@ -64,4 +75,4 @@ serve-smoke:
 	dune build bin/adapt_pnc.exe && \
 	  ./scripts/serve_smoke.sh $(SERVE_SMOKE_OUT)
 
-.PHONY: check bench golden fmt-check resume-demo serve-bench serve-smoke
+.PHONY: check bench golden fmt-check resume-demo serve-bench serve-smoke grid-smoke

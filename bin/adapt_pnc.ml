@@ -395,6 +395,219 @@ let ckpt_cmd =
     (Cmd.info "ckpt" ~doc:"Checkpoint utilities (see docs/CHECKPOINTS.md).")
     [ inspect ]
 
+(* grid ---------------------------------------------------------------------- *)
+
+(* Process-sharded experiment grid over the checkpoint cache (see
+   docs/GRID.md). Workers coordinate solely through the cache
+   directory: claim files for in-progress cells, atomic renames for
+   results — so `run` is resumable, crash-tolerant and shard-count
+   invariant, and `merge` is byte-identical however the cells got
+   there. *)
+
+module Grid = Pnc_grid.Grid
+
+let cache_dir_arg =
+  let doc =
+    "Grid cache directory — the only coordination channel between workers. Created by \
+     $(b,run)/$(b,worker); $(b,status) and $(b,merge) require it to exist."
+  in
+  Arg.(required & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let grid_datasets_arg =
+  let doc =
+    "Restrict the grid to $(docv) (repeatable). Default: every dataset of the scale. Cells \
+     are keyed independently of this selection, so narrowing or widening it reuses the cache."
+  in
+  Arg.(value & opt_all string [] & info [ "d"; "dataset" ] ~docv:"NAME" ~doc)
+
+let grid_variants_arg =
+  let doc = "Variant set: $(b,all) (six variants, every artifact), $(b,table1) or $(b,fig7)." in
+  Arg.(value & opt string "all" & info [ "variants" ] ~docv:"SET" ~doc)
+
+let lease_ttl_arg =
+  let doc =
+    "Seconds before a live-pid claim is considered hung and reaped. Dead-pid claims are \
+     reaped immediately regardless."
+  in
+  Arg.(value & opt float 3600. & info [ "lease-ttl" ] ~docv:"SECONDS" ~doc)
+
+let grid_config ~scale ~precision ~datasets =
+  let cfg = config_of ~scale in
+  let precision = Pnc_core.Batch.resolve_precision ?precision () in
+  let cfg = { cfg with Pnc_exp.Config.precision } in
+  match datasets with
+  | [] -> cfg
+  | ds ->
+      List.iter check_dataset ds;
+      { cfg with Pnc_exp.Config.datasets = ds }
+
+let grid_variants_of ~variants:s =
+  try Grid.variants_of_string s
+  with Invalid_argument msg ->
+    Printf.eprintf "grid: %s\n" msg;
+    exit 2
+
+let require_cache_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf
+      "grid: no cache directory at %s (run `adapt_pnc grid run --cache-dir %s` first)\n" dir dir;
+    exit 2
+  end
+
+let grid_worker_cmd =
+  let worker_id_arg =
+    let doc = "Shard label used in claim files and telemetry." in
+    Arg.(value & opt int 0 & info [ "worker-id" ] ~docv:"N" ~doc)
+  in
+  let run cache_dir scale datasets variants_s precision lease_ttl worker_id metrics_out trace =
+    let variants = grid_variants_of ~variants:variants_s in
+    let cfg = grid_config ~scale ~precision ~datasets in
+    Grid.mkdir_p cache_dir;
+    with_obs ~metrics_out ~trace (fun () ->
+        let cells = Grid.cells_of_config ~dir:cache_dir cfg ~variants in
+        let owner = Printf.sprintf "worker-%d" worker_id in
+        let n =
+          Grid.Proto.work ~lease_ttl ~progress:(Printf.eprintf "%s\n%!") ~owner cells
+        in
+        Printf.printf "[%s] grid complete: computed %d of %d cells\n" owner n
+          (List.length cells))
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"One grid worker process (spawned by `grid run`; also usable standalone — \
+             workers sharing a cache dir shard the grid between them).")
+    Term.(
+      const run $ cache_dir_arg $ scale_arg $ grid_datasets_arg $ grid_variants_arg
+      $ precision_arg $ lease_ttl_arg $ worker_id_arg $ metrics_out_arg $ trace_arg)
+
+let grid_run_cmd =
+  let shards_arg =
+    let doc =
+      "Worker processes to shard the grid across (1 = in-process, no subprocess). Results \
+       are invariant to the shard count; only wall-clock changes."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let run cache_dir shards scale datasets variants_s precision lease_ttl metrics_out trace =
+    if shards < 1 then begin
+      Printf.eprintf "grid run: --shards must be >= 1 (got %d)\n" shards;
+      exit 2
+    end;
+    let variants = grid_variants_of ~variants:variants_s in
+    let cfg = grid_config ~scale ~precision ~datasets in
+    Grid.mkdir_p cache_dir;
+    with_obs ~metrics_out ~trace (fun () ->
+        if shards = 1 then begin
+          let cells = Grid.cells_of_config ~dir:cache_dir cfg ~variants in
+          let n =
+            Grid.Proto.work ~lease_ttl ~progress:(Printf.eprintf "%s\n%!") ~owner:"worker-0"
+              cells
+          in
+          Printf.printf "grid complete: %d cells (%d computed, %d from cache)\n"
+            (List.length cells) n
+            (List.length cells - n)
+        end
+        else begin
+          let precision_s =
+            Pnc_core.Batch.precision_name cfg.Pnc_exp.Config.precision
+          in
+          let argv ~worker_id =
+            Array.of_list
+              ([
+                 Sys.executable_name; "grid"; "worker"; "--cache-dir"; cache_dir; "--scale";
+                 scale; "--variants"; variants_s; "--precision"; precision_s; "--lease-ttl";
+                 Printf.sprintf "%g" lease_ttl; "--worker-id"; string_of_int worker_id;
+               ]
+              @ List.concat_map (fun d -> [ "--dataset"; d ]) datasets
+              @ (match metrics_out with
+                | Some f -> [ "--metrics-out"; Printf.sprintf "%s.worker%d" f worker_id ]
+                | None -> [])
+              @ if trace then [ "--trace" ] else [])
+          in
+          let exits = Grid.spawn_workers ~shards ~argv in
+          List.iter
+            (fun (worker_id, st) ->
+              match st with
+              | Unix.WEXITED 0 -> ()
+              | Unix.WEXITED c ->
+                  Printf.eprintf "grid run: worker-%d exited with code %d\n" worker_id c
+              | Unix.WSIGNALED s ->
+                  Printf.eprintf "grid run: worker-%d killed by signal %d\n" worker_id s
+              | Unix.WSTOPPED s ->
+                  Printf.eprintf "grid run: worker-%d stopped by signal %d\n" worker_id s)
+            exits;
+          let st = Grid.status ~lease_ttl ~dir:cache_dir cfg ~variants in
+          if st.Grid.done_ = st.Grid.total then
+            Printf.printf "grid complete: %d cells across %d workers\n" st.Grid.total shards
+          else begin
+            (* Workers only exit early when killed or crashed; the grid
+               is resumable — rerunning picks up exactly the missing
+               cells. *)
+            Grid.print_status st;
+            Printf.eprintf "grid run: incomplete (%d of %d cells done); rerun to resume\n"
+              st.Grid.done_ st.Grid.total;
+            exit 1
+          end
+        end)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compute the (dataset × variant × seed) grid, sharded across worker processes \
+             coordinating only through the cache directory. Resumable: cached cells are \
+             skipped, a killed run continues where it stopped.")
+    Term.(
+      const run $ cache_dir_arg $ shards_arg $ scale_arg $ grid_datasets_arg
+      $ grid_variants_arg $ precision_arg $ lease_ttl_arg $ metrics_out_arg $ trace_arg)
+
+let grid_status_cmd =
+  let json_arg =
+    let doc = "Emit JSON Lines (one object per cell plus a summary) instead of the table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run cache_dir scale datasets variants_s precision lease_ttl json =
+    let variants = grid_variants_of ~variants:variants_s in
+    let cfg = grid_config ~scale ~precision ~datasets in
+    require_cache_dir cache_dir;
+    let st = Grid.status ~lease_ttl ~dir:cache_dir cfg ~variants in
+    if json then List.iter print_endline (Grid.status_json_lines st) else Grid.print_status st
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Cells done/claimed/stale/pending for a grid cache, with an ETA from the \
+             cached per-cell timings. Stale means present-but-untrustworthy (corrupt cell, \
+             interrupted write, dead worker's claim): it will be recomputed, never trusted.")
+    Term.(
+      const run $ cache_dir_arg $ scale_arg $ grid_datasets_arg $ grid_variants_arg
+      $ precision_arg $ lease_ttl_arg $ json_arg)
+
+let grid_merge_cmd =
+  let run cache_dir scale datasets variants_s precision =
+    let variants = grid_variants_of ~variants:variants_s in
+    let cfg = grid_config ~scale ~precision ~datasets in
+    require_cache_dir cache_dir;
+    match Grid.merge ~dir:cache_dir cfg ~variants with
+    | Ok runs -> Grid.print_merged cfg ~variants runs
+    | Error missing ->
+        Printf.eprintf "grid merge: %d cells missing or invalid:\n" (List.length missing);
+        List.iter (fun id -> Printf.eprintf "  %s\n" id) missing;
+        Printf.eprintf "run `adapt_pnc grid run --cache-dir %s` to compute them\n" cache_dir;
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Assemble the paper tables from cached cells only (no training). Deterministic: \
+             byte-identical output for every shard count and completion order; exits 3 if \
+             any cell is missing.")
+    Term.(
+      const run $ cache_dir_arg $ scale_arg $ grid_datasets_arg $ grid_variants_arg
+      $ precision_arg)
+
+let grid_cmd =
+  Cmd.group
+    (Cmd.info "grid"
+       ~doc:"Process-sharded experiment grid over the checkpoint cache (see docs/GRID.md).")
+    [ grid_run_cmd; grid_worker_cmd; grid_status_cmd; grid_merge_cmd ]
+
 (* ablate -------------------------------------------------------------------- *)
 
 let ablate_cmd =
@@ -668,6 +881,7 @@ let () =
             eval_cmd;
             serve_cmd;
             ckpt_cmd;
+            grid_cmd;
             ablate_cmd;
             hwcost_cmd;
             augment_preview_cmd;

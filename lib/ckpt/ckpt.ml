@@ -233,8 +233,17 @@ let decode s =
 
 (* File I/O ---------------------------------------------------------------- *)
 
+(* The temp name embeds the writer's pid: concurrent writers of the
+   same checkpoint (duplicated grid workers racing after a stale-claim
+   reap, see docs/GRID.md) each stage their own bytes and the renames
+   serialize — last fully-written image wins, and no writer can
+   truncate another's in-flight temp file. A leftover [.tmp.<pid>]
+   from a killed writer is litter, never a hazard: it is reaped by
+   [Pnc_grid] once its pid is dead. *)
+let tmp_path path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+
 let atomic_write ~path write =
-  let tmp = path ^ ".tmp" in
+  let tmp = tmp_path path in
   let oc = open_out_bin tmp in
   (match write oc with
   | () -> close_out oc

@@ -76,11 +76,14 @@ val decode : string -> (t, error) result
 (** {1 Files} *)
 
 val atomic_write : path:string -> (out_channel -> unit) -> unit
-(** Run the writer on [path ^ ".tmp"], then atomically rename over
-    [path]. If the writer raises, the temp file is removed, the
+(** Run the writer on [path ^ ".tmp.<pid>"], then atomically rename
+    over [path]. If the writer raises, the temp file is removed, the
     exception is re-raised, and a previously existing [path] is left
     untouched — interrupted saves never clobber the last good
-    checkpoint. *)
+    checkpoint. The pid suffix keeps concurrent writers of the same
+    path (duplicated grid workers after a stale-claim reap) from
+    truncating each other's staging bytes: renames serialize and the
+    last complete image wins. *)
 
 val save :
   path:string -> kind:string -> meta:(string * Json.t) list -> sections:(string * section) list -> unit

@@ -1,0 +1,78 @@
+module Json = Pnc_obs.Obs.Json
+
+type t = { pid : int; owner : string; since : float }
+
+let default_ttl = 3600.
+
+let render l =
+  Json.render
+    (Json.Obj
+       [
+         ("pid", Json.Num (float_of_int l.pid));
+         ("owner", Json.String l.owner);
+         ("since", Json.Num l.since);
+       ])
+
+(* Atomic create-with-content: write a private temp file, then
+   [Unix.link] it to [path]. link(2) fails with EEXIST when a claim is
+   already there and never exposes partial content, unlike
+   create-then-write (a reader between the two syscalls would see an
+   empty claim and reap it as corrupt). The staging name carries the
+   pid AND a per-process counter, so concurrent attempts — whether
+   sibling processes or sibling threads of one process — can never
+   clobber each other's staging bytes and link a torn claim. *)
+let attempt_counter = Atomic.make 0
+
+let acquire ~path ~owner =
+  let lease = { pid = Unix.getpid (); owner; since = Unix.gettimeofday () } in
+  let tmp = Printf.sprintf "%s.%d.%d.tmp" path lease.pid (Atomic.fetch_and_add attempt_counter 1) in
+  Out_channel.with_open_bin tmp (fun oc -> output_string oc (render lease));
+  let won =
+    match Unix.link tmp path with
+    | () -> true
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+  in
+  (try Sys.remove tmp with Sys_error _ -> ());
+  won
+
+let read ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | image -> (
+      match Json.parse image with
+      | exception Failure _ -> None
+      | j -> (
+          match (Json.member "pid" j, Json.member "owner" j, Json.member "since" j) with
+          | Some pid, Some owner, Some since -> (
+              try
+                Some
+                  { pid = Json.to_int pid; owner = Json.to_string owner; since = Json.to_float since }
+              with Failure _ -> None)
+          | _ -> None))
+
+let release ~path = try Sys.remove path with Sys_error _ -> ()
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  (* Not ours to signal, but it exists. *)
+  | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+
+let stale ?(ttl = default_ttl) l =
+  (not (pid_alive l.pid)) || Unix.gettimeofday () -. l.since > ttl
+
+let try_acquire ?ttl ~owner path =
+  if acquire ~path ~owner then `Acquired
+  else
+    match read ~path with
+    | Some l when not (stale ?ttl l) -> `Held l
+    | _ ->
+        (* Stale or corrupt (or vanished between the failed acquire and
+           the read): reap and retry exactly once. A sibling can win
+           the post-reap race; report its claim then. *)
+        release ~path;
+        if acquire ~path ~owner then `Reaped_and_acquired
+        else ( match read ~path with
+          | Some l -> `Held l
+          | None -> `Held { pid = -1; owner = "unknown"; since = 0. })

@@ -1,0 +1,53 @@
+(** Filesystem claim/lease files — the only coordination primitive of
+    the process-sharded experiment grid (see docs/GRID.md).
+
+    A claim is a small JSON file created {e atomically with its full
+    content} next to the resource it guards: the writer materializes
+    the bytes in a private temp file and [Unix.link]s it to the claim
+    path, so a reader can never observe a partially written claim — a
+    claim file that fails to parse is genuinely corrupt and is treated
+    as stale, never trusted.
+
+    Claims are advisory leases, not locks: holding one only means
+    "some worker said it is computing this cell". Correctness never
+    depends on mutual exclusion — results are published by atomic
+    rename and are deterministic, so a duplicated computation is
+    wasted work, not corruption. Staleness (dead owner pid, or age
+    beyond a TTL) lets crashed workers' claims be reaped by their
+    siblings; all workers run on one host, so pid liveness is
+    checkable with [kill 0]. *)
+
+type t = {
+  pid : int;  (** owner process *)
+  owner : string;  (** human label, e.g. ["worker-3"] *)
+  since : float;  (** Unix time of acquisition (for the TTL check) *)
+}
+
+val acquire : path:string -> owner:string -> bool
+(** One atomic creation attempt: [true] iff [path] did not exist and
+    now holds this process's claim. Never blocks, never overwrites. *)
+
+val read : path:string -> t option
+(** [None] if the file is absent, unreadable or fails to parse — a
+    corrupt claim reads as no (trustworthy) claim. *)
+
+val release : path:string -> unit
+(** Unlink the claim; absence is not an error (idempotent). *)
+
+val pid_alive : int -> bool
+(** Same-host liveness probe ([kill 0]): [true] if the pid exists
+    (including as a not-yet-reaped zombie) or is not ours to signal. *)
+
+val stale : ?ttl:float -> t -> bool
+(** A claim is stale when its owner pid is dead, or when it is older
+    than [ttl] seconds (default 3600 — a hung-worker backstop; pid
+    death is the primary signal). Stale claims may be reaped. *)
+
+val try_acquire :
+  ?ttl:float -> owner:string -> string -> [ `Acquired | `Reaped_and_acquired | `Held of t ]
+(** [try_acquire ~owner path] — {!acquire}, falling back on the
+    stale-claim protocol: if [path]
+    is held by a fresh claim, return it ([`Held]); if held by a stale
+    or corrupt claim, reap it and retry the acquisition once
+    ([`Reaped_and_acquired] on success). Losing the post-reap race to
+    a sibling reports that sibling's claim as [`Held]. *)

@@ -145,6 +145,21 @@ let train_run ?batch_size ?pool ?checkpoint_every ?checkpoint_path ?resume_from 
 (* On-disk cell cache ---------------------------------------------------- *)
 
 let cache_hits_counter = Obs.Counter.make "grid.cache_hits"
+let stale_cells_counter = Obs.Counter.make "grid.stale_cells"
+
+let all_variants = Reference :: fig7_variants
+
+(* Canonical cell enumeration: dataset-major, then variant, then seed.
+   run_grid and the process-sharded orchestrator (Pnc_grid) both walk
+   this order, so merged tables never depend on which worker computed
+   a cell or when it finished. *)
+let grid_keys cfg ~variants =
+  List.concat_map
+    (fun dataset ->
+      List.concat_map
+        (fun variant -> List.map (fun seed -> (dataset, variant, seed)) cfg.Config.seeds)
+        variants)
+    cfg.Config.datasets
 
 (* One file per (config fingerprint, dataset, variant, seed); reshaping
    the grid (seeds, datasets, variants) reuses cells, any change to a
@@ -184,7 +199,7 @@ let save_cell ~path cfg (r : run) =
 
 (* [None] on any failure — a missing, corrupt or stale cache entry means
    the cell is recomputed (and rewritten), never trusted. *)
-let load_cell ~path cfg ~dataset ~variant ~seed =
+let decode_cell ~path cfg ~dataset ~variant ~seed =
   let ( let* ) o f = match o with Some v -> f v | None -> None in
   let* ck = match Ckpt.load ~path with Ok ck -> Some ck | Error _ -> None in
   let* () = if ck.Ckpt.kind = "grid-cell" then Some () else None in
@@ -220,6 +235,26 @@ let load_cell ~path cfg ~dataset ~variant ~seed =
       epochs = int_of_float m.(5);
     }
 
+(* A cell file that exists but does not decode — interrupted write,
+   corruption, or a key mismatch — is surfaced (event + counter) so
+   `grid status` can report it as stale instead of it hiding as
+   "pending until the next full run". The decision is unchanged:
+   recompute, never trust. *)
+let load_cell ~path cfg ~dataset ~variant ~seed =
+  let r = decode_cell ~path cfg ~dataset ~variant ~seed in
+  if r = None && Sys.file_exists path then begin
+    Obs.Counter.incr stale_cells_counter;
+    if Obs.enabled () then
+      Obs.emit "grid.cell.stale"
+        [
+          ("path", Obs.Str path);
+          ("dataset", Obs.Str dataset);
+          ("variant", Obs.Str (variant_tag variant));
+          ("seed", Obs.Int seed);
+        ]
+  end;
+  r
+
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
@@ -229,67 +264,60 @@ let rec mkdir_p dir =
 let run_grid ?(progress = fun _ -> ()) ?batch_size ?pool ?cache_dir cfg ~variants =
   Obs.Span.with_ "grid" @@ fun () ->
   Option.iter mkdir_p cache_dir;
-  List.concat_map
-    (fun dataset ->
-      List.concat_map
-        (fun variant ->
-          List.map
-            (fun seed ->
-              progress
-                (Printf.sprintf "%s / %s / seed %d" dataset (variant_name variant) seed);
-              let attrs =
-                if Obs.enabled () then
+  List.map
+    (fun (dataset, variant, seed) ->
+      progress (Printf.sprintf "%s / %s / seed %d" dataset (variant_name variant) seed);
+      let attrs =
+        if Obs.enabled () then
+          [
+            ("dataset", Obs.Str dataset);
+            ("variant", Obs.Str (variant_name variant));
+            ("seed", Obs.Int seed);
+          ]
+        else []
+      in
+      Obs.Span.with_ ~attrs "grid.cell" @@ fun () ->
+      let cached =
+        match cache_dir with
+        | None -> None
+        | Some dir ->
+            let path = cell_path ~dir cfg ~dataset ~variant ~seed in
+            let r = load_cell ~path cfg ~dataset ~variant ~seed in
+            if r <> None then begin
+              Obs.Counter.incr cache_hits_counter;
+              if Obs.enabled () then
+                Obs.emit "grid.cell.cached"
                   [
+                    ("path", Obs.Str path);
                     ("dataset", Obs.Str dataset);
-                    ("variant", Obs.Str (variant_name variant));
+                    ("variant", Obs.Str (variant_tag variant));
                     ("seed", Obs.Int seed);
                   ]
-                else []
-              in
-              Obs.Span.with_ ~attrs "grid.cell" @@ fun () ->
-              let cached =
-                match cache_dir with
-                | None -> None
-                | Some dir ->
-                    let path = cell_path ~dir cfg ~dataset ~variant ~seed in
-                    let r = load_cell ~path cfg ~dataset ~variant ~seed in
-                    if r <> None then begin
-                      Obs.Counter.incr cache_hits_counter;
-                      if Obs.enabled () then
-                        Obs.emit "grid.cell.cached"
-                          [
-                            ("path", Obs.Str path);
-                            ("dataset", Obs.Str dataset);
-                            ("variant", Obs.Str (variant_tag variant));
-                            ("seed", Obs.Int seed);
-                          ]
-                    end;
-                    r
-              in
-              match cached with
-              | Some r -> r
-              | None ->
-              let r = train_run ?batch_size ?pool cfg ~dataset ~variant ~seed in
-              (match cache_dir with
-              | Some dir -> save_cell ~path:(cell_path ~dir cfg ~dataset ~variant ~seed) cfg r
-              | None -> ());
-              if Obs.enabled () then
-                Obs.emit "grid.result"
-                  [
-                    ("dataset", Obs.Str dataset);
-                    ("variant", Obs.Str (variant_name variant));
-                    ("seed", Obs.Int seed);
-                    ("clean_acc", Obs.Float r.clean_acc);
-                    ("clean_var_acc", Obs.Float r.clean_var_acc);
-                    ("aug_var_acc", Obs.Float r.aug_var_acc);
-                    ("pert_var_acc", Obs.Float r.pert_var_acc);
-                    ("train_seconds", Obs.Float r.train_seconds);
-                    ("epochs", Obs.Int r.epochs);
-                  ];
-              r)
-            cfg.Config.seeds)
-        variants)
-    cfg.Config.datasets
+            end;
+            r
+      in
+      match cached with
+      | Some r -> r
+      | None ->
+          let r = train_run ?batch_size ?pool cfg ~dataset ~variant ~seed in
+          (match cache_dir with
+          | Some dir -> save_cell ~path:(cell_path ~dir cfg ~dataset ~variant ~seed) cfg r
+          | None -> ());
+          if Obs.enabled () then
+            Obs.emit "grid.result"
+              [
+                ("dataset", Obs.Str dataset);
+                ("variant", Obs.Str (variant_name variant));
+                ("seed", Obs.Int seed);
+                ("clean_acc", Obs.Float r.clean_acc);
+                ("clean_var_acc", Obs.Float r.clean_var_acc);
+                ("aug_var_acc", Obs.Float r.aug_var_acc);
+                ("pert_var_acc", Obs.Float r.pert_var_acc);
+                ("train_seconds", Obs.Float r.train_seconds);
+                ("epochs", Obs.Int r.epochs);
+              ];
+          r)
+    (grid_keys cfg ~variants)
 
 (* ---------------------------------------------------------------------- *)
 

@@ -60,10 +60,35 @@ val train_run :
     checkpoint arguments are passed through to
     {!Pnc_core.Train.train}. *)
 
+val all_variants : variant list
+(** [Reference :: fig7_variants] — the six-variant grid that feeds
+    every artifact (Table I, Table III, Fig. 5, Fig. 7). *)
+
+val grid_keys : Config.t -> variants:variant list -> (string * variant * int) list
+(** The (dataset, variant, seed) cells of the grid in canonical order
+    (dataset-major, then variant, then seed). {!run_grid} and the
+    process-sharded {!Pnc_grid} orchestrator share this enumeration,
+    which is why merged tables are independent of completion order and
+    worker count. *)
+
 val cell_path :
   dir:string -> Config.t -> dataset:string -> variant:variant -> seed:int -> string
 (** Cache file for one grid cell: [dir/cell-<md5hex>.ckpt], where the
     digest covers {!Config.fingerprint} plus (dataset, variant, seed). *)
+
+val save_cell : path:string -> Config.t -> run -> unit
+(** Write one computed cell as a ["grid-cell"] checkpoint (model
+    parameters + metrics + identity metadata), atomically. *)
+
+val load_cell :
+  path:string -> Config.t -> dataset:string -> variant:variant -> seed:int -> run option
+(** [None] on any failure — missing file, corrupt or truncated bytes,
+    kind/fingerprint/identity mismatch. A cell that does not load
+    cleanly is recomputed, never trusted. When the file {e exists} but
+    fails to load, a [grid.cell.stale] event is emitted and the
+    [grid.stale_cells] counter is bumped, so interrupted cell writes
+    are observable (surfaced as [stale] by [grid status]) instead of
+    silently recomputed on the next full run. *)
 
 val run_grid :
   ?progress:(string -> unit) ->

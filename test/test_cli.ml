@@ -92,6 +92,72 @@ let test_mkdir_missing_parent () =
     (contains ~needle:"cannot create checkpoint directory" r.stderr);
   Alcotest.(check bool) "no uncaught exception" false (contains ~needle:"Fatal error" r.stderr)
 
+(* grid subcommands: exit-code contract against the real binary. The
+   crash/corruption fault battery lives in test_grid.ml; here we pin
+   the user-error paths and the status arithmetic. *)
+
+let missing_dir () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "no_such_grid_cache_%d" (Random.bits ()))
+
+(* status/merge must not invent an empty grid when the cache dir does
+   not exist: exit 2 and name the directory. *)
+let test_grid_status_missing_dir () =
+  let dir = missing_dir () in
+  let r = run_cli [ "grid"; "status"; "--cache-dir"; dir; "--scale"; "smoke" ] in
+  Alcotest.(check int) "exit code" 2 r.code;
+  Alcotest.(check bool) "names the directory" true (contains ~needle:dir r.stderr)
+
+let test_grid_merge_missing_dir () =
+  let dir = missing_dir () in
+  let r = run_cli [ "grid"; "merge"; "--cache-dir"; dir; "--scale"; "smoke" ] in
+  Alcotest.(check int) "exit code" 2 r.code;
+  Alcotest.(check bool) "names the directory" true (contains ~needle:dir r.stderr)
+
+let test_grid_run_bad_shards () =
+  let dir = fresh_dir () in
+  let r = run_cli [ "grid"; "run"; "--cache-dir"; dir; "--shards"; "0"; "--scale"; "smoke" ] in
+  Alcotest.(check int) "exit code" 2 r.code;
+  Alcotest.(check bool) "explains the bound" true (contains ~needle:"--shards" r.stderr);
+  Sys.rmdir dir
+
+let test_grid_bad_variant_set () =
+  let dir = fresh_dir () in
+  let r =
+    run_cli [ "grid"; "run"; "--cache-dir"; dir; "--scale"; "smoke"; "--variants"; "table9" ]
+  in
+  Alcotest.(check int) "exit code" 2 r.code;
+  Alcotest.(check bool) "lists the valid sets" true (contains ~needle:"all|table1|fig7" r.stderr);
+  Sys.rmdir dir
+
+(* A half-done grid must report the exact done/pending split, in both
+   the table and the JSONL renderings, and merge must refuse it with
+   exit 3 listing the missing cells. *)
+let test_grid_status_half_done () =
+  let dir = fresh_dir () in
+  let args = [ "--cache-dir"; dir; "--scale"; "smoke"; "-d"; "GPOVY"; "--variants"; "table1" ] in
+  let r = run_cli ([ "grid"; "run"; "--shards"; "1" ] @ args) in
+  Alcotest.(check int) "grid run exits 0" 0 r.code;
+  (* drop two of the three cells *)
+  let cells =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun e -> Filename.check_suffix e ".ckpt")
+    |> List.sort compare
+  in
+  Alcotest.(check int) "table1 x GPOVY is three cells" 3 (List.length cells);
+  List.iteri (fun i e -> if i < 2 then Sys.remove (Filename.concat dir e)) cells;
+  let st = run_cli ([ "grid"; "status" ] @ args) in
+  Alcotest.(check int) "status exits 0" 0 st.code;
+  Alcotest.(check bool) "reports done 1 / pending 2" true
+    (contains ~needle:"done 1, claimed 0, stale 0, pending 2" st.stdout);
+  let js = run_cli ([ "grid"; "status"; "--json" ] @ args) in
+  Alcotest.(check int) "status --json exits 0" 0 js.code;
+  Alcotest.(check bool) "summary line agrees" true
+    (contains ~needle:{|"total":3,"done":1,"claimed":0,"stale":0,"pending":2|} js.stdout);
+  let m = run_cli ([ "grid"; "merge" ] @ args) in
+  Alcotest.(check int) "merge on a half-done grid exits 3" 3 m.code;
+  Alcotest.(check bool) "lists missing cells" true (contains ~needle:"2 cells missing" m.stderr)
+
 let () =
   Random.self_init ();
   Alcotest.run "cli"
@@ -101,5 +167,14 @@ let () =
           Alcotest.test_case "--resume w/o train.ckpt exits 2" `Quick test_resume_missing_checkpoint;
           Alcotest.test_case "--resume w/o --checkpoint-dir exits 2" `Quick test_resume_requires_dir;
           Alcotest.test_case "mkdir missing parent is clean" `Quick test_mkdir_missing_parent;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "status w/o cache dir exits 2" `Quick test_grid_status_missing_dir;
+          Alcotest.test_case "merge w/o cache dir exits 2" `Quick test_grid_merge_missing_dir;
+          Alcotest.test_case "--shards 0 exits 2" `Quick test_grid_run_bad_shards;
+          Alcotest.test_case "bad --variants exits 2" `Quick test_grid_bad_variant_set;
+          Alcotest.test_case "half-done grid: status counts, merge exits 3" `Quick
+            test_grid_status_half_done;
         ] );
     ]
