@@ -6,7 +6,7 @@ JOBS ?= 4
 
 # BENCH_OUT streams every bench section (plus a final metrics
 # snapshot) as JSON Lines alongside the human-readable report.
-BENCH_OUT ?= docs/bench_pr7.json
+BENCH_OUT ?= docs/bench_pr9.json
 
 # BATCH, when set, is exported as ADAPT_PNC_BATCH: the block size of
 # the batched no-grad evaluation path (see docs/BATCHING.md). Results
@@ -20,9 +20,17 @@ BATCH ?=
 # green under either setting (the CI matrix runs both).
 PRECISION ?=
 
+# STREAM=1 additionally runs the end-to-end streaming smoke after the
+# test suite: the CLI streams a drifting, perturbed sensor stream under
+# a sequential and a 4-worker pool with different batch chunking and
+# scripts/stream_smoke.sh cmp's the accuracy-over-time tables
+# byte-for-byte (see docs/STREAMING.md).
+STREAM ?=
+
 check:
 	dune build && POOL_SIZE=$(JOBS) ADAPT_PNC_BATCH=$(BATCH) \
 	  ADAPT_PNC_PRECISION=$(PRECISION) dune runtest
+	@if [ "$(STREAM)" = "1" ]; then $(MAKE) stream-smoke; fi
 
 bench:
 	dune build bench/main.exe && \
@@ -75,4 +83,12 @@ serve-smoke:
 	dune build bin/adapt_pnc.exe && \
 	  ./scripts/serve_smoke.sh $(SERVE_SMOKE_OUT)
 
-.PHONY: check bench golden fmt-check resume-demo serve-bench serve-smoke grid-smoke
+# Streaming smoke through the real CLI: frozen + adapted passes over a
+# drifting stream, sequential vs 4-worker pool, tables cmp'd
+# byte-for-byte (docs/STREAMING.md). STREAM_SMOKE_OUT keeps the tables
+# and the per-window telemetry JSONL (CI uploads them as artifacts).
+stream-smoke:
+	dune build bin/adapt_pnc.exe && \
+	  ./scripts/stream_smoke.sh $(STREAM_SMOKE_OUT)
+
+.PHONY: check bench golden fmt-check resume-demo serve-bench serve-smoke grid-smoke stream-smoke

@@ -338,6 +338,79 @@ let bench_eval_throughput cfg =
     [ 1; 2; 4 ];
   print_newline ()
 
+(* Streaming workload: windows/s of the sliding-window evaluator over a
+   drifting, perturbed sensor stream — frozen model vs online test-time
+   adaptation — with the usual parity check (frozen results bit-identical
+   across batch chunking and pool size). *)
+let bench_stream cfg =
+  let module Scenario = Pnc_stream.Scenario in
+  let module Online = Pnc_stream.Online in
+  let dataset = List.hd cfg.Config.datasets in
+  let scenario =
+    Scenario.make ~dataset ~n_samples:48 ~seed:0
+      ~drift:{ Scenario.drift_at = 24; kind = Scenario.Abrupt; shift = 1 }
+      ~perturb:{ Scenario.no_perturb with burst_rate = 0.2; dropout_rate = 0.05 }
+      ()
+  in
+  let rz = Scenario.realize scenario in
+  Printf.eprintf "[bench] training the streaming model (%s)...\n%!" dataset;
+  let r = Experiments.train_run cfg ~dataset ~variant:Experiments.Full ~seed:0 in
+  let model = r.Experiments.model in
+  let spec =
+    if cfg.Config.eval_level > 0. then Some (Pnc_core.Variation.uniform cfg.Config.eval_level)
+    else None
+  in
+  let precision = cfg.Config.precision in
+  let protocol = { Online.default_protocol with Online.width = 8; stride = 8 } in
+  let adapted_protocol = { protocol with Online.adapt = Online.All } in
+  let rng () = Pnc_util.Rng.create ~seed:6000 in
+  let frozen ?batch_size ?pool () =
+    Online.eval ?batch_size ?pool ~precision ?spec ~rng:(rng ()) protocol model rz
+  in
+  let reference = frozen () in
+  let nw = Array.length reference.Online.points in
+  let parity =
+    let chunked = frozen ~batch_size:1 () in
+    let pooled = Pnc_util.Pool.with_pool ~size:2 (fun pool -> frozen ~pool ()) in
+    chunked.Online.points = reference.Online.points
+    && pooled.Online.points = reference.Online.points
+  in
+  let snap = Online.snapshot_params model in
+  let adapted () =
+    let a = Online.eval ~precision ?spec ~rng:(rng ()) adapted_protocol model rz in
+    Online.restore_params model snap;
+    a
+  in
+  ignore (adapted ());
+  let t_frozen = Pnc_util.Timer.time_mean ~repeats:3 (fun () -> ignore (frozen ())) in
+  let t_adapted = Pnc_util.Timer.time_mean ~repeats:3 (fun () -> ignore (adapted ())) in
+  let wps t = float_of_int nw /. t in
+  Printf.printf
+    "Streaming throughput - %d windows of %d over %d drifting samples (%s)%s\n"
+    nw protocol.Online.width (Array.length rz.Scenario.x) dataset
+    (if parity then "" else "  PARITY VIOLATION");
+  Printf.printf "  frozen                       %8.1f windows/s (%s per window)\n" (wps t_frozen)
+    (Pnc_util.Timer.fmt_seconds (t_frozen /. float_of_int nw));
+  Printf.printf "  adapted (all, %d steps)       %8.1f windows/s (%s per window)\n"
+    adapted_protocol.Online.adapt_steps (wps t_adapted)
+    (Pnc_util.Timer.fmt_seconds (t_adapted /. float_of_int nw));
+  Printf.printf "  adaptation overhead          %8.2fx\n\n%!" (t_adapted /. t_frozen);
+  let emit mode t =
+    if Obs.enabled () then
+      Obs.emit "bench.stream"
+        [
+          ("mode", Obs.Str mode);
+          ("windows", Obs.Int nw);
+          ("samples", Obs.Int (Array.length rz.Scenario.x));
+          ("width", Obs.Int protocol.Online.width);
+          ("seconds", Obs.Float t);
+          ("windows_per_s", Obs.Float (wps t));
+          ("parity", Obs.Str (if parity then "ok" else "VIOLATION"));
+        ]
+  in
+  emit "frozen" t_frozen;
+  emit "adapted" t_adapted
+
 let run_all () =
   let cfg = Config.from_env () in
   (* ADAPT_PNC_JOBS=n selects the evaluation pool size (default: one
@@ -359,12 +432,20 @@ let run_all () =
       ];
   (* ADAPT_PNC_BENCH_ONLY=eval runs just the eval-throughput section
      (the batched-vs-scalar comparison CI uploads as an artifact) and
-     skips the training grid. *)
+     skips the training grid; =stream likewise runs just the streaming
+     throughput section. *)
   (match Sys.getenv_opt "ADAPT_PNC_BENCH_ONLY" with
   | Some s when String.trim (String.lowercase_ascii s) = "eval" ->
       Printf.printf "ADAPT-pNC benchmark harness (scale: %s, eval section only)\n\n"
         (Config.scale_name cfg.Config.scale);
       bench_eval_throughput cfg;
+      Obs.emit_metrics ();
+      print_endline "done.";
+      exit 0
+  | Some s when String.trim (String.lowercase_ascii s) = "stream" ->
+      Printf.printf "ADAPT-pNC benchmark harness (scale: %s, stream section only)\n\n"
+        (Config.scale_name cfg.Config.scale);
+      bench_stream cfg;
       Obs.emit_metrics ();
       print_endline "done.";
       exit 0
@@ -381,6 +462,7 @@ let run_all () =
   Experiments.print_mu_survey (Experiments.mu_survey ());
   Experiments.filter_characterization ();
   bench_eval_throughput cfg;
+  bench_stream cfg;
 
   (* The shared training grid behind Table I, Fig. 5, Fig. 7, Table III. *)
   let variants = Experiments.Reference :: Experiments.fig7_variants in

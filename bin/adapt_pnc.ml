@@ -288,6 +288,186 @@ let eval_cmd =
       const run $ load_arg $ dataset_arg $ seed_arg $ scale_arg $ draws_arg $ level_arg
       $ batch_size_arg $ precision_arg $ jobs_arg $ metrics_out_arg $ trace_arg)
 
+(* stream -------------------------------------------------------------------- *)
+
+module Scenario = Pnc_stream.Scenario
+module Online = Pnc_stream.Online
+
+let stream_cmd =
+  let samples_arg =
+    let doc = "Stream length, in samples." in
+    Arg.(value & opt int 96 & info [ "samples" ] ~docv:"N" ~doc)
+  in
+  let length_arg =
+    let doc = "Time steps per stream sample (the series length fed to the circuit)." in
+    Arg.(value & opt int 64 & info [ "length" ] ~docv:"T" ~doc)
+  in
+  let drift_at_arg =
+    let doc =
+      "Inject concept drift: labels rotate by --drift-shift from stream index $(docv) on. \
+       Absent = drift-free stream."
+    in
+    Arg.(value & opt (some int) None & info [ "drift-at" ] ~docv:"I" ~doc)
+  in
+  let drift_ramp_arg =
+    let doc = "Gradual-drift ramp, in samples (0 = abrupt change point)." in
+    Arg.(value & opt int 0 & info [ "drift-ramp" ] ~docv:"N" ~doc)
+  in
+  let drift_shift_arg =
+    let doc = "Label rotation amount at the change point (mod n_classes)." in
+    Arg.(value & opt int 1 & info [ "drift-shift" ] ~docv:"K" ~doc)
+  in
+  let burst_rate_arg =
+    let doc = "Probability that a stream sample carries one gaussian noise burst." in
+    Arg.(value & opt float 0. & info [ "burst-rate" ] ~docv:"P" ~doc)
+  in
+  let burst_sigma_arg =
+    let doc = "Noise sigma inside a burst." in
+    Arg.(value & opt float 0.5 & info [ "burst-sigma" ] ~docv:"S" ~doc)
+  in
+  let dropout_rate_arg =
+    let doc = "Per-time-step sample-and-hold dropout probability." in
+    Arg.(value & opt float 0. & info [ "dropout-rate" ] ~docv:"P" ~doc)
+  in
+  let wander_amp_arg =
+    let doc = "Baseline-wander amplitude (0 = off)." in
+    Arg.(value & opt float 0. & info [ "wander-amp" ] ~docv:"A" ~doc)
+  in
+  let wander_period_arg =
+    let doc = "Baseline-wander period, in units of stream samples." in
+    Arg.(value & opt float 8. & info [ "wander-period" ] ~docv:"P" ~doc)
+  in
+  let width_arg =
+    let doc = "Evaluation window width, in samples." in
+    Arg.(value & opt int 16 & info [ "width" ] ~docv:"W" ~doc)
+  in
+  let stride_arg =
+    let doc = "Window stride (0 = same as --width, i.e. non-overlapping windows)." in
+    Arg.(value & opt int 0 & info [ "stride" ] ~docv:"S" ~doc)
+  in
+  let state_init_arg =
+    let doc =
+      "Filter initial-voltage semantics per window: $(b,v0) (the drawn device V0, the \
+       offline-parity default), $(b,zero) (settled circuit) or $(b,rand) (fresh gaussian \
+       V[0] per window from its own seeded stream, sigma from --state-sigma)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("v0", `V0); ("zero", `Zero); ("rand", `Rand) ]) `V0
+      & info [ "state-init" ] ~docv:"INIT" ~doc)
+  in
+  let state_sigma_arg =
+    let doc = "Gaussian sigma for --state-init rand." in
+    Arg.(value & opt float 0.1 & info [ "state-sigma" ] ~docv:"S" ~doc)
+  in
+  let adapt_arg =
+    let doc =
+      "Online test-time adaptation: $(b,off) (frozen baseline), $(b,filters) (adapt only \
+       the learnable filter parameters) or $(b,all). When on, the frozen baseline is \
+       always computed too, on the same realizations, for the ablation."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("off", Online.Off); ("filters", Online.Filters); ("all", Online.All) ])
+          Online.Off
+      & info [ "adapt" ] ~docv:"MODE" ~doc)
+  in
+  let adapt_lr_arg =
+    let doc = "Adaptation learning rate." in
+    Arg.(value & opt float 0.05 & info [ "adapt-lr" ] ~docv:"LR" ~doc)
+  in
+  let adapt_steps_arg =
+    let doc = "Optimizer steps per window when adaptation is on." in
+    Arg.(value & opt int 2 & info [ "adapt-steps" ] ~docv:"N" ~doc)
+  in
+  let detect_baseline_arg =
+    let doc = "Windows averaged into the drift detector's reference level." in
+    Arg.(value & opt int 3 & info [ "detect-baseline" ] ~docv:"N" ~doc)
+  in
+  let detect_drop_arg =
+    let doc = "Accuracy drop below the reference level that fires the drift detector." in
+    Arg.(value & opt float 0.25 & info [ "detect-drop" ] ~docv:"D" ~doc)
+  in
+  let batch_size_arg =
+    let doc =
+      "Window-scoring batch size (rows per kernel call); 0 = each window as one block. A \
+       throughput knob only — results are identical for every value."
+    in
+    Arg.(value & opt int 0 & info [ "batch-size" ] ~docv:"N" ~doc)
+  in
+  let cache_dir_arg =
+    let doc =
+      "Grid-cell cache directory (same files and keys as `grid run --cache-dir`): the \
+       trained model is loaded from it when present, written to it otherwise."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run dataset model seed scale samples length drift_at drift_ramp drift_shift burst_rate
+      burst_sigma dropout_rate wander_amp wander_period width stride state_init state_sigma
+      adapt adapt_lr adapt_steps detect_baseline detect_drop batch cache_dir jobs metrics_out
+      trace =
+    check_dataset dataset;
+    let cfg = config_of ~scale in
+    let variant = variant_of_string model in
+    let drift =
+      Option.map
+        (fun drift_at ->
+          {
+            Scenario.drift_at;
+            kind = (if drift_ramp > 0 then Scenario.Gradual drift_ramp else Scenario.Abrupt);
+            shift = drift_shift;
+          })
+        drift_at
+    in
+    let perturb =
+      { Scenario.burst_rate; burst_sigma; dropout_rate; wander_amp; wander_period }
+    in
+    let scenario =
+      try Scenario.make ~length ?drift ~perturb ~dataset ~n_samples:samples ~seed ()
+      with Invalid_argument msg ->
+        Printf.eprintf "bad scenario: %s\n" msg;
+        exit 1
+    in
+    let state_init =
+      match state_init with
+      | `V0 -> `V0
+      | `Zero -> `Zero
+      | `Rand -> `Randomized state_sigma
+    in
+    let protocol =
+      {
+        Online.width;
+        stride = (if stride > 0 then stride else width);
+        state_init;
+        adapt;
+        adapt_lr;
+        adapt_steps;
+        detect_baseline;
+        detect_drop;
+      }
+    in
+    let batch_size = if batch > 0 then Some batch else None in
+    with_obs ~metrics_out ~trace (fun () ->
+        with_jobs jobs (fun pool ->
+            let sr =
+              Experiments.stream_run ?batch_size ?pool ?cache_dir cfg ~scenario ~protocol
+                ~variant ~seed
+            in
+            Experiments.print_stream ~scenario ~protocol sr))
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"Run a model over a synthetic sensor stream (drift, bursts, dropouts, wander) \
+             through the sliding-window evaluator, optionally with online test-time \
+             adaptation against the frozen baseline.")
+    Term.(
+      const run $ dataset_arg $ model_arg $ seed_arg $ scale_arg $ samples_arg $ length_arg
+      $ drift_at_arg $ drift_ramp_arg $ drift_shift_arg $ burst_rate_arg $ burst_sigma_arg
+      $ dropout_rate_arg $ wander_amp_arg $ wander_period_arg $ width_arg $ stride_arg
+      $ state_init_arg $ state_sigma_arg $ adapt_arg $ adapt_lr_arg $ adapt_steps_arg
+      $ detect_baseline_arg $ detect_drop_arg $ batch_size_arg $ cache_dir_arg $ jobs_arg
+      $ metrics_out_arg $ trace_arg)
+
 (* serve --------------------------------------------------------------------- *)
 
 let serve_cmd =
@@ -879,6 +1059,7 @@ let () =
             datasets_cmd;
             train_cmd;
             eval_cmd;
+            stream_cmd;
             serve_cmd;
             ckpt_cmd;
             grid_cmd;

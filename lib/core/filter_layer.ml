@@ -101,10 +101,44 @@ let realize_t ~draw f =
 
 type state_t = T.t array
 
-let init_state_t real ~batch =
-  Array.map
-    (fun sr -> T.init ~rows:batch ~cols:(T.cols sr.v0_t) (fun _ c -> T.get sr.v0_t 0 c))
-    real.stage_reals_t
+type state_init = [ `V0 | `Zero | `Gaussian of Rng.t * float ]
+
+(* Refill an existing state in place. `V0 broadcasts the draw's sampled
+   initial voltages down every batch row (the historical [init_state_t]
+   convention); `Zero is the fully-settled circuit; `Gaussian draws a
+   fresh V[0] per (row, channel) — the sliding-window regime of the
+   exemplar LearnableFilter, where each window meets the filter bank
+   mid-transient. The gaussian stream is consumed stage-major then
+   row-major, so a full-batch reset followed by row-sliced views is
+   bit-identical to resetting the full batch directly (the batched
+   forwards rely on this to keep the block size a pure performance
+   knob). *)
+let reset_state_t ?(init = `V0) real (st : state_t) =
+  Array.iteri
+    (fun i s ->
+      let sr = real.stage_reals_t.(i) in
+      match init with
+      | `V0 ->
+          for r = 0 to T.rows s - 1 do
+            for c = 0 to T.cols s - 1 do
+              T.set s r c (T.get sr.v0_t 0 c)
+            done
+          done
+      | `Zero -> T.fill s 0.
+      | `Gaussian (rng, sigma) ->
+          for r = 0 to T.rows s - 1 do
+            for c = 0 to T.cols s - 1 do
+              T.set s r c (Rng.gaussian ~sigma rng)
+            done
+          done)
+    st
+
+let init_state_t ?(init = `V0) real ~batch =
+  let st =
+    Array.map (fun sr -> T.zeros ~rows:batch ~cols:(T.cols sr.v0_t)) real.stage_reals_t
+  in
+  reset_state_t ~init real st;
+  st
 
 let step_t real (st : state_t) x =
   let x_in = ref x in

@@ -60,7 +60,30 @@ type state_t = Pnc_tensor.Tensor.t array
 (** One [batch x features] voltage tensor per stage, mutated in place
     by {!step_t}. *)
 
-val init_state_t : realization_t -> batch:int -> state_t
+type state_init = [ `V0 | `Zero | `Gaussian of Pnc_util.Rng.t * float ]
+(** Initial-voltage semantics for a fresh (or reused) state:
+    - [`V0] (the default, and the historical behaviour): every batch
+      row starts from the draw's sampled initial voltages — the same
+      physical power-up transient for each sample;
+    - [`Zero]: the fully settled circuit (all capacitors discharged);
+    - [`Gaussian (rng, sigma)]: an independent V[0] ~ N(0, sigma²) per
+      (row, channel, stage) — the sliding-window regime of the
+      exemplar LearnableFilter, where each window meets the filter
+      mid-transient. The stream is consumed stage-major then
+      row-major. *)
+
+val reset_state_t : ?init:state_init -> realization_t -> state_t -> unit
+(** Refill an existing state in place — the explicit entry point for
+    callers that re-run a realization over many windows (instead of
+    re-calling {!init_state_t} with ad-hoc conventions). A full-batch
+    reset followed by row-sliced views is bit-identical to resetting
+    each slice in turn only under [`V0]/[`Zero]; under [`Gaussian] the
+    stream order makes the {e full-batch} reset the canonical one (the
+    batched forwards pre-draw full states for exactly this reason). *)
+
+val init_state_t : ?init:state_init -> realization_t -> batch:int -> state_t
+(** Allocate and fill a fresh state; [init] defaults to [`V0], making
+    this bit-identical to the historical entry point. *)
 
 val step_t : realization_t -> state_t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Tensor.t
 (** Advances the state in place and returns the last stage's voltages

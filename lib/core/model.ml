@@ -21,16 +21,16 @@ let logits_t ?(draw = Variation.deterministic) t x =
   | Circuit net -> Network.forward_t ~draw net x
   | Reference m -> Elman.forward_t m x
 
-let logits_batch_t ?batch_size ?precision ?(draw = Variation.deterministic) t x =
+let logits_batch_t ?batch_size ?precision ?state_init ?(draw = Variation.deterministic) t x =
   match t with
-  | Circuit net -> Network.forward_batch_t ?batch_size ?precision ~draw net x
+  | Circuit net -> Network.forward_batch_t ?batch_size ?precision ?state_init ~draw net x
   | Reference m -> Elman.forward_batch_t ?batch_size ?precision m x
 
 let predict ?(draw = Variation.deterministic) t x =
   Pnc_tensor.Tensor.argmax_rows (logits_t ~draw t x)
 
-let predict_batch ?batch_size ?precision ?(draw = Variation.deterministic) t x =
-  Pnc_tensor.Tensor.argmax_rows (logits_batch_t ?batch_size ?precision ~draw t x)
+let predict_batch ?batch_size ?precision ?state_init ?(draw = Variation.deterministic) t x =
+  Pnc_tensor.Tensor.argmax_rows (logits_batch_t ?batch_size ?precision ?state_init ~draw t x)
 
 let clamp = function Circuit net -> Network.clamp net | Reference _ -> ()
 let is_circuit = function Circuit _ -> true | Reference _ -> false

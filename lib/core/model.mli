@@ -26,6 +26,7 @@ val logits_t : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> Pnc_tensor.Te
 val logits_batch_t :
   ?batch_size:int ->
   ?precision:[ `Exact | `Fast ] ->
+  ?state_init:Filter_layer.state_init ->
   ?draw:Variation.draw ->
   t ->
   Pnc_tensor.Tensor.t ->
@@ -36,7 +37,10 @@ val logits_batch_t :
     [ADAPT_PNC_BATCH], else one block). Bit-identical to {!logits_t}
     for every batch size under [`Exact] (the default); [`Fast]
     substitutes {!Pnc_tensor.Fast_math.tanh} (≤1e-7 absolute tanh
-    error) for the activation transcendentals. *)
+    error) for the activation transcendentals. [state_init] selects
+    the filter initial-voltage semantics (default [`V0]; batch-size
+    invariant under every value — see {!Network.forward_batch_t});
+    ignored by the reference RNN, which has no filter state. *)
 
 val predict : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
 (** Runs on the tensor fast path. *)
@@ -44,6 +48,7 @@ val predict : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
 val predict_batch :
   ?batch_size:int ->
   ?precision:[ `Exact | `Fast ] ->
+  ?state_init:Filter_layer.state_init ->
   ?draw:Variation.draw ->
   t ->
   Pnc_tensor.Tensor.t ->

@@ -194,17 +194,27 @@ type layer_ws = {
   act_out : T.t;
 }
 
-let make_ws ~batch reals =
-  List.map
-    (fun real ->
+(* [states], when given, hands each layer a pre-initialized filter
+   state for this block (usually row views of a full-batch state) —
+   the batched forwards use it to keep [`Gaussian] initial-state draws
+   independent of the block size. Otherwise a fresh state is drawn
+   here with [init] semantics. *)
+let make_ws ?(init = `V0) ?states ~batch reals =
+  let states =
+    match states with
+    | Some sts -> sts
+    | None -> List.map (fun real -> Filter_layer.init_state_t ~init real.filt_t ~batch) reals
+  in
+  List.map2
+    (fun real st ->
       {
         real;
         kern = make_kernel real;
-        filt_state_t = Filter_layer.init_state_t real.filt_t ~batch;
+        filt_state_t = st;
         cb_out = T.zeros ~rows:batch ~cols:real.n_out;
         act_out = T.zeros ~rows:batch ~cols:real.n_out;
       })
-    reals
+    reals states
 
 let step_layer_t ?precision lr x =
   Crossbar.apply_t_into ~dst:lr.cb_out lr.real.cb_t x;
@@ -329,10 +339,11 @@ let fused_step_layer ~fast lr x =
 
 (* Run one block of rows through all time steps against an already
    realized circuit instance. *)
-let forward_block ?(precision = `Exact) ~readout ~classes reals steps =
+let forward_block ?(precision = `Exact) ?(state_init = `V0) ?states ~readout ~classes reals
+    steps =
   let fast = match precision with `Fast -> true | `Exact -> false in
   let batch = T.rows steps.(0) in
-  let ws = make_ws ~batch reals in
+  let ws = make_ws ~init:state_init ?states ~batch reals in
   let acc = T.zeros ~rows:batch ~cols:classes in
   let last = ref acc in
   Array.iter
@@ -348,23 +359,40 @@ let forward_block ?(precision = `Exact) ~readout ~classes reals steps =
   | Integrated -> T.scale (1. /. float_of_int (Array.length steps)) acc
   | Last_step -> T.copy !last
 
-let forward_multi_readout_t ~readout ~draw_crossbar ~draw_filter ~draw_act net steps =
+let forward_multi_readout_t ?state_init ~readout ~draw_crossbar ~draw_filter ~draw_act net
+    steps =
   assert (Array.length steps > 0);
   let reals = realize_net_t ~draw_crossbar ~draw_filter ~draw_act net in
-  forward_block ~readout ~classes:net.n_classes reals steps
+  forward_block ?state_init ~readout ~classes:net.n_classes reals steps
 
-let forward_multi_readout_batch_t ?batch_size ?precision ~readout ~draw_crossbar
-    ~draw_filter ~draw_act net steps =
+let forward_multi_readout_batch_t ?batch_size ?precision ?(state_init = `V0) ~readout
+    ~draw_crossbar ~draw_filter ~draw_act net steps =
   assert (Array.length steps > 0);
   let rows = T.rows steps.(0) in
   let block = Batch.resolve ?batch_size ~n:rows () in
   let reals = realize_net_t ~draw_crossbar ~draw_filter ~draw_act net in
+  (* Under [`Gaussian] the initial-state draws must not depend on the
+     block size: pre-draw the full-batch states once and hand each
+     block its row slice. [`V0] keeps the historical per-block init
+     (bit-identical, and row-independent anyway); [`Zero] rides the
+     same pre-draw path — it is row-independent too, so slicing
+     changes nothing. *)
+  let full_states =
+    match state_init with
+    | `V0 -> None
+    | init ->
+        Some
+          (List.map (fun real -> Filter_layer.init_state_t ~init real.filt_t ~batch:rows) reals)
+  in
   let t0 = Batch.start () in
   let out = T.zeros ~rows ~cols:net.n_classes in
   let blocks =
     Batch.chunked ~rows ~block (fun ~row ~len ->
         let sub = Array.map (fun s -> T.rows_view s ~row ~len) steps in
-        let logits = forward_block ?precision ~readout ~classes:net.n_classes reals sub in
+        let states =
+          Option.map (List.map (Array.map (fun s -> T.rows_view s ~row ~len))) full_states
+        in
+        let logits = forward_block ?precision ?states ~readout ~classes:net.n_classes reals sub in
         T.blit_into ~dst:(T.rows_view out ~row ~len) logits)
   in
   Batch.record ~block ~rows ~blocks ~t0;
@@ -376,8 +404,8 @@ let forward_multi_selective_t ~draw_crossbar ~draw_filter ~draw_act net steps =
 let forward_multi_t ~draw net steps =
   forward_multi_selective_t ~draw_crossbar:draw ~draw_filter:draw ~draw_act:draw net steps
 
-let forward_multi_batch_t ?batch_size ?precision ~draw net steps =
-  forward_multi_readout_batch_t ?batch_size ?precision ~readout:Integrated
+let forward_multi_batch_t ?batch_size ?precision ?state_init ~draw net steps =
+  forward_multi_readout_batch_t ?batch_size ?precision ?state_init ~readout:Integrated
     ~draw_crossbar:draw ~draw_filter:draw ~draw_act:draw net steps
 
 let forward_selective_t ~draw_crossbar ~draw_filter ~draw_act net x =
@@ -399,14 +427,14 @@ let forward_t ~draw net x =
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
   forward_multi_t ~draw net steps
 
-let forward_batch_t ?batch_size ?precision ~draw net x =
+let forward_batch_t ?batch_size ?precision ?state_init ~draw net x =
   let steps = Array.init (T.cols x) (fun k -> T.col x k) in
-  forward_multi_batch_t ?batch_size ?precision ~draw net steps
+  forward_multi_batch_t ?batch_size ?precision ?state_init ~draw net steps
 
 let predict ?(draw = Variation.deterministic) net x = T.argmax_rows (forward_t ~draw net x)
 
-let predict_batch ?batch_size ?precision ?(draw = Variation.deterministic) net x =
-  T.argmax_rows (forward_batch_t ?batch_size ?precision ~draw net x)
+let predict_batch ?batch_size ?precision ?state_init ?(draw = Variation.deterministic) net x =
+  T.argmax_rows (forward_batch_t ?batch_size ?precision ?state_init ~draw net x)
 
 let clamp net =
   List.iter

@@ -122,11 +122,19 @@ val forward_selective_t :
     path; [`Fast] substitutes {!Pnc_tensor.Fast_math.tanh} (≤1e-7
     absolute tanh error) for the per-element transcendental. The knob
     affects arithmetic only — realization order, batching and shapes are
-    unchanged. *)
+    unchanged.
+
+    [?state_init] selects the filter initial-voltage semantics
+    ({!Filter_layer.state_init}; default [`V0], the historical
+    behaviour). Under [`Gaussian] the full-batch states are pre-drawn
+    before chunking, so the result stays bit-identical for every batch
+    size — like the draw, the initial state describes the physical
+    situation, not the evaluation schedule. *)
 
 val forward_batch_t :
   ?batch_size:int ->
   ?precision:[ `Exact | `Fast ] ->
+  ?state_init:Filter_layer.state_init ->
   draw:Variation.draw ->
   t ->
   Pnc_tensor.Tensor.t ->
@@ -135,6 +143,7 @@ val forward_batch_t :
 val forward_multi_batch_t :
   ?batch_size:int ->
   ?precision:[ `Exact | `Fast ] ->
+  ?state_init:Filter_layer.state_init ->
   draw:Variation.draw ->
   t ->
   Pnc_tensor.Tensor.t array ->
@@ -157,6 +166,7 @@ val predict : ?draw:Variation.draw -> t -> Pnc_tensor.Tensor.t -> int array
 val predict_batch :
   ?batch_size:int ->
   ?precision:[ `Exact | `Fast ] ->
+  ?state_init:Filter_layer.state_init ->
   ?draw:Variation.draw ->
   t ->
   Pnc_tensor.Tensor.t ->

@@ -319,6 +319,128 @@ let run_grid ?(progress = fun _ -> ()) ?batch_size ?pool ?cache_dir cfg ~variant
           r)
     (grid_keys cfg ~variants)
 
+(* Streaming protocol ----------------------------------------------------- *)
+
+module Scenario = Pnc_stream.Scenario
+module Online = Pnc_stream.Online
+
+type stream_run = {
+  sr_run : run;
+  sr_frozen : Online.result;
+  sr_adapted : Online.result option;
+}
+
+(* Adaptation knobs change the reported numbers, so they are part of the
+   cache/provenance key; chunking (batch size) and pool size are
+   result-invariant and deliberately absent — same policy as
+   Config.fingerprint. *)
+let stream_fingerprint cfg ~scenario ~protocol =
+  String.concat "|"
+    [ Config.fingerprint cfg; Scenario.fingerprint scenario; Online.fingerprint protocol ]
+
+(* Train one grid cell, or reuse it from the same on-disk cell cache the
+   grid harness keys by Config.fingerprint — a streaming run over an
+   already-computed grid pays only the evaluation. *)
+let trained_cell ?batch_size ?pool ?cache_dir cfg ~dataset ~variant ~seed =
+  let path = Option.map (fun dir -> cell_path ~dir cfg ~dataset ~variant ~seed) cache_dir in
+  let cached =
+    match path with
+    | None -> None
+    | Some path -> load_cell ~path cfg ~dataset ~variant ~seed
+  in
+  match cached with
+  | Some r -> r
+  | None ->
+      let r = train_run ?batch_size ?pool cfg ~dataset ~variant ~seed in
+      Option.iter
+        (fun path ->
+          Option.iter mkdir_p cache_dir;
+          save_cell ~path cfg r)
+        path;
+      r
+
+let stream_run ?batch_size ?pool ?cache_dir cfg ~scenario ~protocol ~variant ~seed =
+  Obs.Span.with_ "stream" @@ fun () ->
+  let dataset = scenario.Scenario.dataset in
+  let r = trained_cell ?batch_size ?pool ?cache_dir cfg ~dataset ~variant ~seed in
+  let rz = Scenario.realize scenario in
+  (* Same physical-instance policy as the offline protocols: circuits
+     stream under ±eval_level component variation, the reference RNN
+     has no components. seed+6000 keeps the streaming eval stream
+     disjoint from the train/eval/perturb streams of train_run. *)
+  let spec =
+    if Model.is_circuit r.model && cfg.Config.eval_level > 0. then
+      Some (Variation.uniform cfg.Config.eval_level)
+    else None
+  in
+  let precision = cfg.Config.precision in
+  let eval_rng () = Rng.create ~seed:(seed + 6000) in
+  let snap = Online.snapshot_params r.model in
+  let frozen =
+    Online.eval ?batch_size ~precision ?pool ?spec ~rng:(eval_rng ())
+      { protocol with Online.adapt = Online.Off }
+      r.model rz
+  in
+  let adapted =
+    if protocol.Online.adapt = Online.Off then None
+    else begin
+      let a =
+        Online.eval ?batch_size ~precision ?spec ~rng:(eval_rng ()) protocol r.model rz
+      in
+      (* Leave the cell's trained weights untouched for any later
+         consumer (the cache holds the un-adapted model). *)
+      Online.restore_params r.model snap;
+      Some a
+    end
+  in
+  { sr_run = r; sr_frozen = frozen; sr_adapted = adapted }
+
+(* Deterministic accuracy-over-time table: no wall-clock columns, so two
+   runs of the same protocol print byte-identical tables whatever the
+   pool size or batch chunking (the CI stream job cmp's them). *)
+let print_stream ~scenario ~protocol sr =
+  Printf.printf "Streaming: %s\n" (Scenario.fingerprint scenario);
+  Printf.printf "Protocol:  %s\n" (Online.fingerprint protocol);
+  Printf.printf "Model:     %s (seed %d, clean acc %.4f)\n"
+    (variant_name sr.sr_run.variant) sr.sr_run.seed sr.sr_run.clean_acc;
+  let adapted = sr.sr_adapted <> None in
+  let t =
+    Table.create
+      ~header:
+        ([ "Window"; "Samples"; "Frozen acc" ] @ if adapted then [ "Adapted acc" ] else [])
+  in
+  Array.iteri
+    (fun i (p : Online.point) ->
+      let mark =
+        match sr.sr_frozen.Online.first_drift_window with
+        | Some w when w = i -> " *drift"
+        | _ -> ""
+      in
+      Table.add_row t
+        ([
+           Printf.sprintf "%d%s" p.Online.w mark;
+           Printf.sprintf "%d..%d" p.Online.start (p.Online.start + p.Online.len - 1);
+           Printf.sprintf "%.4f" p.Online.acc;
+         ]
+        @
+        match sr.sr_adapted with
+        | Some a -> [ Printf.sprintf "%.4f" a.Online.points.(i).Online.acc ]
+        | None -> []))
+    sr.sr_frozen.Online.points;
+  Table.print t;
+  let pp_opt_f = function Some a -> Printf.sprintf "%.4f" a | None -> "n/a" in
+  let pp_opt_i = function Some i -> string_of_int i | None -> "none" in
+  let line tag (r : Online.result) =
+    Printf.printf
+      "%s: overall %.4f | pre-drift %s | post-drift %s | detected at %s | latency %s\n" tag
+      r.Online.overall_acc (pp_opt_f r.Online.pre_drift_acc) (pp_opt_f r.Online.post_drift_acc)
+      (pp_opt_i r.Online.detected_at)
+      (pp_opt_i r.Online.detect_latency)
+  in
+  line "frozen " sr.sr_frozen;
+  Option.iter (line "adapted") sr.sr_adapted;
+  print_newline ()
+
 (* ---------------------------------------------------------------------- *)
 
 type cell = { mean : float; std : float }

@@ -108,6 +108,58 @@ val run_grid :
     / dataset / variant / seed mismatch) is silently recomputed and
     rewritten, never trusted. *)
 
+(** {1 Streaming protocol}
+
+    The online workload family: a synthetic sensor stream
+    ({!Pnc_stream.Scenario}) evaluated through sliding windows
+    ({!Pnc_stream.Online}), with the frozen trained model as the
+    ablation baseline and optional test-time adaptation. *)
+
+type stream_run = {
+  sr_run : run;  (** the trained cell the stream ran over *)
+  sr_frozen : Pnc_stream.Online.result;  (** adaptation-off baseline *)
+  sr_adapted : Pnc_stream.Online.result option;
+      (** present iff the protocol asked for adaptation; computed on
+          the {e same} trained weights (restored afterwards) and the
+          same eval rng as the frozen run *)
+}
+
+val stream_fingerprint :
+  Config.t -> scenario:Pnc_stream.Scenario.t -> protocol:Pnc_stream.Online.protocol -> string
+(** Provenance key for one streaming result:
+    {!Config.fingerprint} + scenario + protocol. Adaptation knobs are
+    result-affecting and included; batch chunking and pool size are
+    result-invariant and excluded (same policy as the grid cache). *)
+
+val stream_run :
+  ?batch_size:int ->
+  ?pool:Pnc_util.Pool.t ->
+  ?cache_dir:string ->
+  Config.t ->
+  scenario:Pnc_stream.Scenario.t ->
+  protocol:Pnc_stream.Online.protocol ->
+  variant:variant ->
+  seed:int ->
+  stream_run
+(** Trains (or loads from the grid cell cache — same files, same keys
+    as {!run_grid}) the (scenario dataset, variant, seed) cell, then
+    streams the realized scenario over it: always the frozen baseline,
+    plus the adapted pass when the protocol enables adaptation. The
+    model keeps its trained weights on return. Circuits stream under
+    ±[eval_level] component variation on one replayed physical
+    instance; evaluation randomness comes from seed+6000, disjoint
+    from every training/eval stream of {!train_run}. *)
+
+val print_stream :
+  scenario:Pnc_stream.Scenario.t ->
+  protocol:Pnc_stream.Online.protocol ->
+  stream_run ->
+  unit
+(** Accuracy-over-time table plus summary lines. Deliberately free of
+    wall-clock columns: two runs of the same protocol print
+    byte-identical output for any pool size / batch chunking, which the
+    CI stream job checks with [cmp]. *)
+
 (** {1 Artifacts} *)
 
 type cell = { mean : float; std : float }

@@ -1,0 +1,234 @@
+module Rng = Pnc_util.Rng
+module Dataset = Pnc_data.Dataset
+module Registry = Pnc_data.Registry
+module Obs = Pnc_obs.Obs
+
+type drift_kind = Abrupt | Gradual of int
+
+type drift = { drift_at : int; kind : drift_kind; shift : int }
+
+type perturb = {
+  burst_rate : float;
+  burst_sigma : float;
+  dropout_rate : float;
+  wander_amp : float;
+  wander_period : float;
+}
+
+let no_perturb =
+  { burst_rate = 0.; burst_sigma = 0.; dropout_rate = 0.; wander_amp = 0.; wander_period = 8. }
+
+type t = {
+  dataset : string;
+  n_samples : int;
+  length : int;
+  seed : int;
+  drift : drift option;
+  perturb : perturb;
+}
+
+let make ?(length = 64) ?drift ?(perturb = no_perturb) ~dataset ~n_samples ~seed () =
+  let spec = Registry.find dataset in
+  if n_samples <= 0 then invalid_arg "Scenario.make: n_samples must be positive";
+  if length <= 0 then invalid_arg "Scenario.make: length must be positive";
+  let rate_ok r = r >= 0. && r <= 1. in
+  if not (rate_ok perturb.burst_rate && rate_ok perturb.dropout_rate) then
+    invalid_arg "Scenario.make: rates must lie in [0, 1]";
+  (match drift with
+  | Some d ->
+      if d.drift_at < 0 then invalid_arg "Scenario.make: drift_at must be >= 0";
+      if d.shift <= 0 || d.shift >= spec.Registry.n_classes then
+        invalid_arg "Scenario.make: shift must lie in [1, n_classes)";
+      (match d.kind with
+      | Gradual ramp when ramp < 0 -> invalid_arg "Scenario.make: negative ramp"
+      | _ -> ())
+  | None -> ());
+  { dataset; n_samples; length; seed; drift; perturb }
+
+type event = {
+  sample : int;
+  burst : (int * int) option;
+  dropped : int list;
+  drifted : bool;
+}
+
+type realized = {
+  scenario : t;
+  n_classes : int;
+  x : float array array;
+  y : int array;
+  clean_y : int array;
+  events : event array;
+}
+
+let dropouts_counter = Obs.Counter.make "stream.dropouts"
+let bursts_counter = Obs.Counter.make "stream.bursts"
+
+(* Raw generated length before the paper's resize; matches what
+   Registry.load feeds Dataset.preprocess. *)
+let raw_length = 128
+
+(* The base sample for stream index [i]: the label cycles through the
+   classes deterministically, and the series is picked out of a small
+   candidate batch generated from [i]'s own child stream. The registry
+   generators draw all labels before all series, so a sample cut from
+   one long generator pass would depend on the total stream length;
+   generating per index from a split_n child is what makes sample [i]
+   a pure function of (seed, i). *)
+let base_sample spec child ~length i =
+  let n_classes = spec.Registry.n_classes in
+  let want = i mod n_classes in
+  let n_cand = 2 * n_classes in
+  let cand = spec.Registry.gen child ~n:n_cand ~length:raw_length in
+  let cand = Dataset.normalize (Dataset.resize cand length) in
+  let idx = ref (want mod Dataset.n_samples cand) in
+  (try
+     for j = 0 to Dataset.n_samples cand - 1 do
+       if cand.Dataset.y.(j) = want then begin
+         idx := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (Array.copy cand.Dataset.x.(!idx), want)
+
+let drift_decision scenario pr i =
+  match scenario.drift with
+  | None -> false
+  | Some d -> (
+      match d.kind with
+      | Abrupt -> i >= d.drift_at
+      | Gradual ramp ->
+          if i < d.drift_at then false
+          else if i >= d.drift_at + ramp then true
+          else
+            (* Probability ramps linearly across the transition window;
+               the coin comes from sample [i]'s own stream. *)
+            Rng.float pr 1. < float_of_int (i - d.drift_at + 1) /. float_of_int (ramp + 1))
+
+(* Perturbation schedule for sample [i], applied in place. Fixed
+   consumption order on [pr] — drift coin, burst coin/geometry/noise,
+   per-step dropout coins — so the schedule is a pure function of the
+   child stream (and hence of (seed, i)). Baseline wander is analytic
+   in global time and draws nothing per sample. *)
+let perturb_sample scenario ~phase pr i x =
+  let p = scenario.perturb in
+  let len = Array.length x in
+  let drifted = drift_decision scenario pr i in
+  let burst =
+    if p.burst_rate > 0. && Rng.float pr 1. < p.burst_rate then begin
+      let max_len = Stdlib.max 1 (len / 4) in
+      let blen = 1 + Rng.int pr max_len in
+      let start = Rng.int pr (len - blen + 1) in
+      for t = start to start + blen - 1 do
+        x.(t) <- x.(t) +. Rng.gaussian ~sigma:p.burst_sigma pr
+      done;
+      Some (start, blen)
+    end
+    else None
+  in
+  let dropped = ref [] in
+  if p.dropout_rate > 0. then
+    for t = 0 to len - 1 do
+      if Rng.float pr 1. < p.dropout_rate then begin
+        (* Sample-and-hold: a dropped reading repeats the previous
+           (post-dropout) value; a dropout at t = 0 reads zero. *)
+        x.(t) <- (if t = 0 then 0. else x.(t - 1));
+        dropped := t :: !dropped
+      end
+    done;
+  if p.wander_amp > 0. then begin
+    let period = Float.max 1. p.wander_period *. float_of_int len in
+    for t = 0 to len - 1 do
+      let gt = float_of_int ((i * len) + t) in
+      x.(t) <- x.(t) +. (p.wander_amp *. Float.sin ((2. *. Float.pi *. gt /. period) +. phase))
+    done
+  end;
+  (burst, List.rev !dropped, drifted)
+
+(* One stream sample from its pre-split child: the child is split once
+   more into the generation stream and the perturbation stream so the
+   schedule does not depend on how many draws the base generator
+   consumed. *)
+let sample_of_child scenario spec ~phase child i =
+  let sub = Rng.split_n child 2 in
+  let x, clean = base_sample spec sub.(0) ~length:scenario.length i in
+  let burst, dropped, drifted = perturb_sample scenario ~phase sub.(1) i x in
+  let y =
+    match scenario.drift with
+    | Some d when drifted -> (clean + d.shift) mod spec.Registry.n_classes
+    | _ -> clean
+  in
+  (x, y, clean, { sample = i; burst; dropped; drifted })
+
+(* Root split: child 0 carries the global schedule draws (the wander
+   phase), child 1 parents the per-sample streams. split_n child [i]
+   is a pure function of the parent state and [i], so sample [i] is
+   identical whether the stream is realized whole or regenerated
+   index by index (and for any stream length >= i+1). *)
+let streams scenario ~n =
+  let root = Rng.create ~seed:scenario.seed in
+  let top = Rng.split_n root 2 in
+  let phase = Rng.float top.(0) (2. *. Float.pi) in
+  (phase, Rng.split_n top.(1) n)
+
+let sample scenario i =
+  if i < 0 || i >= scenario.n_samples then invalid_arg "Scenario.sample: index out of range";
+  let spec = Registry.find scenario.dataset in
+  let phase, children = streams scenario ~n:(i + 1) in
+  sample_of_child scenario spec ~phase children.(i) i
+
+let realize scenario =
+  let spec = Registry.find scenario.dataset in
+  let n = scenario.n_samples in
+  let phase, children = streams scenario ~n in
+  let x = Array.make n [||] in
+  let y = Array.make n 0 in
+  let clean_y = Array.make n 0 in
+  let events =
+    Array.init n (fun i ->
+        let xi, yi, ci, ev = sample_of_child scenario spec ~phase children.(i) i in
+        x.(i) <- xi;
+        y.(i) <- yi;
+        clean_y.(i) <- ci;
+        ev)
+  in
+  let bursts = Array.fold_left (fun a e -> a + if e.burst = None then 0 else 1) 0 events in
+  let drops = Array.fold_left (fun a e -> a + List.length e.dropped) 0 events in
+  Obs.Counter.add bursts_counter bursts;
+  Obs.Counter.add dropouts_counter drops;
+  if Obs.enabled () then
+    Obs.emit "stream.scenario"
+      [
+        ("dataset", Obs.Str scenario.dataset);
+        ("n_samples", Obs.Int n);
+        ("length", Obs.Int scenario.length);
+        ("seed", Obs.Int scenario.seed);
+        ("bursts", Obs.Int bursts);
+        ("dropouts", Obs.Int drops);
+        ("drifted", Obs.Int (Array.fold_left (fun a e -> a + if e.drifted then 1 else 0) 0 events));
+      ];
+  { scenario; n_classes = spec.Registry.n_classes; x; y; clean_y; events }
+
+let first_drift rz =
+  let n = Array.length rz.events in
+  let rec go i = if i >= n then None else if rz.events.(i).drifted then Some i else go (i + 1) in
+  go 0
+
+let to_dataset rz =
+  Dataset.make
+    ~name:(rz.scenario.dataset ^ "-stream")
+    ~n_classes:rz.n_classes ~x:rz.x ~y:rz.y
+
+let fingerprint s =
+  let drift =
+    match s.drift with
+    | None -> "none"
+    | Some d ->
+        Printf.sprintf "%s@%d+%d"
+          (match d.kind with Abrupt -> "abrupt" | Gradual r -> Printf.sprintf "gradual%d" r)
+          d.drift_at d.shift
+  in
+  Printf.sprintf "stream|ds=%s|n=%d|len=%d|seed=%d|drift=%s|burst=%g:%g|drop=%g|wander=%g:%g"
+    s.dataset s.n_samples s.length s.seed drift s.perturb.burst_rate s.perturb.burst_sigma
+    s.perturb.dropout_rate s.perturb.wander_amp s.perturb.wander_period

@@ -1,0 +1,99 @@
+(** Continuous synthetic sensor streams layered on the registry
+    generators: an endless (well, [n_samples]-long) sequence of labeled
+    series subjected to the disturbances a deployed printed sensor
+    front-end actually meets — concept drift, burst noise, sample
+    dropouts and baseline wander.
+
+    {b Determinism.} The scenario seed is split once into a global
+    schedule stream and a parent for per-sample child streams
+    ({!Pnc_util.Rng.split_n}), and each stream sample is generated from
+    its own child. Child [i] is a pure function of the parent state and
+    [i], so sample [i] — series, label, and its whole perturbation
+    schedule — is identical whether the stream is realized in one pass
+    ({!realize}) or regenerated index by index ({!sample}), and for any
+    stream length that reaches it. The test battery pins both replay
+    equalities. *)
+
+(** How the class boundary moves at the change point. *)
+type drift_kind =
+  | Abrupt  (** every sample from [drift_at] on is relabeled *)
+  | Gradual of int
+      (** relabeling probability ramps linearly over the given number
+          of samples after [drift_at] *)
+
+type drift = {
+  drift_at : int;  (** first affected stream index *)
+  kind : drift_kind;
+  shift : int;  (** labels rotate by [shift] mod n_classes *)
+}
+
+(** Perturbation knobs; rates are probabilities in [0, 1]. *)
+type perturb = {
+  burst_rate : float;  (** P(a sample carries one gaussian noise burst) *)
+  burst_sigma : float;  (** burst noise sigma (added to the series) *)
+  dropout_rate : float;  (** per-time-step sample-and-hold probability *)
+  wander_amp : float;  (** baseline-wander amplitude *)
+  wander_period : float;  (** wander period, in units of samples *)
+}
+
+val no_perturb : perturb
+
+type t = private {
+  dataset : string;
+  n_samples : int;
+  length : int;
+  seed : int;
+  drift : drift option;
+  perturb : perturb;
+}
+
+val make :
+  ?length:int ->
+  ?drift:drift ->
+  ?perturb:perturb ->
+  dataset:string ->
+  n_samples:int ->
+  seed:int ->
+  unit ->
+  t
+(** Validates every knob against the registry entry ([length] defaults
+    to the paper's 64). @raise Invalid_argument on bad knobs,
+    [Not_found] for unknown datasets. *)
+
+(** What happened to one stream sample (the realized perturbation
+    schedule, recorded so tests can count events exactly). *)
+type event = {
+  sample : int;
+  burst : (int * int) option;  (** [(start, len)] of the noise burst *)
+  dropped : int list;  (** time steps held by dropout, ascending *)
+  drifted : bool;  (** label was rotated by the drift *)
+}
+
+type realized = {
+  scenario : t;
+  n_classes : int;
+  x : float array array;  (** [n_samples] series of [length] points *)
+  y : int array;  (** post-drift labels (what the world reports) *)
+  clean_y : int array;  (** pre-drift labels *)
+  events : event array;
+}
+
+val realize : t -> realized
+(** Generate the whole stream. Also bumps the [stream.dropouts] /
+    [stream.bursts] counters and emits one [stream.scenario] event
+    when a sink is installed. *)
+
+val sample : t -> int -> float array * int * int * event
+(** [sample s i] regenerates stream sample [i] alone:
+    [(series, label, clean_label, event)] — bit-identical to slot [i]
+    of {!realize}. *)
+
+val first_drift : realized -> int option
+(** Index of the first drifted sample, if any. *)
+
+val to_dataset : realized -> Pnc_data.Dataset.t
+(** The stream as an offline dataset (post-drift labels) — the shared
+    realization for the streaming-vs-offline parity tests. *)
+
+val fingerprint : t -> string
+(** Canonical text over every generation-affecting knob. *)

@@ -1,0 +1,13 @@
+type t = { index : int; start : int; len : int }
+
+let slice ~n ~width ~stride =
+  if n < 0 then invalid_arg "Window.slice: negative n";
+  if width <= 0 then invalid_arg "Window.slice: width must be positive";
+  if stride <= 0 then invalid_arg "Window.slice: stride must be positive";
+  let rec go acc index start =
+    if start >= n then List.rev acc
+    else
+      go ({ index; start; len = Stdlib.min width (n - start) } :: acc) (index + 1)
+        (start + stride)
+  in
+  go [] 0 0

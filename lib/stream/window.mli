@@ -1,0 +1,14 @@
+(** Sliding-window index arithmetic, factored out so the slicing
+    semantics can be property-tested in isolation. *)
+
+type t = { index : int; start : int; len : int }
+
+val slice : n:int -> width:int -> stride:int -> t list
+(** Windows starting at [0, stride, 2·stride, …] while the start lies
+    inside the stream; each is clipped to the stream end
+    ([len = min width (n - start)], so trailing windows may be short
+    but never empty). For [stride = width] the windows partition
+    [0, n) exactly (exhaustive, non-overlapping); for
+    [stride < width] they overlap and still cover every index. The
+    qgen battery pins both claims. @raise Invalid_argument unless
+    [n >= 0], [width > 0] and [stride > 0]. *)

@@ -292,6 +292,35 @@ let test_filter_mu_reduces_gain () =
     true
     (coupled.(599) < 1. -. 1e-4)
 
+(* Initial-state semantics (PR 9 fix): the explicit reset/init entry
+   point distinguishes the settled circuit (`Zero), the historical
+   drawn-V0 broadcast (`V0, the default — unchanged behaviour) and the
+   sliding-window randomized start (`Gaussian), which must be
+   seeded-reproducible and distinguishable from both. *)
+let test_filter_state_init_semantics () =
+  let fl = Filter_layer.create (rng ()) Filter_layer.Second ~features:3 in
+  let draw = Variation.make_draw (Rng.create ~seed:5) (Variation.uniform 0.1) in
+  let real = Filter_layer.realize_t ~draw fl in
+  let batch = 4 in
+  let eq0 = Array.for_all2 (T.equal_eps ~eps:0.) in
+  let v0 = Filter_layer.init_state_t real ~batch in
+  let zero = Filter_layer.init_state_t ~init:`Zero real ~batch in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "`Zero is the settled circuit" true
+        (T.equal_eps ~eps:0. s (T.zeros ~rows:batch ~cols:(T.cols s))))
+    zero;
+  Alcotest.(check bool) "drawn V0 differs from the settled state" false (eq0 v0 zero);
+  let gauss seed = Filter_layer.init_state_t ~init:(`Gaussian (Rng.create ~seed, 0.2)) real ~batch in
+  Alcotest.(check bool) "randomized init is seeded-reproducible" true (eq0 (gauss 9) (gauss 9));
+  Alcotest.(check bool) "randomized init follows the seed" false (eq0 (gauss 9) (gauss 10));
+  Alcotest.(check bool) "randomized init differs from zero init" false (eq0 (gauss 9) zero);
+  (* reset_state_t re-initializes in place: resetting a randomized
+     state back to `V0 reproduces a fresh `V0 state bit-for-bit. *)
+  let st = gauss 9 in
+  Filter_layer.reset_state_t real st;
+  Alcotest.(check bool) "reset to `V0 = fresh `V0" true (eq0 st v0)
+
 let test_filter_params_count () =
   let f1 = Filter_layer.create (rng ()) Filter_layer.First ~features:4 in
   let f2 = Filter_layer.create (rng ()) Filter_layer.Second ~features:4 in
@@ -990,6 +1019,7 @@ let () =
           Alcotest.test_case "gradients (FD)" `Quick test_filter_gradients;
           Alcotest.test_case "mu reduces gain" `Quick test_filter_mu_reduces_gain;
           Alcotest.test_case "param counts" `Quick test_filter_params_count;
+          Alcotest.test_case "state-init semantics" `Quick test_filter_state_init_semantics;
           Alcotest.test_case "clamp to printable" `Quick test_filter_clamp_and_ranges;
           Alcotest.test_case "cutoffs sane" `Quick test_filter_cutoffs_positive;
         ] );
