@@ -411,6 +411,51 @@ let bench_stream cfg =
   emit "frozen" t_frozen;
   emit "adapted" t_adapted
 
+(* Noise-injection ablation under correlated variation: the same ADAPT
+   architecture trained with and without straight-through noise
+   injection, both evaluated under the correlated +drift draw model
+   (the corr+var operating point of `adapt_pnc ablate`). The +NI row is
+   the robust-training payoff this section pins. *)
+let bench_ni ?pool cfg =
+  let dataset = List.hd cfg.Config.datasets in
+  let corr = Experiments.corr_of_cfg cfg in
+  let row variant =
+    Printf.eprintf "[bench] training %s (%s)...\n%!"
+      (Experiments.variant_name variant)
+      dataset;
+    Experiments.train_run ?pool cfg ~dataset ~variant ~seed:0
+  in
+  let full = row Experiments.Full in
+  let ni = row Experiments.Ni in
+  Printf.printf
+    "Noise-injection ablation - ADAPT net on %s, correlated variation (rho=%.2f, clen=%.2f)\n"
+    dataset corr.Pnc_core.Variation.rho corr.Pnc_core.Variation.clen;
+  let line name (r : Experiments.run) =
+    Printf.printf "  %-12s clean %.3f   i.i.d.+var %.3f   corr+var %.3f\n" name
+      r.Experiments.clean_acc r.Experiments.clean_var_acc r.Experiments.corr_var_acc
+  in
+  line "ADAPT" full;
+  line "ADAPT +NI" ni;
+  let gain = ni.Experiments.corr_var_acc -. full.Experiments.corr_var_acc in
+  Printf.printf "  +NI corr+var gain            %+.3f%s\n\n%!" gain
+    (if gain >= 0. then "" else "  REGRESSION");
+  let emit name (r : Experiments.run) =
+    if Obs.enabled () then
+      Obs.emit "bench.ni"
+        [
+          ("variant", Obs.Str name);
+          ("dataset", Obs.Str dataset);
+          ("corr_rho", Obs.Float corr.Pnc_core.Variation.rho);
+          ("corr_clen", Obs.Float corr.Pnc_core.Variation.clen);
+          ("clean_acc", Obs.Float r.Experiments.clean_acc);
+          ("clean_var_acc", Obs.Float r.Experiments.clean_var_acc);
+          ("corr_var_acc", Obs.Float r.Experiments.corr_var_acc);
+          ("gain", Obs.Float gain);
+        ]
+  in
+  emit "adapt" full;
+  emit "adapt+ni" ni
+
 let run_all () =
   let cfg = Config.from_env () in
   (* ADAPT_PNC_JOBS=n selects the evaluation pool size (default: one
@@ -449,6 +494,13 @@ let run_all () =
       Obs.emit_metrics ();
       print_endline "done.";
       exit 0
+  | Some s when String.trim (String.lowercase_ascii s) = "ni" ->
+      Printf.printf "ADAPT-pNC benchmark harness (scale: %s, noise-injection section only)\n\n"
+        (Config.scale_name cfg.Config.scale);
+      bench_ni cfg;
+      Obs.emit_metrics ();
+      print_endline "done.";
+      exit 0
   | _ -> ());
   let pool = Pnc_util.Pool.create ~size:jobs () in
   Printf.printf "ADAPT-pNC benchmark harness (scale: %s, %d datasets, seeds: %d, eval workers: %d)\n\n"
@@ -463,6 +515,7 @@ let run_all () =
   Experiments.filter_characterization ();
   bench_eval_throughput cfg;
   bench_stream cfg;
+  bench_ni ~pool cfg;
 
   (* The shared training grid behind Table I, Fig. 5, Fig. 7, Table III. *)
   let variants = Experiments.Reference :: Experiments.fig7_variants in

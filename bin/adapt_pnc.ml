@@ -107,11 +107,25 @@ let variant_of_string = function
   | "at" -> Experiments.At
   | "so-lf" | "so" -> Experiments.So_lf
   | "adapt" | "full" -> Experiments.Full
+  | "ni" -> Experiments.Ni
   | s -> invalid_arg ("unknown model variant: " ^ s)
 
 let model_arg =
-  let doc = "Model variant: elman, ptpnc, va, at, so-lf or adapt." in
+  let doc = "Model variant: elman, ptpnc, va, at, so-lf, adapt or ni." in
   Arg.(value & opt string "adapt" & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let corr_arg =
+  let doc =
+    "Correlated-variation spec RHO,CLEN or RHO,CLEN,TEMP_C,AGE_HOURS: attaches a \
+     distance-kernel correlation (and optionally a SPICE-characterized drift operating \
+     point) to the +NI training spec and the corr+var metric. Without it the built-in \
+     default (0.5,2.0) is used for those and everything else is untouched."
+  in
+  Arg.(value & opt (some string) None & info [ "corr" ] ~docv:"SPEC" ~doc)
+
+let apply_corr cfg = function
+  | None -> cfg
+  | Some s -> { cfg with Config.corr = Some (Config.corr_of_string s) }
 
 let checkpoint_dir_arg =
   let doc =
@@ -137,9 +151,10 @@ let die_at_epoch_arg =
   Arg.(value & opt (some int) None & info [ "die-at-epoch" ] ~docv:"EPOCH" ~doc)
 
 let train_cmd =
-  let run dataset model seed scale jobs ckpt_dir ckpt_every resume die_at metrics_out trace =
+  let run dataset model seed scale jobs ckpt_dir ckpt_every resume die_at corr metrics_out
+      trace =
     check_dataset dataset;
-    let cfg = config_of ~scale in
+    let cfg = apply_corr (config_of ~scale) corr in
     let variant = variant_of_string model in
     let train_ckpt = Option.map (fun d -> Filename.concat d "train.ckpt") ckpt_dir in
     (* Resolve --resume before creating the checkpoint directory: a
@@ -199,6 +214,7 @@ let train_cmd =
     Printf.printf "accuracy, ±10%% components:                %.3f\n" r.Experiments.clean_var_acc;
     Printf.printf "accuracy, augmented test + ±10%% (Tab. I): %.3f\n" r.Experiments.aug_var_acc;
     Printf.printf "accuracy, perturbed inputs + ±10%%:        %.3f\n" r.Experiments.pert_var_acc;
+    Printf.printf "accuracy, correlated ±10%% + drift:        %.3f\n" r.Experiments.corr_var_acc;
     match r.Experiments.model with
     | Pnc_core.Model.Circuit net ->
         Printf.printf "hardware: %s, %.3f mW\n"
@@ -211,7 +227,7 @@ let train_cmd =
     Term.(
       const run $ dataset_arg $ model_arg $ seed_arg $ scale_arg $ jobs_arg
       $ checkpoint_dir_arg $ checkpoint_every_arg $ resume_arg $ die_at_epoch_arg
-      $ metrics_out_arg $ trace_arg)
+      $ corr_arg $ metrics_out_arg $ trace_arg)
 
 (* eval ---------------------------------------------------------------------- *)
 
@@ -791,12 +807,12 @@ let grid_cmd =
 (* ablate -------------------------------------------------------------------- *)
 
 let ablate_cmd =
-  let run dataset seed scale jobs metrics_out trace =
+  let run dataset seed scale jobs corr metrics_out trace =
     check_dataset dataset;
-    let cfg = config_of ~scale in
+    let cfg = apply_corr (config_of ~scale) corr in
     let t =
       Pnc_util.Table.create
-        ~header:[ "Configuration"; "clean+var"; "perturbed+var" ]
+        ~header:[ "Configuration"; "clean+var"; "perturbed+var"; "corr+var" ]
     in
     with_obs ~metrics_out ~trace (fun () ->
         with_jobs jobs (fun pool ->
@@ -814,14 +830,20 @@ let ablate_cmd =
                     Experiments.variant_name variant;
                     Printf.sprintf "%.3f" r.Experiments.clean_var_acc;
                     Printf.sprintf "%.3f" r.Experiments.pert_var_acc;
+                    Printf.sprintf "%.3f" r.Experiments.corr_var_acc;
                   ])
-              Experiments.fig7_variants));
-    Printf.printf "Fig. 7 ablation on %s (seed %d):\n" dataset seed;
+              Experiments.ablate_variants));
+    Printf.printf "Fig. 7 ablation (+NI extension) on %s (seed %d):\n" dataset seed;
     Pnc_util.Table.print t
   in
-  Cmd.v (Cmd.info "ablate" ~doc:"Run the Fig. 7 ablation variants on one dataset.")
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:"Run the Fig. 7 ablation variants, plus the +NI noise-injection extension, on \
+             one dataset. The corr+var column evaluates every variant under the same \
+             correlated-variation draws (--corr, default 0.5,2.0).")
     Term.(
-      const run $ dataset_arg $ seed_arg $ scale_arg $ jobs_arg $ metrics_out_arg $ trace_arg)
+      const run $ dataset_arg $ seed_arg $ scale_arg $ jobs_arg $ corr_arg $ metrics_out_arg
+      $ trace_arg)
 
 (* hwcost -------------------------------------------------------------------- *)
 
@@ -870,7 +892,29 @@ let spice_char_cmd =
     Printf.printf
       "ptanh circuit fit (after inverter): eta1=%.3f eta2=%.3f eta3=%.3f eta4=%.3f (rms %.4f)\n"
       e.Pnc_core.Ptanh_circuit.eta1 e.Pnc_core.Ptanh_circuit.eta2 e.Pnc_core.Ptanh_circuit.eta3
-      e.Pnc_core.Ptanh_circuit.eta4 rms
+      e.Pnc_core.Ptanh_circuit.eta4 rms;
+    (* Temperature/aging drift of the learnable-filter RC, extracted by
+       transient tau fits at each operating point (docs/VARIATION.md). *)
+    let pts =
+      Pnc_spice.Drift.survey ~r:330. ~c:1e-5 ~dt:Pnc_core.Printed.dt ()
+    in
+    Printf.printf "\nfilter RC drift characterization (tau-fit multipliers):\n";
+    let t =
+      Pnc_util.Table.create
+        ~header:[ "temp (C)"; "age (h)"; "R mult"; "C mult"; "fit rms" ]
+    in
+    List.iter
+      (fun p ->
+        Pnc_util.Table.add_row t
+          [
+            Printf.sprintf "%.0f" p.Pnc_spice.Drift.temp_c;
+            Printf.sprintf "%.0f" p.Pnc_spice.Drift.age_hours;
+            Printf.sprintf "%.4f" p.Pnc_spice.Drift.r_mult;
+            Printf.sprintf "%.4f" p.Pnc_spice.Drift.c_mult;
+            Printf.sprintf "%.2e" p.Pnc_spice.Drift.fit_rms;
+          ])
+      pts;
+    Pnc_util.Table.print t
   in
   Cmd.v
     (Cmd.info "spice-char"

@@ -110,6 +110,17 @@ let mul a b =
   mk (T.mul a.value b.value)
     [ (a, fun g -> T.mul g b.value); (b, fun g -> T.mul g a.value) ]
 
+(* Straight-through multiplication by a fixed factor tensor: forward is
+   v ⊙ eps (bit-identical to [mul v (const eps)]), backward is the
+   identity — the gradient w.r.t. the clean parameters is taken to be
+   the gradient w.r.t. the perturbed ones, dL/dv := dL/d(v⊙eps). This
+   is the noise-injection estimator of the analog-CIM literature: the
+   noise shapes the forward pass but is treated as transparent by the
+   chain rule, so training descends the loss of the {e deployed}
+   (perturbed) network without scaling each parameter's step by its own
+   noise realization. *)
+let ste_mul v eps = mk (T.mul v.value eps) [ (v, Fun.id) ]
+
 let div a b =
   let y = T.div a.value b.value in
   mk y

@@ -66,6 +66,14 @@ val sub : t -> t -> t
 val mul : t -> t -> t
 val div : t -> t -> t
 
+val ste_mul : t -> Pnc_tensor.Tensor.t -> t
+(** [ste_mul v eps] forwards [v ⊙ eps] (bit-identical to
+    [mul v (const eps)]) but backpropagates the straight-through
+    estimator: the incoming gradient passes to [v] unscaled
+    (dL/dv := dL/d(v⊙eps)). Used by noise-injection training, where the
+    forward pass sees the perturbed parameters but the update is
+    applied to the clean ones. *)
+
 (** {1 Row-vector broadcast: [m x n] op [1 x n]} *)
 
 val add_rv : t -> t -> t

@@ -36,9 +36,14 @@ let sample_eps ~draw cb =
    step. *)
 type realization = { theta_eff : Var.t; bias_num : Var.t; denominator : Var.t }
 
-let realize_const ~theta_eps ~bias_eps cb =
-  let theta_eff = Var.mul cb.theta (Var.const theta_eps) in
-  let bias_eff = Var.mul cb.theta_b (Var.const bias_eps) in
+let realize_const ?(ste = false) ~theta_eps ~bias_eps cb =
+  (* [ste] swaps the variation fold for the straight-through estimator:
+     forward values are bit-identical, only the backward rule changes
+     (noise-injection training sees the perturbed crossbar but updates
+     the clean conductances). *)
+  let fold v eps = if ste then Var.ste_mul v eps else Var.mul v (Var.const eps) in
+  let theta_eff = fold cb.theta theta_eps in
+  let bias_eff = fold cb.theta_b bias_eps in
   {
     theta_eff;
     bias_num = Var.scale Printed.v_supply bias_eff;
@@ -48,7 +53,7 @@ let realize_const ~theta_eps ~bias_eps cb =
 
 let realize ~draw cb =
   let theta_eps, bias_eps = sample_eps ~draw cb in
-  realize_const ~theta_eps ~bias_eps cb
+  realize_const ~ste:draw.Variation.ste ~theta_eps ~bias_eps cb
 
 let apply real x =
   Var.div_rv (Var.add_rv (Var.matmul x real.theta_eff) real.bias_num) real.denominator

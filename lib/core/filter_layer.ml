@@ -41,12 +41,21 @@ type stage_real = { a : Var.t; b : Var.t; v0 : T.t }
 type realization = { stage_reals : stage_real array }
 
 let realize ~draw f =
+  (* SPICE-characterized drift multipliers on R (temperature) and C
+     (aging). Exactly 1. when the spec has no drift point, in which
+     case the scaling is skipped entirely so the realization stays
+     bit-identical to the drift-free model. *)
+  let rm = Variation.drift_r_mult draw and cm = Variation.drift_c_mult draw in
+  let drift m v = if m = 1. then v else Var.scale m v in
   let realize_stage (s : stage) =
     let eps_r = Variation.eps_for draw ~rows:1 ~cols:f.n in
     let eps_c = Variation.eps_for draw ~rows:1 ~cols:f.n in
     let mu = Variation.mu_for draw ~cols:f.n in
-    let r_eff = Var.mul s.r_norm (Var.const eps_r) in
-    let c_eff = Var.mul s.c_norm (Var.const eps_c) in
+    let mul_eps v e =
+      if draw.Variation.ste then Var.ste_mul v e else Var.mul v (Var.const e)
+    in
+    let r_eff = drift rm (mul_eps s.r_norm eps_r) in
+    let c_eff = drift cm (mul_eps s.c_norm eps_c) in
     let tau = Var.scale tau_max (Var.mul r_eff c_eff) in
     let den = Var.add_scalar Printed.dt (Var.mul (Var.const mu) tau) in
     let a = Var.div tau den in
@@ -83,12 +92,14 @@ type stage_real_t = { a_t : T.t; b_t : T.t; v0_t : T.t }
 type realization_t = { stage_reals_t : stage_real_t array }
 
 let realize_t ~draw f =
+  let rm = Variation.drift_r_mult draw and cm = Variation.drift_c_mult draw in
+  let drift m t = if m = 1. then t else T.scale m t in
   let realize_stage (s : stage) =
     let eps_r = Variation.eps_for draw ~rows:1 ~cols:f.n in
     let eps_c = Variation.eps_for draw ~rows:1 ~cols:f.n in
     let mu = Variation.mu_for draw ~cols:f.n in
-    let r_eff = T.mul (Var.value s.r_norm) eps_r in
-    let c_eff = T.mul (Var.value s.c_norm) eps_c in
+    let r_eff = drift rm (T.mul (Var.value s.r_norm) eps_r) in
+    let c_eff = drift cm (T.mul (Var.value s.c_norm) eps_c) in
     let tau = T.scale tau_max (T.mul r_eff c_eff) in
     let den = T.add_scalar Printed.dt (T.mul mu tau) in
     {

@@ -25,12 +25,28 @@ let emit_eval ~path ~n ~t0 =
       ]
   end
 
+(* Correlated-model telemetry: one event per estimator call whose spec
+   takes the correlated sampling path (not per draw — the draw count is
+   already on [mc.draws]). *)
+let emit_corr ~spec ~n =
+  if Obs.enabled () && Variation.corr_active spec then
+    match spec.Variation.corr with
+    | Some c ->
+        Obs.emit "mc.corr_draw"
+          [
+            ("rho", Obs.Float c.Variation.rho);
+            ("clen", Obs.Float c.Variation.clen);
+            ("draws", Obs.Int n);
+          ]
+    | None -> ()
+
 let loss_of_draw ~draw model ~x ~labels =
   Loss.softmax_cross_entropy ~logits:(Model.logits ~draw model x) ~labels
 
-let one_sample ~rng ~spec model ~x ~labels =
+let one_sample ?ste ~rng ~spec model ~x ~labels =
   let draw =
-    if Model.is_circuit model then Variation.make_draw rng spec else Variation.deterministic
+    if Model.is_circuit model then Variation.make_draw ?ste rng spec
+    else Variation.deterministic
   in
   loss_of_draw ~draw model ~x ~labels
 
@@ -49,11 +65,14 @@ let normalize ~antithetic ~n model =
   let n = if Model.is_circuit model then n else 1 in
   (n, antithetic && Model.is_circuit model && n >= 2)
 
-let expected ?(antithetic = false) ~rng ~spec ~n model ~x ~labels =
+let expected ?(antithetic = false) ?(ni = false) ~rng ~spec ~n model ~x ~labels =
   assert (n >= 1);
   let t0 = if Obs.enabled () then Clock.now () else 0. in
   let n, antithetic = normalize ~antithetic ~n model in
   let rngs = draw_rngs ~antithetic ~rng ~n in
+  (* [ni] marks every draw as straight-through: forward losses (and so
+     the reported objective) are bit-identical to the plain estimator;
+     only the gradients change. *)
   let tasks =
     if antithetic then
       (* n/2 mirrored pairs (plus one plain sample if n is odd); each
@@ -61,11 +80,11 @@ let expected ?(antithetic = false) ~rng ~spec ~n model ~x ~labels =
          order matches [expected_value] exactly. *)
       Array.init (Array.length rngs) (fun j ->
           if j < n / 2 then begin
-            let d1, d2 = Variation.antithetic_pair rngs.(j) spec in
+            let d1, d2 = Variation.antithetic_pair ~ste:ni rngs.(j) spec in
             Var.add (loss_of_draw ~draw:d1 model ~x ~labels) (loss_of_draw ~draw:d2 model ~x ~labels)
           end
-          else one_sample ~rng:rngs.(j) ~spec model ~x ~labels)
-    else Array.init n (fun i -> one_sample ~rng:rngs.(i) ~spec model ~x ~labels)
+          else one_sample ~ste:ni ~rng:rngs.(j) ~spec model ~x ~labels)
+    else Array.init n (fun i -> one_sample ~ste:ni ~rng:rngs.(i) ~spec model ~x ~labels)
   in
   let sum =
     Array.fold_left
@@ -77,6 +96,7 @@ let expected ?(antithetic = false) ~rng ~spec ~n model ~x ~labels =
   in
   Obs.Counter.add draws_counter n;
   emit_eval ~path:"var" ~n ~t0;
+  emit_corr ~spec ~n;
   result
 
 (* Forward-only estimate on the tensor fast path: consumes the random
@@ -119,4 +139,5 @@ let expected_value ?(antithetic = false) ?batch_size ?precision ?pool ~rng ~spec
   let result = 1. /. float_of_int n *. Array.fold_left ( +. ) 0. values in
   Obs.Counter.add draws_counter n;
   emit_eval ~path:"tensor" ~n ~t0;
+  emit_corr ~spec ~n;
   result

@@ -16,6 +16,7 @@
 
 val expected :
   ?antithetic:bool ->
+  ?ni:bool ->
   rng:Pnc_util.Rng.t ->
   spec:Variation.spec ->
   n:int ->
@@ -26,7 +27,12 @@ val expected :
 (** Mean cross-entropy over [n] Monte-Carlo draws (a [1 x 1] node).
     With [antithetic] (default false; an extension, not in the paper),
     draws come in mirrored pairs ({!Variation.antithetic_pair}), which
-    reduces the estimator's variance at equal cost. *)
+    reduces the estimator's variance at equal cost. With [ni] (default
+    false), each draw is realized in noise-injection mode: forward
+    values — and therefore the loss reported — are bit-identical to
+    the plain estimator, but gradients flow straight through the
+    variation fold to the clean parameters
+    ({!Pnc_autodiff.Var.ste_mul}). *)
 
 val expected_value :
   ?antithetic:bool ->

@@ -28,19 +28,19 @@ let sample_eps ~draw a =
    realize them once per forward pass. *)
 type realization = { e1 : Var.t; e2 : Var.t; e3 : Var.t; e4 : Var.t }
 
-let realize_const ~eps a =
+let realize_const ?(ste = false) ~eps a =
   assert (Array.length eps = 4);
-  let e i v = Var.mul v (Var.const eps.(i)) in
+  let e i v = if ste then Var.ste_mul v eps.(i) else Var.mul v (Var.const eps.(i)) in
   { e1 = e 0 a.eta1; e2 = e 1 a.eta2; e3 = e 2 a.eta3; e4 = e 3 a.eta4 }
 
-let realize ~draw a = realize_const ~eps:(sample_eps ~draw a) a
+let realize ~draw a = realize_const ~ste:draw.Variation.ste ~eps:(sample_eps ~draw a) a
 
 let apply real x =
   let scaled = Var.mul_rv (Var.sub_rv x real.e3) real.e4 in
   Var.add_rv (Var.mul_rv (Var.tanh scaled) real.e2) real.e1
 
-let forward_const ~eps a x = apply (realize_const ~eps a) x
-let forward ~draw a x = forward_const ~eps:(sample_eps ~draw a) a x
+let forward_const ?ste ~eps a x = apply (realize_const ?ste ~eps a) x
+let forward ~draw a x = forward_const ~ste:draw.Variation.ste ~eps:(sample_eps ~draw a) a x
 
 (* Pure-tensor realization for the no-grad evaluation path. *)
 type realization_t = { e1_t : T.t; e2_t : T.t; e3_t : T.t; e4_t : T.t }

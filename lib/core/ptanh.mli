@@ -17,8 +17,10 @@ val named_params : t -> (string * Pnc_autodiff.Var.t) list
     {!params}. *)
 
 val forward_const :
-  eps:Pnc_tensor.Tensor.t array -> t -> Pnc_autodiff.Var.t -> Pnc_autodiff.Var.t
-(** [eps] holds four [1 x features] factors for η₁..η₄. *)
+  ?ste:bool -> eps:Pnc_tensor.Tensor.t array -> t -> Pnc_autodiff.Var.t -> Pnc_autodiff.Var.t
+(** [eps] holds four [1 x features] factors for η₁..η₄. [ste] (default
+    false) folds them with {!Pnc_autodiff.Var.ste_mul} — identical
+    forward, straight-through backward. *)
 
 val forward : draw:Variation.draw -> t -> Pnc_autodiff.Var.t -> Pnc_autodiff.Var.t
 

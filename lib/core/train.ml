@@ -22,6 +22,8 @@ type config = {
   variation : Variation.spec;
   grad_clip : float option;
   weight_decay : float;
+  noise_injection : bool;
+  antithetic : bool;
 }
 
 let paper_config =
@@ -36,6 +38,8 @@ let paper_config =
     variation = Variation.uniform 0.1;
     grad_clip = Some 5.;
     weight_decay = 0.01;
+    noise_injection = false;
+    antithetic = false;
   }
 
 let fast_config =
@@ -105,6 +109,17 @@ let train ?(rng = Rng.create ~seed:0) ?checkpoint_every ?checkpoint_path ?resume
         val_curve := List.rev (Array.to_list r.Persist.r_val_curve);
         r.Persist.r_rng
   in
+  if Obs.enabled () && cfg.noise_injection then
+    Obs.emit "train.ni"
+      [
+        ("mc_samples", Obs.Int cfg.mc_samples);
+        ("level", Obs.Float cfg.variation.Variation.level);
+        ( "corr_rho",
+          Obs.Float
+            (match cfg.variation.Variation.corr with
+            | Some c -> c.Variation.rho
+            | None -> 0.) );
+      ];
   let every = match checkpoint_every with Some k when k >= 1 -> k | _ -> 1 in
   let maybe_checkpoint () =
     match checkpoint_path with
@@ -125,8 +140,8 @@ let train ?(rng = Rng.create ~seed:0) ?checkpoint_every ?checkpoint_path ?resume
     let t0 = if Obs.enabled () then Clock.now () else 0. in
     Optimizer.zero_grads opt;
     let loss =
-      Mc_loss.expected ~rng ~spec:cfg.variation ~n:cfg.mc_samples model ~x:x_train
-        ~labels:y_train
+      Mc_loss.expected ~antithetic:cfg.antithetic ~ni:cfg.noise_injection ~rng
+        ~spec:cfg.variation ~n:cfg.mc_samples model ~x:x_train ~labels:y_train
     in
     Var.backward loss;
     (match cfg.grad_clip with
@@ -135,8 +150,8 @@ let train ?(rng = Rng.create ~seed:0) ?checkpoint_every ?checkpoint_path ?resume
     Optimizer.step opt ~lr:(Scheduler.lr sched);
     Model.clamp model;
     let val_loss =
-      Mc_loss.expected_value ~rng ~spec:cfg.variation ~n:cfg.mc_samples_val model ~x:x_val
-        ~labels:y_val
+      Mc_loss.expected_value ~antithetic:cfg.antithetic ~rng ~spec:cfg.variation
+        ~n:cfg.mc_samples_val model ~x:x_val ~labels:y_val
     in
     train_curve := T.get_scalar (Var.value loss) :: !train_curve;
     val_curve := val_loss :: !val_curve;
@@ -223,8 +238,8 @@ let epoch_seconds ?(rng = Rng.create ~seed:0) cfg model split =
   let run () =
     Optimizer.zero_grads opt;
     let loss =
-      Mc_loss.expected ~rng ~spec:cfg.variation ~n:cfg.mc_samples model ~x:x_train
-        ~labels:y_train
+      Mc_loss.expected ~antithetic:cfg.antithetic ~ni:cfg.noise_injection ~rng
+        ~spec:cfg.variation ~n:cfg.mc_samples model ~x:x_train ~labels:y_train
     in
     Var.backward loss;
     Optimizer.step opt ~lr:1e-4;

@@ -18,6 +18,16 @@ type config = {
   variation : Variation.spec;  (** training-time variation *)
   grad_clip : float option;
   weight_decay : float;
+  noise_injection : bool;
+      (** train through perturbed realizations with straight-through
+          gradients to the clean parameters ({!Mc_loss.expected}'s [ni]
+          mode); forward/loss values are unchanged, only gradients *)
+  antithetic : bool;
+      (** draw the Monte-Carlo samples as mirrored pairs
+          ({!Variation.antithetic_pair}) in both the training and the
+          validation objective — a same-cost variance reduction that
+          matters most under correlated variation, where whole regions
+          of the ε field move coherently *)
 }
 
 val paper_config : config

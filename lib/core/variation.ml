@@ -1,4 +1,5 @@
 module Rng = Pnc_util.Rng
+module Linalg = Pnc_util.Linalg
 module T = Pnc_tensor.Tensor
 
 type dist =
@@ -6,16 +7,25 @@ type dist =
   | Gaussian
   | Gmm of { w1 : float; m1 : float; s1 : float; m2 : float; s2 : float }
 
-type spec = { level : float; dist : dist }
+type drift = { temp_c : float; age_hours : float }
+type corr = { rho : float; clen : float; drift : drift option }
+type spec = { level : float; dist : dist; corr : corr option }
 
-let none = { level = 0.; dist = Uniform }
-let uniform level = { level; dist = Uniform }
-let gaussian level = { level; dist = Gaussian }
+let none = { level = 0.; dist = Uniform; corr = None }
+let uniform level = { level; dist = Uniform; corr = None }
+let gaussian level = { level; dist = Gaussian; corr = None }
 
 (* A dominant tight mode plus a minority wide mode: the qualitative
    shape reported for printed EGT parameter spreads. *)
 let default_gmm level =
-  { level; dist = Gmm { w1 = 0.85; m1 = 0.; s1 = 0.35; m2 = 0.3; s2 = 1.0 } }
+  { level; dist = Gmm { w1 = 0.85; m1 = 0.; s1 = 0.35; m2 = 0.3; s2 = 1.0 }; corr = None }
+
+let default_corr = { rho = 0.5; clen = 2.0; drift = None }
+let correlated ?drift ?(rho = default_corr.rho) ?(clen = default_corr.clen) spec =
+  { spec with corr = Some { rho; clen; drift } }
+
+let corr_active spec =
+  spec.level > 0. && match spec.corr with Some c -> c.rho <> 0. | None -> false
 
 let sample_scalar rng spec =
   if spec.level = 0. then 1.
@@ -32,32 +42,127 @@ let sample_scalar rng spec =
 
 let sample_eps rng spec ~rows ~cols = T.init ~rows ~cols (fun _ _ -> sample_scalar rng spec)
 
+(* {2 Correlated sampling}
+
+   Devices of one [rows x cols] parameter tensor sit on an integer grid
+   at their own (row, col) index; the covariance over their variation
+   factors is Σ = (1−ρ)·I + ρ·K with K_ij = exp(−d_ij/clen), d the
+   Euclidean grid distance. Σ has unit diagonal, so the marginals stay
+   N(1, (level/2)²) no matter the correlation — only the joint changes.
+   Sampling goes through a Cholesky factor L (Σ = LLᵀ), cached per
+   (ρ, clen, rows, cols): eps = 1 + (level/2)·L·z with z ~ N(0, I). *)
+
+let chol_lock = Mutex.create ()
+
+let chol_cache : (float * float * int * int, float array array) Hashtbl.t = Hashtbl.create 16
+
+let chol_factor ~rho ~clen ~rows ~cols =
+  let key = (rho, clen, rows, cols) in
+  Mutex.lock chol_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock chol_lock) @@ fun () ->
+  match Hashtbl.find_opt chol_cache key with
+  | Some l -> l
+  | None ->
+      let n = rows * cols in
+      let sigma =
+        Array.init n (fun i ->
+            Array.init n (fun j ->
+                if i = j then 1.
+                else
+                  let dr = float_of_int ((i / cols) - (j / cols))
+                  and dc = float_of_int ((i mod cols) - (j mod cols)) in
+                  rho *. exp (-.sqrt ((dr *. dr) +. (dc *. dc)) /. clen)))
+      in
+      let l, _jitter = Linalg.cholesky_psd sigma in
+      Hashtbl.add chol_cache key l;
+      l
+
+let sample_eps_corr rng ~level ~rho ~clen ~rows ~cols =
+  let l = chol_factor ~rho ~clen ~rows ~cols in
+  let n = rows * cols in
+  (* z is drawn row-major so the stream consumption order is part of
+     the documented realization contract (docs/VARIATION.md). *)
+  let z = Array.init n (fun _ -> Rng.gaussian rng) in
+  let w = Linalg.mat_vec_lower l z in
+  let s = level /. 2. in
+  let lo = 1. -. (4. *. s) and hi = 1. +. (4. *. s) in
+  (* The clamp is symmetric around 1 so the antithetic mirror
+     eps ↦ 2 − eps commutes with it. *)
+  T.init ~rows ~cols (fun r c ->
+      Float.max lo (Float.min hi (1. +. (s *. w.((r * cols) + c)))))
+
 let sample_mu rng ~cols =
   T.init ~rows:1 ~cols (fun _ _ -> Rng.uniform rng ~lo:Printed.mu_min ~hi:Printed.mu_max)
 
 let sample_v0 rng ~sigma ~cols = T.init ~rows:1 ~cols (fun _ _ -> Rng.gaussian ~sigma rng)
 
-type draw = { rng : Rng.t; spec : spec; v0_sigma : float; mirror : bool }
+(* {2 SPICE-characterized drift multipliers}
 
-let make_draw ?(v0_sigma = 0.05) rng spec = { rng; spec; v0_sigma; mirror = false }
-let deterministic = { rng = Rng.create ~seed:0; spec = none; v0_sigma = 0.; mirror = false }
+   The temperature factor on filter R and the aging factor on filter C
+   come from transient characterization of the drifted RC stage
+   ({!Pnc_spice.Drift}), not hand-picked constants. Characterization is
+   deterministic and expensive relative to a draw, so it is memoized
+   per (temp_c, age_hours) behind a mutex (Pool workers are domains). *)
+
+let drift_lock = Mutex.create ()
+let drift_cache : (float * float, float * float) Hashtbl.t = Hashtbl.create 8
+
+let drift_mults { temp_c; age_hours } =
+  Mutex.lock drift_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock drift_lock) @@ fun () ->
+  match Hashtbl.find_opt drift_cache (temp_c, age_hours) with
+  | Some m -> m
+  | None ->
+      (* The survey point of the coupling study: R = 330 Ω, C = 10 µF
+         sampled at the data rate. Multipliers are ratios of fitted
+         time constants, so the absolute R/C choice cancels to first
+         order. *)
+      let p = Pnc_spice.Drift.characterize ~r:330. ~c:1e-5 ~dt:Printed.dt ~temp_c ~age_hours () in
+      let m = (p.Pnc_spice.Drift.r_mult, p.Pnc_spice.Drift.c_mult) in
+      Hashtbl.add drift_cache (temp_c, age_hours) m;
+      m
+
+type draw = { rng : Rng.t; spec : spec; v0_sigma : float; mirror : bool; ste : bool }
+
+let make_draw ?(v0_sigma = 0.05) ?(ste = false) rng spec =
+  { rng; spec; v0_sigma; mirror = false; ste }
+
+let deterministic =
+  { rng = Rng.create ~seed:0; spec = none; v0_sigma = 0.; mirror = false; ste = false }
+
 let is_deterministic d = d.spec.level = 0. && d.v0_sigma = 0.
 
-let antithetic_pair ?(v0_sigma = 0.05) rng spec =
+let antithetic_pair ?(v0_sigma = 0.05) ?(ste = false) rng spec =
   (* The mirrored draw replays the same random stream (a state copy)
      and reflects every sample around its mean — the classic antithetic
      variates construction, which cancels the linear part of the loss's
-     dependence on the variation factors. *)
+     dependence on the variation factors. Under correlation the mirror
+     is defined in the whitened space (z ↦ −z); because eps is affine
+     in z (eps = 1 + s·L·z) this is exactly the same ε ↦ 2 − ε map as
+     the scalar model, so one post-transform reflection serves both. *)
   let r1 = Rng.split rng in
   let r2 = Rng.copy r1 in
-  ( { rng = r1; spec; v0_sigma; mirror = false },
-    { rng = r2; spec; v0_sigma; mirror = true } )
+  ( { rng = r1; spec; v0_sigma; mirror = false; ste },
+    { rng = r2; spec; v0_sigma; mirror = true; ste } )
 
 let eps_for d ~rows ~cols =
-  if d.spec.level = 0. then T.create ~rows ~cols 1.
-  else
-    let e = sample_eps d.rng d.spec ~rows ~cols in
-    if d.mirror then T.map (fun x -> 2. -. x) e else e
+  match d.spec.corr with
+  | Some c when corr_active d.spec ->
+      let e = sample_eps_corr d.rng ~level:d.spec.level ~rho:c.rho ~clen:c.clen ~rows ~cols in
+      if d.mirror then T.map (fun x -> 2. -. x) e else e
+  | _ ->
+      (* Degenerate correlation (corr absent, ρ = 0, or level 0) falls
+         through to the literal i.i.d. path: same RNG consumption, same
+         float operations — bit-identical to the pre-correlation
+         model. *)
+      if d.spec.level = 0. then T.create ~rows ~cols 1.
+      else
+        let e = sample_eps d.rng d.spec ~rows ~cols in
+        if d.mirror then T.map (fun x -> 2. -. x) e else e
+
+let drift_of d = match d.spec.corr with Some { drift = Some dr; _ } -> Some dr | _ -> None
+let drift_r_mult d = match drift_of d with None -> 1. | Some dr -> fst (drift_mults dr)
+let drift_c_mult d = match drift_of d with None -> 1. | Some dr -> snd (drift_mults dr)
 
 let mu_for d ~cols =
   if is_deterministic d then T.create ~rows:1 ~cols 1.

@@ -6,7 +6,15 @@
     The default distribution is the uniform ±level model used for the
     headline ±10 % results; a two-component Gaussian mixture is
     provided to mirror the device-level study the paper cites
-    (Rasheed et al.). *)
+    (Rasheed et al.).
+
+    Beyond the paper's i.i.d. per-device factors, a {!corr} spec models
+    what real printed circuits exhibit: spatially {e correlated}
+    process variation (a distance-kernel covariance over the device
+    grid, sampled through a cached Cholesky factor) and
+    temperature/aging drift on the learnable-filter R and C whose
+    magnitudes are characterized by {!Pnc_spice.Drift} transient fits
+    rather than hand-picked constants. See docs/VARIATION.md. *)
 
 type dist =
   | Uniform  (** ε ~ U[1 − level, 1 + level] *)
@@ -15,7 +23,17 @@ type dist =
       (** two-component mixture of Gaussians around 1 (scaled by
           [level] relative spread) *)
 
-type spec = { level : float; dist : dist }
+type drift = { temp_c : float; age_hours : float }
+(** Operating point whose R/C multipliers are characterized by
+    {!Pnc_spice.Drift} (memoized; deterministic). *)
+
+type corr = {
+  rho : float;  (** overall correlation weight in [0, 1]; 0 = i.i.d. *)
+  clen : float;  (** correlation length of the distance kernel, in device-grid units *)
+  drift : drift option;  (** optional temperature/aging operating point *)
+}
+
+type spec = { level : float; dist : dist; corr : corr option }
 
 val none : spec
 (** Zero variation: every ε is exactly 1. *)
@@ -26,8 +44,26 @@ val uniform : float -> spec
 val gaussian : float -> spec
 val default_gmm : float -> spec
 
+val default_corr : corr
+(** ρ = 0.5, clen = 2.0, no drift — the operating point of the [+NI]
+    ablation column and of the [corr_var_acc] grid metric. *)
+
+val correlated : ?drift:drift -> ?rho:float -> ?clen:float -> spec -> spec
+(** Attach a correlation spec (defaults from {!default_corr}) to a base
+    spec. Correlated draws have N(1, (level/2)²) marginals — the
+    covariance Σ = (1−ρ)·I + ρ·K, K_ij = exp(−d_ij/clen) over device
+    grid positions, has unit diagonal — and the [dist] field governs
+    only the i.i.d. branch. Samples are clamped to ±4σ around 1
+    (symmetric, so the antithetic mirror commutes with the clamp). *)
+
+val corr_active : spec -> bool
+(** Whether draws from this spec take the correlated path. [false] when
+    [corr] is absent, ρ = 0, or level = 0 — in which case sampling is
+    {e bit-identical} to the pre-correlation i.i.d. model. *)
+
 val sample_eps : Pnc_util.Rng.t -> spec -> rows:int -> cols:int -> Pnc_tensor.Tensor.t
-(** A tensor of independent ε factors. *)
+(** A tensor of independent ε factors (the i.i.d. model; ignores
+    [corr] — use {!eps_for} for the full spec semantics). *)
 
 val sample_scalar : Pnc_util.Rng.t -> spec -> float
 
@@ -50,16 +86,24 @@ type draw = {
   spec : spec;
   v0_sigma : float;
   mirror : bool;  (** reflect every sample around its mean (antithetic) *)
+  ste : bool;
+      (** noise-injection mode: realizations forward through the
+          perturbed parameters but backpropagate through the clean ones
+          (straight-through estimator; {!Pnc_autodiff.Var.ste_mul}) *)
 }
 
-val make_draw : ?v0_sigma:float -> Pnc_util.Rng.t -> spec -> draw
-(** Default [v0_sigma = 0.05] V. *)
+val make_draw : ?v0_sigma:float -> ?ste:bool -> Pnc_util.Rng.t -> spec -> draw
+(** Defaults: [v0_sigma = 0.05] V, [ste = false]. [ste] changes only
+    gradients — forward values are bit-identical either way. *)
 
-val antithetic_pair : ?v0_sigma:float -> Pnc_util.Rng.t -> spec -> draw * draw
+val antithetic_pair : ?v0_sigma:float -> ?ste:bool -> Pnc_util.Rng.t -> spec -> draw * draw
 (** A draw and its mirror image (ε ↦ 2 − ε, µ reflected in its range,
     V₀ negated): averaging a loss over the pair cancels the linear part
     of its dependence on the variation factors — a variance-reduced
-    two-sample Monte-Carlo estimate (extension; not in the paper). *)
+    two-sample Monte-Carlo estimate (extension; not in the paper).
+    Under correlated draws the mirror is taken in the whitened space
+    (z ↦ −z); since ε is affine in z this is the same ε ↦ 2 − ε
+    reflection, so the pair property holds for both models. *)
 
 val deterministic : draw
 (** No variation, zero V₀, µ fixed at 1 — used for clean evaluation. *)
@@ -67,5 +111,17 @@ val deterministic : draw
 val is_deterministic : draw -> bool
 
 val eps_for : draw -> rows:int -> cols:int -> Pnc_tensor.Tensor.t
+(** Correlated when {!corr_active}; otherwise the i.i.d. model,
+    bit-identical to the pre-correlation implementation. *)
+
 val mu_for : draw -> cols:int -> Pnc_tensor.Tensor.t
 val v0_for : draw -> cols:int -> Pnc_tensor.Tensor.t
+
+val drift_r_mult : draw -> float
+(** SPICE-characterized temperature multiplier for filter R; exactly 1
+    when the spec carries no drift point (in which case realizations
+    skip the multiplication entirely, keeping bit-exactness). *)
+
+val drift_c_mult : draw -> float
+(** SPICE-characterized aging multiplier for filter C; 1 when no drift
+    point. *)

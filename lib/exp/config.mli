@@ -21,6 +21,12 @@ type t = {
   precision : Pnc_core.Batch.precision;
       (** activation tier for no-grad evaluation ([`Exact] default;
           [`Fast] is recorded in {!fingerprint}) *)
+  corr : Pnc_core.Variation.corr option;
+      (** correlated-variation spec for the [+NI] training variant and
+          the correlated-robustness metric; [None] (the default at
+          every scale) leaves all pre-existing fingerprints
+          byte-identical — {!Experiments} then falls back to
+          {!Pnc_core.Variation.default_corr} for the metric *)
 }
 
 val of_scale : scale -> t
@@ -39,9 +45,17 @@ val fingerprint : t -> string
 
     The precision tier appends ["|precision=fast"] only under [`Fast]:
     [`Exact] fingerprints are byte-identical to those produced before
-    the tier existed, so old cached cells stay valid. *)
+    the tier existed, so old cached cells stay valid. The correlation
+    spec and the noise-injection training flag follow the same
+    append-only policy (["|corr(...)"], [";ni"]): absent, the strings
+    are unchanged. *)
+
+val corr_of_string : string -> Pnc_core.Variation.corr
+(** Parses ["RHO,CLEN"] or ["RHO,CLEN,TEMP_C,AGE_HOURS"] (the
+    ADAPT_PNC_CORR / --corr syntax). @raise Invalid_argument. *)
 
 val from_env : unit -> t
-(** Reads the ADAPT_PNC_SCALE environment variable (default fast) and
-    the ADAPT_PNC_PRECISION tier (via
-    {!Pnc_core.Batch.resolve_precision}; default exact). *)
+(** Reads the ADAPT_PNC_SCALE environment variable (default fast), the
+    ADAPT_PNC_PRECISION tier (via
+    {!Pnc_core.Batch.resolve_precision}; default exact), and
+    ADAPT_PNC_CORR (a {!corr_of_string} spec; default absent). *)

@@ -16,7 +16,7 @@ module Json = Pnc_obs.Obs.Json
 module Ckpt = Pnc_ckpt.Ckpt
 module Persist = Pnc_core.Persist
 
-type variant = Reference | Base | Va | At | So_lf | Full
+type variant = Reference | Base | Va | At | So_lf | Full | Ni
 
 let variant_name = function
   | Reference -> "Elman RNN"
@@ -25,6 +25,7 @@ let variant_name = function
   | At -> "AT"
   | So_lf -> "SO-LF"
   | Full -> "VA+SO-LF+AT"
+  | Ni -> "+NI"
 
 (* Stable lowercase tags for cache keys and checkpoint metadata (the
    display names above carry spaces and parentheses). *)
@@ -35,6 +36,7 @@ let variant_tag = function
   | At -> "at"
   | So_lf -> "so_lf"
   | Full -> "full"
+  | Ni -> "ni"
 
 let variant_of_tag = function
   | "reference" -> Some Reference
@@ -43,10 +45,22 @@ let variant_of_tag = function
   | "at" -> Some At
   | "so_lf" -> Some So_lf
   | "full" -> Some Full
+  | "ni" -> Some Ni
   | _ -> None
 
 let table1_variants = [ Reference; Base; Full ]
 let fig7_variants = [ Base; Va; At; So_lf; Full ]
+
+(* The ablation CLI's variant set: the paper's Fig. 7 ladder plus the
+   noise-injection-trained column. [fig7_variants] itself stays
+   unchanged — the Fig. 7 artifact and its cached grids are pinned by
+   tests. *)
+let ablate_variants = fig7_variants @ [ Ni ]
+
+(* The correlated operating point used by the [+NI] training spec and
+   by the [corr_var_acc] metric: the config's spec when given, else the
+   library default. *)
+let corr_of_cfg cfg = Option.value cfg.Config.corr ~default:Variation.default_corr
 
 type run = {
   dataset : string;
@@ -57,6 +71,7 @@ type run = {
   clean_var_acc : float;
   aug_var_acc : float;
   pert_var_acc : float;
+  corr_var_acc : float;
   train_seconds : float;
   epochs : int;
 }
@@ -67,8 +82,8 @@ type run = {
 let base_hidden ~classes = Stdlib.max 2 classes
 let adapt_hidden ~classes = Stdlib.min 8 (Stdlib.max 4 (2 * classes))
 
-let uses_variation_aware = function Va | Full -> true | _ -> false
-let uses_augmented_training = function At | Full -> true | _ -> false
+let uses_variation_aware = function Va | Full | Ni -> true | _ -> false
+let uses_augmented_training = function At | Full | Ni -> true | _ -> false
 
 let load_split cfg ~dataset ~seed =
   let raw = Registry.load ?n:cfg.Config.dataset_n ~seed dataset in
@@ -82,7 +97,7 @@ let build_model cfg ~variant ~classes ~seed =
   | Base | Va | At ->
       Model.Circuit
         (Network.create ~hidden:(base_hidden ~classes) rng Network.Ptpnc ~inputs:1 ~classes)
-  | So_lf | Full ->
+  | So_lf | Full | Ni ->
       Model.Circuit
         (Network.create ~hidden:(adapt_hidden ~classes) rng Network.Adapt ~inputs:1 ~classes)
 
@@ -92,6 +107,22 @@ let train_run ?batch_size ?pool ?checkpoint_every ?checkpoint_path ?resume_from 
   let model = build_model cfg ~variant ~classes ~seed in
   let train_cfg =
     if uses_variation_aware variant then cfg.Config.train_va else cfg.Config.train_base
+  in
+  (* [Ni] is the Full architecture + training budget, trained through
+     correlated perturbed realizations with straight-through gradients
+     to the clean parameters (the noise-injection robust-training
+     variant). Everything else about the run - splits, streams,
+     evaluation - is identical to [Full]. *)
+  let train_cfg =
+    if variant = Ni then
+      {
+        train_cfg with
+        Train.variation =
+          { train_cfg.Train.variation with Variation.corr = Some (corr_of_cfg cfg) };
+        noise_injection = true;
+        antithetic = true;
+      }
+    else train_cfg
   in
   let split_for_training =
     if uses_augmented_training variant then begin
@@ -129,6 +160,23 @@ let train_run ?batch_size ?pool ?checkpoint_every ?checkpoint_path ?resume_from 
         ~draws:cfg.Config.eval_draws model d
     else Train.accuracy ?batch_size ~precision model d
   in
+  (* Accuracy under spatially correlated variation (every variant gets
+     the column, trained with NI or not). The draw stream comes from a
+     fresh seed offset (+7000) so the pre-existing metrics keep
+     consuming exactly the streams they always did. Correlated draws
+     have higher estimator variance than i.i.d. ones (whole regions of
+     the eps field move together), so this metric uses 4x the i.i.d.
+     draw budget. *)
+  let corr_var_acc =
+    if Model.is_circuit model then
+      let corr_spec =
+        { (Variation.uniform cfg.Config.eval_level) with Variation.corr = Some (corr_of_cfg cfg) }
+      in
+      Train.accuracy_under_variation ?batch_size ~precision ?pool
+        ~rng:(Rng.create ~seed:(seed + 7000))
+        ~spec:corr_spec ~draws:(4 * cfg.Config.eval_draws) model test
+    else Train.accuracy ?batch_size ~precision model test
+  in
   {
     dataset;
     variant;
@@ -138,6 +186,7 @@ let train_run ?batch_size ?pool ?checkpoint_every ?checkpoint_path ?resume_from 
     clean_var_acc = under_variation test;
     aug_var_acc = under_variation aug_test;
     pert_var_acc = under_variation pert_test;
+    corr_var_acc;
     train_seconds = dt;
     epochs = history.Train.epochs_run;
   }
@@ -173,8 +222,19 @@ let cell_digest cfg ~dataset ~variant ~seed =
 let cell_path ~dir cfg ~dataset ~variant ~seed =
   Filename.concat dir ("cell-" ^ cell_digest cfg ~dataset ~variant ~seed ^ ".ckpt")
 
+(* Adding a metric changes the F64 section length, which the decode
+   length check below treats as stale: pre-existing cached cells are
+   recomputed (never misread) the first time they are loaded. *)
 let metric_names =
-  [ "clean_acc"; "clean_var_acc"; "aug_var_acc"; "pert_var_acc"; "train_seconds"; "epochs" ]
+  [
+    "clean_acc";
+    "clean_var_acc";
+    "aug_var_acc";
+    "pert_var_acc";
+    "corr_var_acc";
+    "train_seconds";
+    "epochs";
+  ]
 
 let save_cell ~path cfg (r : run) =
   let meta =
@@ -188,8 +248,8 @@ let save_cell ~path cfg (r : run) =
   in
   let metrics =
     [|
-      r.clean_acc; r.clean_var_acc; r.aug_var_acc; r.pert_var_acc; r.train_seconds;
-      float_of_int r.epochs;
+      r.clean_acc; r.clean_var_acc; r.aug_var_acc; r.pert_var_acc; r.corr_var_acc;
+      r.train_seconds; float_of_int r.epochs;
     |]
   in
   Ckpt.save ~path ~kind:"grid-cell" ~meta
@@ -231,8 +291,9 @@ let decode_cell ~path cfg ~dataset ~variant ~seed =
       clean_var_acc = m.(1);
       aug_var_acc = m.(2);
       pert_var_acc = m.(3);
-      train_seconds = m.(4);
-      epochs = int_of_float m.(5);
+      corr_var_acc = m.(4);
+      train_seconds = m.(5);
+      epochs = int_of_float m.(6);
     }
 
 (* A cell file that exists but does not decode — interrupted write,
@@ -313,6 +374,7 @@ let run_grid ?(progress = fun _ -> ()) ?batch_size ?pool ?cache_dir cfg ~variant
                 ("clean_var_acc", Obs.Float r.clean_var_acc);
                 ("aug_var_acc", Obs.Float r.aug_var_acc);
                 ("pert_var_acc", Obs.Float r.pert_var_acc);
+                ("corr_var_acc", Obs.Float r.corr_var_acc);
                 ("train_seconds", Obs.Float r.train_seconds);
                 ("epochs", Obs.Int r.epochs);
               ];

@@ -8,8 +8,11 @@
 (** Training configuration variants of the ablation (Fig. 7), plus the
     reference RNN. [Base] is the no-variation-aware first-order pTPNC
     baseline; [Full] is VA + SO-LF + AT — the robustness-aware
-    ADAPT-pNC of Table I. *)
-type variant = Reference | Base | Va | At | So_lf | Full
+    ADAPT-pNC of Table I. [Ni] is the Full configuration additionally
+    trained through correlated perturbed realizations with
+    straight-through gradients (noise injection; an extension beyond
+    the paper). *)
+type variant = Reference | Base | Va | At | So_lf | Full | Ni
 
 val variant_name : variant -> string
 
@@ -27,6 +30,16 @@ val table1_variants : variant list
 val fig7_variants : variant list
 (** [Base; Va; At; So_lf; Full]. *)
 
+val ablate_variants : variant list
+(** [fig7_variants @ [Ni]] — the ladder printed by [adapt_pnc ablate];
+    {!fig7_variants} itself is unchanged so the Fig. 7 artifact and its
+    cached grids stay pinned. *)
+
+val corr_of_cfg : Config.t -> Pnc_core.Variation.corr
+(** The correlated operating point used by the [+NI] training spec and
+    the [corr_var_acc] metric: [cfg.corr] when set, else
+    {!Pnc_core.Variation.default_corr}. *)
+
 type run = {
   dataset : string;
   variant : variant;
@@ -36,6 +49,10 @@ type run = {
   clean_var_acc : float;  (** original test set, ±10 % components *)
   aug_var_acc : float;  (** original+augmented test, ±10 % (Table I protocol) *)
   pert_var_acc : float;  (** perturbed test, ±10 % (Fig. 5/7 protocol) *)
+  corr_var_acc : float;
+      (** original test under spatially {e correlated} ±10 % variation
+          at {!corr_of_cfg} (draw stream seed+7000, disjoint from every
+          other protocol) *)
   train_seconds : float;
   epochs : int;
 }

@@ -1,0 +1,92 @@
+module Rng = Pnc_util.Rng
+
+type point = {
+  temp_c : float;
+  age_hours : float;
+  r_mult : float;
+  c_mult : float;
+  fit_rms : float;
+}
+
+let reference_temp_c = 25.
+let kelvin t_c = t_c +. 273.15
+
+(* Device laws embedded in the drifted netlists. The resistor is a
+   thermally activated printed conductor (Arrhenius, Ea/k ~ 700 K); the
+   capacitor is an electrolytic printed dielectric that dries out
+   logarithmically and grows a series resistance as it ages. *)
+let ea_over_k = 700.
+let age0_hours = 500.
+let cap_loss = 0.045
+let cap_floor = 0.55
+let esr_frac = 0.03
+
+let r_model ~temp_c =
+  exp (ea_over_k *. ((1. /. kelvin temp_c) -. (1. /. kelvin reference_temp_c)))
+
+let c_model ~age_hours = Float.max cap_floor (1. -. (cap_loss *. log1p (age_hours /. age0_hours)))
+let esr_ratio ~age_hours = esr_frac *. log1p (age_hours /. age0_hours)
+let c_eff_model ~age_hours = c_model ~age_hours *. (1. +. esr_ratio ~age_hours)
+
+(* Band-limited excitation below the data-rate Nyquist, as in
+   Pnc_core.Coupling: the zero-order-hold assumption of the discrete
+   first-order fit needs the input to move slowly between samples. *)
+let excitation rng ~dt =
+  let comps =
+    Array.init 4 (fun _ ->
+        ( Rng.uniform rng ~lo:0.2 ~hi:0.9,
+          Rng.uniform rng ~lo:0.5 ~hi:(0.04 /. dt),
+          Rng.uniform rng ~lo:0. ~hi:(2. *. Float.pi) ))
+  in
+  fun t ->
+    Array.fold_left (fun acc (a, f, p) -> acc +. (a *. sin ((2. *. Float.pi *. f *. t) +. p))) 0. comps
+
+(* One transient of the unloaded series-R / shunt-C stage, fitted to
+   v(k) = a·v(k-1) + b·u(k) at the data rate. The stage is a true
+   single pole, so τ = −dt/ln a inverts the sampled response exactly;
+   drift multipliers are ratios of these fitted τ. *)
+let fit_tau ~wave ~n_samples ~r ~c ~dt =
+  let circ = Circuit.create () in
+  let vin = Circuit.node circ "in" and out = Circuit.node circ "out" in
+  Circuit.vsource circ ~waveform:wave vin Circuit.ground 0.;
+  Circuit.resistor circ vin out r;
+  Circuit.capacitor circ out Circuit.ground c;
+  let oversample = 20 in
+  let dt_sim = dt /. float_of_int oversample in
+  let steps = n_samples * oversample in
+  let { Transient.times; samples } =
+    Transient.run ~integrator:Transient.Trapezoidal circ ~dt:dt_sim ~steps ~probes:[ out ]
+  in
+  let output = Array.init n_samples (fun k -> samples.(0).(((k + 1) * oversample) - 1)) in
+  let input = Array.init n_samples (fun k -> wave times.((((k + 1) * oversample) - 1))) in
+  let a, b = Measure.fit_first_order ~input ~output in
+  let tau = -.dt /. log a in
+  (tau, Measure.goodness_of_fit ~input ~output ~a ~b)
+
+let characterize ?(seed = 0) ?(n_samples = 192) ~r ~c ~dt ~temp_c ~age_hours () =
+  let rng = Rng.create ~seed in
+  let wave = excitation rng ~dt in
+  let tau_ref, rms_ref = fit_tau ~wave ~n_samples ~r ~c ~dt in
+  (* Temperature-only netlist: the Arrhenius factor scales R. *)
+  let tau_temp, rms_temp = fit_tau ~wave ~n_samples ~r:(r *. r_model ~temp_c) ~c ~dt in
+  (* Age-only netlist: dried-out C in series with the aged ESR. *)
+  let tau_age, rms_age =
+    fit_tau ~wave ~n_samples
+      ~r:(r *. (1. +. esr_ratio ~age_hours))
+      ~c:(c *. c_model ~age_hours) ~dt
+  in
+  {
+    temp_c;
+    age_hours;
+    r_mult = tau_temp /. tau_ref;
+    c_mult = tau_age /. tau_ref;
+    fit_rms = Float.max rms_ref (Float.max rms_temp rms_age);
+  }
+
+let survey ?(seed = 11) ~r ~c ~dt () =
+  let temps = [ 25.; 60.; 85. ] in
+  let ages = [ 0.; 1_000.; 10_000. ] in
+  List.concat_map
+    (fun temp_c ->
+      List.map (fun age_hours -> characterize ~seed ~r ~c ~dt ~temp_c ~age_hours ()) ages)
+    temps

@@ -1,0 +1,58 @@
+(** Temperature / aging drift characterization of a printed RC stage.
+
+    The correlated-variation model multiplies every filter R by a
+    temperature factor and every filter C by an aging factor. Instead
+    of hand-picking those constants, this module extracts them the way
+    {!Measure} extracts the coupling factor µ: the drifted device is
+    simulated at the transient level (thermally activated resistor,
+    electrolyte dry-out capacitor with a growing equivalent series
+    resistance), the sampled waveform is fitted to the first-order
+    discrete update, and the multiplier is the ratio of the fitted
+    effective time constants — drifted over reference. The analytic
+    device laws ({!r_model}, {!c_eff_model}) exist only to sanity-check
+    the extraction; the numbers that reach the variation model are the
+    fitted ones. *)
+
+type point = {
+  temp_c : float;  (** device temperature, °C *)
+  age_hours : float;  (** operating age, hours *)
+  r_mult : float;  (** fitted R(T)/R(T₀) (T₀ = 25 °C) *)
+  c_mult : float;  (** fitted effective C(age)/C₀, ESR included *)
+  fit_rms : float;  (** worst first-order fit residual of the runs *)
+}
+
+val reference_temp_c : float
+(** 25 °C: the temperature at which both multipliers are exactly 1. *)
+
+val r_model : temp_c:float -> float
+(** Analytic thermally-activated resistor ratio
+    exp(Ea/k · (1/T − 1/T₀)) — the law embedded in the simulated
+    netlist, exposed for the single-pole sanity test. *)
+
+val c_model : age_hours:float -> float
+(** Analytic electrolyte-capacitance ratio: logarithmic dry-out,
+    floored well above zero. *)
+
+val c_eff_model : age_hours:float -> float
+(** {!c_model} including the aged series resistance's contribution to
+    the effective time constant — what the waveform fit actually
+    measures. *)
+
+val characterize :
+  ?seed:int ->
+  ?n_samples:int ->
+  r:float ->
+  c:float ->
+  dt:float ->
+  temp_c:float ->
+  age_hours:float ->
+  unit ->
+  point
+(** Three transient runs (reference, temperature-only, age-only) of the
+    band-limited-excited RC stage at [dt]-rate sampling, each fitted to
+    v(k) = a·v(k−1) + b·u(k); multipliers are ratios of
+    τ = −dt/ln a. Deterministic for fixed arguments. *)
+
+val survey : ?seed:int -> r:float -> c:float -> dt:float -> unit -> point list
+(** Characterization grid over representative temperatures and ages
+    (the golden-pinned table printed by [adapt_pnc spice-char]). *)

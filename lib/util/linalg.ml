@@ -1,0 +1,66 @@
+(* Dense Cholesky with a jitter fallback, sized for covariance matrices
+   over the devices of one tensor (n = rows·cols of an eps draw). *)
+
+let cholesky a =
+  let n = Array.length a in
+  let l = Array.make_matrix n n 0. in
+  let ok = ref true in
+  (try
+     for j = 0 to n - 1 do
+       (* Diagonal pivot: a_jj − Σ_k l_jk². *)
+       let s = ref a.(j).(j) in
+       for k = 0 to j - 1 do
+         s := !s -. (l.(j).(k) *. l.(j).(k))
+       done;
+       if !s <= 0. || not (Float.is_finite !s) then begin
+         ok := false;
+         raise Exit
+       end;
+       l.(j).(j) <- sqrt !s;
+       for i = j + 1 to n - 1 do
+         let s = ref a.(i).(j) in
+         for k = 0 to j - 1 do
+           s := !s -. (l.(i).(k) *. l.(j).(k))
+         done;
+         l.(i).(j) <- !s /. l.(j).(j)
+       done
+     done
+   with Exit -> ());
+  if !ok then Some l else None
+
+let cholesky_psd ?(max_tries = 8) a =
+  let n = Array.length a in
+  match cholesky a with
+  | Some l -> (l, 0.)
+  | None ->
+      let mean_diag =
+        if n = 0 then 1.
+        else
+          Float.max 1e-300
+            (Array.fold_left (fun acc i -> acc +. Float.abs a.(i).(i) /. float_of_int n)
+               0. (Array.init n Fun.id))
+      in
+      let rec attempt k jitter =
+        if k >= max_tries then
+          failwith
+            (Printf.sprintf "Linalg.cholesky_psd: matrix not positive definite (n=%d)" n)
+        else begin
+          let aj = Array.init n (fun i -> Array.copy a.(i)) in
+          for i = 0 to n - 1 do
+            aj.(i).(i) <- aj.(i).(i) +. jitter
+          done;
+          match cholesky aj with
+          | Some l -> (l, jitter)
+          | None -> attempt (k + 1) (jitter *. 10.)
+        end
+      in
+      attempt 0 (1e-12 *. mean_diag)
+
+let mat_vec_lower l z =
+  let n = Array.length l in
+  Array.init n (fun i ->
+      let s = ref 0. in
+      for k = 0 to i do
+        s := !s +. (l.(i).(k) *. z.(k))
+      done;
+      !s)

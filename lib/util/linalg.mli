@@ -1,0 +1,26 @@
+(** Small dense linear algebra for the correlated-variation sampler.
+
+    The matrices here are covariance matrices over device positions —
+    at most a few hundred rows (one per device of a single crossbar or
+    filter bank) — so plain [float array array] storage and O(n³/6)
+    factorization are comfortably below every hot path. *)
+
+val cholesky : float array array -> float array array option
+(** Lower-triangular [L] with [L Lᵀ = A] for a symmetric
+    positive-definite [A] (only the lower triangle of [A] is read).
+    [None] when a pivot is not strictly positive, i.e. [A] is not
+    numerically positive definite. *)
+
+val cholesky_psd : ?max_tries:int -> float array array -> float array array * float
+(** [cholesky_psd a] factors [a], falling back to [a + jitter·I] with
+    a jitter that starts at [1e-12 · mean diagonal] and grows tenfold
+    per retry — the standard rescue for covariance matrices that are
+    PSD in exact arithmetic but lose definiteness to rounding (e.g. a
+    distance kernel with near-duplicate positions). Returns the factor
+    and the jitter that succeeded (0. when none was needed).
+    @raise Failure when [max_tries] (default 8) jitter levels fail —
+    the matrix is genuinely indefinite, not merely ill-conditioned. *)
+
+val mat_vec_lower : float array array -> float array -> float array
+(** [mat_vec_lower l z] = [L·z] for lower-triangular [L] (entries above
+    the diagonal are never read). *)

@@ -557,6 +557,217 @@ let prop_random_dag =
         ();
       true)
 
+(* Noise injection (straight-through estimator) --------------------------- *)
+
+module Mc_loss = Pnc_core.Mc_loss
+module Model = Pnc_core.Model
+module Train = Pnc_core.Train
+module Pool = Pnc_util.Pool
+
+let tensors_bit_equal a b =
+  T.rows a = T.rows b && T.cols a = T.cols b
+  &&
+  let ok = ref true in
+  for r = 0 to T.rows a - 1 do
+    for c = 0 to T.cols a - 1 do
+      if not (T.get a r c = T.get b r c) then ok := false
+    done
+  done;
+  !ok
+
+let test_ste_mul_forward_and_backward () =
+  let rng = Rng.create ~seed:90 in
+  let v_t = T.uniform rng ~rows:3 ~cols:4 ~lo:(-1.5) ~hi:1.5 in
+  let eps = T.uniform rng ~rows:3 ~cols:4 ~lo:0.8 ~hi:1.2 in
+  let p_ste = Var.param (T.copy v_t) and p_mul = Var.param (T.copy v_t) in
+  let y_ste = Var.ste_mul p_ste eps and y_mul = Var.mul p_mul (Var.const eps) in
+  (* Forward: the STE fold is the same multiplication, bit for bit. *)
+  Alcotest.(check bool) "forward bit-identical" true
+    (tensors_bit_equal (Var.value y_ste) (Var.value y_mul));
+  Var.backward (Var.sum y_ste);
+  Var.backward (Var.sum y_mul);
+  (* Backward: straight-through passes the upstream gradient unchanged
+     (here: ones), where the plain fold multiplies by eps. *)
+  Alcotest.(check bool) "ste grad = identity" true
+    (tensors_bit_equal (Var.grad p_ste) (T.create ~rows:3 ~cols:4 1.));
+  Alcotest.(check bool) "mul grad = eps" true (tensors_bit_equal (Var.grad p_mul) eps)
+
+let test_ste_mul_chain_rule () =
+  (* Through a nonlinearity the STE gradient is dL/dy evaluated at the
+     perturbed point y = v*eps: for L = sum(y^2) that is 2*(v*eps). *)
+  let rng = Rng.create ~seed:91 in
+  let v_t = T.uniform rng ~rows:2 ~cols:3 ~lo:(-1.) ~hi:1. in
+  let eps = T.uniform rng ~rows:2 ~cols:3 ~lo:0.9 ~hi:1.1 in
+  let p = Var.param (T.copy v_t) in
+  Var.backward (Var.sum (Var.sqr (Var.ste_mul p eps)));
+  let expect = T.scale 2. (T.mul v_t eps) in
+  Alcotest.(check bool) "grad = 2*(v*eps)" true
+    (T.equal_eps ~eps:1e-12 expect (Var.grad p))
+
+(* The correlated operating point used by the NI and invariance tests. *)
+let ni_spec = Variation.correlated ~rho:0.6 ~clen:1.5 (Variation.uniform 0.2)
+
+let test_ni_crossbar_fd_oracle () =
+  (* Central-difference oracle for the straight-through gradient on one
+     crossbar under a fixed correlated draw. The STE gradient is
+     dL/dtheta_eff at theta_eff = theta*eps; stepping theta by h/eps_ij
+     moves theta_eff by exactly h (the h/eps trick), so the central
+     difference converges to the STE gradient — a plain h-step would
+     measure eps_ij * dL/dtheta_eff instead. The draw is replayed from
+     one saved stream state (Rng.copy); eps replay follows the
+     documented realization order of Crossbar.realize (theta_eps then
+     bias_eps from the same draw). *)
+  let rng = Rng.create ~seed:77 in
+  let inputs = 3 and outputs = 4 in
+  let cb = Crossbar.create rng ~inputs ~outputs in
+  let x = Var.const (T.uniform rng ~rows:5 ~cols:inputs ~lo:(-1.) ~hi:1.) in
+  let rng0 = Rng.create ~seed:78 in
+  let mk_draw ~ste () = Variation.make_draw ~ste (Rng.copy rng0) ni_spec in
+  let theta_eps, bias_eps =
+    let d = mk_draw ~ste:false () in
+    ( Variation.eps_for d ~rows:inputs ~cols:outputs,
+      Variation.eps_for d ~rows:1 ~cols:outputs )
+  in
+  let loss_var ~ste () = Var.sum (Var.sqr (Crossbar.forward ~draw:(mk_draw ~ste ()) cb x)) in
+  (* ni changes gradients only: the loss value itself is bit-identical. *)
+  Alcotest.(check bool) "ste forward value unchanged" true
+    (T.get_scalar (Var.value (loss_var ~ste:true ()))
+    = T.get_scalar (Var.value (loss_var ~ste:false ())));
+  let params = Crossbar.params cb in
+  List.iter Var.zero_grad params;
+  Var.backward (loss_var ~ste:true ());
+  let analytic = List.map (fun p -> T.copy (Var.grad p)) params in
+  let h = 1e-5 in
+  let checked = ref 0 in
+  List.iteri
+    (fun pi p ->
+      let v = Var.value p in
+      let g = List.nth analytic pi in
+      let eps = if pi = 0 then theta_eps else bias_eps in
+      for r = 0 to T.rows v - 1 do
+        for c = 0 to T.cols v - 1 do
+          let orig = T.get v r c in
+          (* Stay clear of the |theta_eff| kink in the normalization. *)
+          if Float.abs orig > 0.05 then begin
+            incr checked;
+            let step = h /. T.get eps r c in
+            T.set v r c (orig +. step);
+            let f_plus = T.get_scalar (Var.value (loss_var ~ste:true ())) in
+            T.set v r c (orig -. step);
+            let f_minus = T.get_scalar (Var.value (loss_var ~ste:true ())) in
+            T.set v r c orig;
+            let fd = (f_plus -. f_minus) /. (2. *. h) in
+            let an = T.get g r c in
+            let scale = Float.max 1. (Float.max (Float.abs fd) (Float.abs an)) in
+            if Float.abs (fd -. an) /. scale > 1e-5 then
+              Alcotest.failf "NI grad mismatch param %d (%d,%d): fd=%.10f ste=%.10f" pi r c fd
+                an
+          end
+        done
+      done)
+    params;
+  Alcotest.(check bool) (Printf.sprintf "%d entries checked" !checked) true (!checked >= 8)
+
+let test_ni_times_eps_equals_plain_gradient () =
+  (* Semantic identity behind the h/eps trick, pinned directly on the
+     analytic side: g_plain = eps . g_ste elementwise under one fixed
+     draw. *)
+  let rng = Rng.create ~seed:81 in
+  let cb = Crossbar.create rng ~inputs:2 ~outputs:3 in
+  let x = Var.const (T.uniform rng ~rows:4 ~cols:2 ~lo:(-1.) ~hi:1.) in
+  let rng0 = Rng.create ~seed:82 in
+  let mk_draw ~ste () = Variation.make_draw ~ste (Rng.copy rng0) ni_spec in
+  let theta_eps, bias_eps =
+    let d = mk_draw ~ste:false () in
+    (Variation.eps_for d ~rows:2 ~cols:3, Variation.eps_for d ~rows:1 ~cols:3)
+  in
+  let grads ~ste =
+    let params = Crossbar.params cb in
+    List.iter Var.zero_grad params;
+    Var.backward (Var.sum (Var.sqr (Crossbar.forward ~draw:(mk_draw ~ste ()) cb x)));
+    List.map (fun p -> T.copy (Var.grad p)) params
+  in
+  let g_ste = grads ~ste:true and g_plain = grads ~ste:false in
+  List.iteri
+    (fun pi eps ->
+      let gs = List.nth g_ste pi and gp = List.nth g_plain pi in
+      Alcotest.(check bool)
+        (Printf.sprintf "param %d: plain = eps*ste" pi)
+        true
+        (T.equal_eps ~eps:1e-12 gp (T.mul eps gs)))
+    [ theta_eps; bias_eps ]
+
+let test_ni_mc_loss_value_unchanged () =
+  (* End-to-end over the MC estimator: ni (and ni+antithetic) leave the
+     reported objective bit-identical; they only reroute gradients. *)
+  let model =
+    Model.Circuit (Network.create ~hidden:3 (Rng.create ~seed:83) Network.Adapt ~inputs:1 ~classes:2)
+  in
+  let rngx = Rng.create ~seed:84 in
+  let x = T.uniform rngx ~rows:6 ~cols:8 ~lo:(-1.) ~hi:1. in
+  let labels = Array.init 6 (fun i -> i mod 2) in
+  let value ~antithetic ~ni =
+    T.get_scalar
+      (Var.value
+         (Mc_loss.expected ~antithetic ~ni ~rng:(Rng.create ~seed:85) ~spec:ni_spec ~n:4 model
+            ~x ~labels))
+  in
+  Alcotest.(check bool) "ni value bit-identical" true
+    (value ~antithetic:false ~ni:true = value ~antithetic:false ~ni:false);
+  Alcotest.(check bool) "ni+antithetic value bit-identical" true
+    (value ~antithetic:true ~ni:true = value ~antithetic:true ~ni:false)
+
+(* Correlated-draw estimator invariance ----------------------------------- *)
+
+let test_corr_expected_value_pool_batch_invariant () =
+  let model =
+    Model.Circuit (Network.create ~hidden:3 (Rng.create ~seed:60) Network.Adapt ~inputs:1 ~classes:2)
+  in
+  let rngx = Rng.create ~seed:61 in
+  let x = T.uniform rngx ~rows:7 ~cols:9 ~lo:(-1.) ~hi:1. in
+  let labels = Array.init 7 (fun i -> i mod 2) in
+  let value ?batch_size ?pool ~antithetic () =
+    Mc_loss.expected_value ~antithetic ?batch_size ?pool ~rng:(Rng.create ~seed:62)
+      ~spec:ni_spec ~n:5 model ~x ~labels
+  in
+  let reference = value ~antithetic:false () in
+  List.iter
+    (fun bs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "batch %d bit-identical" bs)
+        true
+        (value ~batch_size:bs ~antithetic:false () = reference))
+    [ 1; 3; 100 ];
+  Pool.with_pool ~size:3 (fun pool ->
+      Alcotest.(check bool) "pool 3 bit-identical" true
+        (value ~pool ~antithetic:false () = reference);
+      Alcotest.(check bool) "antithetic pool = antithetic sequential" true
+        (value ~pool ~antithetic:true () = value ~antithetic:true ()))
+
+let test_corr_accuracy_pool_batch_invariant () =
+  let model =
+    Model.Circuit (Network.create ~hidden:3 (Rng.create ~seed:63) Network.Adapt ~inputs:1 ~classes:2)
+  in
+  let rngx = Rng.create ~seed:64 in
+  let rows = Array.init 8 (fun _ -> Array.init 9 (fun _ -> Rng.uniform rngx ~lo:(-1.) ~hi:1.)) in
+  let d =
+    { Pnc_data.Dataset.name = "tiny"; x = rows; y = Array.init 8 (fun i -> i mod 2); n_classes = 2 }
+  in
+  let acc ?batch_size ?pool () =
+    Train.accuracy_under_variation ?batch_size ?pool ~rng:(Rng.create ~seed:65) ~spec:ni_spec
+      ~draws:4 model d
+  in
+  let reference = acc () in
+  List.iter
+    (fun bs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "batch %d bit-identical" bs)
+        true
+        (acc ~batch_size:bs () = reference))
+    [ 1; 3 ];
+  Pool.with_pool ~size:3 (fun pool ->
+      Alcotest.(check bool) "pool 3 bit-identical" true (acc ~pool () = reference))
+
 let () =
   Alcotest.run "pnc_autodiff"
     [
@@ -615,5 +826,20 @@ let () =
           prop_crossbar_gradients;
           prop_filter_gradients;
           prop_ptanh_gradients;
+        ] );
+      ( "noise injection",
+        [
+          Alcotest.test_case "ste_mul forward/backward" `Quick test_ste_mul_forward_and_backward;
+          Alcotest.test_case "ste_mul chain rule" `Quick test_ste_mul_chain_rule;
+          Alcotest.test_case "crossbar STE FD oracle" `Quick test_ni_crossbar_fd_oracle;
+          Alcotest.test_case "plain grad = eps*ste grad" `Quick
+            test_ni_times_eps_equals_plain_gradient;
+          Alcotest.test_case "MC loss value unchanged" `Quick test_ni_mc_loss_value_unchanged;
+        ] );
+      ( "correlated invariance",
+        [
+          Alcotest.test_case "expected_value pool/batch" `Quick
+            test_corr_expected_value_pool_batch_invariant;
+          Alcotest.test_case "accuracy pool/batch" `Quick test_corr_accuracy_pool_batch_invariant;
         ] );
     ]

@@ -102,7 +102,7 @@ let fake_grid cfg =
                     Pnc_core.Model.Circuit
                       (Pnc_core.Network.create ~hidden:2 rng Pnc_core.Network.Ptpnc ~inputs:1
                          ~classes:2)
-                | E.So_lf | E.Full ->
+                | E.So_lf | E.Full | E.Ni ->
                     Pnc_core.Model.Circuit
                       (Pnc_core.Network.create ~hidden:4 rng Pnc_core.Network.Adapt ~inputs:1
                          ~classes:2)
@@ -116,6 +116,7 @@ let fake_grid cfg =
                 clean_var_acc = 0.5;
                 aug_var_acc = 0.45;
                 pert_var_acc = 0.4;
+                corr_var_acc = 0.42;
                 train_seconds = 0.1;
                 epochs = 10;
               })

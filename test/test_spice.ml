@@ -381,6 +381,127 @@ let test_egt_power_positive () =
   let p = Dc.power sol c in
   Alcotest.(check bool) (Printf.sprintf "power positive (%.2e W)" p) true (p > 0. && p < 1e-3)
 
+(* Drift characterization ------------------------------------------------------ *)
+
+module Drift = Pnc_spice.Drift
+
+(* Golden-file helpers, same protocol as test_golden.ml: byte-exact
+   comparison against a checked-in reference; UPDATE_GOLDEN=1 writes
+   through to the source tree so the refreshed file lands in version
+   control. *)
+let is_dir d = Sys.file_exists d && Sys.is_directory d
+
+let first_dir candidates fallback =
+  match List.find_opt is_dir candidates with Some d -> d | None -> fallback
+
+let golden_dir_for_update () =
+  first_dir [ Filename.concat "../../../test" "golden"; Filename.concat "test" "golden" ] "golden"
+
+let golden_dir_for_read () = first_dir [ "golden"; Filename.concat "test" "golden" ] "golden"
+
+let updating () =
+  match Sys.getenv_opt "UPDATE_GOLDEN" with Some ("" | "0") | None -> false | Some _ -> true
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let check_golden ~file actual =
+  if updating () then begin
+    write_file (Filename.concat (golden_dir_for_update ()) file) actual;
+    Printf.printf "refreshed golden file %s\n" file
+  end
+  else begin
+    let path = Filename.concat (golden_dir_for_read ()) file in
+    if not (Sys.file_exists path) then
+      Alcotest.failf "missing golden file %s (run UPDATE_GOLDEN=1 dune runtest test)" file;
+    let expected = read_file path in
+    if not (String.equal expected actual) then
+      Alcotest.failf
+        "golden mismatch %s (expected %d bytes, got %d)\n%s(refresh with UPDATE_GOLDEN=1 dune runtest test if intentional)"
+        file (String.length expected) (String.length actual) actual
+  end
+
+(* The survey point that feeds Pnc_core.Variation.drift_mults: R = 330,
+   C = 10 uF, sampled at the data rate. Any diff in this table is a
+   behaviour change in the transient integrator, the first-order fit,
+   or the drift device laws. *)
+let drift_r = 330.
+let drift_c = 1e-5
+let drift_dt = Pnc_core.Printed.dt
+
+let drift_table () =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "drift characterization r=%.0f c=%.0e dt=%.0e seed=11\n" drift_r drift_c
+    drift_dt;
+  List.iter
+    (fun p ->
+      Printf.bprintf b "temp=%5.1fC age=%7.0fh r_mult=%.6f c_mult=%.6f fit_rms=%.2e\n"
+        p.Drift.temp_c p.Drift.age_hours p.Drift.r_mult p.Drift.c_mult p.Drift.fit_rms)
+    (Drift.survey ~r:drift_r ~c:drift_c ~dt:drift_dt ());
+  Buffer.contents b
+
+let test_drift_golden () = check_golden ~file:"drift_char.txt" (drift_table ())
+
+let test_drift_table_deterministic () =
+  Alcotest.(check string) "drift table stable" (drift_table ()) (drift_table ())
+
+let test_drift_reference_exact () =
+  (* At the reference corner the drifted netlists are the reference
+     netlist, so the tau ratios are exactly 1 — bit-exact, not approx. *)
+  let p =
+    Drift.characterize ~r:drift_r ~c:drift_c ~dt:drift_dt ~temp_c:Drift.reference_temp_c
+      ~age_hours:0. ()
+  in
+  Alcotest.(check bool) "r_mult exactly 1" true (p.Drift.r_mult = 1.);
+  Alcotest.(check bool) "c_mult exactly 1" true (p.Drift.c_mult = 1.)
+
+let test_drift_matches_analytic () =
+  (* Single-pole sanity: the stage is a true first-order system, so at a
+     sampling rate fine relative to tau (= RC = 3.3 ms; dt = tau/22
+     here) the fitted tau ratio must recover the device law embedded in
+     the netlist to within 1% — r_mult the Arrhenius ratio, c_mult the
+     dried-out capacitance including the aged ESR's contribution. At
+     the production data rate (dt = 2 ms, tau/dt = 1.65) the discrete
+     fit is biased toward 1 by the coarse sampling, so there the check
+     is directional only: model <= fitted < 1. *)
+  let rel a b = Float.abs (a -. b) /. Float.max 1e-9 (Float.abs a) in
+  let fine_dt = 1.5e-4 in
+  let check_corner ~what ~model ~fine ~coarse =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s fine fit %.4f vs model %.4f" what fine model)
+      true (rel model fine < 0.01);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s coarse fit %.4f in [model, 1)" what coarse)
+      true
+      (coarse >= model -. 1e-9 && coarse < 1.)
+  in
+  List.iter
+    (fun temp_c ->
+      let p dt = Drift.characterize ~r:drift_r ~c:drift_c ~dt ~temp_c ~age_hours:0. () in
+      let fine = p fine_dt and coarse = p drift_dt in
+      check_corner
+        ~what:(Printf.sprintf "r_mult(%gC)" temp_c)
+        ~model:(Drift.r_model ~temp_c) ~fine:fine.Drift.r_mult ~coarse:coarse.Drift.r_mult;
+      Alcotest.(check bool) "fit residual small" true (fine.Drift.fit_rms < 0.05))
+    [ 40.; 60.; 85. ];
+  List.iter
+    (fun age_hours ->
+      let p dt =
+        Drift.characterize ~r:drift_r ~c:drift_c ~dt ~temp_c:Drift.reference_temp_c ~age_hours ()
+      in
+      let fine = p fine_dt and coarse = p drift_dt in
+      check_corner
+        ~what:(Printf.sprintf "c_mult(%gh)" age_hours)
+        ~model:(Drift.c_eff_model ~age_hours) ~fine:fine.Drift.c_mult ~coarse:coarse.Drift.c_mult)
+    [ 1_000.; 10_000. ]
+
 (* Device counting --------------------------------------------------------------- *)
 
 (* Report ------------------------------------------------------------------------ *)
@@ -507,6 +628,13 @@ let () =
           Alcotest.test_case "mu roundtrip" `Quick test_mu_roundtrip;
           Alcotest.test_case "rise time" `Quick test_rise_time;
           Alcotest.test_case "cutoff from response" `Quick test_cutoff_from_response;
+        ] );
+      ( "drift",
+        [
+          Alcotest.test_case "survey golden table" `Quick test_drift_golden;
+          Alcotest.test_case "table deterministic" `Quick test_drift_table_deterministic;
+          Alcotest.test_case "reference corner exact" `Quick test_drift_reference_exact;
+          Alcotest.test_case "matches analytic laws" `Quick test_drift_matches_analytic;
         ] );
       ("report", [ Alcotest.test_case "operating point" `Quick test_operating_point_report ]);
       ("devices", [ Alcotest.test_case "device counts" `Quick test_device_counts ]);
